@@ -1,0 +1,77 @@
+// elide-bench regenerates the SgxElide paper's evaluation: Table 1
+// (benchmark and sanitizer statistics), Table 2 (sanitize/restore times,
+// mean ± σ over -iters runs), and Figures 3 and 4 (normalized end-to-end
+// overhead with remote and local data).
+//
+//	elide-bench -all
+//	elide-bench -table2 -iters 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxelide/internal/bench"
+)
+
+func main() {
+	var (
+		t1    = flag.Bool("table1", false, "reproduce Table 1")
+		t2    = flag.Bool("table2", false, "reproduce Table 2")
+		f3    = flag.Bool("fig3", false, "reproduce Figure 3 (remote data)")
+		f4    = flag.Bool("fig4", false, "reproduce Figure 4 (local data)")
+		all   = flag.Bool("all", false, "reproduce everything")
+		iters = flag.Int("iters", 10, "runs per measurement (the paper uses 10)")
+	)
+	flag.Parse()
+	if *all {
+		*t1, *t2, *f3, *f4 = true, true, true, true
+	}
+	if !*t1 && !*t2 && !*f3 && !*f4 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	env, err := bench.NewEnv()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *t1 {
+		rows, err := bench.Table1(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderTable1(rows))
+	}
+	if *t2 {
+		fmt.Printf("(measuring Table 2, %d iterations per cell...)\n", *iters)
+		rows, err := bench.Table2(env, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderTable2(rows))
+	}
+	if *f3 {
+		fmt.Printf("(measuring Figure 3, %d runs per bar...)\n", *iters)
+		rows, err := bench.Figures(env, false, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderFigure("Figure 3. Overhead with remote data (w/ SgxElide vs w/ SGX).", rows))
+	}
+	if *f4 {
+		fmt.Printf("(measuring Figure 4, %d runs per bar...)\n", *iters)
+		rows, err := bench.Figures(env, true, *iters)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(bench.RenderFigure("Figure 4. Overhead with local data (w/ SgxElide vs w/ SGX).", rows))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,166 @@
+// elide-run is the user-machine side of the SgxElide CLI flow: it loads a
+// sanitized, signed enclave on a simulated SGX platform, connects the
+// SgxElide untrusted runtime to the authentication server (TCP or
+// in-process), performs the restore, and optionally invokes an ecall.
+//
+// Full two-process walkthrough:
+//
+//	evmcc -enclave -elide -edl app.edl -o enclave.so app.c
+//	elide-whitelist -o whitelist.json
+//	elide-sanitize -whitelist whitelist.json -o build enclave.so
+//	elide-sign -key dev.pem -o build/enclave.sigstruct build/sanitized.so
+//	elide-run -dir build -edl app.edl -ca machine_ca.pem -emit-server serverfiles
+//	elide-server -dir serverfiles -listen 127.0.0.1:7788 &
+//	elide-run -dir build -edl app.edl -ca machine_ca.pem -connect 127.0.0.1:7788 \
+//	          -ecall ecall_compute -arg 42
+//
+// The -ca file pins the machine's attestation root across invocations so
+// the server started from the emitted files trusts this machine's quotes.
+package main
+
+import (
+	"encoding/gob"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"sgxelide/internal/elide"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", "build", "directory with sanitized.so, enclave.sigstruct, enclave.secret.*")
+		edlPath    = flag.String("edl", "", "the application EDL file")
+		caPath     = flag.String("ca", "machine_ca.pem", "machine attestation root (created if missing)")
+		connect    = flag.String("connect", "", "authentication server address (empty = in-process server)")
+		emitServer = flag.String("emit-server", "", "write the server-side files to this directory and exit")
+		ecallName  = flag.String("ecall", "", "ecall to invoke after restoring")
+		flags      = flag.Uint64("flags", 0, "elide_restore flags (1 = try sealed, 2 = seal after)")
+	)
+	var args argList
+	flag.Var(&args, "arg", "ecall argument (repeatable)")
+	flag.Parse()
+
+	ca, err := sgx.LoadOrCreateCA(*caPath)
+	check(err)
+
+	sanitized, err := os.ReadFile(filepath.Join(*dir, elide.FileSanitizedSO))
+	check(err)
+	metaBlob, err := os.ReadFile(filepath.Join(*dir, elide.FileSecretMeta))
+	check(err)
+	meta, err := elide.UnmarshalMeta(metaBlob)
+	check(err)
+	secretData, err := os.ReadFile(filepath.Join(*dir, elide.FileSecretData))
+	check(err)
+
+	ssFile, err := os.Open(filepath.Join(*dir, "enclave.sigstruct"))
+	check(err)
+	var ss sgx.SigStruct
+	check(gob.NewDecoder(ssFile).Decode(&ss))
+	ssFile.Close()
+
+	if *emitServer != "" {
+		prot := &elide.Protected{
+			SanitizedELF: sanitized,
+			Measurement:  ss.MrEnclave,
+			Meta:         meta,
+			SecretData:   secretData,
+		}
+		check(prot.WriteServerFiles(*emitServer, ca.PublicKey()))
+		fmt.Printf("elide-run: wrote server files to %s (start elide-server -dir %s)\n", *emitServer, *emitServer)
+		return
+	}
+
+	if *edlPath == "" {
+		fatal(fmt.Errorf("elide-run: -edl is required to run the enclave"))
+	}
+	edlText, err := os.ReadFile(*edlPath)
+	check(err)
+	iface, err := elide.MergeEDL(string(edlText))
+	check(err)
+
+	platform, err := sgx.NewPlatform(sgx.Config{}, ca)
+	check(err)
+	host := sdk.NewHost(platform)
+
+	var client elide.Client
+	if *connect != "" {
+		conn, err := net.Dial("tcp", *connect)
+		check(err)
+		defer conn.Close()
+		client = &elide.TCPClient{Conn: conn}
+		fmt.Printf("elide-run: connected to %s\n", *connect)
+	} else {
+		cfg := elide.ServerConfig{
+			CAPub:             ca.PublicKey(),
+			ExpectedMrEnclave: ss.MrEnclave,
+			Meta:              meta,
+		}
+		if !meta.Encrypted {
+			cfg.SecretPlain = secretData
+		}
+		srv, err := elide.NewServer(cfg)
+		check(err)
+		client = &elide.DirectClient{Session: srv.NewSession()}
+		fmt.Println("elide-run: using in-process authentication server")
+	}
+
+	files := &elide.FileStore{}
+	if meta.Encrypted {
+		files.SecretData = secretData
+	}
+	rt := &elide.Runtime{Client: client, Files: files}
+	rt.Install(host)
+	encl, err := host.CreateEnclave(sanitized, &ss, iface)
+	check(err)
+	fmt.Printf("elide-run: enclave initialized, MRENCLAVE %x...\n", encl.Encl.MrEnclave[:8])
+
+	code, err := encl.ECall("elide_restore", *flags)
+	if err != nil {
+		fatal(fmt.Errorf("elide_restore: %w (runtime: %v)", err, rt.LastErr))
+	}
+	switch code {
+	case elide.RestoreOKServer:
+		fmt.Println("elide-run: restored via the authentication server")
+	case elide.RestoreOKSealed:
+		fmt.Println("elide-run: restored from the sealed file")
+	default:
+		fatal(fmt.Errorf("elide_restore failed with code %d (runtime: %v)", code, rt.LastErr))
+	}
+
+	if *ecallName != "" {
+		ret, err := encl.ECall(*ecallName, args...)
+		check(err)
+		fmt.Printf("elide-run: %s(%v) = %d (%#x)\n", *ecallName, []uint64(args), ret, ret)
+	}
+}
+
+// argList collects repeated -arg values.
+type argList []uint64
+
+func (a *argList) String() string { return fmt.Sprint([]uint64(*a)) }
+
+func (a *argList) Set(s string) error {
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return err
+	}
+	*a = append(*a, v)
+	return nil
+}
+
+func check(err error) {
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// elide-sanitize is the SgxElide Sanitizer CLI (Figure 1): it takes an
+// unsigned enclave built with the SgxElide runtime, redacts every function
+// not on the whitelist, sets PF_W on the text segment, and writes the
+// sanitized enclave plus the two secret files. Pass -c to encrypt the
+// secret data for local storage (the artifact's flag); without it the data
+// stays plaintext and must be deployed to the authentication server.
+//
+//	elide-sanitize -whitelist whitelist.json -o outdir enclave.so
+//	elide-sanitize -c -whitelist whitelist.json -o outdir enclave.so
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sgxelide/internal/elide"
+)
+
+func main() {
+	var (
+		wlPath  = flag.String("whitelist", elide.FileWhitelist, "whitelist.json from elide-whitelist")
+		encrypt = flag.Bool("c", false, "encrypt the secret data for local storage")
+		ranges  = flag.Bool("ranges", false, "per-function secret format (space optimization)")
+		outDir  = flag.String("o", ".", "output directory")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: elide-sanitize [-c] [-ranges] -whitelist whitelist.json -o dir enclave.so")
+		os.Exit(2)
+	}
+
+	elfBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	wlBlob, err := os.ReadFile(*wlPath)
+	if err != nil {
+		fatal(err)
+	}
+	var wl elide.Whitelist
+	if err := json.Unmarshal(wlBlob, &wl); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *wlPath, err))
+	}
+
+	opts := elide.SanitizeOptions{EncryptLocal: *encrypt}
+	if *ranges {
+		opts.Ranges = true
+	}
+	start := time.Now()
+	res, err := elide.Sanitize(elfBytes, wl, opts)
+	if err != nil {
+		fatal(err)
+	}
+	took := time.Since(start)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fatal(err)
+	}
+	write := func(name string, data []byte, mode os.FileMode) {
+		if err := os.WriteFile(filepath.Join(*outDir, name), data, mode); err != nil {
+			fatal(err)
+		}
+	}
+	write(elide.FileSanitizedSO, res.SanitizedELF, 0o644)
+	write(elide.FileSecretMeta, res.Meta.Marshal(), 0o600)
+	write(elide.FileSecretData, res.SecretData, 0o600)
+
+	st := res.Stats
+	fmt.Printf("elide-sanitize: %s\n", flag.Arg(0))
+	fmt.Printf("  sanitize time:       %v\n", took)
+	fmt.Printf("  functions total:     %d (whitelisted kept: %d)\n", st.TotalFunctions, st.WhitelistedKept)
+	fmt.Printf("  functions sanitized: %d (%d bytes of %d text bytes)\n",
+		st.SanitizedFunctions, st.SanitizedBytes, st.TotalTextBytes)
+	fmt.Printf("  secret data:         %d bytes (encrypted=%v, format=%d)\n",
+		st.SecretDataBytes, res.Meta.Encrypted, res.Meta.Format)
+	fmt.Printf("  wrote %s, %s, %s in %s\n",
+		elide.FileSanitizedSO, elide.FileSecretMeta, elide.FileSecretData, *outDir)
+	fmt.Printf("  NOTE: %s must only ever live on the authentication server.\n", elide.FileSecretMeta)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

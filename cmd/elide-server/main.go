@@ -1,0 +1,55 @@
+// elide-server is the SgxElide authentication server daemon (the artifact's
+// server.py): it holds the secret metadata (and, in remote-data mode, the
+// secret data), verifies each enclave's quote against the pinned CA and the
+// expected sanitized measurement, and answers REQUEST_META / REQUEST_DATA
+// over AES-GCM channels.
+//
+//	elide-server -dir serverfiles -listen 127.0.0.1:7788
+//
+// The serverfiles directory is produced by the deployment pipeline (see
+// examples/remoteattest or Protected.WriteServerFiles).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"sgxelide/internal/elide"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "serverfiles", "directory with ca_pub.pem, enclave.mrenclave, enclave.secret.meta[, enclave.secret.data]")
+		listen = flag.String("listen", "127.0.0.1:7788", "listen address")
+	)
+	flag.Parse()
+
+	cfg, err := elide.LoadServerConfig(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	srv, err := elide.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	mode := "remote-data"
+	if cfg.Meta.Encrypted {
+		mode = "local-data (serving metadata + key only)"
+	}
+	fmt.Printf("elide-server: %s mode, expecting MRENCLAVE %x..., listening on %s\n",
+		mode, cfg.ExpectedMrEnclave[:8], l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// elide-sign is the enclave signing tool (sgx_sign): it predicts the
+// enclave measurement by replaying the measured-load sequence, then signs
+// a SIGSTRUCT with the developer's RSA key. In the SgxElide flow it runs on
+// the *sanitized* enclave — the identity the authentication server expects.
+//
+//	elide-sign -key dev.pem -o enclave.sigstruct sanitized.so
+//
+// A missing key file is created (RSA-3072, like the SGX SDK's default).
+package main
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/x509"
+	"encoding/gob"
+	"encoding/hex"
+	"encoding/pem"
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+func main() {
+	var (
+		keyPath = flag.String("key", "dev_signing_key.pem", "RSA signing key (created if missing)")
+		out     = flag.String("o", "enclave.sigstruct", "output SIGSTRUCT file")
+		prodID  = flag.Uint("prodid", 1, "ISV product id")
+		svn     = flag.Uint("svn", 1, "ISV security version number")
+		bits    = flag.Int("bits", 3072, "key size when generating a new key")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: elide-sign -key dev.pem -o enclave.sigstruct enclave.so")
+		os.Exit(2)
+	}
+
+	key, err := loadOrCreateKey(*keyPath, *bits)
+	if err != nil {
+		fatal(err)
+	}
+
+	elfBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	// Measurement does not depend on platform secrets: any platform
+	// replays the same ECREATE/EADD/EEXTEND sequence.
+	ca, err := sgx.NewCA()
+	if err != nil {
+		fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.Config{}, ca)
+	if err != nil {
+		fatal(err)
+	}
+	mr, err := sdk.MeasureELF(sdk.NewHost(platform), elfBytes)
+	if err != nil {
+		fatal(err)
+	}
+	ss, err := sgx.SignEnclave(key, mr, uint16(*prodID), uint16(*svn))
+	if err != nil {
+		fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(ss); err != nil {
+		fatal(err)
+	}
+	signer := ss.MrSignerValue()
+	fmt.Printf("elide-sign: %s\n", flag.Arg(0))
+	fmt.Printf("  MRENCLAVE: %s\n", hex.EncodeToString(mr[:]))
+	fmt.Printf("  MRSIGNER:  %s\n", hex.EncodeToString(signer[:]))
+	fmt.Printf("  wrote %s\n", *out)
+}
+
+// loadOrCreateKey reads a PKCS#1 RSA key, generating one when absent.
+func loadOrCreateKey(path string, bits int) (*rsa.PrivateKey, error) {
+	if blob, err := os.ReadFile(path); err == nil {
+		block, _ := pem.Decode(blob)
+		if block == nil {
+			return nil, fmt.Errorf("%s is not PEM", path)
+		}
+		return x509.ParsePKCS1PrivateKey(block.Bytes)
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, err
+	}
+	blob := pem.EncodeToMemory(&pem.Block{
+		Type:  "RSA PRIVATE KEY",
+		Bytes: x509.MarshalPKCS1PrivateKey(key),
+	})
+	if err := os.WriteFile(path, blob, 0o600); err != nil {
+		return nil, err
+	}
+	fmt.Printf("elide-sign: generated new %d-bit signing key at %s\n", bits, path)
+	return key, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// elide-whitelist builds the SgxElide dummy enclave (BaseEnclave in the
+// artifact) and extracts the whitelist of functions the sanitizer must
+// preserve — the SgxElide runtime and the SDK libraries it links. The
+// whitelist is the same for every application (paper §4.1) and is written
+// as whitelist.json.
+//
+//	elide-whitelist -o whitelist.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxelide/internal/elide"
+	"sgxelide/internal/sdk"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", elide.FileWhitelist, "output file")
+		dumpSO  = flag.String("dummy", "", "also write the dummy enclave image here")
+		verbose = flag.Bool("v", false, "list the whitelisted functions")
+	)
+	flag.Parse()
+
+	res, err := elide.BuildDummyEnclave(sdk.BuildConfig{})
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpSO != "" {
+		if err := os.WriteFile(*dumpSO, res.ELF, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	wl, err := elide.WhitelistFromELF(res.ELF)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := json.MarshalIndent(wl, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("elide-whitelist: %d functions -> %s\n", len(wl), *out)
+	if *verbose {
+		for _, n := range wl.Names() {
+			fmt.Println("  " + n)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// evm-objdump disassembles an EVM ELF image — the attacker's-eye view of an
+// enclave file before initialization (the capability SgxElide defeats).
+// Run it on an enclave before and after elide-sanitize to see the secret
+// functions disappear.
+//
+//	evm-objdump enclave.so
+//	evm-objdump -syms enclave.so     # symbol table only
+//	evm-objdump -headers enclave.so  # program headers (note PF_W after sanitizing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sgxelide/internal/elf"
+	"sgxelide/internal/sdk"
+)
+
+func main() {
+	var (
+		symsOnly = flag.Bool("syms", false, "print the symbol table only")
+		headers  = flag.Bool("headers", false, "print program headers only")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: evm-objdump [-syms|-headers] image.elf")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	f, err := elf.Read(raw)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch {
+	case *headers:
+		fmt.Println("Program Headers:")
+		fmt.Printf("  %-8s %-5s %18s %10s %10s\n", "Type", "Flags", "VirtAddr", "FileSiz", "MemSiz")
+		for _, ph := range f.Phdrs {
+			fmt.Printf("  %-8s %-5s %#18x %10d %10d\n",
+				phType(ph.Type), phFlags(ph.Flags), ph.Vaddr, ph.Filesz, ph.Memsz)
+		}
+	case *symsOnly:
+		syms := append([]elf.Sym(nil), f.Symbols...)
+		sort.Slice(syms, func(i, j int) bool { return syms[i].Value < syms[j].Value })
+		fmt.Printf("%18s %8s %-7s %-6s %s\n", "Value", "Size", "Type", "Bind", "Name")
+		for _, s := range syms {
+			fmt.Printf("%#18x %8d %-7s %-6s %s\n", s.Value, s.Size, symType(s.Type), symBind(s.Bind), s.Name)
+		}
+	default:
+		dis, err := sdk.Disassemble(raw)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s:\tfile format elf64-evm\n", flag.Arg(0))
+		fmt.Printf("entry: %#x\n\nDisassembly of section .text:\n", f.Entry)
+		fmt.Print(dis)
+	}
+}
+
+func phType(t uint32) string {
+	if t == elf.PTLoad {
+		return "LOAD"
+	}
+	return fmt.Sprintf("%#x", t)
+}
+
+func phFlags(fl uint32) string {
+	b := []byte("---")
+	if fl&elf.PFR != 0 {
+		b[0] = 'R'
+	}
+	if fl&elf.PFW != 0 {
+		b[1] = 'W'
+	}
+	if fl&elf.PFX != 0 {
+		b[2] = 'E'
+	}
+	return string(b)
+}
+
+func symType(t byte) string {
+	switch t {
+	case elf.STTFunc:
+		return "FUNC"
+	case elf.STTObject:
+		return "OBJECT"
+	default:
+		return "NOTYPE"
+	}
+}
+
+func symBind(b byte) string {
+	if b == elf.STBGlobal {
+		return "GLOBAL"
+	}
+	return "LOCAL"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

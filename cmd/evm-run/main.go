@@ -1,0 +1,33 @@
+// evm-run executes a bare (non-enclave) EVM ELF image built by evmcc,
+// streaming its putchar output to stdout and exiting with main's status.
+//
+//	evmcc -o prog.elf main.c && evm-run prog.elf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sgxelide/internal/sdk"
+)
+
+func main() {
+	maxSteps := flag.Uint64("maxsteps", 0, "instruction budget (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: evm-run [-maxsteps N] prog.elf")
+		os.Exit(2)
+	}
+	elfBytes, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	exit, err := sdk.RunBareELF(elfBytes, os.Stdout, *maxSteps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(int(int32(exit)) & 0xff)
+}

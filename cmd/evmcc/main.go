@@ -1,0 +1,102 @@
+// evmcc drives the enclave toolchain: it compiles mini-C and EVM assembly
+// sources and links them into an ELF image — either a standalone bare
+// program (default) or an SGX enclave shared object (-enclave, with -edl).
+//
+//	evmcc -o prog.elf main.c util.s
+//	evmcc -enclave -edl app.edl -o enclave.so trusted.c
+//	evmcc -enclave -elide -edl app.edl -o enclave.so trusted.c   # + SgxElide runtime
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sgxelide/internal/edl"
+	"sgxelide/internal/elf"
+	"sgxelide/internal/elide"
+	"sgxelide/internal/link"
+	"sgxelide/internal/sdk"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "a.elf", "output file")
+		enclave  = flag.Bool("enclave", false, "build an enclave shared object")
+		withEDL  = flag.String("edl", "", "EDL interface file (enclave mode)")
+		useElide = flag.Bool("elide", false, "link the SgxElide runtime (enclave mode)")
+		base     = flag.Uint64("base", 0, "image base address (default toolchain choice)")
+		heap     = flag.Uint64("heap", 0, "heap reservation in bytes")
+		stack    = flag.Uint64("stack", 0, "stack reservation in bytes")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "evmcc: no input files")
+		os.Exit(2)
+	}
+
+	var sources []sdk.Source
+	for _, path := range flag.Args() {
+		text, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		name := filepath.Base(path)
+		switch {
+		case strings.HasSuffix(name, ".c"):
+			sources = append(sources, sdk.C(name, string(text)))
+		case strings.HasSuffix(name, ".s"):
+			sources = append(sources, sdk.Asm(name, string(text)))
+		default:
+			fatal(fmt.Errorf("evmcc: %s: unknown source type (want .c or .s)", path))
+		}
+	}
+
+	var elfBytes []byte
+	if *enclave {
+		var iface *edl.Interface
+		var err error
+		if *withEDL == "" {
+			fatal(fmt.Errorf("evmcc: -enclave requires -edl"))
+		}
+		edlText, err := os.ReadFile(*withEDL)
+		if err != nil {
+			fatal(err)
+		}
+		if *useElide {
+			iface, err = elide.MergeEDL(string(edlText))
+			if err != nil {
+				fatal(err)
+			}
+			sources = append(elide.TrustedSources(), sources...)
+		} else {
+			iface, err = edl.Parse(string(edlText))
+			if err != nil {
+				fatal(err)
+			}
+		}
+		res, err := sdk.BuildEnclave(sdk.BuildConfig{Base: *base, HeapSize: *heap, StackSize: *stack}, iface, sources...)
+		if err != nil {
+			fatal(err)
+		}
+		elfBytes = res.ELF
+	} else {
+		im, err := sdk.BuildBare(link.Config{Base: *base, HeapSize: *heap, StackSize: *stack}, sources...)
+		if err != nil {
+			fatal(err)
+		}
+		elfBytes = elf.Write(im)
+	}
+
+	if err := os.WriteFile(*out, elfBytes, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("evmcc: wrote %s (%d bytes)\n", *out, len(elfBytes))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package sgxelide is a from-scratch Go reproduction of "SgxElide: Enabling
+// Enclave Code Secrecy via Self-Modification" (Bauman, Wang, Zhang, Lin —
+// CGO 2018), including the complete substrate the paper runs on: a software
+// SGX platform, an enclave bytecode machine, a mini-C compiler toolchain,
+// the SGX-SDK-style runtimes, and the seven evaluation benchmarks.
+//
+// See README.md for the tour, DESIGN.md for the architecture, and
+// EXPERIMENTS.md for the paper-vs-measured results. The implementation
+// lives under internal/; the runnable entry points are the cmd/ tools and
+// the examples/ programs, and bench_test.go regenerates every table and
+// figure of the paper's evaluation.
+package sgxelide

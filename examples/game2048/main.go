@@ -1,0 +1,96 @@
+// game2048: a protected game, the paper's motivating use case. The whole
+// game logic and the asset decryptor live in the enclave; until the enclave
+// attests and restores, the game cannot run and its assets stay opaque.
+// After restoration it also seals the secret so the next launch needs no
+// server at all.
+//
+//	go run ./examples/game2048
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sgxelide/internal/bench"
+	"sgxelide/internal/elide"
+)
+
+func main() {
+	env, err := bench.NewEnv()
+	check(err)
+	p := bench.Game2048
+
+	prot, err := bench.BuildProtected(env, p, elide.SanitizeOptions{})
+	check(err)
+	srv, err := prot.NewServerFor(env.CA)
+	check(err)
+	encl, rt, err := prot.Launch(env.Host, &elide.DirectClient{Session: srv.NewSession()}, prot.LocalFiles())
+	check(err)
+
+	// Without restoration the game is dead code.
+	if _, err := encl.ECall("ecall_2048_init", 7); err != nil {
+		fmt.Printf("starting the game before restore: %v\n\n", err)
+	}
+
+	code, err := encl.ECall("elide_restore", elide.FlagSealAfter)
+	check(err)
+	fmt.Printf("elide_restore -> %d; game code restored and sealed for next launch\n\n", code)
+
+	_, err = encl.ECall("ecall_2048_init", 7)
+	check(err)
+	boardBuf := env.Host.Alloc(16)
+	names := []string{"left", "right", "up", "down"}
+	for i, dir := range []uint64{2, 0, 3, 1, 2, 0, 0, 3, 2, 1} {
+		moved, err := encl.ECall("ecall_2048_move", dir)
+		check(err)
+		if i%5 == 4 || i == 0 {
+			_, err = encl.ECall("ecall_2048_board", boardBuf)
+			check(err)
+			fmt.Printf("after move %d (%s, moved=%d):\n%s", i+1, names[dir], moved,
+				renderBoard(env.Host.ReadBytes(boardBuf, 16)))
+		}
+	}
+	score, err := encl.ECall("ecall_2048_score")
+	check(err)
+	fmt.Printf("score: %d\n\n", score)
+
+	assetBuf := env.Host.Alloc(256)
+	n, err := encl.ECall("ecall_2048_asset", assetBuf, 256)
+	check(err)
+	fmt.Printf("decrypted game asset:%s\n", env.Host.ReadBytes(assetBuf, int(n)))
+
+	// Second launch: restore from the sealed file with no server.
+	encl.Destroy()
+	encl2, _, err := prot.Launch(env.Host, &elide.DirectClient{Session: srv.NewSession()}, rt.Files)
+	check(err)
+	code, err = encl2.ECall("elide_restore", elide.FlagTrySealed)
+	check(err)
+	fmt.Printf("second launch: elide_restore -> %d (restored from sealed file, zero network traffic)\n", code)
+}
+
+// renderBoard pretty-prints the 4x4 exponent board.
+func renderBoard(cells []byte) string {
+	var sb strings.Builder
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			v := 0
+			if e := cells[r*4+c]; e != 0 {
+				v = 1 << e
+			}
+			if v == 0 {
+				sb.WriteString("    .")
+			} else {
+				fmt.Fprintf(&sb, "%5d", v)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

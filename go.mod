@@ -1,0 +1,3 @@
+module sgxelide
+
+go 1.24

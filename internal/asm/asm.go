@@ -1,0 +1,511 @@
+// Package asm implements the EVM assembler. It translates assembly source
+// (the output of the mini-C compiler, the hand-written SDK runtime, and the
+// SgxElide restorer) into relocatable object files for the linker.
+//
+// Syntax summary:
+//
+//	; // #             comments (to end of line)
+//	.text .rodata .data .bss   switch current section
+//	.global NAME       mark NAME as externally visible
+//	.func NAME         begin function NAME (defines the symbol)
+//	.endfunc           end current function (fixes its size)
+//	.align N           pad to N-byte alignment
+//	.byte E, ...       emit bytes            .word E, ...  emit 16-bit words
+//	.long E, ...       emit 32-bit words     .quad E, ...  emit 64-bit words (symbols allowed)
+//	.ascii "S"         emit string bytes     .asciz "S"    with NUL terminator
+//	.space N           emit N zero bytes
+//	NAME:              define label (names starting with .L are local)
+//	OP operands        one instruction, e.g.:
+//	    movi r1, 0x1234          la r2, buffer        lea r2, buffer
+//	    add r0, r1, r2           addi sp, sp, -16
+//	    ld64 r3, [r2+8]          st8 [fp-1], r4
+//	    beq r1, r2, .Ldone       call memcpy          eexit 1
+//
+// Register aliases: rv=r0, a0..a5=r1..r6, t0=r7, s0..s5=r8..r13, fp=r14,
+// sp=r15.
+package asm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sgxelide/internal/evm"
+	"sgxelide/internal/obj"
+)
+
+// Assemble translates src (named filename in diagnostics) into an object file.
+func Assemble(filename, src string) (*obj.File, error) {
+	a := &assembler{
+		file:    obj.NewFile(filename),
+		name:    filename,
+		sec:     obj.SecText,
+		globals: make(map[string]bool),
+	}
+	for i, line := range strings.Split(src, "\n") {
+		a.line = i + 1
+		if err := a.doLine(line); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", filename, a.line, err)
+		}
+	}
+	if a.curFunc != nil {
+		return nil, fmt.Errorf("%s: missing .endfunc for %q", filename, a.curFunc.Name)
+	}
+	a.finish()
+	return a.file, nil
+}
+
+type assembler struct {
+	file    *obj.File
+	name    string
+	line    int
+	sec     obj.SectionKind
+	curFunc *obj.Symbol
+	globals map[string]bool
+}
+
+// cur returns the current section.
+func (a *assembler) cur() *obj.Section { return a.file.Section(a.sec) }
+
+// off returns the current offset in the current section.
+func (a *assembler) off() uint64 { return a.cur().Len() }
+
+// emit appends bytes to the current section.
+func (a *assembler) emit(b ...byte) error {
+	s := a.cur()
+	if s.Kind == obj.SecBss {
+		return fmt.Errorf("cannot emit data into .bss")
+	}
+	s.Data = append(s.Data, b...)
+	return nil
+}
+
+func (a *assembler) doLine(line string) error {
+	toks, err := lex(line)
+	if err != nil {
+		return err
+	}
+	// Leading labels (possibly several on one line).
+	for len(toks) >= 2 && toks[0].kind == tokIdent && toks[1].is(":") {
+		if err := a.defineLabel(toks[0].text); err != nil {
+			return err
+		}
+		toks = toks[2:]
+	}
+	if len(toks) == 0 {
+		return nil
+	}
+	head := toks[0]
+	if head.kind != tokIdent {
+		return fmt.Errorf("unexpected %q", head.text)
+	}
+	if strings.HasPrefix(head.text, ".") && evm.OpcodeByName[head.text] == 0 {
+		return a.directive(head.text, toks[1:])
+	}
+	return a.instruction(head.text, toks[1:])
+}
+
+func (a *assembler) defineLabel(name string) error {
+	kind := obj.SymLabel
+	if a.sec != obj.SecText {
+		kind = obj.SymObject
+	}
+	// Symbols are local unless marked .global (C static semantics);
+	// finish() applies the .global marks.
+	return a.file.AddSymbol(&obj.Symbol{
+		Name:    name,
+		Section: a.sec,
+		Off:     a.off(),
+		Kind:    kind,
+	})
+}
+
+func (a *assembler) directive(name string, toks []token) error {
+	switch name {
+	case ".text":
+		a.sec = obj.SecText
+	case ".rodata":
+		a.sec = obj.SecRodata
+	case ".data":
+		a.sec = obj.SecData
+	case ".bss":
+		a.sec = obj.SecBss
+	case ".section":
+		if len(toks) != 1 || toks[0].kind != tokIdent {
+			return fmt.Errorf(".section wants a section name")
+		}
+		k, ok := obj.KindByName(toks[0].text)
+		if !ok {
+			return fmt.Errorf("unknown section %q", toks[0].text)
+		}
+		a.sec = k
+	case ".global", ".globl":
+		if len(toks) != 1 || toks[0].kind != tokIdent {
+			return fmt.Errorf("%s wants a symbol name", name)
+		}
+		a.globals[toks[0].text] = true
+	case ".func":
+		if a.sec != obj.SecText {
+			return fmt.Errorf(".func outside .text")
+		}
+		if a.curFunc != nil {
+			return fmt.Errorf(".func %q inside function %q", toks, a.curFunc.Name)
+		}
+		if len(toks) != 1 || toks[0].kind != tokIdent {
+			return fmt.Errorf(".func wants a function name")
+		}
+		sym := &obj.Symbol{
+			Name:    toks[0].text,
+			Section: obj.SecText,
+			Off:     a.off(),
+			Kind:    obj.SymFunc,
+		}
+		if err := a.file.AddSymbol(sym); err != nil {
+			return err
+		}
+		a.curFunc = sym
+	case ".endfunc":
+		if a.curFunc == nil {
+			return fmt.Errorf(".endfunc outside function")
+		}
+		a.curFunc.Size = a.off() - a.curFunc.Off
+		a.curFunc = nil
+	case ".align":
+		vals, err := a.exprList(toks, false)
+		if err != nil || len(vals) != 1 {
+			return fmt.Errorf(".align wants one integer")
+		}
+		n := uint64(vals[0].num)
+		if n == 0 || n&(n-1) != 0 {
+			return fmt.Errorf(".align %d: not a power of two", n)
+		}
+		s := a.cur()
+		if n > s.Align {
+			s.Align = n
+		}
+		pad := (n - s.Len()%n) % n
+		if s.Kind == obj.SecBss {
+			s.Size += pad
+			return nil
+		}
+		fill := byte(0)
+		if s.Kind == obj.SecText {
+			fill = byte(evm.NOP)
+		}
+		for i := uint64(0); i < pad; i++ {
+			s.Data = append(s.Data, fill)
+		}
+	case ".byte", ".word", ".long", ".quad":
+		width := map[string]int{".byte": 1, ".word": 2, ".long": 4, ".quad": 8}[name]
+		vals, err := a.exprList(toks, width == 8)
+		if err != nil {
+			return err
+		}
+		for _, v := range vals {
+			if v.sym != "" {
+				a.file.Relocs = append(a.file.Relocs, obj.Reloc{
+					Section: a.sec, Off: a.off(), Type: obj.RelAbs64, Sym: v.sym, Addend: v.num,
+				})
+				if err := a.emit(0, 0, 0, 0, 0, 0, 0, 0); err != nil {
+					return err
+				}
+				continue
+			}
+			u := uint64(v.num)
+			var b [8]byte
+			for i := 0; i < width; i++ {
+				b[i] = byte(u >> (8 * i))
+			}
+			if err := a.emit(b[:width]...); err != nil {
+				return err
+			}
+		}
+	case ".ascii", ".asciz":
+		if len(toks) != 1 || toks[0].kind != tokString {
+			return fmt.Errorf("%s wants a string literal", name)
+		}
+		if err := a.emit([]byte(toks[0].text)...); err != nil {
+			return err
+		}
+		if name == ".asciz" {
+			return a.emit(0)
+		}
+	case ".space", ".skip":
+		vals, err := a.exprList(toks, false)
+		if err != nil || len(vals) != 1 {
+			return fmt.Errorf("%s wants one integer", name)
+		}
+		n := vals[0].num
+		if n < 0 {
+			return fmt.Errorf("%s: negative size", name)
+		}
+		s := a.cur()
+		if s.Kind == obj.SecBss {
+			s.Size += uint64(n)
+			return nil
+		}
+		for i := int64(0); i < n; i++ {
+			s.Data = append(s.Data, 0)
+		}
+	default:
+		return fmt.Errorf("unknown directive %q", name)
+	}
+	return nil
+}
+
+// expr is a parsed operand value: either a plain number, or symbol+num.
+type expr struct {
+	sym string
+	num int64
+}
+
+// exprList parses comma-separated expressions. Symbols are allowed only when
+// symOK (e.g. .quad, instruction targets handle symbols themselves).
+func (a *assembler) exprList(toks []token, symOK bool) ([]expr, error) {
+	var out []expr
+	for len(toks) > 0 {
+		e, rest, err := parseExpr(toks)
+		if err != nil {
+			return nil, err
+		}
+		if e.sym != "" && !symOK {
+			return nil, fmt.Errorf("symbol %q not allowed here", e.sym)
+		}
+		out = append(out, e)
+		toks = rest
+		if len(toks) > 0 {
+			if !toks[0].is(",") {
+				return nil, fmt.Errorf("expected ',', got %q", toks[0].text)
+			}
+			toks = toks[1:]
+		}
+	}
+	return out, nil
+}
+
+// parseExpr parses one expression: [-]NUM | 'c' | SYM[(+|-)NUM].
+func parseExpr(toks []token) (expr, []token, error) {
+	if len(toks) == 0 {
+		return expr{}, nil, fmt.Errorf("expected expression")
+	}
+	neg := false
+	if toks[0].is("-") {
+		neg = true
+		toks = toks[1:]
+		if len(toks) == 0 {
+			return expr{}, nil, fmt.Errorf("dangling '-'")
+		}
+	}
+	t := toks[0]
+	switch t.kind {
+	case tokNumber:
+		n := t.num
+		if neg {
+			n = -n
+		}
+		return expr{num: n}, toks[1:], nil
+	case tokIdent:
+		if neg {
+			return expr{}, nil, fmt.Errorf("cannot negate symbol %q", t.text)
+		}
+		e := expr{sym: t.text}
+		toks = toks[1:]
+		if len(toks) >= 2 && (toks[0].is("+") || toks[0].is("-")) && toks[1].kind == tokNumber {
+			n := toks[1].num
+			if toks[0].is("-") {
+				n = -n
+			}
+			e.num = n
+			toks = toks[2:]
+		}
+		return e, toks, nil
+	default:
+		return expr{}, nil, fmt.Errorf("expected expression, got %q", t.text)
+	}
+}
+
+// finish assigns sizes to data symbols that have none (extends to the next
+// symbol in the same section or the section end) and applies .global marks.
+func (a *assembler) finish() {
+	for _, s := range a.file.Symbols {
+		if a.globals[s.Name] {
+			s.Global = true
+		}
+	}
+	// Auto-size object symbols.
+	bySec := make(map[obj.SectionKind][]*obj.Symbol)
+	for _, s := range a.file.Symbols {
+		if s.Kind == obj.SymObject {
+			bySec[s.Section] = append(bySec[s.Section], s)
+		}
+	}
+	for kind, syms := range bySec {
+		sort.Slice(syms, func(i, j int) bool { return syms[i].Off < syms[j].Off })
+		end := a.file.Section(kind).Len()
+		for i, s := range syms {
+			if s.Size != 0 {
+				continue
+			}
+			if i+1 < len(syms) {
+				s.Size = syms[i+1].Off - s.Off
+			} else {
+				s.Size = end - s.Off
+			}
+		}
+	}
+}
+
+// --- lexer ---
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota
+	tokNumber
+	tokString
+	tokPunct
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+}
+
+func (t token) is(s string) bool { return t.kind == tokPunct && t.text == s }
+
+func lex(line string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(line)
+	for i < n {
+		c := line[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == ';' || c == '#':
+			return toks, nil
+		case c == '/' && i+1 < n && line[i+1] == '/':
+			return toks, nil
+		case c == '"':
+			s, rest, err := lexString(line[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokString, text: s})
+			i = n - len(rest)
+		case c == '\'':
+			v, width, err := lexChar(line[i:])
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{kind: tokNumber, num: v})
+			i += width
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && isIdentChar(line[j]) {
+				j++
+			}
+			v, err := strconv.ParseUint(line[i:j], 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q", line[i:j])
+			}
+			toks = append(toks, token{kind: tokNumber, num: int64(v)})
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentChar(line[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: line[i:j]})
+			i = j
+		case strings.ContainsRune(",:[]+-", rune(c)):
+			toks = append(toks, token{kind: tokPunct, text: string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q", c)
+		}
+	}
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c == '$' ||
+		(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == 'x' || c == 'X'
+}
+
+// lexString parses a double-quoted string with escapes, returning the value
+// and the remaining input after the closing quote.
+func lexString(s string) (string, string, error) {
+	var sb strings.Builder
+	i := 1
+	for i < len(s) {
+		c := s[i]
+		if c == '"' {
+			return sb.String(), s[i+1:], nil
+		}
+		if c == '\\' {
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("unterminated escape")
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '0':
+				sb.WriteByte(0)
+			case '\\', '"', '\'':
+				sb.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("unknown escape \\%c", s[i])
+			}
+			i++
+			continue
+		}
+		sb.WriteByte(c)
+		i++
+	}
+	return "", "", fmt.Errorf("unterminated string")
+}
+
+// lexChar parses a single-quoted char literal, returning its value and the
+// number of input bytes consumed.
+func lexChar(s string) (int64, int, error) {
+	if len(s) < 3 {
+		return 0, 0, fmt.Errorf("bad char literal")
+	}
+	if s[1] == '\\' {
+		if len(s) < 4 || s[3] != '\'' {
+			return 0, 0, fmt.Errorf("bad char escape")
+		}
+		var v byte
+		switch s[2] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\', '\'', '"':
+			v = s[2]
+		default:
+			return 0, 0, fmt.Errorf("unknown escape \\%c", s[2])
+		}
+		return int64(v), 4, nil
+	}
+	if s[2] != '\'' {
+		return 0, 0, fmt.Errorf("unterminated char literal")
+	}
+	return int64(s[1]), 3, nil
+}

@@ -1,0 +1,459 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"sgxelide/internal/evm"
+	"sgxelide/internal/link"
+	"sgxelide/internal/obj"
+)
+
+// buildAndRun assembles srcs, links them with _start as entry, runs the
+// program bare, and returns the VM after it halts.
+func buildAndRun(t *testing.T, srcs ...string) *evm.VM {
+	t.Helper()
+	var files []*obj.File
+	for i, src := range srcs {
+		f, err := Assemble("test.s", src)
+		if err != nil {
+			t.Fatalf("assemble src %d: %v", i, err)
+		}
+		files = append(files, f)
+	}
+	im, err := link.Link(link.Config{Entry: "_start"}, files...)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := im.NewVM()
+	m.MaxSteps = 1 << 22
+	stop := m.Run()
+	if stop.Reason != evm.StopHalt {
+		t.Fatalf("program did not halt: %v", stop)
+	}
+	return m
+}
+
+func TestBasicProgram(t *testing.T) {
+	m := buildAndRun(t, `
+		.text
+		.global _start
+		.func _start
+			movi r1, 40
+			addi r0, r1, 2
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 42 {
+		t.Errorf("r0 = %d, want 42", m.Reg[0])
+	}
+}
+
+func TestCallAcrossUnits(t *testing.T) {
+	main := `
+		.text
+		.global _start
+		.func _start
+			movi a0, 10
+			movi a1, 32
+			call addup
+			halt
+		.endfunc
+	`
+	lib := `
+		.text
+		.global addup
+		.func addup
+			add rv, a0, a1
+			ret
+		.endfunc
+	`
+	m := buildAndRun(t, main, lib)
+	if m.Reg[0] != 42 {
+		t.Errorf("r0 = %d, want 42", m.Reg[0])
+	}
+}
+
+func TestLoopWithLabels(t *testing.T) {
+	// Sum 1..10 = 55.
+	m := buildAndRun(t, `
+		.text
+		.global _start
+		.func _start
+			movi r1, 0      ; i
+			movi r2, 0      ; sum
+			movi r3, 10
+		.Lloop:
+			addi r1, r1, 1
+			add r2, r2, r1
+			bne r1, r3, .Lloop
+			mov r0, r2
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 55 {
+		t.Errorf("sum = %d, want 55", m.Reg[0])
+	}
+}
+
+func TestDataAccess(t *testing.T) {
+	m := buildAndRun(t, `
+		.data
+		counter:
+			.quad 41
+		.text
+		.global _start
+		.func _start
+			movi r1, counter
+			ld64 r2, [r1]
+			addi r2, r2, 1
+			st64 [r1], r2
+			ld64 r0, [r1+0]
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 42 {
+		t.Errorf("counter = %d, want 42", m.Reg[0])
+	}
+}
+
+func TestRodataString(t *testing.T) {
+	m := buildAndRun(t, `
+		.rodata
+		msg:
+			.asciz "Hi\n"
+		.text
+		.global _start
+		.func _start
+			la r1, msg
+			ld8u r0, [r1+1]
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 'i' {
+		t.Errorf("r0 = %c, want i", rune(m.Reg[0]))
+	}
+}
+
+func TestByteWordLongQuadDirectives(t *testing.T) {
+	m := buildAndRun(t, `
+		.data
+		tbl:
+			.byte 1, 2, 0xff
+			.align 2
+			.word 0x1234
+			.align 4
+			.long 0xdeadbeef
+			.align 8
+			.quad 0x1122334455667788
+		.text
+		.global _start
+		.func _start
+			movi r1, tbl
+			ld8u r2, [r1+2]
+			ld16u r3, [r1+4]
+			ld32u r4, [r1+8]
+			ld64 r5, [r1+16]
+			halt
+		.endfunc
+	`)
+	if m.Reg[2] != 0xff || m.Reg[3] != 0x1234 || m.Reg[4] != 0xdeadbeef || m.Reg[5] != 0x1122334455667788 {
+		t.Errorf("r2=%#x r3=%#x r4=%#x r5=%#x", m.Reg[2], m.Reg[3], m.Reg[4], m.Reg[5])
+	}
+}
+
+func TestQuadWithSymbol(t *testing.T) {
+	m := buildAndRun(t, `
+		.data
+		value:
+			.quad 42
+		ptr:
+			.quad value
+		.text
+		.global _start
+		.func _start
+			movi r1, ptr
+			ld64 r2, [r1]    ; r2 = &value
+			ld64 r0, [r2]
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 42 {
+		t.Errorf("r0 = %d, want 42", m.Reg[0])
+	}
+}
+
+func TestBssAndLinkerSymbols(t *testing.T) {
+	m := buildAndRun(t, `
+		.bss
+		.align 8
+		buf:
+			.space 64
+		.text
+		.global _start
+		.func _start
+			movi r1, buf
+			movi r2, 7
+			st64 [r1+8], r2
+			ld64 r0, [r1+8]
+			movi r3, __heap_base
+			movi r4, __stack_top
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 7 {
+		t.Errorf("bss store/load failed: r0=%d", m.Reg[0])
+	}
+	if m.Reg[3] == 0 || m.Reg[4] == 0 || m.Reg[3] >= m.Reg[4] {
+		t.Errorf("heap/stack symbols wrong: heap=%#x stacktop=%#x", m.Reg[3], m.Reg[4])
+	}
+}
+
+func TestStackOps(t *testing.T) {
+	m := buildAndRun(t, `
+		.text
+		.global _start
+		.func _start
+			movi r1, 5
+			movi r2, 6
+			push r1
+			push r2
+			pop r3
+			pop r4
+			sub sp, sp, r1    ; carve 5 bytes (unaligned on purpose)
+			add sp, sp, r1
+			mul r0, r3, r4
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 30 {
+		t.Errorf("r0 = %d, want 30", m.Reg[0])
+	}
+}
+
+func TestNegativeDisplacementAndImm(t *testing.T) {
+	m := buildAndRun(t, `
+		.text
+		.global _start
+		.func _start
+			mov fp, sp
+			addi sp, sp, -16
+			movi r1, 9
+			st64 [fp-8], r1
+			ld64 r0, [fp-8]
+			addi sp, sp, 16
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 9 {
+		t.Errorf("r0 = %d, want 9", m.Reg[0])
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	m := buildAndRun(t, `
+		.text
+		.global _start
+		.func _start
+			movi r0, 'A'
+			movi r1, '\n'
+			movi r2, '\\'
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 'A' || m.Reg[1] != '\n' || m.Reg[2] != '\\' {
+		t.Errorf("r0=%d r1=%d r2=%d", m.Reg[0], m.Reg[1], m.Reg[2])
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	m := buildAndRun(t, `
+		.data
+		x: .quad 11
+		.text
+		.global _start
+		.func _start
+			li r1, 31
+			la r2, x
+			ld64 r2, [r2]
+			add r0, r1, r2
+			halt
+		.endfunc
+	`)
+	if m.Reg[0] != 42 {
+		t.Errorf("r0 = %d, want 42", m.Reg[0])
+	}
+}
+
+func TestFunctionSizes(t *testing.T) {
+	f, err := Assemble("t.s", `
+		.text
+		.global f1
+		.func f1
+			nop
+			nop
+			ret
+		.endfunc
+		.func f2
+			halt
+		.endfunc
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := f.Lookup("f1")
+	s2 := f.Lookup("f2")
+	if s1 == nil || s2 == nil {
+		t.Fatal("missing symbols")
+	}
+	if s1.Size != 3 {
+		t.Errorf("f1 size = %d, want 3", s1.Size)
+	}
+	if s2.Off != 3 || s2.Size != 1 {
+		t.Errorf("f2 off=%d size=%d, want 3,1", s2.Off, s2.Size)
+	}
+}
+
+func TestObjectSymbolAutoSize(t *testing.T) {
+	f, err := Assemble("t.s", `
+		.data
+		a: .quad 1
+		b: .byte 1,2,3
+		c: .long 9
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []struct {
+		name string
+		size uint64
+	}{{"a", 8}, {"b", 3}, {"c", 4}} {
+		s := f.Lookup(tt.name)
+		if s == nil || s.Size != tt.size {
+			t.Errorf("%s: got %+v, want size %d", tt.name, s, tt.size)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"unknown-inst", ".text\nfrob r1", "unknown instruction"},
+		{"bad-reg", ".text\nmov r99, r1", "register"},
+		{"bad-width", ".text\nsext r1, r2, 3", "width"},
+		{"missing-endfunc", ".text\n.func f\nnop", "missing .endfunc"},
+		{"dup-label", ".text\nx:\nx:", "redefined"},
+		{"inst-in-data", ".data\nnop", "outside .text"},
+		{"emit-in-bss", ".bss\n.byte 1", "bss"},
+		{"unterminated-string", `.data` + "\n" + `.ascii "abc`, "unterminated"},
+		{"bad-align", ".text\n.align 3", "power of two"},
+		{"i16-range", ".text\neexit 70000", "16-bit"},
+		{"unknown-directive", ".text\n.frob", "unknown directive"},
+		{"sym-in-byte", ".data\n.byte foo", "not allowed"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Assemble("t.s", tt.src)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("err = %v, want contains %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	a, err := Assemble("a.s", ".text\n.global _start\n.func _start\ncall nosuch\nhalt\n.endfunc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := link.Link(link.Config{Entry: "_start"}, a); err == nil || !strings.Contains(err.Error(), "undefined symbol") {
+		t.Errorf("undefined symbol: err = %v", err)
+	}
+
+	b1, _ := Assemble("b1.s", ".text\n.global f\n.func f\nret\n.endfunc")
+	b2, _ := Assemble("b2.s", ".text\n.global f\n.func f\nret\n.endfunc")
+	if _, err := link.Link(link.Config{}, b1, b2); err == nil || !strings.Contains(err.Error(), "duplicate global") {
+		t.Errorf("duplicate global: err = %v", err)
+	}
+
+	if _, err := link.Link(link.Config{Entry: "_start"}, b1); err == nil || !strings.Contains(err.Error(), "entry symbol") {
+		t.Errorf("missing entry: err = %v", err)
+	}
+}
+
+func TestSegmentsPageAlignedAndPermissions(t *testing.T) {
+	f, err := Assemble("t.s", `
+		.text
+		.global _start
+		.func _start
+			halt
+		.endfunc
+		.rodata
+		r: .quad 1
+		.data
+		d: .quad 2
+		.bss
+		b: .space 8
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := link.Link(link.Config{Entry: "_start"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPerms := map[string]link.Perm{
+		".text":   link.PermR | link.PermX,
+		".rodata": link.PermR,
+		".data":   link.PermR | link.PermW,
+		".bss":    link.PermR | link.PermW,
+	}
+	for name, perm := range wantPerms {
+		seg := im.FindSegment(name)
+		if seg == nil {
+			t.Fatalf("missing segment %s", name)
+		}
+		if seg.Addr%4096 != 0 {
+			t.Errorf("%s not page aligned: %#x", name, seg.Addr)
+		}
+		if seg.Perm != perm {
+			t.Errorf("%s perm = %v, want %v", name, seg.Perm, perm)
+		}
+	}
+	if im.Entry == 0 {
+		t.Error("entry not set")
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	// Assemble, disassemble, and verify the mnemonics come back.
+	f, err := Assemble("t.s", `
+		.text
+		.global _start
+		.func _start
+			movi r1, 0x1234
+			addi r2, r1, -1
+			beq r1, r2, _start
+			call _start
+			ld64 r3, [sp+8]
+			st8 [sp-1], r3
+			eexit 2
+		.endfunc
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := link.Link(link.Config{Entry: "_start"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg := im.FindSegment(".text")
+	d := &evm.Disassembler{}
+	out := d.Format(seg.Addr, seg.Data)
+	for _, want := range []string{"movi r1, 0x1234", "addi r2, r1, -1", "beq", "call", "ld64 r3, [sp+8]", "st8 [sp-1], r3", "eexit 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

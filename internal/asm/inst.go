@@ -1,0 +1,329 @@
+package asm
+
+import (
+	"fmt"
+
+	"sgxelide/internal/evm"
+	"sgxelide/internal/obj"
+)
+
+// regAliases maps assembler register names to register numbers.
+var regAliases = func() map[string]byte {
+	m := map[string]byte{
+		"rv": evm.RegRet, "t0": evm.RegT0, "fp": evm.RegFP, "sp": evm.RegSP,
+	}
+	for i := 0; i < evm.NumRegs; i++ {
+		m[fmt.Sprintf("r%d", i)] = byte(i)
+	}
+	for i := 0; i < 6; i++ {
+		m[fmt.Sprintf("a%d", i)] = byte(evm.RegA0 + i)
+	}
+	for i := 0; i < 6; i++ {
+		m[fmt.Sprintf("s%d", i)] = byte(evm.RegS0 + i)
+	}
+	return m
+}()
+
+// isRegName reports whether s names a register.
+func isRegName(s string) bool {
+	_, ok := regAliases[s]
+	return ok
+}
+
+// operand is one parsed instruction operand.
+type operand struct {
+	isReg bool
+	reg   byte
+	isMem bool
+	base  byte
+	expr  expr // immediate / symbol operand (also mem displacement)
+}
+
+// parseOperands splits toks at top-level commas and parses each operand.
+func parseOperands(toks []token) ([]operand, error) {
+	var ops []operand
+	for len(toks) > 0 {
+		var o operand
+		switch {
+		case toks[0].is("["):
+			// [reg] or [reg+imm] or [reg-imm]
+			if len(toks) < 3 || toks[1].kind != tokIdent {
+				return nil, fmt.Errorf("bad memory operand")
+			}
+			r, ok := regAliases[toks[1].text]
+			if !ok {
+				return nil, fmt.Errorf("bad base register %q", toks[1].text)
+			}
+			o.isMem = true
+			o.base = r
+			toks = toks[2:]
+			if toks[0].is("+") || toks[0].is("-") {
+				negate := toks[0].is("-")
+				if len(toks) < 2 || toks[1].kind != tokNumber {
+					return nil, fmt.Errorf("bad memory displacement")
+				}
+				o.expr.num = toks[1].num
+				if negate {
+					o.expr.num = -o.expr.num
+				}
+				toks = toks[2:]
+			}
+			if len(toks) == 0 || !toks[0].is("]") {
+				return nil, fmt.Errorf("missing ']'")
+			}
+			toks = toks[1:]
+		case toks[0].kind == tokIdent && isRegName(toks[0].text):
+			o.isReg = true
+			o.reg = regAliases[toks[0].text]
+			toks = toks[1:]
+		default:
+			e, rest, err := parseExpr(toks)
+			if err != nil {
+				return nil, err
+			}
+			o.expr = e
+			toks = rest
+		}
+		ops = append(ops, o)
+		if len(toks) > 0 {
+			if !toks[0].is(",") {
+				return nil, fmt.Errorf("expected ',', got %q", toks[0].text)
+			}
+			toks = toks[1:]
+		}
+	}
+	return ops, nil
+}
+
+// instruction assembles one instruction line.
+func (a *assembler) instruction(name string, toks []token) error {
+	if a.sec != obj.SecText {
+		return fmt.Errorf("instruction outside .text")
+	}
+	// Pseudo-instructions.
+	switch name {
+	case "li":
+		name = "movi"
+	case "la":
+		name = "lea"
+	case "j":
+		name = "jmp"
+	}
+	op, ok := evm.OpcodeByName[name]
+	if !ok {
+		return fmt.Errorf("unknown instruction %q", name)
+	}
+	ops, err := parseOperands(toks)
+	if err != nil {
+		return err
+	}
+
+	reg := func(i int) (byte, error) {
+		if i >= len(ops) || !ops[i].isReg {
+			return 0, fmt.Errorf("%s: operand %d must be a register", name, i+1)
+		}
+		return ops[i].reg, nil
+	}
+	imm := func(i int) (int64, error) {
+		if i >= len(ops) || ops[i].isReg || ops[i].isMem || ops[i].expr.sym != "" {
+			return 0, fmt.Errorf("%s: operand %d must be an integer", name, i+1)
+		}
+		return ops[i].expr.num, nil
+	}
+	want := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s: want %d operands, got %d", name, n, len(ops))
+		}
+		return nil
+	}
+	// target handles a pc-relative operand (branch/jump/lea): either a plain
+	// displacement or a symbol reference emitting a RelPC32 at fieldOff.
+	target := func(i int, fieldOff uint64) (int64, error) {
+		if i >= len(ops) || ops[i].isReg || ops[i].isMem {
+			return 0, fmt.Errorf("%s: operand %d must be a target", name, i+1)
+		}
+		e := ops[i].expr
+		if e.sym == "" {
+			return e.num, nil
+		}
+		a.file.Relocs = append(a.file.Relocs, obj.Reloc{
+			Section: obj.SecText, Off: fieldOff, Type: obj.RelPC32, Sym: e.sym, Addend: e.num,
+		})
+		return 0, nil
+	}
+
+	in := evm.Inst{Op: op}
+	base := a.off()
+
+	switch op.OpForm() {
+	case evm.FormNone:
+		if err := want(0); err != nil {
+			return err
+		}
+
+	case evm.FormRR:
+		if err := want(2); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(1); err != nil {
+			return err
+		}
+
+	case evm.FormRI64: // movi rd, imm|sym
+		if err := want(2); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+		if ops[1].isReg || ops[1].isMem {
+			return fmt.Errorf("%s: operand 2 must be an immediate or symbol", name)
+		}
+		if e := ops[1].expr; e.sym != "" {
+			a.file.Relocs = append(a.file.Relocs, obj.Reloc{
+				Section: obj.SecText, Off: base + 2, Type: obj.RelAbs64, Sym: e.sym, Addend: e.num,
+			})
+		} else {
+			in.U64 = uint64(e.num)
+		}
+
+	case evm.FormRI32: // lea rd, target
+		if err := want(2); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+		if in.Imm, err = target(1, base+2); err != nil {
+			return err
+		}
+
+	case evm.FormRRR:
+		if err := want(3); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(1); err != nil {
+			return err
+		}
+		if in.Rb, err = reg(2); err != nil {
+			return err
+		}
+
+	case evm.FormRRI32:
+		if err := want(3); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(1); err != nil {
+			return err
+		}
+		if in.Imm, err = imm(2); err != nil {
+			return err
+		}
+		if in.Imm != int64(int32(in.Imm)) {
+			return fmt.Errorf("%s: immediate %d out of 32-bit range", name, in.Imm)
+		}
+
+	case evm.FormRRW:
+		if err := want(3); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(1); err != nil {
+			return err
+		}
+		w, err := imm(2)
+		if err != nil {
+			return err
+		}
+		if w != 1 && w != 2 && w != 4 {
+			return fmt.Errorf("%s: width must be 1, 2, or 4", name)
+		}
+		in.W = byte(w)
+
+	case evm.FormRRB32: // beq ra, rb, target
+		if err := want(3); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+		if in.Ra, err = reg(1); err != nil {
+			return err
+		}
+		if in.Imm, err = target(2, base+3); err != nil {
+			return err
+		}
+
+	case evm.FormI32: // jmp/call target
+		if err := want(1); err != nil {
+			return err
+		}
+		if in.Imm, err = target(0, base+1); err != nil {
+			return err
+		}
+
+	case evm.FormR:
+		if err := want(1); err != nil {
+			return err
+		}
+		if in.Rd, err = reg(0); err != nil {
+			return err
+		}
+
+	case evm.FormMem:
+		if err := want(2); err != nil {
+			return err
+		}
+		switch op {
+		case evm.ST8, evm.ST16, evm.ST32, evm.ST64:
+			// st [rb+off], rs
+			if !ops[0].isMem {
+				return fmt.Errorf("%s: first operand must be a memory reference", name)
+			}
+			if in.Rd, err = reg(1); err != nil {
+				return err
+			}
+			in.Ra = ops[0].base
+			in.Imm = ops[0].expr.num
+		default:
+			// ld rd, [rb+off]
+			if in.Rd, err = reg(0); err != nil {
+				return err
+			}
+			if !ops[1].isMem {
+				return fmt.Errorf("%s: second operand must be a memory reference", name)
+			}
+			in.Ra = ops[1].base
+			in.Imm = ops[1].expr.num
+		}
+		if in.Imm != int64(int32(in.Imm)) {
+			return fmt.Errorf("%s: displacement %d out of range", name, in.Imm)
+		}
+
+	case evm.FormI16:
+		if err := want(1); err != nil {
+			return err
+		}
+		v, err := imm(0)
+		if err != nil {
+			return err
+		}
+		if v < 0 || v > 0xffff {
+			return fmt.Errorf("%s: immediate %d out of 16-bit range", name, v)
+		}
+		in.Imm = v
+	}
+
+	return a.emit(in.Encode(nil)...)
+}

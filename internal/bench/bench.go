@@ -1,0 +1,82 @@
+// Package bench ports the seven benchmark programs of the SgxElide paper
+// (Table 1) to the EVM enclave platform and provides the harness that
+// regenerates the paper's evaluation: Table 1 (benchmark/sanitizer
+// statistics), Table 2 (sanitize/restore times), and Figures 3 and 4
+// (end-to-end overhead with remote and local data).
+//
+// Each benchmark consists of a trusted component (mini-C, compiled into the
+// enclave — the secret code) and an untrusted component (the Go driver
+// below, standing in for the paper's untrusted C application code). The
+// cryptographic benchmarks run their built-in test suites against Go's
+// standard library as ground truth; the games run scripted sessions checked
+// against Go reference implementations of the same logic.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"strings"
+
+	"sgxelide/internal/sdk"
+)
+
+//go:embed *.go
+var ucSources embed.FS
+
+// Program is one ported benchmark.
+type Program struct {
+	Name     string
+	EDL      string // the application EDL (merged after SgxElide's)
+	TrustedC string // the trusted component (mini-C)
+	UCFile   string // the Go source file implementing the untrusted driver
+
+	// Workload runs the benchmark's built-in test suite through the public
+	// ecalls, verifying every result, and returns an error on any mismatch.
+	// It is the measured region of Figures 3 and 4.
+	Workload func(h *sdk.Host, e *sdk.Enclave) error
+
+	// IsGame marks the interactive benchmarks whose overall overhead the
+	// paper does not measure (they "run forever"); they still appear in
+	// Tables 1 and 2.
+	IsGame bool
+}
+
+// countLines counts non-empty source lines (the LoC metric for Table 1).
+func countLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// TrustedLOC is the benchmark's trusted-component line count.
+func (p *Program) TrustedLOC() int {
+	return countLines(p.TrustedC) + countLines(p.EDL)
+}
+
+// UntrustedLOC counts the Go driver file.
+func (p *Program) UntrustedLOC() int {
+	b, err := ucSources.ReadFile(p.UCFile)
+	if err != nil {
+		return 0
+	}
+	return countLines(string(b))
+}
+
+// All lists the seven benchmarks in the paper's Table 1 order.
+func All() []*Program {
+	return []*Program{AES, DES, Sha1, Shas, Game2048, Biniax, Crackme}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (*Program, error) {
+	for _, p := range All() {
+		if strings.EqualFold(p.Name, name) {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown benchmark %q", name)
+}

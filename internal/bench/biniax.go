@@ -1,0 +1,318 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+
+	"sgxelide/internal/sdk"
+)
+
+// The Biniax benchmark ports the core of the Biniax pair-matching puzzle
+// (benchmark [6] in the paper): a scrolling grid of element pairs that the
+// player consumes by matching their held element. As with 2048, the game
+// logic and the asset-key derivation run inside the enclave and the session
+// is verified against a Go reference implementation.
+
+const biniaxEDL = `
+enclave {
+    trusted {
+        public void ecall_biniax_init(uint64_t seed);
+        public uint64_t ecall_biniax_step(uint64_t dir);
+        public void ecall_biniax_state([out, size=48] uint8_t* out);
+        public uint64_t ecall_biniax_score(void);
+    };
+    untrusted {
+    };
+};
+`
+
+// Grid geometry (shared by the C source and the Go oracle below): 5
+// columns by 7 rows, flattened row-major into 35 cells.
+
+const biniaxTrustedC = `
+/* Biniax port: pair-matching grid game.
+ * Grid cells hold an element pair encoded a*8+b (a,b in 1..4), 0 = empty.
+ * The player holds one element and sits on the bottom row; moving onto a
+ * pair consumes it if it contains the held element (the player then holds
+ * the other half). Every 4 steps the grid scrolls down one row; a pair
+ * reaching the player's row ends the game. */
+
+uint8_t bnx_grid[35];     /* 7 rows x 5 cols */
+uint64_t bnx_px;          /* player column */
+uint64_t bnx_elem;        /* held element 1..4 */
+uint64_t bnx_score;
+uint64_t bnx_steps;
+uint64_t bnx_over;
+uint64_t bnx_rng;
+
+uint64_t bnx_rand(void) {
+    uint64_t x = bnx_rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    bnx_rng = x;
+    return x;
+}
+
+uint8_t bnx_pair(void) {
+    uint64_t a = bnx_rand() % 4 + 1;
+    uint64_t b = bnx_rand() % 4 + 1;
+    return (uint8_t)(a * 8 + b);
+}
+
+void bnx_spawn_row(void) {
+    for (int c = 0; c < 5; c++) {
+        if (bnx_rand() % 3 == 0) bnx_grid[c] = 0;
+        else bnx_grid[c] = bnx_pair();
+    }
+}
+
+void ecall_biniax_init(uint64_t seed) {
+    bnx_rng = seed;
+    if (bnx_rng == 0) bnx_rng = 0xB1A;
+    for (int i = 0; i < 35; i++) bnx_grid[i] = 0;
+    bnx_px = 2;
+    bnx_elem = bnx_rand() % 4 + 1;
+    bnx_score = 0;
+    bnx_steps = 0;
+    bnx_over = 0;
+    for (int r = 0; r < 3; r++) {
+        bnx_spawn_row();
+        if (r < 2) {
+            for (int rr = 6; rr > 0; rr--)
+                for (int c = 0; c < 5; c++)
+                    bnx_grid[rr * 5 + c] = bnx_grid[(rr - 1) * 5 + c];
+            for (int c = 0; c < 5; c++) bnx_grid[c] = 0;
+        }
+    }
+}
+
+void bnx_scroll(void) {
+    /* A pair on the row above the player crushes the game when it scrolls in. */
+    for (int c = 0; c < 5; c++)
+        if (bnx_grid[6 * 5 + c]) {
+            bnx_over = 1;
+            return;
+        }
+    for (int r = 6; r > 0; r--)
+        for (int c = 0; c < 5; c++)
+            bnx_grid[r * 5 + c] = bnx_grid[(r - 1) * 5 + c];
+    bnx_spawn_row();
+}
+
+/* dir: 0=left 1=right 2=take (consume the pair directly above).
+ * Returns 1 while the game is alive, 0 once over. */
+uint64_t ecall_biniax_step(uint64_t dir) {
+    if (bnx_over) return 0;
+    if (dir == 0 && bnx_px > 0) bnx_px--;
+    else if (dir == 1 && bnx_px < 4) bnx_px++;
+    else if (dir == 2) {
+        uint8_t cell = bnx_grid[6 * 5 + bnx_px];
+        if (cell == 0) cell = bnx_grid[5 * 5 + bnx_px];
+        uint64_t a = cell >> 3;
+        uint64_t b = cell & 7;
+        if (cell) {
+            if (a == bnx_elem) {
+                bnx_elem = b;
+                bnx_score++;
+                bnx_grid[6 * 5 + bnx_px] = 0;
+                bnx_grid[5 * 5 + bnx_px] = 0;
+            } else if (b == bnx_elem) {
+                bnx_elem = a;
+                bnx_score++;
+                bnx_grid[6 * 5 + bnx_px] = 0;
+                bnx_grid[5 * 5 + bnx_px] = 0;
+            }
+        }
+    }
+    bnx_steps++;
+    if (bnx_steps % 4 == 0) bnx_scroll();
+    if (bnx_over) return 0;
+    return 1;
+}
+
+void ecall_biniax_state(uint8_t* out) {
+    for (int i = 0; i < 35; i++) out[i] = bnx_grid[i];
+    out[35] = (uint8_t)bnx_px;
+    out[36] = (uint8_t)bnx_elem;
+    out[37] = (uint8_t)bnx_over;
+    out[38] = (uint8_t)bnx_steps;
+    out[39] = 0;
+    for (int i = 0; i < 8; i++) out[40 + i] = (uint8_t)(bnx_score >> (i * 8));
+}
+
+uint64_t ecall_biniax_score(void) {
+    return bnx_score;
+}
+`
+
+// Biniax is the Biniax benchmark.
+var Biniax = &Program{
+	Name:     "Biniax",
+	EDL:      biniaxEDL,
+	TrustedC: biniaxTrustedC,
+	UCFile:   "biniax.go",
+	Workload: biniaxWorkload,
+	IsGame:   true,
+}
+
+// --- Go reference implementation ---
+
+type refBiniax struct {
+	grid  [35]byte
+	px    uint64
+	elem  uint64
+	score uint64
+	steps uint64
+	over  bool
+	rng   uint64
+}
+
+func (g *refBiniax) rand() uint64 {
+	x := g.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	g.rng = x
+	return x
+}
+
+func (g *refBiniax) pair() byte {
+	a := g.rand()%4 + 1
+	b := g.rand()%4 + 1
+	return byte(a*8 + b)
+}
+
+func (g *refBiniax) spawnRow() {
+	for c := 0; c < 5; c++ {
+		if g.rand()%3 == 0 {
+			g.grid[c] = 0
+		} else {
+			g.grid[c] = g.pair()
+		}
+	}
+}
+
+func (g *refBiniax) init(seed uint64) {
+	*g = refBiniax{rng: seed}
+	if g.rng == 0 {
+		g.rng = 0xB1A
+	}
+	g.px = 2
+	g.elem = g.rand()%4 + 1
+	for r := 0; r < 3; r++ {
+		g.spawnRow()
+		if r < 2 {
+			for rr := 6; rr > 0; rr-- {
+				copy(g.grid[rr*5:rr*5+5], g.grid[(rr-1)*5:(rr-1)*5+5])
+			}
+			for c := 0; c < 5; c++ {
+				g.grid[c] = 0
+			}
+		}
+	}
+}
+
+func (g *refBiniax) scroll() {
+	for c := 0; c < 5; c++ {
+		if g.grid[6*5+c] != 0 {
+			g.over = true
+			return
+		}
+	}
+	for r := 6; r > 0; r-- {
+		copy(g.grid[r*5:r*5+5], g.grid[(r-1)*5:(r-1)*5+5])
+	}
+	g.spawnRow()
+}
+
+func (g *refBiniax) step(dir uint64) uint64 {
+	if g.over {
+		return 0
+	}
+	switch {
+	case dir == 0 && g.px > 0:
+		g.px--
+	case dir == 1 && g.px < 4:
+		g.px++
+	case dir == 2:
+		cell := g.grid[6*5+g.px]
+		if cell == 0 {
+			cell = g.grid[5*5+g.px]
+		}
+		a, b := uint64(cell>>3), uint64(cell&7)
+		if cell != 0 {
+			if a == g.elem {
+				g.elem = b
+				g.score++
+				g.grid[6*5+g.px] = 0
+				g.grid[5*5+g.px] = 0
+			} else if b == g.elem {
+				g.elem = a
+				g.score++
+				g.grid[6*5+g.px] = 0
+				g.grid[5*5+g.px] = 0
+			}
+		}
+	}
+	g.steps++
+	if g.steps%4 == 0 {
+		g.scroll()
+	}
+	if g.over {
+		return 0
+	}
+	return 1
+}
+
+func (g *refBiniax) state() []byte {
+	out := make([]byte, 48)
+	copy(out, g.grid[:])
+	out[35] = byte(g.px)
+	out[36] = byte(g.elem)
+	if g.over {
+		out[37] = 1
+	}
+	out[38] = byte(g.steps)
+	for i := 0; i < 8; i++ {
+		out[40+i] = byte(g.score >> (i * 8))
+	}
+	return out
+}
+
+// biniaxWorkload plays a scripted session and compares full state with the
+// reference every step.
+func biniaxWorkload(h *sdk.Host, e *sdk.Enclave) error {
+	const seed = 0xB14A ^ 0xFFFF
+	var ref refBiniax
+	ref.init(seed)
+	if _, err := e.ECall("ecall_biniax_init", seed); err != nil {
+		return err
+	}
+	stateBuf := h.Alloc(48)
+	script := []uint64{2, 0, 2, 1, 1, 2, 2, 0, 0, 2, 1, 2, 2, 1, 2, 0, 2, 2, 1, 2, 0, 0, 2, 1, 2, 2, 2, 0, 2, 1}
+	for step, dir := range script {
+		want := ref.step(dir)
+		got, err := e.ECall("ecall_biniax_step", dir)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("biniax step %d: alive=%d, ref=%d", step, got, want)
+		}
+		if _, err := e.ECall("ecall_biniax_state", stateBuf); err != nil {
+			return err
+		}
+		if gotState := h.ReadBytes(stateBuf, 48); !bytes.Equal(gotState, ref.state()) {
+			return fmt.Errorf("biniax step %d: state mismatch\n got %v\nwant %v", step, gotState, ref.state())
+		}
+	}
+	score, err := e.ECall("ecall_biniax_score")
+	if err != nil {
+		return err
+	}
+	if score != ref.score {
+		return fmt.Errorf("biniax: score %d, want %d", score, ref.score)
+	}
+	return nil
+}

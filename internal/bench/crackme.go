@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"sgxelide/internal/sdk"
+)
+
+// The Crackme benchmark ports a password-check reverse-engineering
+// challenge (benchmark [7] in the paper — the smallest program). The secret
+// is the checking algorithm plus the embedded target digest: with plain SGX
+// the attacker can disassemble the check and invert it; with SgxElide the
+// code is redacted until the enclave attests.
+
+// crackmePassword is the accepted password (known to the test oracle).
+const crackmePassword = "3LiD3_s3cr3t!"
+
+// crackmeHash mirrors the in-enclave obfuscated hash.
+func crackmeHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+		h = h<<7 | h>>57
+	}
+	return h
+}
+
+const crackmeEDL = `
+enclave {
+    trusted {
+        public uint64_t ecall_crackme_check([in, string] char* attempt);
+    };
+    untrusted {
+    };
+};
+`
+
+func crackmeTrustedC() string {
+	target := crackmeHash(crackmePassword)
+	var sb strings.Builder
+	sb.WriteString("/* crackme port: the hidden password check */\n")
+	fmt.Fprintf(&sb, "#define CRACKME_TARGET_LO 0x%08xu\n", uint32(target))
+	fmt.Fprintf(&sb, "#define CRACKME_TARGET_HI 0x%08xu\n", uint32(target>>32))
+	sb.WriteString(`
+uint64_t crackme_hash(char* s) {
+    uint64_t h = 0xcbf29ce484222325u;
+    for (int i = 0; s[i]; i++) {
+        h ^= (uint64_t)(uint8_t)s[i];
+        h *= 0x100000001b3u;
+        h = (h << 7) | (h >> 57);
+    }
+    return h;
+}
+
+uint64_t ecall_crackme_check(char* attempt) {
+    uint64_t h = crackme_hash(attempt);
+    uint64_t target = ((uint64_t)CRACKME_TARGET_HI << 32) | (uint64_t)CRACKME_TARGET_LO;
+    if (h == target) return 1;
+    return 0;
+}
+`)
+	return sb.String()
+}
+
+// Crackme is the crackme benchmark.
+var Crackme = &Program{
+	Name:     "Crackme",
+	EDL:      crackmeEDL,
+	TrustedC: crackmeTrustedC(),
+	UCFile:   "crackme.go",
+	Workload: crackmeWorkload,
+}
+
+// crackmeWorkload runs the challenge directly (it needs no input, as in the
+// paper): the right password is accepted, and a brute-force session of
+// wrong guesses is rejected every time.
+func crackmeWorkload(h *sdk.Host, e *sdk.Enclave) error {
+	check := func(attempt string) (bool, error) {
+		buf := h.AllocBytes(append([]byte(attempt), 0))
+		got, err := e.ECall("ecall_crackme_check", buf)
+		return got == 1, err
+	}
+	ok, err := check(crackmePassword)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("crackme: correct password rejected")
+	}
+	wrongs := []string{"", "password", "3LiD3_s3cr3t", "3LiD3_s3cr3t!!", "3LiD3_s3crEt!", "aaaaaaaaaaaaa"}
+	for i := 0; i < 1500; i++ {
+		wrongs = append(wrongs, fmt.Sprintf("guess-%d-%x", i, i*2654435761))
+	}
+	for _, wrong := range wrongs {
+		ok, err := check(wrong)
+		if err != nil {
+			return err
+		}
+		if ok {
+			return fmt.Errorf("crackme: wrong password %q accepted", wrong)
+		}
+	}
+	return nil
+}

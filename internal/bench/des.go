@@ -1,0 +1,237 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/des"
+	"fmt"
+	"strings"
+
+	"sgxelide/internal/sdk"
+)
+
+// The DES benchmark ports a classic table-driven DES (benchmark [2] in the
+// paper): key schedule, the Feistel rounds, and ECB processing inside the
+// enclave, verified block-for-block against crypto/des.
+
+// The standard FIPS 46-3 tables (1-based bit indices, MSB first).
+var (
+	desIP = []byte{
+		58, 50, 42, 34, 26, 18, 10, 2, 60, 52, 44, 36, 28, 20, 12, 4,
+		62, 54, 46, 38, 30, 22, 14, 6, 64, 56, 48, 40, 32, 24, 16, 8,
+		57, 49, 41, 33, 25, 17, 9, 1, 59, 51, 43, 35, 27, 19, 11, 3,
+		61, 53, 45, 37, 29, 21, 13, 5, 63, 55, 47, 39, 31, 23, 15, 7,
+	}
+	desFP = []byte{
+		40, 8, 48, 16, 56, 24, 64, 32, 39, 7, 47, 15, 55, 23, 63, 31,
+		38, 6, 46, 14, 54, 22, 62, 30, 37, 5, 45, 13, 53, 21, 61, 29,
+		36, 4, 44, 12, 52, 20, 60, 28, 35, 3, 43, 11, 51, 19, 59, 27,
+		34, 2, 42, 10, 50, 18, 58, 26, 33, 1, 41, 9, 49, 17, 57, 25,
+	}
+	desE = []byte{
+		32, 1, 2, 3, 4, 5, 4, 5, 6, 7, 8, 9,
+		8, 9, 10, 11, 12, 13, 12, 13, 14, 15, 16, 17,
+		16, 17, 18, 19, 20, 21, 20, 21, 22, 23, 24, 25,
+		24, 25, 26, 27, 28, 29, 28, 29, 30, 31, 32, 1,
+	}
+	desP = []byte{
+		16, 7, 20, 21, 29, 12, 28, 17, 1, 15, 23, 26, 5, 18, 31, 10,
+		2, 8, 24, 14, 32, 27, 3, 9, 19, 13, 30, 6, 22, 11, 4, 25,
+	}
+	desPC1 = []byte{
+		57, 49, 41, 33, 25, 17, 9, 1, 58, 50, 42, 34, 26, 18,
+		10, 2, 59, 51, 43, 35, 27, 19, 11, 3, 60, 52, 44, 36,
+		63, 55, 47, 39, 31, 23, 15, 7, 62, 54, 46, 38, 30, 22,
+		14, 6, 61, 53, 45, 37, 29, 21, 13, 5, 28, 20, 12, 4,
+	}
+	desPC2 = []byte{
+		14, 17, 11, 24, 1, 5, 3, 28, 15, 6, 21, 10,
+		23, 19, 12, 4, 26, 8, 16, 7, 27, 20, 13, 2,
+		41, 52, 31, 37, 47, 55, 30, 40, 51, 45, 33, 48,
+		44, 49, 39, 56, 34, 53, 46, 42, 50, 36, 29, 32,
+	}
+	desShifts = []byte{1, 1, 2, 2, 2, 2, 2, 2, 1, 2, 2, 2, 2, 2, 2, 1}
+	desSboxes = []byte{
+		// S1
+		14, 4, 13, 1, 2, 15, 11, 8, 3, 10, 6, 12, 5, 9, 0, 7,
+		0, 15, 7, 4, 14, 2, 13, 1, 10, 6, 12, 11, 9, 5, 3, 8,
+		4, 1, 14, 8, 13, 6, 2, 11, 15, 12, 9, 7, 3, 10, 5, 0,
+		15, 12, 8, 2, 4, 9, 1, 7, 5, 11, 3, 14, 10, 0, 6, 13,
+		// S2
+		15, 1, 8, 14, 6, 11, 3, 4, 9, 7, 2, 13, 12, 0, 5, 10,
+		3, 13, 4, 7, 15, 2, 8, 14, 12, 0, 1, 10, 6, 9, 11, 5,
+		0, 14, 7, 11, 10, 4, 13, 1, 5, 8, 12, 6, 9, 3, 2, 15,
+		13, 8, 10, 1, 3, 15, 4, 2, 11, 6, 7, 12, 0, 5, 14, 9,
+		// S3
+		10, 0, 9, 14, 6, 3, 15, 5, 1, 13, 12, 7, 11, 4, 2, 8,
+		13, 7, 0, 9, 3, 4, 6, 10, 2, 8, 5, 14, 12, 11, 15, 1,
+		13, 6, 4, 9, 8, 15, 3, 0, 11, 1, 2, 12, 5, 10, 14, 7,
+		1, 10, 13, 0, 6, 9, 8, 7, 4, 15, 14, 3, 11, 5, 2, 12,
+		// S4
+		7, 13, 14, 3, 0, 6, 9, 10, 1, 2, 8, 5, 11, 12, 4, 15,
+		13, 8, 11, 5, 6, 15, 0, 3, 4, 7, 2, 12, 1, 10, 14, 9,
+		10, 6, 9, 0, 12, 11, 7, 13, 15, 1, 3, 14, 5, 2, 8, 4,
+		3, 15, 0, 6, 10, 1, 13, 8, 9, 4, 5, 11, 12, 7, 2, 14,
+		// S5
+		2, 12, 4, 1, 7, 10, 11, 6, 8, 5, 3, 15, 13, 0, 14, 9,
+		14, 11, 2, 12, 4, 7, 13, 1, 5, 0, 15, 10, 3, 9, 8, 6,
+		4, 2, 1, 11, 10, 13, 7, 8, 15, 9, 12, 5, 6, 3, 0, 14,
+		11, 8, 12, 7, 1, 14, 2, 13, 6, 15, 0, 9, 10, 4, 5, 3,
+		// S6
+		12, 1, 10, 15, 9, 2, 6, 8, 0, 13, 3, 4, 14, 7, 5, 11,
+		10, 15, 4, 2, 7, 12, 9, 5, 6, 1, 13, 14, 0, 11, 3, 8,
+		9, 14, 15, 5, 2, 8, 12, 3, 7, 0, 4, 10, 1, 13, 11, 6,
+		4, 3, 2, 12, 9, 5, 15, 10, 11, 14, 1, 7, 6, 0, 8, 13,
+		// S7
+		4, 11, 2, 14, 15, 0, 8, 13, 3, 12, 9, 7, 5, 10, 6, 1,
+		13, 0, 11, 7, 4, 9, 1, 10, 14, 3, 5, 12, 2, 15, 8, 6,
+		1, 4, 11, 13, 12, 3, 7, 14, 10, 15, 6, 8, 0, 5, 9, 2,
+		6, 11, 13, 8, 1, 4, 10, 7, 9, 5, 0, 15, 14, 2, 3, 12,
+		// S8
+		13, 2, 8, 4, 6, 15, 11, 1, 10, 9, 3, 14, 5, 0, 12, 7,
+		1, 15, 13, 8, 10, 3, 7, 4, 12, 5, 6, 11, 0, 14, 9, 2,
+		7, 11, 4, 1, 9, 12, 14, 2, 0, 6, 10, 13, 15, 3, 5, 8,
+		2, 1, 14, 7, 4, 10, 8, 13, 15, 12, 9, 0, 3, 5, 6, 11,
+	}
+)
+
+const desEDL = `
+enclave {
+    trusted {
+        public void ecall_des_set_key([in, size=8] uint8_t* key);
+        public void ecall_des_process([in, out, size=len] uint8_t* buf, uint64_t len, uint64_t decrypt);
+    };
+    untrusted {
+    };
+};
+`
+
+func desTrustedC() string {
+	var sb strings.Builder
+	sb.WriteString("/* DES port: FIPS 46-3 table-driven implementation */\n")
+	sb.WriteString(cByteTable("des_ip", desIP))
+	sb.WriteString(cByteTable("des_fp", desFP))
+	sb.WriteString(cByteTable("des_e", desE))
+	sb.WriteString(cByteTable("des_p", desP))
+	sb.WriteString(cByteTable("des_pc1", desPC1))
+	sb.WriteString(cByteTable("des_pc2", desPC2))
+	sb.WriteString(cByteTable("des_shifts", desShifts))
+	sb.WriteString(cByteTable("des_sbox", desSboxes))
+	sb.WriteString(`
+uint64_t des_subkeys[16];
+
+uint64_t des_permute(uint64_t in, const uint8_t* table, int n, int width) {
+    uint64_t out = 0;
+    for (int i = 0; i < n; i++) {
+        uint64_t bit = (in >> (width - (int)table[i])) & 1;
+        out = (out << 1) | bit;
+    }
+    return out;
+}
+
+void des_key_schedule(uint64_t key) {
+    uint64_t pc1 = des_permute(key, des_pc1, 56, 64);
+    uint32_t c = (uint32_t)(pc1 >> 28) & 0x0FFFFFFFu;
+    uint32_t d = (uint32_t)pc1 & 0x0FFFFFFFu;
+    for (int i = 0; i < 16; i++) {
+        int s = des_shifts[i];
+        c = ((c << s) | (c >> (28 - s))) & 0x0FFFFFFFu;
+        d = ((d << s) | (d >> (28 - s))) & 0x0FFFFFFFu;
+        uint64_t cd = ((uint64_t)c << 28) | (uint64_t)d;
+        des_subkeys[i] = des_permute(cd, des_pc2, 48, 56);
+    }
+}
+
+uint32_t des_f(uint32_t r, uint64_t k) {
+    uint64_t e = des_permute((uint64_t)r, des_e, 48, 32) ^ k;
+    uint32_t out = 0;
+    for (int i = 0; i < 8; i++) {
+        uint64_t six = (e >> (42 - 6 * i)) & 63;
+        uint64_t row = ((six >> 4) & 2) | (six & 1);
+        uint64_t col = (six >> 1) & 15;
+        out = (out << 4) | (uint32_t)des_sbox[i * 64 + (int)(row * 16 + col)];
+    }
+    return (uint32_t)des_permute((uint64_t)out, des_p, 32, 32);
+}
+
+uint64_t des_crypt_block(uint64_t block, uint64_t decrypt) {
+    uint64_t ip = des_permute(block, des_ip, 64, 64);
+    uint32_t l = (uint32_t)(ip >> 32);
+    uint32_t r = (uint32_t)ip;
+    for (int i = 0; i < 16; i++) {
+        int ki = i;
+        if (decrypt) ki = 15 - i;
+        uint32_t nl = r;
+        r = l ^ des_f(r, des_subkeys[ki]);
+        l = nl;
+    }
+    uint64_t pre = ((uint64_t)r << 32) | (uint64_t)l;
+    return des_permute(pre, des_fp, 64, 64);
+}
+
+void ecall_des_set_key(uint8_t* key) {
+    uint64_t k = 0;
+    for (int i = 0; i < 8; i++) k = (k << 8) | (uint64_t)key[i];
+    des_key_schedule(k);
+}
+
+void ecall_des_process(uint8_t* buf, uint64_t len, uint64_t decrypt) {
+    for (uint64_t off = 0; off + 8 <= len; off += 8) {
+        uint64_t b = 0;
+        for (int i = 0; i < 8; i++) b = (b << 8) | (uint64_t)buf[off + i];
+        b = des_crypt_block(b, decrypt);
+        for (int i = 0; i < 8; i++) buf[off + i] = (uint8_t)(b >> ((7 - i) * 8));
+    }
+}
+`)
+	return sb.String()
+}
+
+// DES is the DES benchmark.
+var DES = &Program{
+	Name:     "DES",
+	EDL:      desEDL,
+	TrustedC: desTrustedC(),
+	UCFile:   "des.go",
+	Workload: desWorkload,
+}
+
+// desWorkload cross-checks multi-block ECB encrypt/decrypt against
+// crypto/des for several keys.
+func desWorkload(h *sdk.Host, e *sdk.Enclave) error {
+	plain := make([]byte, 64*8)
+	for i := range plain {
+		plain[i] = byte(i*11 + 1)
+	}
+	for _, key := range [][]byte{
+		[]byte("8bytekey"),
+		{0x13, 0x34, 0x57, 0x79, 0x9B, 0xBC, 0xDF, 0xF1},
+		{0, 0, 0, 0, 0, 0, 0, 0},
+	} {
+		block, err := des.NewCipher(key)
+		if err != nil {
+			return err
+		}
+		want := make([]byte, len(plain))
+		for off := 0; off < len(plain); off += 8 {
+			block.Encrypt(want[off:], plain[off:])
+		}
+		kb := h.AllocBytes(key)
+		if _, err := e.ECall("ecall_des_set_key", kb); err != nil {
+			return err
+		}
+		buf := h.AllocBytes(plain)
+		if _, err := e.ECall("ecall_des_process", buf, uint64(len(plain)), 0); err != nil {
+			return err
+		}
+		if got := h.ReadBytes(buf, len(plain)); !bytes.Equal(got, want) {
+			return fmt.Errorf("des: ciphertext mismatch for key %x", key)
+		}
+		if _, err := e.ECall("ecall_des_process", buf, uint64(len(plain)), 1); err != nil {
+			return err
+		}
+		if got := h.ReadBytes(buf, len(plain)); !bytes.Equal(got, plain) {
+			return fmt.Errorf("des: decrypt mismatch for key %x", key)
+		}
+	}
+	return nil
+}

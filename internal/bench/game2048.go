@@ -1,0 +1,352 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"sgxelide/internal/sdk"
+)
+
+// The 2048 benchmark ports the z2048 game (benchmark [5] in the paper):
+// the full board logic (slide/merge/spawn with a deterministic PRNG) runs
+// inside the enclave. Per the paper, the secret worth protecting in a game
+// is the asset-loading/decryption code, so the enclave also carries an
+// encrypted asset that only the secret code can decrypt. The workload plays
+// a scripted session verified against a Go reference implementation of the
+// identical logic.
+
+// game2048Asset is the "game asset" embedded encrypted in the enclave.
+const game2048Asset = `
+  +----------------------+
+  |   2048 — GAME OVER   |
+  |  thanks for playing  |
+  +----------------------+
+`
+
+// game2048AssetKey is the asset obfuscation key baked into the secret code.
+var game2048AssetKey = [16]byte{0x42, 0x13, 0x37, 0x99, 0xAA, 0x01, 0x55, 0x10,
+	0xFE, 0xED, 0xFA, 0xCE, 0x12, 0x34, 0x56, 0x78}
+
+// game2048EncryptAsset applies the (deliberately simple, DRM-style) asset
+// stream cipher: XOR with key bytes and a position-mixed value.
+func game2048EncryptAsset(plain []byte) []byte {
+	out := make([]byte, len(plain))
+	for i, b := range plain {
+		out[i] = b ^ game2048AssetKey[i%16] ^ byte(i*7)
+	}
+	return out
+}
+
+const game2048EDL = `
+enclave {
+    trusted {
+        public void ecall_2048_init(uint64_t seed);
+        public uint64_t ecall_2048_move(uint64_t dir);
+        public void ecall_2048_board([out, size=16] uint8_t* out);
+        public uint64_t ecall_2048_score(void);
+        public uint64_t ecall_2048_asset([out, size=cap] uint8_t* buf, uint64_t cap);
+    };
+    untrusted {
+    };
+};
+`
+
+func game2048TrustedC() string {
+	enc := game2048EncryptAsset([]byte(game2048Asset))
+	var sb strings.Builder
+	sb.WriteString("/* z2048 port: board logic + protected asset decryption */\n")
+	sb.WriteString(cByteTable("g2048_asset_enc", enc))
+	sb.WriteString(cByteTable("g2048_asset_key", game2048AssetKey[:]))
+	fmt.Fprintf(&sb, "\n#define G2048_ASSET_LEN %d\n", len(enc))
+	sb.WriteString(`
+uint8_t g2048_board[16];
+uint64_t g2048_score;
+uint64_t g2048_rng;
+
+uint64_t g2048_rand(void) {
+    uint64_t x = g2048_rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    g2048_rng = x;
+    return x;
+}
+
+void g2048_spawn(void) {
+    int empty = 0;
+    for (int i = 0; i < 16; i++)
+        if (g2048_board[i] == 0) empty++;
+    if (empty == 0) return;
+    int pick = (int)(g2048_rand() % (uint64_t)empty);
+    uint8_t val = 1;
+    if (g2048_rand() % 10 == 0) val = 2;
+    for (int i = 0; i < 16; i++) {
+        if (g2048_board[i] == 0) {
+            if (pick == 0) {
+                g2048_board[i] = val;
+                return;
+            }
+            pick--;
+        }
+    }
+}
+
+/* Slide-and-merge one line of 4 cells toward index 0; returns 1 if any
+ * cell changed. */
+int g2048_slide_line(uint8_t* line) {
+    uint8_t out[4];
+    int n = 0;
+    int moved = 0;
+    for (int i = 0; i < 4; i++)
+        if (line[i]) {
+            out[n] = line[i];
+            n++;
+        }
+    for (int i = 0; i + 1 < n; i++) {
+        if (out[i] == out[i + 1]) {
+            out[i]++;
+            g2048_score += (uint64_t)1 << out[i];
+            for (int j = i + 1; j + 1 < n; j++) out[j] = out[j + 1];
+            n--;
+        }
+    }
+    for (int i = n; i < 4; i++) out[i] = 0;
+    for (int i = 0; i < 4; i++) {
+        if (line[i] != out[i]) moved = 1;
+        line[i] = out[i];
+    }
+    return moved;
+}
+
+/* dir: 0=left 1=right 2=up 3=down */
+uint64_t ecall_2048_move(uint64_t dir) {
+    uint8_t line[4];
+    int moved = 0;
+    for (int k = 0; k < 4; k++) {
+        for (int i = 0; i < 4; i++) {
+            int idx;
+            if (dir == 0) idx = k * 4 + i;
+            else if (dir == 1) idx = k * 4 + (3 - i);
+            else if (dir == 2) idx = i * 4 + k;
+            else idx = (3 - i) * 4 + k;
+            line[i] = g2048_board[idx];
+        }
+        if (g2048_slide_line(line)) moved = 1;
+        for (int i = 0; i < 4; i++) {
+            int idx;
+            if (dir == 0) idx = k * 4 + i;
+            else if (dir == 1) idx = k * 4 + (3 - i);
+            else if (dir == 2) idx = i * 4 + k;
+            else idx = (3 - i) * 4 + k;
+            g2048_board[idx] = line[i];
+        }
+    }
+    if (moved) g2048_spawn();
+    return (uint64_t)moved;
+}
+
+void ecall_2048_init(uint64_t seed) {
+    for (int i = 0; i < 16; i++) g2048_board[i] = 0;
+    g2048_score = 0;
+    g2048_rng = seed;
+    if (g2048_rng == 0) g2048_rng = 0x2048;
+    g2048_spawn();
+    g2048_spawn();
+}
+
+void ecall_2048_board(uint8_t* out) {
+    for (int i = 0; i < 16; i++) out[i] = g2048_board[i];
+}
+
+uint64_t ecall_2048_score(void) {
+    return g2048_score;
+}
+
+/* The protected asset loader: decrypts the embedded asset (the function
+ * the paper's game benchmarks keep secret). */
+uint64_t ecall_2048_asset(uint8_t* buf, uint64_t cap) {
+    if (cap < G2048_ASSET_LEN) return 0;
+    for (int i = 0; i < G2048_ASSET_LEN; i++)
+        buf[i] = (uint8_t)(g2048_asset_enc[i] ^ g2048_asset_key[i % 16] ^ (uint8_t)(i * 7));
+    return G2048_ASSET_LEN;
+}
+`)
+	return sb.String()
+}
+
+// Game2048 is the z2048 benchmark.
+var Game2048 = &Program{
+	Name:     "2048",
+	EDL:      game2048EDL,
+	TrustedC: game2048TrustedC(),
+	UCFile:   "game2048.go",
+	Workload: game2048Workload,
+	IsGame:   true,
+}
+
+// --- Go reference implementation (the test oracle) ---
+
+type ref2048 struct {
+	board [16]byte
+	score uint64
+	rng   uint64
+}
+
+func (g *ref2048) rand() uint64 {
+	x := g.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	g.rng = x
+	return x
+}
+
+func (g *ref2048) spawn() {
+	empty := 0
+	for _, c := range g.board {
+		if c == 0 {
+			empty++
+		}
+	}
+	if empty == 0 {
+		return
+	}
+	pick := int(g.rand() % uint64(empty))
+	val := byte(1)
+	if g.rand()%10 == 0 {
+		val = 2
+	}
+	for i, c := range g.board {
+		if c == 0 {
+			if pick == 0 {
+				g.board[i] = val
+				return
+			}
+			pick--
+		}
+	}
+}
+
+func (g *ref2048) init(seed uint64) {
+	*g = ref2048{rng: seed}
+	if g.rng == 0 {
+		g.rng = 0x2048
+	}
+	g.spawn()
+	g.spawn()
+}
+
+func (g *ref2048) slideLine(line []byte) bool {
+	var out [4]byte
+	n := 0
+	moved := false
+	for i := 0; i < 4; i++ {
+		if line[i] != 0 {
+			out[n] = line[i]
+			n++
+		}
+	}
+	for i := 0; i+1 < n; i++ {
+		if out[i] == out[i+1] {
+			out[i]++
+			g.score += uint64(1) << out[i]
+			for j := i + 1; j+1 < n; j++ {
+				out[j] = out[j+1]
+			}
+			n--
+		}
+	}
+	for i := n; i < 4; i++ {
+		out[i] = 0
+	}
+	for i := 0; i < 4; i++ {
+		if line[i] != out[i] {
+			moved = true
+		}
+		line[i] = out[i]
+	}
+	return moved
+}
+
+func (g *ref2048) move(dir int) bool {
+	idx := func(k, i int) int {
+		switch dir {
+		case 0:
+			return k*4 + i
+		case 1:
+			return k*4 + (3 - i)
+		case 2:
+			return i*4 + k
+		default:
+			return (3-i)*4 + k
+		}
+	}
+	moved := false
+	for k := 0; k < 4; k++ {
+		var line [4]byte
+		for i := 0; i < 4; i++ {
+			line[i] = g.board[idx(k, i)]
+		}
+		if g.slideLine(line[:]) {
+			moved = true
+		}
+		for i := 0; i < 4; i++ {
+			g.board[idx(k, i)] = line[i]
+		}
+	}
+	if moved {
+		g.spawn()
+	}
+	return moved
+}
+
+// game2048Workload plays a scripted session, comparing board, score, and
+// move results with the reference after every move, then loads the
+// protected asset.
+func game2048Workload(h *sdk.Host, e *sdk.Enclave) error {
+	const seed = 20481234
+	var ref ref2048
+	ref.init(seed)
+	if _, err := e.ECall("ecall_2048_init", seed); err != nil {
+		return err
+	}
+	boardBuf := h.Alloc(16)
+	script := []int{0, 2, 1, 3, 0, 0, 2, 2, 1, 3, 0, 2, 1, 1, 3, 3, 0, 2, 0, 2, 1, 3, 0, 2, 1, 0, 2, 3, 1, 0}
+	for step, dir := range script {
+		refMoved := ref.move(dir)
+		moved, err := e.ECall("ecall_2048_move", uint64(dir))
+		if err != nil {
+			return err
+		}
+		if (moved != 0) != refMoved {
+			return fmt.Errorf("2048 step %d: moved=%v, ref=%v", step, moved != 0, refMoved)
+		}
+		if _, err := e.ECall("ecall_2048_board", boardBuf); err != nil {
+			return err
+		}
+		if got := h.ReadBytes(boardBuf, 16); !bytes.Equal(got, ref.board[:]) {
+			return fmt.Errorf("2048 step %d: board mismatch\n got %v\nwant %v", step, got, ref.board)
+		}
+	}
+	score, err := e.ECall("ecall_2048_score")
+	if err != nil {
+		return err
+	}
+	if score != ref.score {
+		return fmt.Errorf("2048: score %d, want %d", score, ref.score)
+	}
+	// The protected asset decrypts correctly.
+	assetBuf := h.Alloc(len(game2048Asset) + 16)
+	n, err := e.ECall("ecall_2048_asset", assetBuf, uint64(len(game2048Asset)+16))
+	if err != nil {
+		return err
+	}
+	if int(n) != len(game2048Asset) {
+		return fmt.Errorf("2048: asset length %d, want %d", n, len(game2048Asset))
+	}
+	if got := h.ReadBytes(assetBuf, int(n)); string(got) != game2048Asset {
+		return fmt.Errorf("2048: asset decryption mismatch: %q", got)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"fmt"
+
+	"sgxelide/internal/sdk"
+)
+
+// The Sha1 benchmark ports RFC 3174 (benchmark [3] in the paper): a full
+// SHA-1 with padding inside the enclave, verified against crypto/sha1.
+
+const sha1EDL = `
+enclave {
+    trusted {
+        public void ecall_sha1([in, size=len] uint8_t* data, uint64_t len, [out, size=20] uint8_t* digest);
+    };
+    untrusted {
+    };
+};
+`
+
+const sha1TrustedC = `
+/* RFC 3174 SHA-1 port */
+
+uint32_t sha1_rotl(uint32_t x, int n) {
+    return (x << n) | (x >> (32 - n));
+}
+
+uint32_t sha1_h[5];
+
+void sha1_block(uint8_t* p) {
+    uint32_t w[80];
+    for (int i = 0; i < 16; i++) {
+        w[i] = ((uint32_t)p[i * 4] << 24) | ((uint32_t)p[i * 4 + 1] << 16)
+             | ((uint32_t)p[i * 4 + 2] << 8) | (uint32_t)p[i * 4 + 3];
+    }
+    for (int i = 16; i < 80; i++)
+        w[i] = sha1_rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+
+    uint32_t a = sha1_h[0];
+    uint32_t b = sha1_h[1];
+    uint32_t c = sha1_h[2];
+    uint32_t d = sha1_h[3];
+    uint32_t e = sha1_h[4];
+
+    for (int i = 0; i < 80; i++) {
+        uint32_t f;
+        uint32_t k;
+        if (i < 20) {
+            f = (b & c) | ((~b) & d);
+            k = 0x5A827999u;
+        } else if (i < 40) {
+            f = b ^ c ^ d;
+            k = 0x6ED9EBA1u;
+        } else if (i < 60) {
+            f = (b & c) | (b & d) | (c & d);
+            k = 0x8F1BBCDCu;
+        } else {
+            f = b ^ c ^ d;
+            k = 0xCA62C1D6u;
+        }
+        uint32_t tmp = sha1_rotl(a, 5) + f + e + k + w[i];
+        e = d;
+        d = c;
+        c = sha1_rotl(b, 30);
+        b = a;
+        a = tmp;
+    }
+    sha1_h[0] += a;
+    sha1_h[1] += b;
+    sha1_h[2] += c;
+    sha1_h[3] += d;
+    sha1_h[4] += e;
+}
+
+void ecall_sha1(uint8_t* data, uint64_t len, uint8_t* digest) {
+    uint8_t tail[128];
+    sha1_h[0] = 0x67452301u;
+    sha1_h[1] = 0xEFCDAB89u;
+    sha1_h[2] = 0x98BADCFEu;
+    sha1_h[3] = 0x10325476u;
+    sha1_h[4] = 0xC3D2E1F0u;
+
+    uint64_t off = 0;
+    while (off + 64 <= len) {
+        sha1_block(data + off);
+        off += 64;
+    }
+    uint64_t rest = len - off;
+    for (uint64_t i = 0; i < rest; i++) tail[i] = data[off + i];
+    tail[rest] = 0x80;
+    uint64_t padded = 64;
+    if (rest + 9 > 64) padded = 128;
+    for (uint64_t i = rest + 1; i < padded - 8; i++) tail[i] = 0;
+    uint64_t bits = len * 8;
+    for (int i = 0; i < 8; i++)
+        tail[padded - 1 - i] = (uint8_t)(bits >> (i * 8));
+    sha1_block(tail);
+    if (padded == 128) sha1_block(tail + 64);
+
+    for (int i = 0; i < 5; i++) {
+        digest[i * 4]     = (uint8_t)(sha1_h[i] >> 24);
+        digest[i * 4 + 1] = (uint8_t)(sha1_h[i] >> 16);
+        digest[i * 4 + 2] = (uint8_t)(sha1_h[i] >> 8);
+        digest[i * 4 + 3] = (uint8_t)sha1_h[i];
+    }
+}
+`
+
+// Sha1 is the RFC 3174 benchmark.
+var Sha1 = &Program{
+	Name:     "Sha1",
+	EDL:      sha1EDL,
+	TrustedC: sha1TrustedC,
+	UCFile:   "sha1.go",
+	Workload: sha1Workload,
+}
+
+// sha1Workload hashes messages of many lengths (covering both padding
+// branches) and compares with crypto/sha1.
+func sha1Workload(h *sdk.Host, e *sdk.Enclave) error {
+	msg := make([]byte, 24<<10)
+	for i := range msg {
+		msg[i] = byte(i * 31)
+	}
+	out := h.Alloc(20)
+	for _, n := range []int{0, 1, 3, 55, 56, 63, 64, 65, 119, 120, 128, 333, 1024, 8 << 10, 24 << 10} {
+		in := h.AllocBytes(msg[:n])
+		if n == 0 {
+			in = h.AllocBytes([]byte{0}) // valid address for an empty message
+		}
+		if _, err := e.ECall("ecall_sha1", in, uint64(n), out); err != nil {
+			return err
+		}
+		want := sha1.Sum(msg[:n])
+		if got := h.ReadBytes(out, 20); !bytes.Equal(got, want[:]) {
+			return fmt.Errorf("sha1(%d bytes): got %x, want %x", n, got, want)
+		}
+	}
+	return nil
+}

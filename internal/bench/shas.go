@@ -1,0 +1,368 @@
+package bench
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"crypto/sha512"
+	"fmt"
+	"math/big"
+	"strings"
+
+	"sgxelide/internal/sdk"
+)
+
+// The Shas benchmark ports RFC 6234 (benchmark [4] in the paper): the full
+// SHA-2 family — SHA-224, SHA-256, SHA-384, and SHA-512 — inside the
+// enclave. It is the largest trusted component, as in the paper's Table 1.
+// All round constants and initial vectors are derived (fractional parts of
+// square/cube roots of primes) rather than hand-typed, and the results are
+// verified against crypto/sha256 and crypto/sha512.
+
+// firstPrimes returns the first n primes.
+func firstPrimes(n int) []int64 {
+	var primes []int64
+	for x := int64(2); len(primes) < n; x++ {
+		isP := true
+		for _, p := range primes {
+			if p*p > x {
+				break
+			}
+			if x%p == 0 {
+				isP = false
+				break
+			}
+		}
+		if isP {
+			primes = append(primes, x)
+		}
+	}
+	return primes
+}
+
+// sqrtFracBits returns bits [skip, skip+bits) of the fractional part of
+// sqrt(p).
+func sqrtFracBits(p int64, skip, bits uint) *big.Int {
+	shift := 2 * (skip + bits)
+	v := new(big.Int).Lsh(big.NewInt(p), shift)
+	v.Sqrt(v) // floor(sqrt(p) * 2^(skip+bits))
+	mask := new(big.Int).Lsh(big.NewInt(1), bits)
+	mask.Sub(mask, big.NewInt(1))
+	return v.And(v, mask)
+}
+
+// cbrtFracBits returns the first `bits` fractional bits of cbrt(p).
+func cbrtFracBits(p int64, bits uint) *big.Int {
+	// Binary search x = floor(cbrt(p * 2^(3*bits))).
+	target := new(big.Int).Lsh(big.NewInt(p), 3*bits)
+	lo := big.NewInt(0)
+	hi := new(big.Int).Lsh(big.NewInt(1), bits+8)
+	for lo.Cmp(hi) < 0 {
+		mid := new(big.Int).Add(lo, hi)
+		mid.Add(mid, big.NewInt(1))
+		mid.Rsh(mid, 1)
+		cube := new(big.Int).Mul(mid, mid)
+		cube.Mul(cube, mid)
+		if cube.Cmp(target) <= 0 {
+			lo = mid
+		} else {
+			hi = new(big.Int).Sub(mid, big.NewInt(1))
+		}
+	}
+	mask := new(big.Int).Lsh(big.NewInt(1), bits)
+	mask.Sub(mask, big.NewInt(1))
+	return lo.And(lo, mask)
+}
+
+// cWordTable renders 32-bit constants as a C initializer.
+func cWordTable(name string, vals []uint32) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "const uint32_t %s[%d] = {\n", name, len(vals))
+	for i, v := range vals {
+		if i%6 == 0 {
+			sb.WriteString("    ")
+		}
+		fmt.Fprintf(&sb, "0x%08xu", v)
+		if i != len(vals)-1 {
+			sb.WriteString(",")
+		}
+		if i%6 == 5 {
+			sb.WriteString("\n")
+		} else if i != len(vals)-1 {
+			sb.WriteString(" ")
+		}
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+// cQuadTable renders 64-bit constants as a C initializer.
+func cQuadTable(name string, vals []uint64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "const uint64_t %s[%d] = {\n", name, len(vals))
+	for i, v := range vals {
+		if i%4 == 0 {
+			sb.WriteString("    ")
+		}
+		fmt.Fprintf(&sb, "0x%016xu", v)
+		if i != len(vals)-1 {
+			sb.WriteString(",")
+		}
+		if i%4 == 3 {
+			sb.WriteString("\n")
+		} else if i != len(vals)-1 {
+			sb.WriteString(" ")
+		}
+	}
+	sb.WriteString("};\n")
+	return sb.String()
+}
+
+const shasEDL = `
+enclave {
+    trusted {
+        public uint64_t ecall_sha2(uint64_t mode, [in, size=len] uint8_t* data, uint64_t len, [out, size=64] uint8_t* digest);
+    };
+    untrusted {
+    };
+};
+`
+
+// shasTrustedC builds the trusted component with derived constants.
+func shasTrustedC() string {
+	primes := firstPrimes(80)
+
+	k256 := make([]uint32, 64)
+	for i := 0; i < 64; i++ {
+		k256[i] = uint32(cbrtFracBits(primes[i], 32).Uint64())
+	}
+	h256 := make([]uint32, 8)
+	h224 := make([]uint32, 8)
+	for i := 0; i < 8; i++ {
+		h256[i] = uint32(sqrtFracBits(primes[i], 0, 32).Uint64())
+		h224[i] = uint32(sqrtFracBits(primes[i+8], 32, 32).Uint64())
+	}
+	k512 := make([]uint64, 80)
+	for i := 0; i < 80; i++ {
+		k512[i] = cbrtFracBits(primes[i], 64).Uint64()
+	}
+	h512 := make([]uint64, 8)
+	h384 := make([]uint64, 8)
+	for i := 0; i < 8; i++ {
+		h512[i] = sqrtFracBits(primes[i], 0, 64).Uint64()
+		h384[i] = sqrtFracBits(primes[i+8], 0, 64).Uint64()
+	}
+
+	var sb strings.Builder
+	sb.WriteString("/* RFC 6234 port: SHA-224 / SHA-256 / SHA-384 / SHA-512 */\n")
+	sb.WriteString(cWordTable("sha2_k256", k256))
+	sb.WriteString(cWordTable("sha2_h256_iv", h256))
+	sb.WriteString(cWordTable("sha2_h224_iv", h224))
+	sb.WriteString(cQuadTable("sha2_k512", k512))
+	sb.WriteString(cQuadTable("sha2_h512_iv", h512))
+	sb.WriteString(cQuadTable("sha2_h384_iv", h384))
+	sb.WriteString(`
+uint32_t sha2_rotr32(uint32_t x, int n) {
+    return (x >> n) | (x << (32 - n));
+}
+
+uint64_t sha2_rotr64(uint64_t x, int n) {
+    return (x >> n) | (x << (64 - n));
+}
+
+uint32_t sha2_st32[8];
+uint64_t sha2_st64[8];
+
+void sha2_block256(uint8_t* p) {
+    uint32_t w[64];
+    for (int i = 0; i < 16; i++) {
+        w[i] = ((uint32_t)p[i * 4] << 24) | ((uint32_t)p[i * 4 + 1] << 16)
+             | ((uint32_t)p[i * 4 + 2] << 8) | (uint32_t)p[i * 4 + 3];
+    }
+    for (int i = 16; i < 64; i++) {
+        uint32_t s0 = sha2_rotr32(w[i - 15], 7) ^ sha2_rotr32(w[i - 15], 18) ^ (w[i - 15] >> 3);
+        uint32_t s1 = sha2_rotr32(w[i - 2], 17) ^ sha2_rotr32(w[i - 2], 19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint32_t a = sha2_st32[0];
+    uint32_t b = sha2_st32[1];
+    uint32_t c = sha2_st32[2];
+    uint32_t d = sha2_st32[3];
+    uint32_t e = sha2_st32[4];
+    uint32_t f = sha2_st32[5];
+    uint32_t g = sha2_st32[6];
+    uint32_t hh = sha2_st32[7];
+    for (int i = 0; i < 64; i++) {
+        uint32_t S1 = sha2_rotr32(e, 6) ^ sha2_rotr32(e, 11) ^ sha2_rotr32(e, 25);
+        uint32_t ch = (e & f) ^ ((~e) & g);
+        uint32_t t1 = hh + S1 + ch + sha2_k256[i] + w[i];
+        uint32_t S0 = sha2_rotr32(a, 2) ^ sha2_rotr32(a, 13) ^ sha2_rotr32(a, 22);
+        uint32_t mj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = S0 + mj;
+        hh = g; g = f; f = e;
+        e = d + t1;
+        d = c; c = b; b = a;
+        a = t1 + t2;
+    }
+    sha2_st32[0] += a; sha2_st32[1] += b; sha2_st32[2] += c; sha2_st32[3] += d;
+    sha2_st32[4] += e; sha2_st32[5] += f; sha2_st32[6] += g; sha2_st32[7] += hh;
+}
+
+void sha2_block512(uint8_t* p) {
+    uint64_t w[80];
+    for (int i = 0; i < 16; i++) {
+        uint64_t v = 0;
+        for (int j = 0; j < 8; j++)
+            v = (v << 8) | (uint64_t)p[i * 8 + j];
+        w[i] = v;
+    }
+    for (int i = 16; i < 80; i++) {
+        uint64_t s0 = sha2_rotr64(w[i - 15], 1) ^ sha2_rotr64(w[i - 15], 8) ^ (w[i - 15] >> 7);
+        uint64_t s1 = sha2_rotr64(w[i - 2], 19) ^ sha2_rotr64(w[i - 2], 61) ^ (w[i - 2] >> 6);
+        w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+    uint64_t a = sha2_st64[0];
+    uint64_t b = sha2_st64[1];
+    uint64_t c = sha2_st64[2];
+    uint64_t d = sha2_st64[3];
+    uint64_t e = sha2_st64[4];
+    uint64_t f = sha2_st64[5];
+    uint64_t g = sha2_st64[6];
+    uint64_t hh = sha2_st64[7];
+    for (int i = 0; i < 80; i++) {
+        uint64_t S1 = sha2_rotr64(e, 14) ^ sha2_rotr64(e, 18) ^ sha2_rotr64(e, 41);
+        uint64_t ch = (e & f) ^ ((~e) & g);
+        uint64_t t1 = hh + S1 + ch + sha2_k512[i] + w[i];
+        uint64_t S0 = sha2_rotr64(a, 28) ^ sha2_rotr64(a, 34) ^ sha2_rotr64(a, 39);
+        uint64_t mj = (a & b) ^ (a & c) ^ (b & c);
+        uint64_t t2 = S0 + mj;
+        hh = g; g = f; f = e;
+        e = d + t1;
+        d = c; c = b; b = a;
+        a = t1 + t2;
+    }
+    sha2_st64[0] += a; sha2_st64[1] += b; sha2_st64[2] += c; sha2_st64[3] += d;
+    sha2_st64[4] += e; sha2_st64[5] += f; sha2_st64[6] += g; sha2_st64[7] += hh;
+}
+
+uint64_t sha2_small(uint64_t mode, uint8_t* data, uint64_t len, uint8_t* digest) {
+    uint8_t tail[128];
+    for (int i = 0; i < 8; i++) {
+        if (mode == 224) sha2_st32[i] = sha2_h224_iv[i];
+        else sha2_st32[i] = sha2_h256_iv[i];
+    }
+    uint64_t off = 0;
+    while (off + 64 <= len) {
+        sha2_block256(data + off);
+        off += 64;
+    }
+    uint64_t rest = len - off;
+    for (uint64_t i = 0; i < rest; i++) tail[i] = data[off + i];
+    tail[rest] = 0x80;
+    uint64_t padded = 64;
+    if (rest + 9 > 64) padded = 128;
+    for (uint64_t i = rest + 1; i < padded - 8; i++) tail[i] = 0;
+    uint64_t bits = len * 8;
+    for (int i = 0; i < 8; i++)
+        tail[padded - 1 - i] = (uint8_t)(bits >> (i * 8));
+    sha2_block256(tail);
+    if (padded == 128) sha2_block256(tail + 64);
+
+    uint64_t words = 8;
+    if (mode == 224) words = 7;
+    for (uint64_t i = 0; i < words; i++) {
+        digest[i * 4]     = (uint8_t)(sha2_st32[i] >> 24);
+        digest[i * 4 + 1] = (uint8_t)(sha2_st32[i] >> 16);
+        digest[i * 4 + 2] = (uint8_t)(sha2_st32[i] >> 8);
+        digest[i * 4 + 3] = (uint8_t)sha2_st32[i];
+    }
+    return words * 4;
+}
+
+uint64_t sha2_big(uint64_t mode, uint8_t* data, uint64_t len, uint8_t* digest) {
+    uint8_t tail[256];
+    for (int i = 0; i < 8; i++) {
+        if (mode == 384) sha2_st64[i] = sha2_h384_iv[i];
+        else sha2_st64[i] = sha2_h512_iv[i];
+    }
+    uint64_t off = 0;
+    while (off + 128 <= len) {
+        sha2_block512(data + off);
+        off += 128;
+    }
+    uint64_t rest = len - off;
+    for (uint64_t i = 0; i < rest; i++) tail[i] = data[off + i];
+    tail[rest] = 0x80;
+    uint64_t padded = 128;
+    if (rest + 17 > 128) padded = 256;
+    for (uint64_t i = rest + 1; i < padded - 8; i++) tail[i] = 0;
+    uint64_t bits = len * 8; /* < 2^64: the 128-bit length's high half is 0 */
+    for (int i = 0; i < 8; i++)
+        tail[padded - 1 - i] = (uint8_t)(bits >> (i * 8));
+    sha2_block512(tail);
+    if (padded == 256) sha2_block512(tail + 128);
+
+    uint64_t words = 8;
+    if (mode == 384) words = 6;
+    for (uint64_t i = 0; i < words; i++) {
+        for (int j = 0; j < 8; j++)
+            digest[i * 8 + j] = (uint8_t)(sha2_st64[i] >> ((7 - j) * 8));
+    }
+    return words * 8;
+}
+
+uint64_t ecall_sha2(uint64_t mode, uint8_t* data, uint64_t len, uint8_t* digest) {
+    if (mode == 224 || mode == 256) return sha2_small(mode, data, len, digest);
+    if (mode == 384 || mode == 512) return sha2_big(mode, data, len, digest);
+    return 0;
+}
+`)
+	return sb.String()
+}
+
+// Shas is the RFC 6234 benchmark.
+var Shas = &Program{
+	Name:     "Shas",
+	EDL:      shasEDL,
+	TrustedC: shasTrustedC(),
+	UCFile:   "shas.go",
+	Workload: shasWorkload,
+}
+
+// shasWorkload checks all four algorithms across padding-edge lengths.
+func shasWorkload(h *sdk.Host, e *sdk.Enclave) error {
+	msg := make([]byte, 600)
+	for i := range msg {
+		msg[i] = byte(i*13 + 5)
+	}
+	out := h.Alloc(64)
+	ref := map[uint64]func([]byte) []byte{
+		224: func(b []byte) []byte { s := sha256.Sum224(b); return s[:] },
+		256: func(b []byte) []byte { s := sha256.Sum256(b); return s[:] },
+		384: func(b []byte) []byte { s := sha512.Sum384(b); return s[:] },
+		512: func(b []byte) []byte { s := sha512.Sum512(b); return s[:] },
+	}
+	for _, mode := range []uint64{224, 256, 384, 512} {
+		for _, n := range []int{0, 1, 55, 56, 64, 111, 112, 119, 120, 128, 129, 600} {
+			in := h.AllocBytes(msg[:max(n, 1)])
+			got, err := e.ECall("ecall_sha2", mode, in, uint64(n), out)
+			if err != nil {
+				return fmt.Errorf("sha%d(%d): %w", mode, n, err)
+			}
+			want := ref[mode](msg[:n])
+			if int(got) != len(want) {
+				return fmt.Errorf("sha%d(%d): digest length %d, want %d", mode, n, got, len(want))
+			}
+			if gotBytes := h.ReadBytes(out, len(want)); !bytes.Equal(gotBytes, want) {
+				return fmt.Errorf("sha%d(%d bytes): got %x, want %x", mode, n, gotBytes, want)
+			}
+		}
+	}
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"sgxelide/internal/edl"
+	"sgxelide/internal/elf"
+	"sgxelide/internal/elide"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// elideUCGlueLOC is the untrusted code a developer adds to use SgxElide:
+// install the runtime, connect a client, and make the one elide_restore
+// call (the paper's constant +50 LoC covers the same glue plus its ocall
+// C shims, which live in our Go runtime instead).
+const elideUCGlueLOC = 6
+
+// elideTCLOC is the trusted code SgxElide links into every enclave
+// (the paper's constant +113 LoC).
+func elideTCLOC() int {
+	return countLines(elide.TrustedC) + countLines(elide.TrustedAsm) + countLines(elide.EDLSource)
+}
+
+// Table1Row is one row of the paper's Table 1.
+type Table1Row struct {
+	Name               string
+	OriginalLOC        int // the ported algorithm (trusted C before enclave glue)
+	UCwSGX, TCwSGX     int
+	UCwElide, TCwElide int
+	TCFunctions        int
+	TCBytes            uint64
+	SanitizedFunctions int
+	SanitizedBytes     uint64
+}
+
+// Table1 builds every benchmark with SgxElide and reports the sanitizer
+// statistics of Table 1.
+func Table1(env *Env) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, p := range All() {
+		prot, err := BuildProtected(env, p, elide.SanitizeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		f, err := elf.Read(prot.SanitizedELF)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Name:               p.Name,
+			OriginalLOC:        countLines(p.TrustedC),
+			UCwSGX:             p.UntrustedLOC(),
+			TCwSGX:             p.TrustedLOC(),
+			UCwElide:           p.UntrustedLOC() + elideUCGlueLOC,
+			TCwElide:           p.TrustedLOC() + elideTCLOC(),
+			TCFunctions:        len(f.FuncSymbols()),
+			TCBytes:            prot.Stats.TotalTextBytes,
+			SanitizedFunctions: prot.Stats.SanitizedFunctions,
+			SanitizedBytes:     prot.Stats.SanitizedBytes,
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Stat is a mean ± standard deviation in milliseconds.
+type Stat struct {
+	MeanMs float64
+	StdMs  float64
+}
+
+// median returns the median sample in milliseconds (robust against
+// scheduler noise on shared machines; used for the Figures).
+func median(samples []time.Duration) float64 {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return float64(s[mid].Nanoseconds()) / 1e6
+	}
+	return float64((s[mid-1] + s[mid]).Nanoseconds()) / 2 / 1e6
+}
+
+func newStat(samples []time.Duration) Stat {
+	n := float64(len(samples))
+	var mean float64
+	for _, s := range samples {
+		mean += float64(s.Nanoseconds())
+	}
+	mean /= n
+	var varsum float64
+	for _, s := range samples {
+		d := float64(s.Nanoseconds()) - mean
+		varsum += d * d
+	}
+	std := math.Sqrt(varsum / n)
+	return Stat{MeanMs: mean / 1e6, StdMs: std / 1e6}
+}
+
+// Table2Row is one row of the paper's Table 2: sanitize and restore times
+// for remote-data and local-data modes.
+type Table2Row struct {
+	Name                          string
+	RemoteSanitize, RemoteRestore Stat
+	LocalSanitize, LocalRestore   Stat
+}
+
+// Table2 measures sanitization (offline) and restoration (the first-launch
+// runtime cost) for each benchmark, iters times each.
+func Table2(env *Env, iters int) ([]Table2Row, error) {
+	_, wl, err := Fixtures()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table2Row
+	for _, p := range All() {
+		row := Table2Row{Name: p.Name}
+
+		// Build the unsanitized enclave once; the sanitizer is what we time.
+		iface, err := elide.MergeEDL(p.EDL)
+		if err != nil {
+			return nil, err
+		}
+		sources := append(elide.TrustedSources(), sdk.C(p.Name+".c", p.TrustedC))
+		res, err := sdk.BuildEnclave(sdk.BuildConfig{}, iface, sources...)
+		if err != nil {
+			return nil, err
+		}
+
+		for _, local := range []bool{false, true} {
+			opts := elide.SanitizeOptions{EncryptLocal: local}
+			var sanTimes []time.Duration
+			for i := 0; i < iters; i++ {
+				start := time.Now()
+				if _, err := elide.Sanitize(res.ELF, wl, opts); err != nil {
+					return nil, err
+				}
+				sanTimes = append(sanTimes, time.Since(start))
+			}
+
+			prot, err := BuildProtected(env, p, opts)
+			if err != nil {
+				return nil, err
+			}
+			srv, err := prot.NewServerFor(env.CA)
+			if err != nil {
+				return nil, err
+			}
+			var restTimes []time.Duration
+			for i := 0; i < iters; i++ {
+				encl, rt, err := prot.Launch(env.Host, &elide.DirectClient{Session: srv.NewSession()}, prot.LocalFiles())
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				code, err := encl.ECall("elide_restore", 0)
+				took := time.Since(start)
+				if err != nil || code != elide.RestoreOKServer {
+					encl.Destroy()
+					return nil, fmt.Errorf("%s: restore failed: %d %v (%v)", p.Name, code, err, rt.LastErr)
+				}
+				restTimes = append(restTimes, took)
+				encl.Destroy()
+			}
+			if local {
+				row.LocalSanitize = newStat(sanTimes)
+				row.LocalRestore = newStat(restTimes)
+			} else {
+				row.RemoteSanitize = newStat(sanTimes)
+				row.RemoteRestore = newStat(restTimes)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FigureRow is one bar pair of Figure 3 / Figure 4: normalized end-to-end
+// runtime of the protected benchmark relative to the plain-SGX baseline.
+type FigureRow struct {
+	Name         string
+	BaselineMs   float64
+	ProtectedMs  float64
+	RelativePerf float64 // protected / baseline (1.00 = no overhead)
+}
+
+// Figures measures the overall performance overhead (Figure 3: remote data;
+// Figure 4: local data). Following the paper, the games are excluded and
+// each measured run is the whole application: enclave creation, restoration
+// (protected only), and the built-in test suite.
+func Figures(env *Env, local bool, iters int) ([]FigureRow, error) {
+	var rows []FigureRow
+	for _, p := range All() {
+		if p.IsGame {
+			continue
+		}
+		prot, err := BuildProtected(env, p, elide.SanitizeOptions{EncryptLocal: local})
+		if err != nil {
+			return nil, err
+		}
+		srv, err := prot.NewServerFor(env.CA)
+		if err != nil {
+			return nil, err
+		}
+
+		// Plain SGX baseline, rebuilt per run like ./app would reload it.
+		var baseTimes, protTimes []time.Duration
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			encl, err := BuildBaselineLoadOnly(env, p)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.Workload(env.Host, encl); err != nil {
+				encl.Destroy()
+				return nil, fmt.Errorf("%s baseline: %w", p.Name, err)
+			}
+			encl.Destroy()
+			baseTimes = append(baseTimes, time.Since(start))
+		}
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			encl, rt, err := prot.Launch(env.Host, &elide.DirectClient{Session: srv.NewSession()}, prot.LocalFiles())
+			if err != nil {
+				return nil, err
+			}
+			code, err := encl.ECall("elide_restore", 0)
+			if err != nil || code != elide.RestoreOKServer {
+				encl.Destroy()
+				return nil, fmt.Errorf("%s: restore: %d %v (%v)", p.Name, code, err, rt.LastErr)
+			}
+			if err := p.Workload(env.Host, encl); err != nil {
+				encl.Destroy()
+				return nil, fmt.Errorf("%s protected: %w", p.Name, err)
+			}
+			encl.Destroy()
+			protTimes = append(protTimes, time.Since(start))
+		}
+		base := median(baseTimes)
+		protMs := median(protTimes)
+		rows = append(rows, FigureRow{
+			Name:         p.Name,
+			BaselineMs:   base,
+			ProtectedMs:  protMs,
+			RelativePerf: protMs / base,
+		})
+	}
+	return rows, nil
+}
+
+// baselineImages caches built and signed baseline enclaves per program, so
+// the timed region of a Figures run is what `time ./app` measures — enclave
+// loading plus the workload — not compilation.
+var baselineImages = map[string]*baselineImage{}
+
+type baselineImage struct {
+	elf   []byte
+	ss    *sgx.SigStruct
+	iface *edl.Interface
+}
+
+// BuildBaselineLoadOnly loads a (cached) baseline enclave image.
+func BuildBaselineLoadOnly(env *Env, p *Program) (*sdk.Enclave, error) {
+	img, ok := baselineImages[p.Name]
+	if !ok {
+		key, _, err := Fixtures()
+		if err != nil {
+			return nil, err
+		}
+		iface, err := edl.Parse(p.EDL)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sdk.BuildEnclave(sdk.BuildConfig{}, iface, sdk.C(p.Name+".c", p.TrustedC))
+		if err != nil {
+			return nil, err
+		}
+		mr, err := sdk.MeasureELF(env.Host, res.ELF)
+		if err != nil {
+			return nil, err
+		}
+		ss, err := sgx.SignEnclave(key, mr, 1, 1)
+		if err != nil {
+			return nil, err
+		}
+		img = &baselineImage{elf: res.ELF, ss: ss, iface: iface}
+		baselineImages[p.Name] = img
+	}
+	return env.Host.CreateEnclave(img.elf, img.ss, img.iface)
+}
+
+// --- rendering ---
+
+// RenderTable1 formats Table 1 like the paper.
+func RenderTable1(rows []Table1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 1. The ported benchmarks (UC = untrusted, TC = trusted component).\n")
+	fmt.Fprintf(&sb, "%-10s %9s %8s %8s %10s %10s %6s %9s %10s %10s\n",
+		"Benchmark", "Orig LOC", "UC/SGX", "TC/SGX", "UC/Elide", "TC/Elide",
+		"TCFns", "TCBytes", "SanitFns", "SanitBytes")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %9d %8d %8d %10d %10d %6d %9d %10d %10d\n",
+			r.Name, r.OriginalLOC, r.UCwSGX, r.TCwSGX, r.UCwElide, r.TCwElide,
+			r.TCFunctions, r.TCBytes, r.SanitizedFunctions, r.SanitizedBytes)
+	}
+	return sb.String()
+}
+
+// RenderTable2 formats Table 2 like the paper.
+func RenderTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("Table 2. Sanitization/restoration execution time (ms) with remote/local data.\n")
+	fmt.Fprintf(&sb, "%-10s | %9s %7s %9s %7s | %9s %7s %9s %7s\n",
+		"", "RemSanit", "Std", "RemRest", "Std", "LocSanit", "Std", "LocRest", "Std")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s | %9.3f %7.3f %9.3f %7.3f | %9.3f %7.3f %9.3f %7.3f\n",
+			r.Name,
+			r.RemoteSanitize.MeanMs, r.RemoteSanitize.StdMs,
+			r.RemoteRestore.MeanMs, r.RemoteRestore.StdMs,
+			r.LocalSanitize.MeanMs, r.LocalSanitize.StdMs,
+			r.LocalRestore.MeanMs, r.LocalRestore.StdMs)
+	}
+	return sb.String()
+}
+
+// RenderFigure formats Figure 3/4 data as a table plus normalized bars in
+// the style of the paper's figures (both bars scaled to the baseline).
+func RenderFigure(title string, rows []FigureRow) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	fmt.Fprintf(&sb, "%-10s %12s %13s %10s\n", "Benchmark", "w/ SGX (ms)", "w/ Elide (ms)", "Relative")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %12.1f %13.1f %9.1f%%\n",
+			r.Name, r.BaselineMs, r.ProtectedMs, 100*r.RelativePerf)
+	}
+	sb.WriteString("\nRelative performance (100% = w/ SGX baseline):\n")
+	const width = 40 // bar length of the 100% baseline
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s w/SGX      |%s| 100.0%%\n", r.Name, bar(1.0, width))
+		fmt.Fprintf(&sb, "%-10s w/SgxElide |%s| %.1f%%\n", "", bar(r.RelativePerf, width), 100*r.RelativePerf)
+	}
+	return sb.String()
+}
+
+// bar renders a proportional bar capped at 150% of the baseline width.
+func bar(frac float64, width int) string {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1.5 {
+		frac = 1.5
+	}
+	n := int(frac*float64(width) + 0.5)
+	pad := int(1.5*float64(width)+0.5) - n
+	return strings.Repeat("#", n) + strings.Repeat(" ", pad)
+}

@@ -1,0 +1,362 @@
+// Package edl implements the Enclave Definition Language processor — the
+// counterpart of the SGX SDK's sgx_edger8r. An EDL file declares the
+// trusted functions callable from outside (ecalls) and the untrusted
+// functions the enclave may call out to (ocalls), with buffer-marshalling
+// attributes. From it we generate the bridge functions, in EVM assembly,
+// that copy buffers across the enclave boundary.
+//
+// Grammar (a C-flavored subset of Intel's EDL):
+//
+//	enclave {
+//	    trusted {
+//	        public uint64_t ecall_hash([in, size=len] uint8_t* data, uint64_t len);
+//	        public void ecall_play([in, out, size=81] uint8_t* board);
+//	    };
+//	    untrusted {
+//	        void ocall_print([in, string] char* s);
+//	        uint64_t ocall_read([out, size=cap] uint8_t* buf, uint64_t cap);
+//	    };
+//	};
+//
+// Attributes: in, out (copy direction relative to the enclave), size=N or
+// size=param (bytes to copy), string (copy strlen+1 bytes), user_check
+// (pointer passed through unchecked).
+package edl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Direction flags for pointer parameters.
+type Direction int
+
+const (
+	DirNone Direction = 0
+	DirIn   Direction = 1 << iota
+	DirOut
+)
+
+// Param is one declared parameter.
+type Param struct {
+	Name      string
+	IsPointer bool
+	Dir       Direction
+	SizeParam string // parameter naming the byte count, if any
+	SizeConst int    // constant byte count, if SizeParam == ""
+	IsString  bool   // size is strlen()+1, computed at call time
+	UserCheck bool   // raw pointer passed through
+}
+
+// Func is one declared ecall or ocall.
+type Func struct {
+	Name       string
+	ReturnsVal bool // non-void return (always a 64-bit slot)
+	Params     []Param
+}
+
+// Interface is a parsed EDL file.
+type Interface struct {
+	Ecalls []Func
+	Ocalls []Func
+}
+
+// EcallIndex returns the dispatch index of the named ecall.
+func (i *Interface) EcallIndex(name string) (int, bool) {
+	for idx, f := range i.Ecalls {
+		if f.Name == name {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// OcallIndex returns the dispatch index of the named ocall.
+func (i *Interface) OcallIndex(name string) (int, bool) {
+	for idx, f := range i.Ocalls {
+		if f.Name == name {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// Merge returns a new interface with other's functions appended (used to
+// combine the SgxElide runtime EDL with the application's own EDL).
+func (i *Interface) Merge(other *Interface) (*Interface, error) {
+	out := &Interface{
+		Ecalls: append(append([]Func{}, i.Ecalls...), other.Ecalls...),
+		Ocalls: append(append([]Func{}, i.Ocalls...), other.Ocalls...),
+	}
+	seen := make(map[string]bool)
+	for _, f := range append(append([]Func{}, out.Ecalls...), out.Ocalls...) {
+		if seen[f.Name] {
+			return nil, fmt.Errorf("edl: duplicate function %q after merge", f.Name)
+		}
+		seen[f.Name] = true
+	}
+	return out, nil
+}
+
+// Parse parses EDL source.
+func Parse(src string) (*Interface, error) {
+	p := &parser{src: stripComments(src)}
+	return p.parse()
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func stripComments(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		if i+1 < len(s) && s[i] == '/' && s[i+1] == '/' {
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+			continue
+		}
+		if i+1 < len(s) && s[i] == '/' && s[i+1] == '*' {
+			i += 2
+			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
+				i++
+			}
+			i += 2
+			continue
+		}
+		sb.WriteByte(s[i])
+		i++
+	}
+	return sb.String()
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && strings.ContainsRune(" \t\r\n", rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) accept(s string) bool {
+	p.ws()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(s string) error {
+	if !p.accept(s) {
+		tail := p.src[p.pos:]
+		if len(tail) > 20 {
+			tail = tail[:20]
+		}
+		return fmt.Errorf("edl: expected %q at %q", s, tail)
+	}
+	return nil
+}
+
+func (p *parser) word() string {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) parse() (*Interface, error) {
+	iface := &Interface{}
+	if err := p.expect("enclave"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for {
+		p.ws()
+		switch {
+		case p.accept("trusted"):
+			if err := p.section(&iface.Ecalls, true); err != nil {
+				return nil, err
+			}
+		case p.accept("untrusted"):
+			if err := p.section(&iface.Ocalls, false); err != nil {
+				return nil, err
+			}
+		case p.accept("}"):
+			p.accept(";")
+			return iface, nil
+		default:
+			return nil, fmt.Errorf("edl: expected trusted/untrusted section")
+		}
+	}
+}
+
+func (p *parser) section(out *[]Func, trusted bool) error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for {
+		p.ws()
+		if p.accept("}") {
+			p.accept(";")
+			return nil
+		}
+		f, err := p.function(trusted)
+		if err != nil {
+			return err
+		}
+		*out = append(*out, f)
+	}
+}
+
+func (p *parser) function(trusted bool) (Func, error) {
+	var f Func
+	if trusted {
+		if err := p.expect("public"); err != nil {
+			return f, fmt.Errorf("%w (all trusted functions must be public in this subset)", err)
+		}
+	}
+	retType := p.word()
+	if retType == "" {
+		return f, fmt.Errorf("edl: expected return type")
+	}
+	if retType == "unsigned" {
+		p.word() // "unsigned int" etc.
+	}
+	f.ReturnsVal = retType != "void"
+	f.Name = p.word()
+	if f.Name == "" {
+		return f, fmt.Errorf("edl: expected function name")
+	}
+	if err := p.expect("("); err != nil {
+		return f, err
+	}
+	p.ws()
+	if p.accept(")") {
+		p.accept(";")
+		return f, nil
+	}
+	if p.accept("void") {
+		p.ws()
+		if p.accept(")") {
+			p.accept(";")
+			return f, nil
+		}
+		return f, fmt.Errorf("edl: bad void parameter list in %s", f.Name)
+	}
+	for {
+		param, err := p.param(f.Name)
+		if err != nil {
+			return f, err
+		}
+		f.Params = append(f.Params, param)
+		p.ws()
+		if p.accept(")") {
+			break
+		}
+		if err := p.expect(","); err != nil {
+			return f, err
+		}
+	}
+	if err := p.expect(";"); err != nil {
+		return f, err
+	}
+	// Validate size references.
+	for _, prm := range f.Params {
+		if prm.SizeParam == "" {
+			continue
+		}
+		found := false
+		for _, other := range f.Params {
+			if other.Name == prm.SizeParam && !other.IsPointer {
+				found = true
+			}
+		}
+		if !found {
+			return f, fmt.Errorf("edl: %s: size=%s does not name a scalar parameter", f.Name, prm.SizeParam)
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) param(fname string) (Param, error) {
+	var prm Param
+	p.ws()
+	if p.accept("[") {
+		for {
+			attr := p.word()
+			switch attr {
+			case "in":
+				prm.Dir |= DirIn
+			case "out":
+				prm.Dir |= DirOut
+			case "string":
+				prm.IsString = true
+				prm.Dir |= DirIn
+			case "user_check":
+				prm.UserCheck = true
+			case "size":
+				if err := p.expect("="); err != nil {
+					return prm, err
+				}
+				p.ws()
+				if c := p.src[p.pos]; c >= '0' && c <= '9' {
+					start := p.pos
+					for p.pos < len(p.src) && ((p.src[p.pos] >= '0' && p.src[p.pos] <= '9') || p.src[p.pos] == 'x' || (p.src[p.pos] >= 'a' && p.src[p.pos] <= 'f')) {
+						p.pos++
+					}
+					n, err := strconv.ParseInt(p.src[start:p.pos], 0, 32)
+					if err != nil {
+						return prm, fmt.Errorf("edl: %s: bad size constant", fname)
+					}
+					prm.SizeConst = int(n)
+				} else {
+					prm.SizeParam = p.word()
+				}
+			default:
+				return prm, fmt.Errorf("edl: %s: unknown attribute %q", fname, attr)
+			}
+			p.ws()
+			if p.accept("]") {
+				break
+			}
+			if err := p.expect(","); err != nil {
+				return prm, err
+			}
+		}
+	}
+	// Type: one or two words plus optional '*'s.
+	ty := p.word()
+	if ty == "" {
+		return prm, fmt.Errorf("edl: %s: expected parameter type", fname)
+	}
+	if ty == "unsigned" || ty == "const" {
+		p.word()
+	}
+	p.ws()
+	for p.accept("*") {
+		prm.IsPointer = true
+		p.ws()
+	}
+	prm.Name = p.word()
+	if prm.Name == "" {
+		return prm, fmt.Errorf("edl: %s: expected parameter name", fname)
+	}
+	if prm.IsPointer && !prm.UserCheck && !prm.IsString && prm.SizeParam == "" && prm.SizeConst == 0 {
+		return prm, fmt.Errorf("edl: %s: pointer parameter %q needs size=, string, or user_check", fname, prm.Name)
+	}
+	if !prm.IsPointer && (prm.Dir != DirNone || prm.IsString) {
+		return prm, fmt.Errorf("edl: %s: buffer attributes on scalar parameter %q", fname, prm.Name)
+	}
+	return prm, nil
+}

@@ -1,0 +1,178 @@
+package edl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleEDL = `
+enclave {
+    /* the trusted side */
+    trusted {
+        public uint64_t ecall_hash([in, size=len] uint8_t* data, uint64_t len);
+        public void ecall_play([in, out, size=81] uint8_t* board);
+        public int ecall_check([in, string] char* pw);
+        public void ecall_raw([user_check] void* p, uint64_t n);
+        public uint64_t ecall_noargs(void);
+    };
+    untrusted {
+        void ocall_print([in, string] char* s);
+        uint64_t ocall_read([out, size=cap] uint8_t* buf, uint64_t cap);
+        void ocall_tick();
+    };
+};
+`
+
+func TestParseSample(t *testing.T) {
+	iface, err := Parse(sampleEDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iface.Ecalls) != 5 || len(iface.Ocalls) != 3 {
+		t.Fatalf("got %d ecalls, %d ocalls", len(iface.Ecalls), len(iface.Ocalls))
+	}
+
+	hash := iface.Ecalls[0]
+	if hash.Name != "ecall_hash" || !hash.ReturnsVal || len(hash.Params) != 2 {
+		t.Fatalf("ecall_hash parsed wrong: %+v", hash)
+	}
+	if !hash.Params[0].IsPointer || hash.Params[0].Dir != DirIn || hash.Params[0].SizeParam != "len" {
+		t.Errorf("data param: %+v", hash.Params[0])
+	}
+	if hash.Params[1].IsPointer {
+		t.Errorf("len param should be scalar")
+	}
+
+	play := iface.Ecalls[1]
+	if play.ReturnsVal || play.Params[0].Dir != DirIn|DirOut || play.Params[0].SizeConst != 81 {
+		t.Errorf("ecall_play: %+v", play)
+	}
+
+	check := iface.Ecalls[2]
+	if !check.Params[0].IsString || check.Params[0].Dir&DirIn == 0 {
+		t.Errorf("ecall_check: %+v", check.Params[0])
+	}
+
+	raw := iface.Ecalls[3]
+	if !raw.Params[0].UserCheck {
+		t.Errorf("ecall_raw: %+v", raw.Params[0])
+	}
+
+	if len(iface.Ecalls[4].Params) != 0 {
+		t.Errorf("ecall_noargs has params")
+	}
+	if len(iface.Ocalls[2].Params) != 0 {
+		t.Errorf("ocall_tick has params")
+	}
+}
+
+func TestIndexLookup(t *testing.T) {
+	iface, _ := Parse(sampleEDL)
+	if i, ok := iface.EcallIndex("ecall_check"); !ok || i != 2 {
+		t.Errorf("ecall_check index = %d, %v", i, ok)
+	}
+	if i, ok := iface.OcallIndex("ocall_read"); !ok || i != 1 {
+		t.Errorf("ocall_read index = %d, %v", i, ok)
+	}
+	if _, ok := iface.EcallIndex("nope"); ok {
+		t.Error("found nonexistent ecall")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, _ := Parse(`enclave { trusted { public void f1(void); }; untrusted { void o1(); }; };`)
+	b, _ := Parse(`enclave { trusted { public void f2(void); }; untrusted { void o2(); }; };`)
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Ecalls) != 2 || len(m.Ocalls) != 2 {
+		t.Fatalf("merge: %d/%d", len(m.Ecalls), len(m.Ocalls))
+	}
+	if i, _ := m.EcallIndex("f1"); i != 0 {
+		t.Error("merge reordered the base interface")
+	}
+	// Duplicates rejected.
+	if _, err := a.Merge(a); err == nil {
+		t.Error("duplicate merge accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, wantErr string }{
+		{"no-enclave", `trusted {};`, "enclave"},
+		{"missing-public", `enclave { trusted { void f(void); }; };`, "public"},
+		{"ptr-no-size", `enclave { trusted { public void f([in] uint8_t* p); }; };`, "size="},
+		{"bad-size-ref", `enclave { trusted { public void f([in, size=zz] uint8_t* p, uint64_t n); }; };`, "size=zz"},
+		{"attr-on-scalar", `enclave { trusted { public void f([in] uint64_t n); }; };`, "scalar"},
+		{"unknown-attr", `enclave { trusted { public void f([frob] uint8_t* p); }; };`, "unknown attribute"},
+		{"bad-section", `enclave { wild {}; };`, "trusted/untrusted"},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("err = %v, want contains %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestGenerateBridges(t *testing.T) {
+	iface, _ := Parse(sampleEDL)
+	asmSrc, err := GenerateBridges(iface)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"sgx_ecall_hash", "sgx_ecall_play", "sgx_ecall_check", "sgx_ecall_raw",
+		"ocall_print", "ocall_read", "ocall_tick",
+		"g_ecall_table", "g_ecall_count",
+		"call heap_mark", "call heap_release", "eexit 1",
+	} {
+		if !strings.Contains(asmSrc, want) {
+			t.Errorf("generated bridges missing %q", want)
+		}
+	}
+	// Table lists all ecalls in order.
+	tableIdx := strings.Index(asmSrc, "g_ecall_table:")
+	tail := asmSrc[tableIdx:]
+	last := -1
+	for _, name := range []string{"sgx_ecall_hash", "sgx_ecall_play", "sgx_ecall_check", "sgx_ecall_raw", "sgx_ecall_noargs"} {
+		i := strings.Index(tail, name)
+		if i < 0 || i < last {
+			t.Errorf("table order wrong around %s", name)
+		}
+		last = i
+	}
+}
+
+func TestGenerateLimits(t *testing.T) {
+	tooMany, _ := Parse(`enclave { trusted { public void f(uint64_t a, uint64_t b, uint64_t c, uint64_t d, uint64_t e, uint64_t g, uint64_t h); }; };`)
+	if tooMany != nil {
+		if _, err := GenerateBridges(tooMany); err == nil {
+			t.Error("7 params accepted")
+		}
+	}
+	outStr, err := Parse(`enclave { untrusted { void o([out, string] char* s, uint64_t n); }; };`)
+	if err == nil {
+		if _, err := GenerateBridges(outStr); err == nil {
+			t.Error("[out,string] accepted")
+		}
+	}
+	fivePtrs, _ := Parse(`enclave { trusted { public void f([in, size=1] uint8_t* a, [in, size=1] uint8_t* b, [in, size=1] uint8_t* c, [in, size=1] uint8_t* d, [in, size=1] uint8_t* e); }; };`)
+	if fivePtrs != nil {
+		if _, err := GenerateBridges(fivePtrs); err == nil {
+			t.Error("5 marshalled pointers accepted")
+		}
+	}
+}
+
+func TestCommentsStripped(t *testing.T) {
+	iface, err := Parse(`enclave {
+		// line comment
+		trusted { /* block */ public void f(void); };
+	};`)
+	if err != nil || len(iface.Ecalls) != 1 {
+		t.Fatalf("comments broke parsing: %v", err)
+	}
+}

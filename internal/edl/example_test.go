@@ -1,0 +1,31 @@
+package edl_test
+
+import (
+	"fmt"
+
+	"sgxelide/internal/edl"
+)
+
+// ExampleParse parses an EDL interface and inspects its dispatch layout.
+func ExampleParse() {
+	iface, err := edl.Parse(`
+enclave {
+    trusted {
+        public uint64_t ecall_hash([in, size=len] uint8_t* data, uint64_t len);
+    };
+    untrusted {
+        void ocall_print([in, string] char* s);
+    };
+};`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ecalls:", len(iface.Ecalls), "ocalls:", len(iface.Ocalls))
+	p := iface.Ecalls[0].Params[0]
+	fmt.Printf("param %q: pointer=%v in=%v size=%s\n",
+		p.Name, p.IsPointer, p.Dir&edl.DirIn != 0, p.SizeParam)
+	// Output:
+	// ecalls: 1 ocalls: 1
+	// param "data": pointer=true in=true size=len
+}

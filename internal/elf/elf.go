@@ -1,0 +1,567 @@
+// Package elf implements an ELF64 writer and reader for EVM enclave shared
+// objects, built from scratch on encoding/binary.
+//
+// SgxElide's sanitizer works at the ELF level exactly as the paper
+// describes: it parses the section headers, enumerates the function symbols,
+// zeroes the bodies of functions not on the whitelist *in the file image*,
+// and ORs PF_W into the text segment's program header p_flags so the
+// restored code can be written at runtime (SGXv1 forbids changing page
+// permissions after EADD). This package therefore exposes both a structured
+// view and in-place byte patching of the underlying file.
+package elf
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sgxelide/internal/link"
+	"sgxelide/internal/obj"
+)
+
+// ELF constants (the standard values).
+const (
+	ETDyn = 3 // shared object
+
+	// EMachineEVM identifies our architecture in e_machine. The value is
+	// from the unallocated vendor space.
+	EMachineEVM = 0xEB01
+
+	PTLoad = 1
+
+	PFX = 1
+	PFW = 2
+	PFR = 4
+
+	SHTNull     = 0
+	SHTProgbits = 1
+	SHTSymtab   = 2
+	SHTStrtab   = 3
+	SHTNobits   = 8
+
+	SHFWrite     = 1
+	SHFAlloc     = 2
+	SHFExecinstr = 4
+
+	STBLocal  = 0
+	STBGlobal = 1
+
+	STTNotype = 0
+	STTObject = 1
+	STTFunc   = 2
+)
+
+const (
+	ehdrSize = 64
+	phdrSize = 56
+	shdrSize = 64
+	symSize  = 24
+	pageSize = 4096
+)
+
+var magic = [4]byte{0x7f, 'E', 'L', 'F'}
+
+// Phdr is one program header.
+type Phdr struct {
+	Type   uint32
+	Flags  uint32
+	Off    uint64
+	Vaddr  uint64
+	Filesz uint64
+	Memsz  uint64
+	Align  uint64
+
+	fileOff uint64 // offset of this phdr within the file, for patching
+}
+
+// Shdr is one section header.
+type Shdr struct {
+	Name      string
+	Type      uint32
+	Flags     uint64
+	Addr      uint64
+	Off       uint64
+	Size      uint64
+	Link      uint32
+	Info      uint32
+	Addralign uint64
+	Entsize   uint64
+}
+
+// Sym is one symbol table entry.
+type Sym struct {
+	Name       string
+	Bind       byte
+	Type       byte
+	Shndx      uint16
+	Value      uint64
+	Size       uint64
+	nameOffset uint32
+}
+
+// File is a parsed ELF file backed by its raw bytes. Mutating methods patch
+// the raw bytes in place.
+type File struct {
+	Raw      []byte
+	Entry    uint64
+	Machine  uint16
+	Phdrs    []Phdr
+	Sections []Shdr
+	Symbols  []Sym
+}
+
+// --- writing ---
+
+// Write serializes a linked image as an ELF64 shared object.
+func Write(im *link.Image) []byte {
+	type segPlan struct {
+		seg  *link.Segment
+		off  uint64
+		shdr int
+	}
+
+	// Plan layout: ehdr, phdrs, then each segment's file data placed at an
+	// offset congruent with its vaddr modulo the page size, then symtab,
+	// strtab, shstrtab, and the section header table.
+	nseg := len(im.Segments)
+	pos := uint64(ehdrSize + nseg*phdrSize)
+	plans := make([]segPlan, 0, nseg)
+	for _, seg := range im.Segments {
+		filesz := uint64(len(seg.Data))
+		if filesz > 0 {
+			if rem := (seg.Addr - pos) % pageSize; rem != 0 {
+				pos += rem
+			}
+		}
+		plans = append(plans, segPlan{seg: seg, off: pos})
+		pos += filesz
+	}
+
+	// String tables.
+	strtab := newStrtab()
+	type symPlan struct {
+		sym  link.Symbol
+		name uint32
+	}
+	// Sort: locals first (ELF requires sh_info = index of first global).
+	var locals, globals []link.Symbol
+	for _, s := range im.Symbols {
+		if s.Global {
+			globals = append(globals, s)
+		} else {
+			locals = append(locals, s)
+		}
+	}
+	ordered := append(append([]link.Symbol{}, locals...), globals...)
+	firstGlobal := 1 + len(locals)
+
+	shstrtab := newStrtab()
+	sectionNames := make([]string, 0, nseg+3)
+	for _, seg := range im.Segments {
+		sectionNames = append(sectionNames, seg.Name)
+	}
+	sectionNames = append(sectionNames, ".symtab", ".strtab", ".shstrtab")
+	for _, n := range sectionNames {
+		shstrtab.add(n)
+	}
+
+	symNames := make([]uint32, len(ordered))
+	for i, s := range ordered {
+		symNames[i] = strtab.add(s.Name)
+	}
+
+	symtabOff := pos
+	symtabSize := uint64((1 + len(ordered)) * symSize)
+	pos += symtabSize
+	strtabOff := pos
+	strtabBytes := strtab.bytes()
+	pos += uint64(len(strtabBytes))
+	shstrtabOff := pos
+	shstrtabBytes := shstrtab.bytes()
+	pos += uint64(len(shstrtabBytes))
+	shoff := (pos + 7) &^ 7
+
+	nsec := 1 + nseg + 3 // null + segments + symtab/strtab/shstrtab
+	total := shoff + uint64(nsec*shdrSize)
+	out := make([]byte, total)
+
+	// ELF header.
+	copy(out, magic[:])
+	out[4] = 2 // ELFCLASS64
+	out[5] = 1 // little endian
+	out[6] = 1 // EV_CURRENT
+	le16 := binary.LittleEndian.PutUint16
+	le32 := binary.LittleEndian.PutUint32
+	le64 := binary.LittleEndian.PutUint64
+	le16(out[16:], ETDyn)
+	le16(out[18:], EMachineEVM)
+	le32(out[20:], 1)
+	le64(out[24:], im.Entry)
+	le64(out[32:], ehdrSize)       // phoff
+	le64(out[40:], shoff)          // shoff
+	le32(out[48:], 0)              // flags
+	le16(out[52:], ehdrSize)       // ehsize
+	le16(out[54:], phdrSize)       // phentsize
+	le16(out[56:], uint16(nseg))   // phnum
+	le16(out[58:], shdrSize)       // shentsize
+	le16(out[60:], uint16(nsec))   // shnum
+	le16(out[62:], uint16(nsec-1)) // shstrndx (last)
+
+	// Program headers + segment data.
+	for i, pl := range plans {
+		base := ehdrSize + i*phdrSize
+		var flags uint32
+		if pl.seg.Perm&link.PermR != 0 {
+			flags |= PFR
+		}
+		if pl.seg.Perm&link.PermW != 0 {
+			flags |= PFW
+		}
+		if pl.seg.Perm&link.PermX != 0 {
+			flags |= PFX
+		}
+		le32(out[base:], PTLoad)
+		le32(out[base+4:], flags)
+		le64(out[base+8:], pl.off)
+		le64(out[base+16:], pl.seg.Addr) // vaddr
+		le64(out[base+24:], pl.seg.Addr) // paddr
+		le64(out[base+32:], uint64(len(pl.seg.Data)))
+		le64(out[base+40:], pl.seg.Size)
+		le64(out[base+48:], pageSize)
+		copy(out[pl.off:], pl.seg.Data)
+	}
+
+	// Symbol table (entry 0 is the null symbol).
+	for i, s := range ordered {
+		base := symtabOff + uint64((1+i)*symSize)
+		le32(out[base:], symNames[i])
+		bind := byte(STBLocal)
+		if s.Global {
+			bind = STBGlobal
+		}
+		var typ byte
+		switch s.Kind {
+		case obj.SymFunc:
+			typ = STTFunc
+		case obj.SymObject:
+			typ = STTObject
+		default:
+			typ = STTNotype
+		}
+		out[base+4] = bind<<4 | typ
+		// st_shndx: section containing the symbol.
+		shndx := uint16(0)
+		for si, pl := range plans {
+			if s.Addr >= pl.seg.Addr && s.Addr < pl.seg.Addr+pl.seg.Size {
+				shndx = uint16(1 + si)
+				break
+			}
+		}
+		le16(out[base+6:], shndx)
+		le64(out[base+8:], s.Addr)
+		le64(out[base+16:], s.Size)
+	}
+	copy(out[strtabOff:], strtabBytes)
+	copy(out[shstrtabOff:], shstrtabBytes)
+
+	// Section headers. Index 0 is the null section.
+	writeShdr := func(idx int, name string, typ uint32, flags uint64, addr, off, size uint64, lnk, info uint32, align, entsize uint64) {
+		base := shoff + uint64(idx*shdrSize)
+		le32(out[base:], shstrtab.add(name)) // already interned
+		le32(out[base+4:], typ)
+		le64(out[base+8:], flags)
+		le64(out[base+16:], addr)
+		le64(out[base+24:], off)
+		le64(out[base+32:], size)
+		le32(out[base+40:], lnk)
+		le32(out[base+44:], info)
+		le64(out[base+48:], align)
+		le64(out[base+56:], entsize)
+	}
+	for i, pl := range plans {
+		typ := uint32(SHTProgbits)
+		size := uint64(len(pl.seg.Data))
+		if len(pl.seg.Data) == 0 {
+			typ = SHTNobits
+			size = pl.seg.Size
+		}
+		var flags uint64 = SHFAlloc
+		if pl.seg.Perm&link.PermW != 0 {
+			flags |= SHFWrite
+		}
+		if pl.seg.Perm&link.PermX != 0 {
+			flags |= SHFExecinstr
+		}
+		writeShdr(1+i, pl.seg.Name, typ, flags, pl.seg.Addr, pl.off, size, 0, 0, pageSize, 0)
+	}
+	strtabIdx := uint32(1 + nseg + 1)
+	writeShdr(1+nseg, ".symtab", SHTSymtab, 0, 0, symtabOff, symtabSize, strtabIdx, uint32(firstGlobal), 8, symSize)
+	writeShdr(1+nseg+1, ".strtab", SHTStrtab, 0, 0, strtabOff, uint64(len(strtabBytes)), 0, 0, 1, 0)
+	writeShdr(1+nseg+2, ".shstrtab", SHTStrtab, 0, 0, shstrtabOff, uint64(len(shstrtabBytes)), 0, 0, 1, 0)
+
+	return out
+}
+
+// strtab is a string table builder with interning.
+type strtab struct {
+	data []byte
+	idx  map[string]uint32
+}
+
+func newStrtab() *strtab {
+	return &strtab{data: []byte{0}, idx: map[string]uint32{"": 0}}
+}
+
+func (s *strtab) add(str string) uint32 {
+	if off, ok := s.idx[str]; ok {
+		return off
+	}
+	off := uint32(len(s.data))
+	s.data = append(s.data, str...)
+	s.data = append(s.data, 0)
+	s.idx[str] = off
+	return off
+}
+
+func (s *strtab) bytes() []byte { return s.data }
+
+// --- reading ---
+
+// Read parses an ELF file. The returned File shares raw (patches through
+// the File mutate raw).
+func Read(raw []byte) (*File, error) {
+	if len(raw) < ehdrSize {
+		return nil, fmt.Errorf("elf: file too short")
+	}
+	if [4]byte{raw[0], raw[1], raw[2], raw[3]} != magic {
+		return nil, fmt.Errorf("elf: bad magic")
+	}
+	if raw[4] != 2 || raw[5] != 1 {
+		return nil, fmt.Errorf("elf: not a little-endian ELF64 file")
+	}
+	u16 := binary.LittleEndian.Uint16
+	u32 := binary.LittleEndian.Uint32
+	u64 := binary.LittleEndian.Uint64
+
+	f := &File{Raw: raw}
+	f.Machine = u16(raw[18:])
+	f.Entry = u64(raw[24:])
+	phoff := u64(raw[32:])
+	shoff := u64(raw[40:])
+	phnum := int(u16(raw[56:]))
+	shnum := int(u16(raw[60:]))
+	shstrndx := int(u16(raw[62:]))
+
+	if phoff+uint64(phnum*phdrSize) > uint64(len(raw)) {
+		return nil, fmt.Errorf("elf: program headers out of range")
+	}
+	for i := 0; i < phnum; i++ {
+		base := phoff + uint64(i*phdrSize)
+		ph := Phdr{
+			Type:    u32(raw[base:]),
+			Flags:   u32(raw[base+4:]),
+			Off:     u64(raw[base+8:]),
+			Vaddr:   u64(raw[base+16:]),
+			Filesz:  u64(raw[base+32:]),
+			Memsz:   u64(raw[base+40:]),
+			Align:   u64(raw[base+48:]),
+			fileOff: base,
+		}
+		if ph.Off+ph.Filesz > uint64(len(raw)) {
+			return nil, fmt.Errorf("elf: segment %d data out of range", i)
+		}
+		f.Phdrs = append(f.Phdrs, ph)
+	}
+
+	if shoff+uint64(shnum*shdrSize) > uint64(len(raw)) {
+		return nil, fmt.Errorf("elf: section headers out of range")
+	}
+	rawShdrs := make([][10]uint64, shnum)
+	for i := 0; i < shnum; i++ {
+		base := shoff + uint64(i*shdrSize)
+		rawShdrs[i] = [10]uint64{
+			uint64(u32(raw[base:])),
+			uint64(u32(raw[base+4:])),
+			u64(raw[base+8:]),
+			u64(raw[base+16:]),
+			u64(raw[base+24:]),
+			u64(raw[base+32:]),
+			uint64(u32(raw[base+40:])),
+			uint64(u32(raw[base+44:])),
+			u64(raw[base+48:]),
+			u64(raw[base+56:]),
+		}
+	}
+	strAt := func(tab []byte, off uint32) string {
+		if int(off) >= len(tab) {
+			return ""
+		}
+		end := int(off)
+		for end < len(tab) && tab[end] != 0 {
+			end++
+		}
+		return string(tab[int(off):end])
+	}
+	var shstr []byte
+	if shstrndx < shnum {
+		sh := rawShdrs[shstrndx]
+		if sh[4]+sh[5] <= uint64(len(raw)) {
+			shstr = raw[sh[4] : sh[4]+sh[5]]
+		}
+	}
+	for i := 0; i < shnum; i++ {
+		sh := rawShdrs[i]
+		f.Sections = append(f.Sections, Shdr{
+			Name:      strAt(shstr, uint32(sh[0])),
+			Type:      uint32(sh[1]),
+			Flags:     sh[2],
+			Addr:      sh[3],
+			Off:       sh[4],
+			Size:      sh[5],
+			Link:      uint32(sh[6]),
+			Info:      uint32(sh[7]),
+			Addralign: sh[8],
+			Entsize:   sh[9],
+		})
+	}
+
+	// Symbols.
+	for i, sec := range f.Sections {
+		if sec.Type != SHTSymtab {
+			continue
+		}
+		if sec.Off+sec.Size > uint64(len(raw)) {
+			return nil, fmt.Errorf("elf: symtab out of range")
+		}
+		var strs []byte
+		if int(sec.Link) < shnum {
+			ls := f.Sections[sec.Link]
+			if ls.Off+ls.Size <= uint64(len(raw)) {
+				strs = raw[ls.Off : ls.Off+ls.Size]
+			}
+		}
+		n := int(sec.Size / symSize)
+		for j := 1; j < n; j++ { // skip null symbol
+			base := sec.Off + uint64(j*symSize)
+			nameOff := u32(raw[base:])
+			info := raw[base+4]
+			f.Symbols = append(f.Symbols, Sym{
+				Name:       strAt(strs, nameOff),
+				Bind:       info >> 4,
+				Type:       info & 0xf,
+				Shndx:      u16(raw[base+6:]),
+				Value:      u64(raw[base+8:]),
+				Size:       u64(raw[base+16:]),
+				nameOffset: nameOff,
+			})
+		}
+		_ = i
+	}
+	return f, nil
+}
+
+// Section returns the section named name, or nil.
+func (f *File) Section(name string) *Shdr {
+	for i := range f.Sections {
+		if f.Sections[i].Name == name {
+			return &f.Sections[i]
+		}
+	}
+	return nil
+}
+
+// SectionData returns the file bytes of a progbits section (aliasing Raw).
+func (f *File) SectionData(s *Shdr) []byte {
+	if s.Type == SHTNobits {
+		return nil
+	}
+	return f.Raw[s.Off : s.Off+s.Size]
+}
+
+// FuncSymbols returns all function symbols.
+func (f *File) FuncSymbols() []Sym {
+	var out []Sym
+	for _, s := range f.Symbols {
+		if s.Type == STTFunc {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FindSymbol returns the symbol named name.
+func (f *File) FindSymbol(name string) (Sym, bool) {
+	for _, s := range f.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Sym{}, false
+}
+
+// VaddrToFileOff translates a virtual address range to a file offset within
+// a PT_LOAD segment's file-backed bytes.
+func (f *File) VaddrToFileOff(vaddr, size uint64) (uint64, error) {
+	for _, ph := range f.Phdrs {
+		if ph.Type != PTLoad {
+			continue
+		}
+		if vaddr >= ph.Vaddr && vaddr+size <= ph.Vaddr+ph.Filesz {
+			return ph.Off + (vaddr - ph.Vaddr), nil
+		}
+	}
+	return 0, fmt.Errorf("elf: vaddr %#x+%d not in any loadable segment", vaddr, size)
+}
+
+// ZeroVaddrRange zeroes size bytes at vaddr in the file image (sanitizing a
+// function body).
+func (f *File) ZeroVaddrRange(vaddr, size uint64) error {
+	off, err := f.VaddrToFileOff(vaddr, size)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < size; i++ {
+		f.Raw[off+i] = 0
+	}
+	return nil
+}
+
+// OrPhdrFlags ORs flags into program header i's p_flags, patching the file.
+func (f *File) OrPhdrFlags(i int, flags uint32) {
+	f.Phdrs[i].Flags |= flags
+	binary.LittleEndian.PutUint32(f.Raw[f.Phdrs[i].fileOff+4:], f.Phdrs[i].Flags)
+}
+
+// TextPhdrIndex returns the index of the executable PT_LOAD segment.
+func (f *File) TextPhdrIndex() (int, error) {
+	for i, ph := range f.Phdrs {
+		if ph.Type == PTLoad && ph.Flags&PFX != 0 {
+			return i, nil
+		}
+	}
+	return -1, fmt.Errorf("elf: no executable segment")
+}
+
+// Base returns the lowest PT_LOAD vaddr.
+func (f *File) Base() uint64 {
+	base := ^uint64(0)
+	for _, ph := range f.Phdrs {
+		if ph.Type == PTLoad && ph.Vaddr < base {
+			base = ph.Vaddr
+		}
+	}
+	if base == ^uint64(0) {
+		return 0
+	}
+	return base
+}
+
+// End returns the highest PT_LOAD vaddr+memsz, page aligned up.
+func (f *File) End() uint64 {
+	var end uint64
+	for _, ph := range f.Phdrs {
+		if ph.Type == PTLoad && ph.Vaddr+ph.Memsz > end {
+			end = ph.Vaddr + ph.Memsz
+		}
+	}
+	return (end + pageSize - 1) &^ (pageSize - 1)
+}

@@ -1,0 +1,222 @@
+package elf
+
+import (
+	"bytes"
+	"testing"
+
+	"sgxelide/internal/asm"
+	"sgxelide/internal/link"
+)
+
+const testProg = `
+.text
+.global entry
+.func entry
+	movi r0, 1
+	eexit 0
+.endfunc
+.global helper
+.func helper
+	movi r0, 2
+	ret
+.endfunc
+.rodata
+.global table
+table:
+	.quad 1, 2, 3
+.data
+.global counter
+counter:
+	.quad 7
+.bss
+.global scratch
+scratch:
+	.space 32
+`
+
+func buildImage(t *testing.T) *link.Image {
+	t.Helper()
+	f, err := asm.Assemble("t.s", testProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := link.Link(link.Config{Entry: "entry"}, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	im := buildImage(t)
+	raw := Write(im)
+	f, err := Read(raw)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if f.Machine != EMachineEVM {
+		t.Errorf("machine = %#x", f.Machine)
+	}
+	if f.Entry != im.Entry {
+		t.Errorf("entry = %#x, want %#x", f.Entry, im.Entry)
+	}
+	if len(f.Phdrs) != len(im.Segments) {
+		t.Fatalf("phdrs = %d, want %d", len(f.Phdrs), len(im.Segments))
+	}
+	for i, seg := range im.Segments {
+		ph := f.Phdrs[i]
+		if ph.Vaddr != seg.Addr || ph.Memsz != seg.Size || ph.Filesz != uint64(len(seg.Data)) {
+			t.Errorf("phdr %d mismatch: %+v vs seg %+v", i, ph, seg)
+		}
+		if ph.Filesz > 0 && ph.Off%pageSize != ph.Vaddr%pageSize {
+			t.Errorf("phdr %d offset %#x not congruent with vaddr %#x", i, ph.Off, ph.Vaddr)
+		}
+		if ph.Filesz > 0 && !bytes.Equal(raw[ph.Off:ph.Off+ph.Filesz], seg.Data) {
+			t.Errorf("segment %d data mismatch", i)
+		}
+	}
+	if f.Base() != im.Base {
+		t.Errorf("base = %#x, want %#x", f.Base(), im.Base)
+	}
+	if f.End() != im.End {
+		t.Errorf("end = %#x, want %#x", f.End(), im.End)
+	}
+}
+
+func TestSymbolsPreserved(t *testing.T) {
+	im := buildImage(t)
+	f, err := Read(Write(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"entry", "helper", "table", "counter", "scratch"} {
+		got, ok := f.FindSymbol(name)
+		if !ok {
+			t.Errorf("symbol %q missing", name)
+			continue
+		}
+		want, _ := im.FindSymbol(name)
+		if got.Value != want.Addr || got.Size != want.Size {
+			t.Errorf("%q: value=%#x size=%d, want %#x/%d", name, got.Value, got.Size, want.Addr, want.Size)
+		}
+	}
+	funcs := f.FuncSymbols()
+	if len(funcs) != 2 {
+		t.Errorf("func symbols = %d, want 2", len(funcs))
+	}
+	for _, s := range funcs {
+		if s.Bind != STBGlobal {
+			t.Errorf("%q bind = %d", s.Name, s.Bind)
+		}
+	}
+}
+
+func TestSectionLookup(t *testing.T) {
+	im := buildImage(t)
+	f, err := Read(Write(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".text", ".rodata", ".data", ".bss", ".symtab", ".strtab", ".shstrtab"} {
+		if f.Section(name) == nil {
+			t.Errorf("missing section %s", name)
+		}
+	}
+	if f.Section(".bss").Type != SHTNobits {
+		t.Error(".bss should be NOBITS")
+	}
+	text := f.Section(".text")
+	if text.Flags&SHFExecinstr == 0 {
+		t.Error(".text not executable")
+	}
+	if got := f.SectionData(text); len(got) == 0 {
+		t.Error("no text data")
+	}
+}
+
+func TestZeroVaddrRange(t *testing.T) {
+	im := buildImage(t)
+	f, err := Read(Write(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, _ := f.FindSymbol("helper")
+	if err := f.ZeroVaddrRange(sym.Value, sym.Size); err != nil {
+		t.Fatal(err)
+	}
+	off, err := f.VaddrToFileOff(sym.Value, sym.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < sym.Size; i++ {
+		if f.Raw[off+i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+	// Re-read the patched file: still valid, and the text section content
+	// reflects the zeroing.
+	f2, err := Read(f.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym2, _ := f2.FindSymbol("helper")
+	if sym2.Value != sym.Value {
+		t.Error("symbol moved after patch")
+	}
+}
+
+func TestOrPhdrFlags(t *testing.T) {
+	im := buildImage(t)
+	f, err := Read(Write(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti, err := f.TextPhdrIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Phdrs[ti].Flags&PFW != 0 {
+		t.Fatal("text already writable")
+	}
+	f.OrPhdrFlags(ti, PFW)
+	f2, err := Read(f.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.Phdrs[ti].Flags&PFW == 0 {
+		t.Error("PF_W not persisted in file image")
+	}
+	if f2.Phdrs[ti].Flags&(PFR|PFX) != PFR|PFX {
+		t.Error("original flags lost")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		bytes.Repeat([]byte{0}, 200),
+		append([]byte{0x7f, 'E', 'L', 'F', 1, 1, 1}, bytes.Repeat([]byte{0}, 100)...), // 32-bit class
+	}
+	for i, c := range cases {
+		if _, err := Read(c); err == nil {
+			t.Errorf("case %d: Read accepted garbage", i)
+		}
+	}
+}
+
+func TestVaddrToFileOffOutOfRange(t *testing.T) {
+	im := buildImage(t)
+	f, err := Read(Write(im))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.VaddrToFileOff(0xdeadbeef, 4); err == nil {
+		t.Error("expected error for unmapped vaddr")
+	}
+	// A bss address is mapped but not file-backed.
+	sym, _ := f.FindSymbol("scratch")
+	if _, err := f.VaddrToFileOff(sym.Value, 4); err == nil {
+		t.Error("expected error for .bss vaddr")
+	}
+}

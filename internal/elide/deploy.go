@@ -1,0 +1,135 @@
+package elide
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"fmt"
+
+	"sgxelide/internal/edl"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// BuildProtectedOptions configures the developer-side pipeline: compile the
+// enclave with the SgxElide library, sanitize it, and sign the *sanitized*
+// image (Figure 1's "Sanitized Enclave Generation").
+type BuildProtectedOptions struct {
+	Build    sdk.BuildConfig
+	Sanitize SanitizeOptions
+	AppEDL   string       // the application's own EDL (merged after elide's)
+	Sources  []sdk.Source // the application's trusted sources
+
+	// SignKey is the developer's enclave-signing key; generated (2048-bit
+	// RSA) when nil.
+	SignKey *rsa.PrivateKey
+	// Whitelist defaults to GenerateWhitelist() when nil.
+	Whitelist Whitelist
+	// ProdID/SVN go into the SIGSTRUCT.
+	ProdID, SVN uint16
+}
+
+// Protected is a built, sanitized, signed enclave plus its secrets — the
+// developer's distributables. SanitizedELF + SigStruct (+ SecretData in
+// local mode) ship to users; Meta (+ SecretData in remote mode) goes to the
+// authentication server.
+type Protected struct {
+	PlainELF     []byte // pre-sanitization image (never shipped; kept for tests)
+	SanitizedELF []byte
+	SigStruct    *sgx.SigStruct
+	Measurement  [32]byte // of the sanitized enclave
+	Meta         *SecretMeta
+	SecretData   []byte
+	Stats        SanitizeStats
+	EDL          *edl.Interface
+}
+
+// BuildProtected runs the whole developer-side pipeline. The host supplies
+// the platform used to predict the measurement (any SGX machine can do
+// this; measurement does not depend on platform secrets).
+func BuildProtected(h *sdk.Host, opts BuildProtectedOptions) (*Protected, error) {
+	iface, err := MergeEDL(opts.AppEDL)
+	if err != nil {
+		return nil, err
+	}
+	sources := append(TrustedSources(), opts.Sources...)
+	res, err := sdk.BuildEnclave(opts.Build, iface, sources...)
+	if err != nil {
+		return nil, fmt.Errorf("elide: building enclave: %w", err)
+	}
+
+	wl := opts.Whitelist
+	if wl == nil {
+		wl, err = GenerateWhitelist()
+		if err != nil {
+			return nil, err
+		}
+	}
+	san, err := Sanitize(res.ELF, wl, opts.Sanitize)
+	if err != nil {
+		return nil, err
+	}
+
+	key := opts.SignKey
+	if key == nil {
+		key, err = rsa.GenerateKey(rand.Reader, 2048)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mr, err := sdk.MeasureELF(h, san.SanitizedELF)
+	if err != nil {
+		return nil, fmt.Errorf("elide: measuring sanitized enclave: %w", err)
+	}
+	ss, err := sgx.SignEnclave(key, mr, opts.ProdID, opts.SVN)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Protected{
+		PlainELF:     res.ELF,
+		SanitizedELF: san.SanitizedELF,
+		SigStruct:    ss,
+		Measurement:  mr,
+		Meta:         san.Meta,
+		SecretData:   san.SecretData,
+		Stats:        san.Stats,
+		EDL:          iface,
+	}, nil
+}
+
+// NewServerFor builds the authentication server for this deployment,
+// pinning the given attestation CA.
+func (p *Protected) NewServerFor(ca *sgx.CA) (*Server, error) {
+	cfg := ServerConfig{
+		CAPub:             ca.PublicKey(),
+		ExpectedMrEnclave: p.Measurement,
+		Meta:              p.Meta,
+	}
+	if !p.Meta.Encrypted {
+		cfg.SecretPlain = p.SecretData
+	}
+	return NewServer(cfg)
+}
+
+// LocalFiles returns the file store a user machine would hold: the
+// encrypted secret data in local mode, nothing in remote mode.
+func (p *Protected) LocalFiles() *FileStore {
+	fs := &FileStore{}
+	if p.Meta.Encrypted {
+		fs.SecretData = append([]byte(nil), p.SecretData...)
+	}
+	return fs
+}
+
+// Launch loads the sanitized enclave on the user's machine and installs the
+// SgxElide untrusted runtime. The caller then invokes the single required
+// ecall: enclave.ECall("elide_restore", flags).
+func (p *Protected) Launch(h *sdk.Host, client Client, files *FileStore) (*sdk.Enclave, *Runtime, error) {
+	rt := &Runtime{Client: client, Files: files}
+	rt.Install(h)
+	encl, err := h.CreateEnclave(p.SanitizedELF, p.SigStruct, p.EDL)
+	if err != nil {
+		return nil, nil, err
+	}
+	return encl, rt, nil
+}

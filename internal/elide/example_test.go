@@ -1,0 +1,70 @@
+package elide_test
+
+import (
+	"fmt"
+
+	"sgxelide/internal/elide"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// Example walks the whole SgxElide lifecycle: build a protected enclave,
+// show that the secret ecall faults before restoration, restore over the
+// attested channel, and call the secret.
+func Example() {
+	// The platform ("a user's machine") and the attestation root.
+	ca, err := sgx.NewCA()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	platform, err := sgx.NewPlatform(sgx.Config{}, ca)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	host := sdk.NewHost(platform)
+
+	// Developer side: compile + sanitize + sign.
+	prot, err := elide.BuildProtected(host, elide.BuildProtectedOptions{
+		AppEDL: `enclave { trusted { public uint64_t ecall_secret(uint64_t x); }; untrusted { }; };`,
+		Sources: []sdk.Source{sdk.C("secret.c", `
+			uint64_t ecall_secret(uint64_t x) { return x * 31337; }
+		`)},
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	// User side: launch the sanitized enclave against the developer's
+	// authentication server.
+	srv, err := prot.NewServerFor(ca)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	encl, _, err := prot.Launch(host, &elide.DirectClient{Session: srv.NewSession()}, prot.LocalFiles())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	if _, err := encl.ECall("ecall_secret", 2); err != nil {
+		fmt.Println("before restore: the secret code is redacted and faults")
+	}
+	code, err := encl.ECall("elide_restore", 0)
+	if err != nil || code != elide.RestoreOKServer {
+		fmt.Println("restore failed:", code, err)
+		return
+	}
+	got, err := encl.ECall("ecall_secret", 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("after restore: ecall_secret(2) = %d\n", got)
+	// Output:
+	// before restore: the secret code is redacted and faults
+	// after restore: ecall_secret(2) = 62674
+}

@@ -1,0 +1,100 @@
+package elide
+
+import (
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/pem"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// File names used by the CLI tools (mirroring the artifact's layout).
+const (
+	FileSanitizedSO = "sanitized.so"
+	FileSecretMeta  = "enclave.secret.meta" // server only!
+	FileSecretData  = "enclave.secret.data"
+	FileMeasurement = "enclave.mrenclave"
+	FileCAPub       = "ca_pub.pem"
+	FileWhitelist   = "whitelist.json"
+)
+
+// WriteServerFiles writes everything the authentication server needs into
+// dir: the CA public key, the expected (sanitized) measurement, the secret
+// metadata, and — in remote-data mode — the plaintext secret data.
+func (p *Protected) WriteServerFiles(dir string, caPub *ecdsa.PublicKey) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	der, err := x509.MarshalPKIXPublicKey(caPub)
+	if err != nil {
+		return fmt.Errorf("elide: encoding CA key: %w", err)
+	}
+	pemBytes := pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der})
+	if err := os.WriteFile(filepath.Join(dir, FileCAPub), pemBytes, 0o644); err != nil {
+		return err
+	}
+	mr := hex.EncodeToString(p.Measurement[:]) + "\n"
+	if err := os.WriteFile(filepath.Join(dir, FileMeasurement), []byte(mr), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, FileSecretMeta), p.Meta.Marshal(), 0o600); err != nil {
+		return err
+	}
+	if !p.Meta.Encrypted {
+		if err := os.WriteFile(filepath.Join(dir, FileSecretData), p.SecretData, 0o600); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadServerConfig reads the files written by WriteServerFiles.
+func LoadServerConfig(dir string) (ServerConfig, error) {
+	var cfg ServerConfig
+	pemBytes, err := os.ReadFile(filepath.Join(dir, FileCAPub))
+	if err != nil {
+		return cfg, err
+	}
+	block, _ := pem.Decode(pemBytes)
+	if block == nil {
+		return cfg, fmt.Errorf("elide: %s is not PEM", FileCAPub)
+	}
+	pub, err := x509.ParsePKIXPublicKey(block.Bytes)
+	if err != nil {
+		return cfg, fmt.Errorf("elide: parsing CA key: %w", err)
+	}
+	ecPub, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return cfg, fmt.Errorf("elide: CA key is not ECDSA")
+	}
+	cfg.CAPub = ecPub
+
+	mrText, err := os.ReadFile(filepath.Join(dir, FileMeasurement))
+	if err != nil {
+		return cfg, err
+	}
+	mrBytes, err := hex.DecodeString(strings.TrimSpace(string(mrText)))
+	if err != nil || len(mrBytes) != 32 {
+		return cfg, fmt.Errorf("elide: bad measurement file")
+	}
+	copy(cfg.ExpectedMrEnclave[:], mrBytes)
+
+	metaBytes, err := os.ReadFile(filepath.Join(dir, FileSecretMeta))
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Meta, err = UnmarshalMeta(metaBytes)
+	if err != nil {
+		return cfg, err
+	}
+	if !cfg.Meta.Encrypted {
+		cfg.SecretPlain, err = os.ReadFile(filepath.Join(dir, FileSecretData))
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
+}

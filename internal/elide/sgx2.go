@@ -1,0 +1,37 @@
+package elide
+
+import (
+	"fmt"
+
+	"sgxelide/internal/elf"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// RevokeTextWrite implements the mitigation the paper discusses in §7: the
+// sanitizer must leave the text segment writable for the enclave's lifetime
+// on SGXv1, which means a write-what-where bug could patch enclave code.
+// On SGXv2 platforms, EMODPR can *restrict* page permissions after EINIT,
+// so once elide_restore has run the text pages can go back to R+X.
+//
+// It walks the text segment of the sanitized image and EMODPRs every page
+// to R|X. Returns an error on SGXv1 platforms (where no such mechanism
+// exists — exactly the paper's situation).
+func RevokeTextWrite(e *sdk.Enclave, sanitizedELF []byte) error {
+	f, err := elf.Read(sanitizedELF)
+	if err != nil {
+		return err
+	}
+	ti, err := f.TextPhdrIndex()
+	if err != nil {
+		return err
+	}
+	ph := f.Phdrs[ti]
+	platform := e.Host.Platform
+	for va := ph.Vaddr; va < ph.Vaddr+ph.Memsz; va += sgx.PageSize {
+		if err := platform.EModPR(e.Encl, va, sgx.PermR|sgx.PermX); err != nil {
+			return fmt.Errorf("elide: revoking W on %#x: %w", va, err)
+		}
+	}
+	return nil
+}

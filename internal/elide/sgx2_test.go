@@ -1,0 +1,123 @@
+package elide
+
+import (
+	"strings"
+	"testing"
+
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// TestSGXv1TextStaysWritable demonstrates the security tradeoff the paper
+// accepts on SGXv1: after restoration the text pages remain writable for
+// the enclave's lifetime, so enclave code (e.g. via a write-what-where bug)
+// could patch itself.
+func TestSGXv1TextStaysWritable(t *testing.T) {
+	encl, rt, _ := launchWithServer(t, SanitizeOptions{})
+	if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
+		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+	}
+	textBase := encl.Encl.Base // text is the first segment
+	perm, ok := encl.Encl.PagePerm(textBase)
+	if !ok {
+		t.Fatal("no text page")
+	}
+	if perm&sgx.PermW == 0 {
+		t.Fatalf("text perm = %v, expected writable on SGXv1", perm)
+	}
+	// Revoking is not possible without a valid image (and, below in the
+	// SGX2 test, not possible at all on SGXv1 hardware).
+	if err := RevokeTextWrite(encl, nil); err == nil {
+		t.Fatal("RevokeTextWrite(nil image) should fail")
+	}
+}
+
+// TestSGX2RevokeTextWrite exercises the §7 mitigation end to end on an
+// SGX2-capable platform: restore, revoke W, verify the enclave still runs
+// and that writes to text now fault.
+func TestSGX2RevokeTextWrite(t *testing.T) {
+	ca, err := sgx.NewCA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := sgx.NewPlatform(sgx.Config{SGX2: true}, ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sdk.NewHost(platform)
+	p := buildApp(t, h, SanitizeOptions{})
+	srv, err := p.NewServerFor(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, rt, err := p.Launch(h, &DirectClient{Session: srv.NewSession()}, p.LocalFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
+		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+	}
+
+	if err := RevokeTextWrite(encl, p.SanitizedELF); err != nil {
+		t.Fatalf("revoke: %v", err)
+	}
+	perm, _ := encl.Encl.PagePerm(encl.Encl.Base)
+	if perm != sgx.PermR|sgx.PermX {
+		t.Fatalf("text perm after revoke = %v", perm)
+	}
+
+	// The restored code still runs (execution needs X, not W)...
+	got, err := encl.ECall("ecall_compute", 11)
+	if err != nil || got != secretTransformGo(11) {
+		t.Fatalf("compute after revoke: %v %v", got, err)
+	}
+	// ...but writes to text now fault: a fresh enclave on the same
+	// platform that revokes W *before* restoring cannot restore.
+	encl2, _, err := p.Launch(h, &DirectClient{Session: srv.NewSession()}, p.LocalFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RevokeTextWrite(encl2, p.SanitizedELF); err != nil {
+		t.Fatal(err)
+	}
+	_, err = encl2.ECall("elide_restore", 0)
+	if err == nil || !strings.Contains(err.Error(), "write permission") {
+		t.Fatalf("restore after early revoke: %v, want write fault", err)
+	}
+}
+
+// TestTransparentAutoRestore exercises the paper's "totally transparent"
+// future-work mode: no explicit elide_restore call anywhere — the first
+// ecall triggers restoration inside the enclave entry path.
+func TestTransparentAutoRestore(t *testing.T) {
+	encl, rt, _ := launchWithServer(t, SanitizeOptions{AutoRestore: true})
+	// Call the secret ecall directly: instead of faulting on zeroed code,
+	// the entry hook restores first.
+	got, err := encl.ECall("ecall_compute", 9)
+	if err != nil {
+		t.Fatalf("transparent first ecall: %v (runtime: %v)", err, rt.LastErr)
+	}
+	if got != secretTransformGo(9) {
+		t.Fatalf("got %#x, want %#x", got, secretTransformGo(9))
+	}
+	// Subsequent calls skip the restore fast-path.
+	if got, err := encl.ECall("ecall_double_secret", 3); err != nil || got != secretTransformGo(3)^0xABCDEF {
+		t.Fatalf("second ecall: %v %v", got, err)
+	}
+}
+
+// TestTransparentAutoRestoreServerDown: in transparent mode a dead server
+// makes the first ecall fail with an enclave abort (the entry hook cannot
+// restore) rather than executing zeroed code.
+func TestTransparentAutoRestoreServerDown(t *testing.T) {
+	_, h := env(t)
+	p := buildApp(t, h, SanitizeOptions{AutoRestore: true})
+	encl, _, err := p.Launch(h, deadClient{}, p.LocalFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = encl.ECall("ecall_compute", 1)
+	if err == nil || !strings.Contains(err.Error(), "abort") {
+		t.Fatalf("err = %v, want enclave abort", err)
+	}
+}

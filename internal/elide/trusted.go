@@ -1,0 +1,247 @@
+package elide
+
+import (
+	"sgxelide/internal/edl"
+	"sgxelide/internal/sdk"
+)
+
+// EDLSource declares the SgxElide runtime interface: one public ecall
+// (elide_restore) and the untrusted helpers it needs — exactly the API
+// surface the paper describes (§3.4), plus the QE target-info lookup that
+// real SGX obtains from the untrusted sgx_init_quote.
+const EDLSource = `
+enclave {
+    trusted {
+        public uint64_t elide_restore(uint64_t flags);
+    };
+    untrusted {
+        uint64_t elide_server_request(uint64_t req, [in, size=inlen] uint8_t* inbuf, uint64_t inlen, [out, size=cap] uint8_t* outbuf, uint64_t cap);
+        uint64_t elide_read_file(uint64_t which, [out, size=cap] uint8_t* buf, uint64_t cap);
+        uint64_t elide_write_file([in, size=len] uint8_t* buf, uint64_t len);
+        void elide_qe_target([out, size=32] uint8_t* ti);
+    };
+};
+`
+
+// TrustedC is the SgxElide trusted library (libelide_t): the runtime
+// restorer. It performs remote attestation with the developer's server,
+// fetches the secret metadata and data over the AES-GCM channel (or reads
+// and decrypts the local encrypted file), locates the text section
+// position-independently from its own address, and copies the original
+// bytes over the sanitized ones. It also implements the sealing extension
+// (paper §7): after the first restore the secret can be sealed with the
+// enclave's EGETKEY-derived key so later launches need no server at all.
+const TrustedC = `
+/* SgxElide trusted runtime (libelide_t) */
+
+int sgx_read_rand(uint8_t* buf, uint64_t len);
+int sgx_sha256_msg(uint8_t* src, uint64_t len, uint8_t* hash);
+int sgx_create_report(uint8_t* target, uint8_t* data, uint8_t* report);
+int sgx_get_seal_key(uint64_t policy, uint8_t* key);
+int sgx_ecdh_keypair(uint8_t* priv, uint8_t* pub);
+int sgx_ecdh_shared(uint8_t* priv, uint8_t* peer, uint8_t* key);
+int sgx_rijndael128GCM_encrypt(uint8_t* key, uint8_t* src, uint64_t len, uint8_t* dst, uint8_t* iv, uint8_t* mac);
+int sgx_rijndael128GCM_decrypt(uint8_t* key, uint8_t* src, uint64_t len, uint8_t* dst, uint8_t* iv, uint8_t* mac);
+void* memcpy(void* d, void* s, uint64_t n);
+void* malloc(uint64_t n);
+
+uint64_t elide_server_request(uint64_t req, uint8_t* inbuf, uint64_t inlen, uint8_t* outbuf, uint64_t cap);
+uint64_t elide_read_file(uint64_t which, uint8_t* buf, uint64_t cap);
+uint64_t elide_write_file(uint8_t* buf, uint64_t len);
+void elide_qe_target(uint8_t* ti);
+uint64_t elide_self_addr(void);
+
+uint8_t elide_channel_key[16];
+uint64_t elide_restored;
+
+/* elide_channel_setup attests to the server and derives the channel key:
+ * a fresh ECDH keypair is bound into the report data (sha256 of the public
+ * key), the report is quoted by the QE (via the untrusted runtime), and the
+ * server replies with its own public key only if the quote checks out. */
+uint64_t elide_channel_setup(void) {
+    uint8_t priv[32];
+    uint8_t pub[32];
+    uint8_t ti[32];
+    uint8_t rdata[64];
+    uint8_t msg[232];
+    uint8_t spub[32];
+    uint64_t n;
+    if (sgx_ecdh_keypair(priv, pub)) return 101;
+    elide_qe_target(ti);
+    for (int i = 0; i < 64; i++) rdata[i] = 0;
+    sgx_sha256_msg(pub, 32, rdata);
+    if (sgx_create_report(ti, rdata, msg)) return 102;
+    memcpy(msg + 200, pub, 32);
+    n = elide_server_request(0, msg, 232, spub, 32);
+    if (n != 32) return 103;
+    if (sgx_ecdh_shared(priv, spub, elide_channel_key)) return 104;
+    return 0;
+}
+
+/* elide_channel_request sends one encrypted request byte (REQUEST_META or
+ * REQUEST_DATA) and decrypts the reply into out, returning the plaintext
+ * length (0 on failure). Wire framing: iv(12) || mac(16) || ciphertext. */
+uint64_t elide_channel_request(uint64_t req, uint8_t* out, uint64_t cap) {
+    uint8_t msg[32];
+    uint8_t pt[1];
+    uint64_t n;
+    pt[0] = (uint8_t)req;
+    sgx_read_rand(msg, 12);
+    if (sgx_rijndael128GCM_encrypt(elide_channel_key, pt, 1, msg + 28, msg, msg + 12)) return 0;
+    n = elide_server_request(1, msg, 29, out, cap);
+    if (n <= 28) return 0;
+    if (n > cap) return 0;
+    if (sgx_rijndael128GCM_decrypt(elide_channel_key, out + 28, n - 28, out, out, out + 12)) return 0;
+    return n - 28;
+}
+
+/* elide_apply writes the original bytes over the sanitized text. The text
+ * base is computed position-independently: the metadata carries the offset
+ * of elide_restore from the text start, and elide_self_addr() returns its
+ * runtime address. */
+void elide_apply(uint8_t* data, uint64_t dlen, uint64_t off, uint64_t format) {
+    uint64_t text = elide_self_addr() - off;
+    if (format == 0) {
+        memcpy((uint8_t*)text, data, dlen);
+        return;
+    }
+    uint64_t count;
+    uint8_t* p = data + 8;
+    memcpy(&count, data, 8);
+    for (uint64_t i = 0; i < count; i++) {
+        uint64_t roff;
+        uint64_t rlen;
+        memcpy(&roff, p, 8);
+        memcpy(&rlen, p + 8, 8);
+        memcpy((uint8_t*)(text + roff), p + 16, rlen);
+        p = p + 16 + rlen;
+    }
+}
+
+/* Sealed blob layout: dlen u64 | off u64 | format u64 | iv12 | mac16 | ct. */
+
+uint64_t elide_try_sealed(void) {
+    uint8_t hdr[24];
+    uint8_t key[16];
+    uint64_t n;
+    uint64_t dlen;
+    uint64_t off;
+    uint64_t format;
+    n = elide_read_file(1, hdr, 24);
+    if (n < 24) return 1;
+    memcpy(&dlen, hdr, 8);
+    memcpy(&off, hdr + 8, 8);
+    memcpy(&format, hdr + 16, 8);
+    uint64_t total = 24 + 28 + dlen;
+    uint8_t* blob = malloc(total);
+    n = elide_read_file(1, blob, total);
+    if (n != total) return 1;
+    if (sgx_get_seal_key(0, key)) return 1;
+    uint8_t* plain = malloc(dlen);
+    if (sgx_rijndael128GCM_decrypt(key, blob + 52, dlen, plain, blob + 24, blob + 36)) return 1;
+    elide_apply(plain, dlen, off, format);
+    return 0;
+}
+
+void elide_seal(uint8_t* data, uint64_t dlen, uint64_t off, uint64_t format) {
+    uint8_t key[16];
+    uint64_t total = 24 + 28 + dlen;
+    uint8_t* blob = malloc(total);
+    memcpy(blob, &dlen, 8);
+    memcpy(blob + 8, &off, 8);
+    memcpy(blob + 16, &format, 8);
+    if (sgx_get_seal_key(0, key)) return;
+    sgx_read_rand(blob + 24, 12);
+    if (sgx_rijndael128GCM_encrypt(key, data, dlen, blob + 52, blob + 24, blob + 36)) return;
+    elide_write_file(blob, total);
+}
+
+/* elide_restore is the single ecall a developer adds (paper §3.4).
+ * Returns 0 (restored via server), 1 (restored from sealed file), or an
+ * error code >= 100. */
+uint64_t elide_restore(uint64_t flags) {
+    uint8_t mbuf[96];
+    uint64_t n;
+    uint64_t dlen;
+    uint64_t off;
+    uint64_t format;
+    uint8_t* data;
+    uint64_t r;
+    if (elide_restored) return 0;
+    if (flags & 1) {
+        if (elide_try_sealed() == 0) {
+            elide_restored = 1;
+            return 1;
+        }
+    }
+    r = elide_channel_setup();
+    if (r) return r;
+    n = elide_channel_request(1, mbuf, 96);
+    if (n != 61) return 105;
+    memcpy(&dlen, mbuf, 8);
+    memcpy(&off, mbuf + 8, 8);
+    format = (mbuf[16] >> 1) & 1;
+    data = malloc(dlen);
+    if (mbuf[16] & 1) {
+        /* Local data: read the encrypted file, decrypt with the key the
+         * server released over the attested channel. */
+        n = elide_read_file(0, data, dlen);
+        if (n != dlen) return 106;
+        if (sgx_rijndael128GCM_decrypt(mbuf + 17, data, dlen, data, mbuf + 33, mbuf + 45)) return 107;
+    } else {
+        /* Remote data: fetch the secret bytes over the channel. */
+        uint8_t* edata = malloc(dlen + 28);
+        n = elide_channel_request(2, edata, dlen + 28);
+        if (n != dlen) return 108;
+        memcpy(data, edata, dlen);
+    }
+    elide_apply(data, dlen, off, format);
+    elide_restored = 1;
+    if (flags & 2) elide_seal(data, dlen, off, format);
+    return 0;
+}
+`
+
+// TrustedAsm holds the hand-written helper: the position-independent
+// address of elide_restore (C has no function pointers in our subset, and
+// this mirrors the paper's PIC trick of subtracting the metadata offset
+// from elide_restore's runtime address).
+const TrustedAsm = `
+.text
+.global elide_self_addr
+.func elide_self_addr
+	la rv, elide_restore
+	ret
+.endfunc
+`
+
+// TrustedSources returns the SgxElide trusted-side sources to link into an
+// enclave build.
+func TrustedSources() []sdk.Source {
+	return []sdk.Source{
+		sdk.C("elide_trusted.c", TrustedC),
+		sdk.Asm("elide_helpers.s", TrustedAsm),
+	}
+}
+
+// ParseEDL returns the parsed SgxElide interface.
+func ParseEDL() (*edl.Interface, error) {
+	return edl.Parse(EDLSource)
+}
+
+// MergeEDL combines the SgxElide interface with an application's own EDL
+// source; the elide ecall keeps index 0.
+func MergeEDL(appEDL string) (*edl.Interface, error) {
+	base, err := ParseEDL()
+	if err != nil {
+		return nil, err
+	}
+	if appEDL == "" {
+		return base, nil
+	}
+	app, err := edl.Parse(appEDL)
+	if err != nil {
+		return nil, err
+	}
+	return base.Merge(app)
+}

@@ -1,0 +1,86 @@
+package elide
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"sgxelide/internal/elf"
+	"sgxelide/internal/sdk"
+)
+
+// Whitelist is the set of function names that must not be sanitized: the
+// functions of the dummy enclave (SgxElide runtime + SDK libraries). It is
+// identical for every protected application, so it is generated once and
+// reused (paper §4.1).
+type Whitelist map[string]bool
+
+// Contains reports whether name is whitelisted.
+func (w Whitelist) Contains(name string) bool { return w[name] }
+
+// Names returns the whitelist sorted.
+func (w Whitelist) Names() []string {
+	out := make([]string, 0, len(w))
+	for n := range w {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarshalJSON serializes the whitelist as a sorted name array
+// (whitelist.json, as in the artifact).
+func (w Whitelist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(w.Names())
+}
+
+// UnmarshalJSON parses the name-array form.
+func (w *Whitelist) UnmarshalJSON(b []byte) error {
+	var names []string
+	if err := json.Unmarshal(b, &names); err != nil {
+		return err
+	}
+	*w = make(Whitelist, len(names))
+	for _, n := range names {
+		(*w)[n] = true
+	}
+	return nil
+}
+
+// BuildDummyEnclave builds the dummy enclave: only the SgxElide runtime and
+// the SDK libraries it requires, with no user code. Normal users never
+// touch it — it exists to define the whitelist.
+func BuildDummyEnclave(cfg sdk.BuildConfig) (*sdk.BuildResult, error) {
+	iface, err := ParseEDL()
+	if err != nil {
+		return nil, err
+	}
+	return sdk.BuildEnclave(cfg, iface, TrustedSources()...)
+}
+
+// GenerateWhitelist builds the dummy enclave and extracts its function
+// symbols.
+func GenerateWhitelist() (Whitelist, error) {
+	res, err := BuildDummyEnclave(sdk.BuildConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("elide: building dummy enclave: %w", err)
+	}
+	return WhitelistFromELF(res.ELF)
+}
+
+// WhitelistFromELF extracts the function-symbol whitelist from an enclave
+// image (normally dummy.so).
+func WhitelistFromELF(elfBytes []byte) (Whitelist, error) {
+	f, err := elf.Read(elfBytes)
+	if err != nil {
+		return nil, err
+	}
+	w := make(Whitelist)
+	for _, s := range f.FuncSymbols() {
+		w[s.Name] = true
+	}
+	if len(w) == 0 {
+		return nil, fmt.Errorf("elide: no function symbols in dummy enclave")
+	}
+	return w, nil
+}

@@ -1,0 +1,69 @@
+package evm
+
+import "testing"
+
+// BenchmarkInterpreterThroughput measures raw VM speed on a tight loop —
+// the "CPU frequency" of the simulated platform, for putting the
+// EXPERIMENTS.md absolute numbers in context.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	// loop: addi r1, r1, 1; bne r1, r2, loop; halt
+	addi := Inst{Op: ADDI, Rd: 1, Ra: 1, Imm: 1}
+	bne := Inst{Op: BNE, Rd: 1, Ra: 2, Imm: -int64(addi.Len() + 7)}
+	prog := asmProg(addi, bne, Inst{Op: HALT})
+
+	mem := NewFlatMem(0x1000, 4096)
+	mem.WriteBytes(0x1000, prog)
+	m := New(mem)
+	const iters = 1_000_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PC = 0x1000
+		m.Reg[1] = 0
+		m.Reg[2] = iters
+		m.SetSP(0x1000 + 4096)
+		stop := m.Run()
+		if stop.Reason != StopHalt {
+			b.Fatal(stop)
+		}
+	}
+	b.ReportMetric(float64(iters*2)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minst/s")
+}
+
+// BenchmarkMemoryOps measures load/store-heavy code (the restore memcpy's
+// profile).
+func BenchmarkMemoryOps(b *testing.B) {
+	// copy loop: ld64 r3,[r1]; st64 [r2],r3; addi r1,8; addi r2,8; addi r4,-8; bne r4,r0,loop
+	insts := []Inst{
+		{Op: LD64, Rd: 3, Ra: 1, Imm: 0},
+		{Op: ST64, Rd: 3, Ra: 2, Imm: 0},
+		{Op: ADDI, Rd: 1, Ra: 1, Imm: 8},
+		{Op: ADDI, Rd: 2, Ra: 2, Imm: 8},
+		{Op: ADDI, Rd: 4, Ra: 4, Imm: -8},
+	}
+	total := 0
+	for _, in := range insts {
+		total += in.Len()
+	}
+	loop := append([]Inst{}, insts...)
+	loop = append(loop, Inst{Op: BNE, Rd: 4, Ra: 0, Imm: -int64(total + 7)})
+	loop = append(loop, Inst{Op: HALT})
+	prog := asmProg(loop...)
+
+	const n = 64 << 10
+	mem := NewFlatMem(0x1000, 4096+2*n+4096)
+	mem.WriteBytes(0x1000, prog)
+	m := New(mem)
+	b.SetBytes(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PC = 0x1000
+		m.Reg[1] = 0x2000
+		m.Reg[2] = 0x2000 + n
+		m.Reg[4] = n
+		m.Reg[0] = 0
+		stop := m.Run()
+		if stop.Reason != StopHalt {
+			b.Fatal(stop)
+		}
+	}
+}

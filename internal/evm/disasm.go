@@ -1,0 +1,99 @@
+package evm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DisasmLine is one line of disassembly.
+type DisasmLine struct {
+	Addr  uint64
+	Bytes []byte
+	Inst  Inst
+	Bad   bool   // bytes did not decode (illegal/truncated)
+	Text  string // rendered assembly text
+}
+
+// Disassembler renders EVM code with optional symbolization. It is the tool
+// an attacker (or cmd/evm-objdump) uses to inspect an enclave image before
+// it is initialized — the capability SgxElide exists to defeat.
+type Disassembler struct {
+	// Symbols maps addresses to names for labeling and for resolving
+	// call/branch targets.
+	Symbols map[uint64]string
+}
+
+// Disasm decodes code residing at base, producing one line per instruction.
+// Undecodable bytes are consumed one byte at a time and marked Bad.
+func (d *Disassembler) Disasm(base uint64, code []byte) []DisasmLine {
+	var lines []DisasmLine
+	for off := 0; off < len(code); {
+		addr := base + uint64(off)
+		in, n, err := Decode(code[off:])
+		line := DisasmLine{Addr: addr, Bytes: append([]byte(nil), code[off:off+n]...), Inst: in}
+		if err != nil {
+			line.Bad = true
+			line.Text = fmt.Sprintf(".byte %#02x", code[off])
+			n = 1
+		} else {
+			line.Text = d.render(addr, in)
+		}
+		lines = append(lines, line)
+		off += n
+	}
+	return lines
+}
+
+// render pretty-prints in, resolving pc-relative targets through Symbols.
+func (d *Disassembler) render(addr uint64, in Inst) string {
+	next := addr + uint64(in.Len())
+	target := func(imm int64) string {
+		t := next + uint64(imm)
+		if name, ok := d.Symbols[t]; ok {
+			return fmt.Sprintf("%#x <%s>", t, name)
+		}
+		return fmt.Sprintf("%#x", t)
+	}
+	switch in.Op {
+	case JMP, CALL:
+		return fmt.Sprintf("%s %s", in.Op, target(in.Imm))
+	case BEQ, BNE, BLT, BLTU, BGE, BGEU:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, RegName(in.Rd), RegName(in.Ra), target(in.Imm))
+	case LEA:
+		return fmt.Sprintf("%s %s, %s", in.Op, RegName(in.Rd), target(in.Imm))
+	case MOVI:
+		if name, ok := d.Symbols[in.U64]; ok {
+			return fmt.Sprintf("%s %s, %#x <%s>", in.Op, RegName(in.Rd), in.U64, name)
+		}
+		return in.String()
+	default:
+		return in.String()
+	}
+}
+
+// Format renders the disassembly as objdump-style text, inserting symbol
+// labels at their addresses.
+func (d *Disassembler) Format(base uint64, code []byte) string {
+	lines := d.Disasm(base, code)
+	var sb strings.Builder
+
+	// Sort label addresses for stable interleaving.
+	var labelAddrs []uint64
+	for a := range d.Symbols {
+		labelAddrs = append(labelAddrs, a)
+	}
+	sort.Slice(labelAddrs, func(i, j int) bool { return labelAddrs[i] < labelAddrs[j] })
+	li := 0
+
+	for _, ln := range lines {
+		for li < len(labelAddrs) && labelAddrs[li] <= ln.Addr {
+			if labelAddrs[li] == ln.Addr {
+				fmt.Fprintf(&sb, "\n%016x <%s>:\n", ln.Addr, d.Symbols[labelAddrs[li]])
+			}
+			li++
+		}
+		fmt.Fprintf(&sb, "%8x:\t% -24x\t%s\n", ln.Addr, ln.Bytes, ln.Text)
+	}
+	return sb.String()
+}

@@ -1,0 +1,613 @@
+package evm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// asmProg encodes a sequence of instructions into a byte slice.
+func asmProg(insts ...Inst) []byte {
+	var buf []byte
+	for _, in := range insts {
+		buf = in.Encode(buf)
+	}
+	return buf
+}
+
+// runProg loads prog at base 0x1000 in a 64 KiB flat memory, points SP at the
+// top, runs to completion, and returns the VM and stop condition.
+func runProg(t *testing.T, prog []byte) (*VM, Stop) {
+	t.Helper()
+	mem := NewFlatMem(0x1000, 64<<10)
+	if !mem.WriteBytes(0x1000, prog) {
+		t.Fatal("program too large")
+	}
+	m := New(mem)
+	m.PC = 0x1000
+	m.SetSP(0x1000 + 64<<10)
+	m.MaxSteps = 1 << 20
+	return m, m.Run()
+}
+
+func wantHalt(t *testing.T, stop Stop) {
+	t.Helper()
+	if stop.Reason != StopHalt {
+		t.Fatalf("stop = %v, want halt", stop)
+	}
+}
+
+func TestMoviHalt(t *testing.T) {
+	m, stop := runProg(t, asmProg(
+		Inst{Op: MOVI, Rd: 3, U64: 0xdeadbeefcafef00d},
+		Inst{Op: HALT},
+	))
+	wantHalt(t, stop)
+	if m.Reg[3] != 0xdeadbeefcafef00d {
+		t.Errorf("r3 = %#x", m.Reg[3])
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	tests := []struct {
+		name string
+		op   Opcode
+		a, b uint64
+		want uint64
+	}{
+		{"add", ADD, 7, 9, 16},
+		{"add-wrap", ADD, ^uint64(0), 1, 0},
+		{"sub", SUB, 5, 9, ^uint64(3)},
+		{"mul", MUL, 1000003, 999999937, 1000003 * 999999937},
+		{"mul-wrap", MUL, 1 << 40, 1 << 30, 0}, // 2^70 mod 2^64 = 0
+		{"divu", DIVU, 100, 7, 14},
+		{"divs", DIVS, negU(100), 7, negU(14)}, // -100/7 = -14 trunc
+		{"divs-minint", DIVS, 1 << 63, ^uint64(0), 1 << 63},
+		{"remu", REMU, 100, 7, 2},
+		{"rems", REMS, negU(100), 7, negU(2)},
+		{"rems-minint", REMS, 1 << 63, ^uint64(0), 0},
+		{"and", AND, 0xf0f0, 0xff00, 0xf000},
+		{"or", OR, 0xf0f0, 0x0f00, 0xfff0},
+		{"xor", XOR, 0xf0f0, 0xffff, 0x0f0f},
+		{"shl", SHL, 1, 63, 1 << 63},
+		{"shl-mod64", SHL, 1, 64, 1}, // count mod 64
+		{"shru", SHRU, 1 << 63, 63, 1},
+		{"shrs", SHRS, 1 << 63, 63, ^uint64(0)},
+		{"slt-true", SLT, ^uint64(0), 0, 1},  // -1 < 0
+		{"slt-false", SLT, 0, ^uint64(0), 0}, // !(0 < -1)
+		{"sltu-true", SLTU, 0, ^uint64(0), 1},
+		{"sltu-false", SLTU, ^uint64(0), 0, 0},
+		{"seq-eq", SEQ, 42, 42, 1},
+		{"seq-ne", SEQ, 42, 43, 0},
+		{"sne-ne", SNE, 42, 43, 1},
+		{"sne-eq", SNE, 42, 42, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			m, stop := runProg(t, asmProg(
+				Inst{Op: MOVI, Rd: 1, U64: tt.a},
+				Inst{Op: MOVI, Rd: 2, U64: tt.b},
+				Inst{Op: tt.op, Rd: 0, Ra: 1, Rb: 2},
+				Inst{Op: HALT},
+			))
+			wantHalt(t, stop)
+			if m.Reg[0] != tt.want {
+				t.Errorf("%s(%#x, %#x) = %#x, want %#x", tt.op, tt.a, tt.b, m.Reg[0], tt.want)
+			}
+		})
+	}
+}
+
+func TestALUImmediates(t *testing.T) {
+	tests := []struct {
+		op   Opcode
+		a    uint64
+		imm  int64
+		want uint64
+	}{
+		{ADDI, 10, -3, 7},
+		{ADDI, 10, 3, 13},
+		{MULI, 10, -2, negU(20)},
+		{ANDI, 0xffff, 0xff, 0xff},
+		{ANDI, 0xffffffffffffffff, -1, 0xffffffffffffffff}, // imm sign-extends
+		{ORI, 0xf0, 0x0f, 0xff},
+		{XORI, 0xff, 0x0f, 0xf0},
+		{SHLI, 3, 4, 48},
+		{SHRUI, 1 << 40, 40, 1},
+		{SHRSI, 1 << 63, 60, 0xfffffffffffffff8},
+		{SLTI, 5, 6, 1},
+		{SLTUI, 5, 4, 0},
+	}
+	for _, tt := range tests {
+		m, stop := runProg(t, asmProg(
+			Inst{Op: MOVI, Rd: 1, U64: tt.a},
+			Inst{Op: tt.op, Rd: 0, Ra: 1, Imm: tt.imm},
+			Inst{Op: HALT},
+		))
+		wantHalt(t, stop)
+		if m.Reg[0] != tt.want {
+			t.Errorf("%s(%#x, %d) = %#x, want %#x", tt.op, tt.a, tt.imm, m.Reg[0], tt.want)
+		}
+	}
+}
+
+func TestExtendOps(t *testing.T) {
+	tests := []struct {
+		op   Opcode
+		w    byte
+		v    uint64
+		want uint64
+	}{
+		{SEXT, 1, 0x80, 0xffffffffffffff80},
+		{SEXT, 1, 0x7f, 0x7f},
+		{SEXT, 2, 0x8000, 0xffffffffffff8000},
+		{SEXT, 4, 0x80000000, 0xffffffff80000000},
+		{ZEXT, 1, 0xfff, 0xff},
+		{ZEXT, 2, 0xfffff, 0xffff},
+		{ZEXT, 4, 0xffffffffff, 0xffffffff},
+	}
+	for _, tt := range tests {
+		m, stop := runProg(t, asmProg(
+			Inst{Op: MOVI, Rd: 1, U64: tt.v},
+			Inst{Op: tt.op, Rd: 0, Ra: 1, W: tt.w},
+			Inst{Op: HALT},
+		))
+		wantHalt(t, stop)
+		if m.Reg[0] != tt.want {
+			t.Errorf("%s w=%d (%#x) = %#x, want %#x", tt.op, tt.w, tt.v, m.Reg[0], tt.want)
+		}
+	}
+}
+
+func TestNotNeg(t *testing.T) {
+	m, stop := runProg(t, asmProg(
+		Inst{Op: MOVI, Rd: 1, U64: 5},
+		Inst{Op: NOT, Rd: 2, Ra: 1},
+		Inst{Op: NEG, Rd: 3, Ra: 1},
+		Inst{Op: HALT},
+	))
+	wantHalt(t, stop)
+	if m.Reg[2] != ^uint64(5) || m.Reg[3] != negU(5) {
+		t.Errorf("not=%#x neg=%#x", m.Reg[2], m.Reg[3])
+	}
+}
+
+func TestBranchTakenAndNot(t *testing.T) {
+	// r0 = 1 if branch taken path works, skipping the r0=99 assignment.
+	haltAt := Inst{Op: HALT}
+	skip := Inst{Op: MOVI, Rd: 0, U64: 99} // 10 bytes
+	prog := asmProg(
+		Inst{Op: MOVI, Rd: 1, U64: 4},
+		Inst{Op: MOVI, Rd: 2, U64: 4},
+		Inst{Op: BEQ, Rd: 1, Ra: 2, Imm: int64(skip.Len())}, // skip next
+		skip,
+		Inst{Op: MOVI, Rd: 3, U64: 1},
+		haltAt,
+	)
+	m, stop := runProg(t, prog)
+	wantHalt(t, stop)
+	if m.Reg[0] == 99 || m.Reg[3] != 1 {
+		t.Errorf("branch not taken correctly: r0=%d r3=%d", m.Reg[0], m.Reg[3])
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	tests := []struct {
+		op    Opcode
+		a, b  uint64
+		taken bool
+	}{
+		{BEQ, 1, 1, true},
+		{BEQ, 1, 2, false},
+		{BNE, 1, 2, true},
+		{BNE, 2, 2, false},
+		{BLT, ^uint64(0), 0, true}, // -1 < 0 signed
+		{BLT, 0, ^uint64(0), false},
+		{BLTU, 0, ^uint64(0), true},
+		{BLTU, ^uint64(0), 0, false},
+		{BGE, 0, ^uint64(0), true},
+		{BGE, ^uint64(0), 0, false},
+		{BGEU, ^uint64(0), 0, true},
+		{BGEU, 0, ^uint64(0), false},
+	}
+	for _, tt := range tests {
+		skip := Inst{Op: MOVI, Rd: 0, U64: 1}
+		prog := asmProg(
+			Inst{Op: MOVI, Rd: 1, U64: tt.a},
+			Inst{Op: MOVI, Rd: 2, U64: tt.b},
+			Inst{Op: tt.op, Rd: 1, Ra: 2, Imm: int64(skip.Len())},
+			skip, // executed only if NOT taken
+			Inst{Op: HALT},
+		)
+		m, stop := runProg(t, prog)
+		wantHalt(t, stop)
+		got := m.Reg[0] == 0
+		if got != tt.taken {
+			t.Errorf("%s(%#x,%#x) taken=%v want %v", tt.op, tt.a, tt.b, got, tt.taken)
+		}
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	// main: call f; halt.   f: r0 = 7; ret.
+	// Layout: [call][halt][f...]
+	call := Inst{Op: CALL, Imm: 1} // skip the 1-byte HALT
+	prog := asmProg(
+		call,
+		Inst{Op: HALT},
+		Inst{Op: MOVI, Rd: 0, U64: 7},
+		Inst{Op: RET},
+	)
+	m, stop := runProg(t, prog)
+	wantHalt(t, stop)
+	if m.Reg[0] != 7 {
+		t.Errorf("r0 = %d, want 7", m.Reg[0])
+	}
+	if m.SP() != 0x1000+64<<10 {
+		t.Errorf("stack not balanced: sp=%#x", m.SP())
+	}
+}
+
+func TestCallRIndirect(t *testing.T) {
+	// lea r1, f; callr r1; halt; f: movi r0, 9; ret
+	callr := Inst{Op: CALLR, Rd: 1}
+	halt := Inst{Op: HALT}
+	lea := Inst{Op: LEA, Rd: 1, Imm: int64(callr.Len() + halt.Len())}
+	prog := asmProg(
+		lea,
+		callr,
+		halt,
+		Inst{Op: MOVI, Rd: 0, U64: 9},
+		Inst{Op: RET},
+	)
+	m, stop := runProg(t, prog)
+	wantHalt(t, stop)
+	if m.Reg[0] != 9 {
+		t.Errorf("r0 = %d, want 9", m.Reg[0])
+	}
+}
+
+func TestLoadStoreWidths(t *testing.T) {
+	base := uint64(0x2000)
+	prog := asmProg(
+		Inst{Op: MOVI, Rd: 1, U64: base},
+		Inst{Op: MOVI, Rd: 2, U64: 0x1122334455667788},
+		Inst{Op: ST64, Rd: 2, Ra: 1, Imm: 0},
+		Inst{Op: ST8, Rd: 2, Ra: 1, Imm: 16},
+		Inst{Op: ST16, Rd: 2, Ra: 1, Imm: 24},
+		Inst{Op: ST32, Rd: 2, Ra: 1, Imm: 32},
+		Inst{Op: LD64, Rd: 3, Ra: 1, Imm: 0},
+		Inst{Op: LD8U, Rd: 4, Ra: 1, Imm: 16},
+		Inst{Op: LD8S, Rd: 5, Ra: 1, Imm: 16},
+		Inst{Op: LD16U, Rd: 6, Ra: 1, Imm: 24},
+		Inst{Op: LD32U, Rd: 7, Ra: 1, Imm: 32},
+		Inst{Op: LD32S, Rd: 8, Ra: 1, Imm: 0}, // low 4 bytes 0x55667788 -> positive
+		Inst{Op: HALT},
+	)
+	m, stop := runProg(t, prog)
+	wantHalt(t, stop)
+	checks := []struct {
+		reg  int
+		want uint64
+	}{
+		{3, 0x1122334455667788},
+		{4, 0x88},
+		{5, 0xffffffffffffff88},
+		{6, 0x7788},
+		{7, 0x55667788},
+		{8, 0x55667788},
+	}
+	for _, c := range checks {
+		if m.Reg[c.reg] != c.want {
+			t.Errorf("r%d = %#x, want %#x", c.reg, m.Reg[c.reg], c.want)
+		}
+	}
+}
+
+func TestPushPop(t *testing.T) {
+	m, stop := runProg(t, asmProg(
+		Inst{Op: MOVI, Rd: 1, U64: 111},
+		Inst{Op: MOVI, Rd: 2, U64: 222},
+		Inst{Op: PUSH, Rd: 1},
+		Inst{Op: PUSH, Rd: 2},
+		Inst{Op: POP, Rd: 3},
+		Inst{Op: POP, Rd: 4},
+		Inst{Op: HALT},
+	))
+	wantHalt(t, stop)
+	if m.Reg[3] != 222 || m.Reg[4] != 111 {
+		t.Errorf("pop order wrong: r3=%d r4=%d", m.Reg[3], m.Reg[4])
+	}
+}
+
+func TestZeroedCodeFaultsIllegal(t *testing.T) {
+	// Executing zero bytes (sanitized code) must fault with IllegalInst.
+	_, stop := runProg(t, []byte{0, 0, 0, 0})
+	if stop.Reason != StopFault || stop.Fault.Kind != FaultIllegalInst {
+		t.Fatalf("stop = %v, want illegal instruction fault", stop)
+	}
+}
+
+func TestDivideByZeroFaults(t *testing.T) {
+	for _, op := range []Opcode{DIVU, DIVS, REMU, REMS} {
+		_, stop := runProg(t, asmProg(
+			Inst{Op: MOVI, Rd: 1, U64: 5},
+			Inst{Op: op, Rd: 0, Ra: 1, Rb: 2},
+			Inst{Op: HALT},
+		))
+		if stop.Reason != StopFault || stop.Fault.Kind != FaultDivideByZero {
+			t.Errorf("%s: stop = %v, want divide-by-zero fault", op, stop)
+		}
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	// Infinite loop: jmp -5 (back to itself).
+	mem := NewFlatMem(0x1000, 4096)
+	mem.WriteBytes(0x1000, asmProg(Inst{Op: JMP, Imm: -5}))
+	m := New(mem)
+	m.PC = 0x1000
+	m.MaxSteps = 1000
+	stop := m.Run()
+	if stop.Reason != StopFault || stop.Fault.Kind != FaultStep {
+		t.Fatalf("stop = %v, want step fault", stop)
+	}
+	if m.Steps != 1000 {
+		t.Errorf("steps = %d, want 1000", m.Steps)
+	}
+}
+
+func TestBadAddressFaults(t *testing.T) {
+	_, stop := runProg(t, asmProg(
+		Inst{Op: MOVI, Rd: 1, U64: 0xdead0000},
+		Inst{Op: LD64, Rd: 0, Ra: 1, Imm: 0},
+		Inst{Op: HALT},
+	))
+	if stop.Reason != StopFault || stop.Fault.Kind != FaultBadAddress {
+		t.Fatalf("stop = %v, want bad address fault", stop)
+	}
+	if stop.Fault.Addr != 0xdead0000 {
+		t.Errorf("fault addr = %#x", stop.Fault.Addr)
+	}
+}
+
+func TestEExitResume(t *testing.T) {
+	// eexit 5; movi r0, 1; halt — after resume, execution continues.
+	mem := NewFlatMem(0x1000, 4096)
+	mem.WriteBytes(0x1000, asmProg(
+		Inst{Op: EEXIT, Imm: 5},
+		Inst{Op: MOVI, Rd: 0, U64: 1},
+		Inst{Op: HALT},
+	))
+	m := New(mem)
+	m.PC = 0x1000
+	m.SetSP(0x1000 + 4096)
+	stop := m.Run()
+	if stop.Reason != StopExit || stop.Code != 5 {
+		t.Fatalf("stop = %v, want eexit(5)", stop)
+	}
+	stop = m.Run() // resume
+	wantHalt(t, stop)
+	if m.Reg[0] != 1 {
+		t.Errorf("r0 = %d after resume", m.Reg[0])
+	}
+}
+
+func TestIntrinsicDispatch(t *testing.T) {
+	var out bytes.Buffer
+	mem := NewFlatMem(0x1000, 4096)
+	mem.WriteBytes(0x1000, asmProg(
+		Inst{Op: MOVI, Rd: 1, U64: 'A'},
+		Inst{Op: INTRIN, Imm: 7},
+		Inst{Op: HALT},
+	))
+	m := New(mem)
+	m.PC = 0x1000
+	m.SetSP(0x1000 + 4096)
+	m.Intrinsics = map[uint16]Intrinsic{
+		7: func(m *VM) *Fault {
+			out.WriteByte(byte(m.Reg[1]))
+			return nil
+		},
+	}
+	stop := m.Run()
+	wantHalt(t, stop)
+	if out.String() != "A" {
+		t.Errorf("intrinsic output = %q", out.String())
+	}
+}
+
+func TestUnknownIntrinsicFaults(t *testing.T) {
+	_, stop := runProg(t, asmProg(Inst{Op: INTRIN, Imm: 999}, Inst{Op: HALT}))
+	if stop.Reason != StopFault || stop.Fault.Kind != FaultIntrinsic {
+		t.Fatalf("stop = %v, want intrinsic fault", stop)
+	}
+}
+
+func TestBrkFaults(t *testing.T) {
+	_, stop := runProg(t, asmProg(Inst{Op: BRK}))
+	if stop.Reason != StopFault || stop.Fault.Kind != FaultBreak {
+		t.Fatalf("stop = %v, want break fault", stop)
+	}
+}
+
+func TestSelfModifyingCode(t *testing.T) {
+	// The core SgxElide primitive: a program that patches an instruction in
+	// its own text, then executes the patched version.
+	// Layout: [patch stores][target: movi r0, 0][halt]
+	target := Inst{Op: MOVI, Rd: 0, U64: 0} // will be patched to U64: 42
+	patched := Inst{Op: MOVI, Rd: 0, U64: 42}
+	pbytes := patched.Encode(nil)
+
+	prog := asmProg(
+		Inst{Op: LEA, Rd: 1, Imm: 7 + 7 + 7}, // address of target = after 3 stores (each ST 7 bytes)... computed below
+	)
+	// Rebuild properly: we need LEA's imm to reach target over the stores.
+	// store sequence: st64 low 8 bytes of patched inst, st16 remaining 2.
+	_ = prog
+	insts := []Inst{
+		{Op: LEA, Rd: 1, Imm: 0}, // placeholder; fixed after layout known
+		{Op: MOVI, Rd: 2, U64: le64(pbytes[0:8])},
+		{Op: ST64, Rd: 2, Ra: 1, Imm: 0},
+		{Op: MOVI, Rd: 3, U64: uint64(pbytes[8]) | uint64(pbytes[9])<<8},
+		{Op: ST16, Rd: 3, Ra: 1, Imm: 8},
+		target,
+		{Op: HALT},
+	}
+	// Compute offset from end of LEA to target (index 5).
+	off := 0
+	for _, in := range insts[1:5] {
+		off += in.Len()
+	}
+	insts[0].Imm = int64(off)
+	m, stop := runProg(t, asmProg(insts...))
+	wantHalt(t, stop)
+	if m.Reg[0] != 42 {
+		t.Errorf("self-modified code: r0 = %d, want 42", m.Reg[0])
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 7; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+// --- encode/decode properties ---
+
+// randInst generates a random valid instruction.
+func randInst(r *rand.Rand) Inst {
+	ops := make([]Opcode, 0, 80)
+	for op := 1; op < 256; op++ {
+		if Opcode(op).Valid() {
+			ops = append(ops, Opcode(op))
+		}
+	}
+	op := ops[r.Intn(len(ops))]
+	in := Inst{Op: op}
+	reg := func() byte { return byte(r.Intn(NumRegs)) }
+	switch op.OpForm() {
+	case FormRR:
+		in.Rd, in.Ra = reg(), reg()
+	case FormRI64:
+		in.Rd, in.U64 = reg(), r.Uint64()
+	case FormRI32:
+		in.Rd, in.Imm = reg(), int64(int32(r.Uint32()))
+	case FormRRR:
+		in.Rd, in.Ra, in.Rb = reg(), reg(), reg()
+	case FormRRI32, FormRRB32:
+		in.Rd, in.Ra, in.Imm = reg(), reg(), int64(int32(r.Uint32()))
+	case FormRRW:
+		in.Rd, in.Ra, in.W = reg(), reg(), []byte{1, 2, 4}[r.Intn(3)]
+	case FormI32:
+		in.Imm = int64(int32(r.Uint32()))
+	case FormR:
+		in.Rd = reg()
+	case FormMem:
+		in.Rd, in.Ra, in.Imm = reg(), reg(), int64(int32(r.Uint32()))
+	case FormI16:
+		in.Imm = int64(r.Intn(1 << 16))
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		in := randInst(r)
+		enc := in.Encode(nil)
+		if len(enc) != in.Len() {
+			t.Fatalf("%v: encoded length %d != Len %d", in, len(enc), in.Len())
+		}
+		dec, n, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("%v: decode error: %v", in, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("%v: decode consumed %d of %d", in, n, len(enc))
+		}
+		if dec != in {
+			t.Fatalf("round trip: got %+v, want %+v", dec, in)
+		}
+	}
+}
+
+func TestDecodeNeverPanics(t *testing.T) {
+	// Property: Decode on arbitrary bytes returns without panicking and
+	// always consumes at least 1 byte when input is non-empty.
+	f := func(b []byte) bool {
+		if len(b) == 0 {
+			_, n, err := Decode(b)
+			return n == 0 && err != nil
+		}
+		_, n, _ := Decode(b)
+		return n >= 1 && n <= len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadRegisters(t *testing.T) {
+	// mov r200, r1 must be rejected.
+	b := []byte{byte(MOV), 200, 1}
+	if _, _, err := Decode(b); err == nil {
+		t.Fatal("decode accepted bad register")
+	}
+	// sext with bad width
+	b = []byte{byte(SEXT), 0, 1, 3}
+	if _, _, err := Decode(b); err == nil {
+		t.Fatal("decode accepted bad width")
+	}
+}
+
+func TestDisassemblerFormat(t *testing.T) {
+	prog := asmProg(
+		Inst{Op: MOVI, Rd: 1, U64: 10},
+		Inst{Op: CALL, Imm: 1},
+		Inst{Op: HALT},
+		Inst{Op: RET},
+	)
+	d := &Disassembler{Symbols: map[uint64]string{
+		0x1000: "main",
+		0x1010: "f", // 10 + 5 + 1 = 0x10 past base
+	}}
+	out := d.Format(0x1000, prog)
+	for _, want := range []string{"<main>", "<f>", "movi r1", "call 0x1010 <f>", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDisassemblerMarksZeroBytesBad(t *testing.T) {
+	d := &Disassembler{}
+	lines := d.Disasm(0, []byte{0, 0, byte(HALT)})
+	if len(lines) != 3 || !lines[0].Bad || !lines[1].Bad || lines[2].Bad {
+		t.Fatalf("unexpected disasm of sanitized bytes: %+v", lines)
+	}
+}
+
+func TestVMReadWriteBytes(t *testing.T) {
+	mem := NewFlatMem(0, 4096)
+	m := New(mem)
+	data := []byte("hello, enclave world! 0123456789")
+	if f := m.WriteBytes(100, data); f != nil {
+		t.Fatal(f)
+	}
+	got, f := m.ReadBytes(100, len(data))
+	if f != nil {
+		t.Fatal(f)
+	}
+	if !bytes.Equal(got, data) {
+		t.Errorf("got %q", got)
+	}
+}
+
+// negU returns the two's-complement negation of x at runtime (avoids
+// constant-overflow errors in table literals).
+func negU(x uint64) uint64 { return -x }

@@ -1,0 +1,174 @@
+package evm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op  Opcode
+	Rd  byte   // destination (or source for stores/push, first reg for branches)
+	Ra  byte   // first source / base register
+	Rb  byte   // second source
+	W   byte   // width operand for SEXT/ZEXT (1, 2, or 4)
+	Imm int64  // signed immediate (branch/jump displacements, ALU, mem offsets)
+	U64 uint64 // 64-bit immediate for MOVI
+}
+
+// Len returns the encoded length of the instruction in bytes.
+func (in Inst) Len() int { return in.Op.Length() }
+
+// Encode appends the encoding of in to buf and returns the extended slice.
+func (in Inst) Encode(buf []byte) []byte {
+	buf = append(buf, byte(in.Op))
+	switch in.Op.OpForm() {
+	case FormNone:
+	case FormRR:
+		buf = append(buf, in.Rd, in.Ra)
+	case FormRI64:
+		buf = append(buf, in.Rd)
+		buf = binary.LittleEndian.AppendUint64(buf, in.U64)
+	case FormRI32:
+		buf = append(buf, in.Rd)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Imm))
+	case FormRRR:
+		buf = append(buf, in.Rd, in.Ra, in.Rb)
+	case FormRRI32:
+		buf = append(buf, in.Rd, in.Ra)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Imm))
+	case FormRRW:
+		buf = append(buf, in.Rd, in.Ra, in.W)
+	case FormRRB32:
+		buf = append(buf, in.Rd, in.Ra)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Imm))
+	case FormI32:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Imm))
+	case FormR:
+		buf = append(buf, in.Rd)
+	case FormMem:
+		buf = append(buf, in.Rd, in.Ra)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(in.Imm))
+	case FormI16:
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(in.Imm))
+	}
+	return buf
+}
+
+// Decode decodes the instruction starting at code[0]. It returns the
+// instruction and its length, or an error if the bytes do not form a valid
+// instruction (truncated or illegal opcode).
+func Decode(code []byte) (Inst, int, error) {
+	if len(code) == 0 {
+		return Inst{}, 0, fmt.Errorf("evm: decode: empty code")
+	}
+	op := Opcode(code[0])
+	if !op.Valid() {
+		return Inst{Op: op}, 1, fmt.Errorf("evm: decode: illegal opcode %#02x", byte(op))
+	}
+	n := op.Length()
+	if len(code) < n {
+		return Inst{Op: op}, len(code), fmt.Errorf("evm: decode: truncated %s (need %d bytes, have %d)", op, n, len(code))
+	}
+	in := Inst{Op: op}
+	switch op.OpForm() {
+	case FormNone:
+	case FormRR:
+		in.Rd, in.Ra = code[1], code[2]
+	case FormRI64:
+		in.Rd = code[1]
+		in.U64 = binary.LittleEndian.Uint64(code[2:])
+	case FormRI32:
+		in.Rd = code[1]
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[2:])))
+	case FormRRR:
+		in.Rd, in.Ra, in.Rb = code[1], code[2], code[3]
+	case FormRRI32:
+		in.Rd, in.Ra = code[1], code[2]
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[3:])))
+	case FormRRW:
+		in.Rd, in.Ra, in.W = code[1], code[2], code[3]
+	case FormRRB32:
+		in.Rd, in.Ra = code[1], code[2]
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[3:])))
+	case FormI32:
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[1:])))
+	case FormR:
+		in.Rd = code[1]
+	case FormMem:
+		in.Rd, in.Ra = code[1], code[2]
+		in.Imm = int64(int32(binary.LittleEndian.Uint32(code[3:])))
+	case FormI16:
+		in.Imm = int64(binary.LittleEndian.Uint16(code[1:]))
+	}
+	if err := in.check(); err != nil {
+		return in, n, err
+	}
+	return in, n, nil
+}
+
+// check validates operand ranges that the encoding cannot express invalidly
+// except via hand-crafted bytes (bad register numbers, bad widths).
+func (in Inst) check() error {
+	bad := func(r byte) bool { return r >= NumRegs }
+	switch in.Op.OpForm() {
+	case FormRR, FormRRW:
+		if bad(in.Rd) || bad(in.Ra) {
+			return fmt.Errorf("evm: %s: bad register", in.Op)
+		}
+		if in.Op.OpForm() == FormRRW && in.W != 1 && in.W != 2 && in.W != 4 {
+			return fmt.Errorf("evm: %s: bad width %d", in.Op, in.W)
+		}
+	case FormRRR:
+		if bad(in.Rd) || bad(in.Ra) || bad(in.Rb) {
+			return fmt.Errorf("evm: %s: bad register", in.Op)
+		}
+	case FormRRI32, FormRRB32, FormMem:
+		if bad(in.Rd) || bad(in.Ra) {
+			return fmt.Errorf("evm: %s: bad register", in.Op)
+		}
+	case FormRI64, FormRI32, FormR:
+		if bad(in.Rd) {
+			return fmt.Errorf("evm: %s: bad register", in.Op)
+		}
+	}
+	return nil
+}
+
+// String renders the instruction in assembler syntax (without resolving
+// branch targets; see Disasm for address-aware output).
+func (in Inst) String() string {
+	r := RegName
+	switch in.Op.OpForm() {
+	case FormNone:
+		return in.Op.String()
+	case FormRR:
+		return fmt.Sprintf("%s %s, %s", in.Op, r(in.Rd), r(in.Ra))
+	case FormRI64:
+		return fmt.Sprintf("%s %s, %#x", in.Op, r(in.Rd), in.U64)
+	case FormRI32:
+		return fmt.Sprintf("%s %s, %d", in.Op, r(in.Rd), in.Imm)
+	case FormRRR:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, r(in.Rd), r(in.Ra), r(in.Rb))
+	case FormRRI32:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Ra), in.Imm)
+	case FormRRW:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Ra), in.W)
+	case FormRRB32:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, r(in.Rd), r(in.Ra), in.Imm)
+	case FormI32:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	case FormR:
+		return fmt.Sprintf("%s %s", in.Op, r(in.Rd))
+	case FormMem:
+		switch in.Op {
+		case ST8, ST16, ST32, ST64:
+			return fmt.Sprintf("%s [%s%+d], %s", in.Op, r(in.Ra), in.Imm, r(in.Rd))
+		default:
+			return fmt.Sprintf("%s %s, [%s%+d]", in.Op, r(in.Rd), r(in.Ra), in.Imm)
+		}
+	case FormI16:
+		return fmt.Sprintf("%s %d", in.Op, in.Imm)
+	}
+	return in.Op.String()
+}

@@ -1,0 +1,299 @@
+// Package evm implements the Enclave Virtual Machine: a small 64-bit
+// register bytecode architecture that stands in for x86-64 in this
+// reproduction of SgxElide (CGO 2018).
+//
+// The VM is deliberately faithful to the properties SgxElide depends on:
+//
+//   - Code and data live in one flat byte-addressed space, so program code
+//     can be treated as data and overwritten at runtime (self-modification).
+//   - Every instruction fetch, load, and store is checked against page
+//     permissions supplied by the memory bus (the SGX EPCM in enclave mode),
+//     so the paper's PF_W program-header trick is load-bearing here too.
+//   - Opcode 0x00 is an illegal instruction. A sanitized (zeroed) function
+//     faults immediately when called, exactly like redacted enclave code.
+package evm
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 16
+
+// Register conventions used by the assembler, compiler, and runtimes.
+// The hardware does not enforce them, except that CALL/RET/PUSH/POP use SP.
+const (
+	RegRet = 0 // r0: return value, caller-saved scratch
+	RegA0  = 1 // r1-r6: arguments, caller-saved
+	RegA1  = 2
+	RegA2  = 3
+	RegA3  = 4
+	RegA4  = 5
+	RegA5  = 6
+	RegT0  = 7 // r7: caller-saved scratch
+	RegS0  = 8 // r8-r13: callee-saved
+	RegS1  = 9
+	RegS2  = 10
+	RegS3  = 11
+	RegS4  = 12
+	RegS5  = 13
+	RegFP  = 14 // r14: frame pointer, callee-saved
+	RegSP  = 15 // r15: stack pointer
+)
+
+// Opcode identifies an EVM instruction.
+type Opcode byte
+
+// Instruction opcodes. 0x00 is reserved as the illegal instruction so that
+// zero-filled (sanitized) code faults deterministically.
+const (
+	ILLEGAL Opcode = 0x00
+	NOP     Opcode = 0x01
+	HALT    Opcode = 0x02 // stop the machine (bare programs only)
+	MOV     Opcode = 0x03 // rd = rs
+	MOVI    Opcode = 0x04 // rd = imm64
+	LEA     Opcode = 0x05 // rd = pc_next + signext(imm32)
+
+	// Three-register ALU: rd = ra OP rb.
+	ADD  Opcode = 0x10
+	SUB  Opcode = 0x11
+	MUL  Opcode = 0x12
+	DIVU Opcode = 0x13
+	DIVS Opcode = 0x14
+	REMU Opcode = 0x15
+	REMS Opcode = 0x16
+	AND  Opcode = 0x17
+	OR   Opcode = 0x18
+	XOR  Opcode = 0x19
+	SHL  Opcode = 0x1A // shift count taken mod 64
+	SHRU Opcode = 0x1B
+	SHRS Opcode = 0x1C
+	SLT  Opcode = 0x1D // rd = (ra < rb) signed ? 1 : 0
+	SLTU Opcode = 0x1E
+	SEQ  Opcode = 0x1F // rd = (ra == rb) ? 1 : 0
+	SNE  Opcode = 0x20
+
+	// Register-immediate ALU: rd = ra OP signext(imm32).
+	ADDI  Opcode = 0x21
+	MULI  Opcode = 0x22
+	ANDI  Opcode = 0x23
+	ORI   Opcode = 0x24
+	XORI  Opcode = 0x25
+	SHLI  Opcode = 0x26
+	SHRUI Opcode = 0x27
+	SHRSI Opcode = 0x28
+	SLTI  Opcode = 0x29
+	SLTUI Opcode = 0x2A
+
+	NOT  Opcode = 0x2B // rd = ^rs
+	NEG  Opcode = 0x2C // rd = -rs
+	SEXT Opcode = 0x2D // rd = sign-extend low w bytes of rs (w in {1,2,4})
+	ZEXT Opcode = 0x2E // rd = zero-extend low w bytes of rs
+
+	// Branches: if cond(ra, rb) then pc = pc_next + signext(imm32).
+	BEQ  Opcode = 0x30
+	BNE  Opcode = 0x31
+	BLT  Opcode = 0x32 // signed
+	BLTU Opcode = 0x33
+	BGE  Opcode = 0x34 // signed
+	BGEU Opcode = 0x35
+
+	JMP   Opcode = 0x36 // pc = pc_next + signext(imm32)
+	JMPR  Opcode = 0x37 // pc = rs
+	CALL  Opcode = 0x38 // push pc_next; pc = pc_next + signext(imm32)
+	CALLR Opcode = 0x39 // push pc_next; pc = rs
+	RET   Opcode = 0x3A // pop pc
+
+	// Loads: rd = mem[rb + signext(imm32)], with width and extension.
+	LD8U  Opcode = 0x40
+	LD8S  Opcode = 0x41
+	LD16U Opcode = 0x42
+	LD16S Opcode = 0x43
+	LD32U Opcode = 0x44
+	LD32S Opcode = 0x45
+	LD64  Opcode = 0x46
+
+	// Stores: mem[rb + signext(imm32)] = low bytes of rs.
+	ST8  Opcode = 0x47
+	ST16 Opcode = 0x48
+	ST32 Opcode = 0x49
+	ST64 Opcode = 0x4A
+
+	PUSH Opcode = 0x4B // sp -= 8; mem[sp] = rs
+	POP  Opcode = 0x4C // rd = mem[sp]; sp += 8
+
+	EEXIT  Opcode = 0x50 // leave the enclave (or halt a bare program) with imm16 code
+	INTRIN Opcode = 0x51 // invoke host intrinsic imm16 (models statically linked platform library routines)
+	BRK    Opcode = 0x52 // debug trap
+)
+
+// Form describes the operand encoding of an instruction.
+type Form byte
+
+const (
+	FormNone  Form = iota // opcode only
+	FormRR                // opcode rd rs
+	FormRI64              // opcode rd imm64
+	FormRI32              // opcode rd imm32 (pc-relative for LEA)
+	FormRRR               // opcode rd ra rb
+	FormRRI32             // opcode rd ra imm32
+	FormRRW               // opcode rd rs w
+	FormRRB32             // opcode ra rb imm32 (branches)
+	FormI32               // opcode imm32
+	FormR                 // opcode r
+	FormMem               // opcode r rb imm32 (loads/stores)
+	FormI16               // opcode imm16
+)
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	Name string
+	Form Form
+}
+
+var opTable = [256]opInfo{
+	ILLEGAL: {"illegal", FormNone},
+	NOP:     {"nop", FormNone},
+	HALT:    {"halt", FormNone},
+	MOV:     {"mov", FormRR},
+	MOVI:    {"movi", FormRI64},
+	LEA:     {"lea", FormRI32},
+
+	ADD:  {"add", FormRRR},
+	SUB:  {"sub", FormRRR},
+	MUL:  {"mul", FormRRR},
+	DIVU: {"divu", FormRRR},
+	DIVS: {"divs", FormRRR},
+	REMU: {"remu", FormRRR},
+	REMS: {"rems", FormRRR},
+	AND:  {"and", FormRRR},
+	OR:   {"or", FormRRR},
+	XOR:  {"xor", FormRRR},
+	SHL:  {"shl", FormRRR},
+	SHRU: {"shru", FormRRR},
+	SHRS: {"shrs", FormRRR},
+	SLT:  {"slt", FormRRR},
+	SLTU: {"sltu", FormRRR},
+	SEQ:  {"seq", FormRRR},
+	SNE:  {"sne", FormRRR},
+
+	ADDI:  {"addi", FormRRI32},
+	MULI:  {"muli", FormRRI32},
+	ANDI:  {"andi", FormRRI32},
+	ORI:   {"ori", FormRRI32},
+	XORI:  {"xori", FormRRI32},
+	SHLI:  {"shli", FormRRI32},
+	SHRUI: {"shrui", FormRRI32},
+	SHRSI: {"shrsi", FormRRI32},
+	SLTI:  {"slti", FormRRI32},
+	SLTUI: {"sltui", FormRRI32},
+
+	NOT:  {"not", FormRR},
+	NEG:  {"neg", FormRR},
+	SEXT: {"sext", FormRRW},
+	ZEXT: {"zext", FormRRW},
+
+	BEQ:  {"beq", FormRRB32},
+	BNE:  {"bne", FormRRB32},
+	BLT:  {"blt", FormRRB32},
+	BLTU: {"bltu", FormRRB32},
+	BGE:  {"bge", FormRRB32},
+	BGEU: {"bgeu", FormRRB32},
+
+	JMP:   {"jmp", FormI32},
+	JMPR:  {"jmpr", FormR},
+	CALL:  {"call", FormI32},
+	CALLR: {"callr", FormR},
+	RET:   {"ret", FormNone},
+
+	LD8U:  {"ld8u", FormMem},
+	LD8S:  {"ld8s", FormMem},
+	LD16U: {"ld16u", FormMem},
+	LD16S: {"ld16s", FormMem},
+	LD32U: {"ld32u", FormMem},
+	LD32S: {"ld32s", FormMem},
+	LD64:  {"ld64", FormMem},
+	ST8:   {"st8", FormMem},
+	ST16:  {"st16", FormMem},
+	ST32:  {"st32", FormMem},
+	ST64:  {"st64", FormMem},
+
+	PUSH: {"push", FormR},
+	POP:  {"pop", FormR},
+
+	EEXIT:  {"eexit", FormI16},
+	INTRIN: {"intrin", FormI16},
+	BRK:    {"brk", FormNone},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool {
+	return op != ILLEGAL && opTable[op].Name != ""
+}
+
+// String returns the assembler mnemonic for op.
+func (op Opcode) String() string {
+	if info := opTable[op]; info.Name != "" {
+		return info.Name
+	}
+	return "op?"
+}
+
+// OpForm returns the operand form of op.
+func (op Opcode) OpForm() Form {
+	return opTable[op].Form
+}
+
+// Length returns the encoded length in bytes of an instruction with opcode op.
+func (op Opcode) Length() int {
+	switch opTable[op].Form {
+	case FormNone:
+		return 1
+	case FormRR:
+		return 3
+	case FormRI64:
+		return 10
+	case FormRI32:
+		return 6
+	case FormRRR:
+		return 4
+	case FormRRI32:
+		return 7
+	case FormRRW:
+		return 4
+	case FormRRB32:
+		return 7
+	case FormI32:
+		return 5
+	case FormR:
+		return 2
+	case FormMem:
+		return 7
+	case FormI16:
+		return 3
+	default:
+		return 1
+	}
+}
+
+// OpcodeByName maps assembler mnemonics to opcodes.
+var OpcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, 80)
+	for op := 1; op < 256; op++ {
+		if info := opTable[op]; info.Name != "" {
+			m[info.Name] = Opcode(op)
+		}
+	}
+	return m
+}()
+
+// RegNames returns the canonical assembler name of register r ("r0".."r15",
+// with aliases resolved by the assembler, not here).
+var regNames = [NumRegs]string{
+	"r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7",
+	"r8", "r9", "r10", "r11", "r12", "r13", "fp", "sp",
+}
+
+// RegName returns the display name for register r.
+func RegName(r byte) string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return "r?"
+}

@@ -1,0 +1,330 @@
+// Package link combines assembled object files into a loadable image:
+// it lays out sections into page-aligned segments, resolves symbols,
+// applies relocations, and reserves heap and stack space.
+//
+// Images are linked at a fixed base address. The SGX loader maps the image
+// at that address inside the enclave's linear range, mirroring how the SGX
+// SDK builds enclaves at a known offset within ELRANGE.
+package link
+
+import (
+	"fmt"
+	"sort"
+
+	"sgxelide/internal/obj"
+)
+
+// Perm is a segment permission bitmask.
+type Perm byte
+
+const (
+	PermR Perm = 1 << 0
+	PermW Perm = 1 << 1
+	PermX Perm = 1 << 2
+)
+
+func (p Perm) String() string {
+	s := [3]byte{'-', '-', '-'}
+	if p&PermR != 0 {
+		s[0] = 'r'
+	}
+	if p&PermW != 0 {
+		s[1] = 'w'
+	}
+	if p&PermX != 0 {
+		s[2] = 'x'
+	}
+	return string(s[:])
+}
+
+// Segment is one contiguous mapped region of the image.
+type Segment struct {
+	Name string
+	Addr uint64
+	Data []byte // file-backed content; zero-fill beyond len(Data) up to Size
+	Size uint64 // total mapped size (>= len(Data))
+	Perm Perm
+}
+
+// End returns the first address past the segment.
+func (s *Segment) End() uint64 { return s.Addr + s.Size }
+
+// Symbol is a resolved symbol with its final address.
+type Symbol struct {
+	Name   string
+	Addr   uint64
+	Size   uint64
+	Kind   obj.SymKind
+	Global bool
+}
+
+// Image is a fully linked, loadable program image.
+type Image struct {
+	Base     uint64
+	End      uint64 // first address past all segments (page aligned)
+	Segments []*Segment
+	Symbols  []Symbol
+	Entry    uint64
+
+	symIndex map[string]int
+}
+
+// FindSymbol returns the symbol named name.
+func (im *Image) FindSymbol(name string) (Symbol, bool) {
+	i, ok := im.symIndex[name]
+	if !ok {
+		return Symbol{}, false
+	}
+	return im.Symbols[i], true
+}
+
+// FindSegment returns the segment named name (".text", ".data", ...).
+func (im *Image) FindSegment(name string) *Segment {
+	for _, s := range im.Segments {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Funcs returns all function symbols sorted by address.
+func (im *Image) Funcs() []Symbol {
+	var out []Symbol
+	for _, s := range im.Symbols {
+		if s.Kind == obj.SymFunc {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Config controls linking.
+type Config struct {
+	Base      uint64 // image base; default 0x10000000; must be page aligned
+	PageSize  uint64 // default 4096
+	Entry     string // entry symbol; empty leaves Image.Entry zero
+	HeapSize  uint64 // heap reservation; default 256 KiB
+	StackSize uint64 // stack reservation; default 64 KiB
+}
+
+func (c *Config) fill() {
+	if c.Base == 0 {
+		c.Base = 0x10000000
+	}
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.HeapSize == 0 {
+		c.HeapSize = 256 << 10
+	}
+	if c.StackSize == 0 {
+		c.StackSize = 64 << 10
+	}
+}
+
+// sectionOrder is the layout order of sections into segments.
+var sectionOrder = []obj.SectionKind{obj.SecText, obj.SecRodata, obj.SecData, obj.SecBss}
+
+// segPerm maps sections to their load permissions.
+func segPerm(k obj.SectionKind) Perm {
+	switch k {
+	case obj.SecText:
+		return PermR | PermX
+	case obj.SecRodata:
+		return PermR
+	default:
+		return PermR | PermW
+	}
+}
+
+// Link links files into an image.
+func Link(cfg Config, files ...*obj.File) (*Image, error) {
+	cfg.fill()
+	if cfg.Base%cfg.PageSize != 0 {
+		return nil, fmt.Errorf("link: base %#x not page aligned", cfg.Base)
+	}
+
+	align := func(v, a uint64) uint64 {
+		if a == 0 {
+			a = 1
+		}
+		return (v + a - 1) &^ (a - 1)
+	}
+
+	// Pass 1: lay out each file's section contributions.
+	// placement[file][kind] = final address of that contribution.
+	type placeKey struct {
+		fi   int
+		kind obj.SectionKind
+	}
+	place := make(map[placeKey]uint64)
+
+	im := &Image{Base: cfg.Base, symIndex: make(map[string]int)}
+	addr := cfg.Base
+	for _, kind := range sectionOrder {
+		segStart := align(addr, cfg.PageSize)
+		seg := &Segment{Name: kind.String(), Addr: segStart, Perm: segPerm(kind)}
+		cur := segStart
+		for fi, f := range files {
+			sec, ok := f.Sections[kind]
+			if !ok || sec.Len() == 0 {
+				continue
+			}
+			cur = align(cur, sec.Align)
+			place[placeKey{fi, kind}] = cur
+			if kind != obj.SecBss {
+				// Zero-pad up to the aligned position.
+				for uint64(len(seg.Data)) < cur-segStart {
+					seg.Data = append(seg.Data, 0)
+				}
+				seg.Data = append(seg.Data, sec.Data...)
+			}
+			cur += sec.Len()
+		}
+		seg.Size = cur - segStart
+
+		// Reserve heap and stack at the end of the bss segment.
+		if kind == obj.SecBss {
+			cur = align(cur, 16)
+			heapBase := cur
+			cur += cfg.HeapSize
+			heapEnd := cur
+			stackBase := cur
+			cur += cfg.StackSize
+			stackTop := cur
+			seg.Size = cur - segStart
+			defineLinkerSyms(im, map[string]uint64{
+				"__heap_base":  heapBase,
+				"__heap_end":   heapEnd,
+				"__stack_base": stackBase,
+				"__stack_top":  stackTop,
+			})
+		}
+
+		if seg.Size > 0 {
+			im.Segments = append(im.Segments, seg)
+		}
+		addr = segStart + seg.Size
+	}
+	im.End = align(addr, cfg.PageSize)
+
+	// Linker-provided layout symbols.
+	bounds := map[string]uint64{
+		"__enclave_base": im.Base,
+		"__enclave_end":  im.End,
+	}
+	for _, kind := range sectionOrder {
+		name := kind.String()[1:] // "text", "rodata", ...
+		if seg := im.FindSegment(kind.String()); seg != nil {
+			bounds["__"+name+"_start"] = seg.Addr
+			bounds["__"+name+"_end"] = seg.End()
+		}
+	}
+	defineLinkerSyms(im, bounds)
+
+	// Pass 2: build symbol tables.
+	globals := make(map[string]Symbol)
+	for _, s := range im.Symbols { // linker-defined are global
+		globals[s.Name] = s
+	}
+	locals := make([]map[string]Symbol, len(files))
+	for fi, f := range files {
+		locals[fi] = make(map[string]Symbol)
+		for _, sym := range f.Symbols {
+			base, ok := place[placeKey{fi, sym.Section}]
+			if !ok {
+				return nil, fmt.Errorf("link: %s: symbol %q in empty section %s", f.Name, sym.Name, sym.Section)
+			}
+			rs := Symbol{
+				Name: sym.Name, Addr: base + sym.Off, Size: sym.Size,
+				Kind: sym.Kind, Global: sym.Global,
+			}
+			if sym.Global {
+				if prev, dup := globals[sym.Name]; dup {
+					return nil, fmt.Errorf("link: duplicate global symbol %q (at %#x and %#x)", sym.Name, prev.Addr, rs.Addr)
+				}
+				globals[sym.Name] = rs
+			}
+			locals[fi][sym.Name] = rs
+			im.addSymbol(rs)
+		}
+	}
+
+	// Pass 3: apply relocations.
+	for fi, f := range files {
+		for _, rel := range f.Relocs {
+			target, ok := locals[fi][rel.Sym]
+			if !ok {
+				target, ok = globals[rel.Sym]
+			}
+			if !ok {
+				return nil, fmt.Errorf("link: %s: undefined symbol %q", f.Name, rel.Sym)
+			}
+			secBase, ok := place[placeKey{fi, rel.Section}]
+			if !ok {
+				return nil, fmt.Errorf("link: %s: relocation in missing section %s", f.Name, rel.Section)
+			}
+			fieldAddr := secBase + rel.Off
+			seg := im.FindSegment(rel.Section.String())
+			if seg == nil {
+				return nil, fmt.Errorf("link: %s: relocation in unmapped section %s", f.Name, rel.Section)
+			}
+			fo := fieldAddr - seg.Addr
+			switch rel.Type {
+			case obj.RelPC32:
+				disp := int64(target.Addr) + rel.Addend - int64(fieldAddr+4)
+				if disp != int64(int32(disp)) {
+					return nil, fmt.Errorf("link: %s: pc32 displacement to %q out of range", f.Name, rel.Sym)
+				}
+				putU32(seg.Data[fo:], uint32(disp))
+			case obj.RelAbs64:
+				putU64(seg.Data[fo:], target.Addr+uint64(rel.Addend))
+			default:
+				return nil, fmt.Errorf("link: unknown relocation type %v", rel.Type)
+			}
+		}
+	}
+
+	// Entry point.
+	if cfg.Entry != "" {
+		e, ok := globals[cfg.Entry]
+		if !ok {
+			return nil, fmt.Errorf("link: entry symbol %q undefined", cfg.Entry)
+		}
+		im.Entry = e.Addr
+	}
+	return im, nil
+}
+
+// defineLinkerSyms registers synthesized global symbols.
+func defineLinkerSyms(im *Image, syms map[string]uint64) {
+	names := make([]string, 0, len(syms))
+	for n := range syms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		im.addSymbol(Symbol{Name: n, Addr: syms[n], Kind: obj.SymObject, Global: true})
+	}
+}
+
+func (im *Image) addSymbol(s Symbol) {
+	// Locals may shadow; keep first occurrence in index (globals are unique,
+	// locals are only used for display).
+	if _, ok := im.symIndex[s.Name]; !ok {
+		im.symIndex[s.Name] = len(im.Symbols)
+	}
+	im.Symbols = append(im.Symbols, s)
+}
+
+func putU32(b []byte, v uint32) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

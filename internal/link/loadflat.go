@@ -1,0 +1,26 @@
+package link
+
+import "sgxelide/internal/evm"
+
+// LoadFlat maps the image into a fresh permissionless flat memory, for bare
+// (non-enclave) execution: toolchain tests and the compiler's own harness.
+// Enclave execution instead goes through the SGX loader, which EADDs each
+// segment with its permissions.
+func (im *Image) LoadFlat() *evm.FlatMem {
+	mem := evm.NewFlatMem(im.Base, int(im.End-im.Base))
+	for _, seg := range im.Segments {
+		mem.WriteBytes(seg.Addr, seg.Data)
+	}
+	return mem
+}
+
+// NewVM returns a VM ready to run the image bare: PC at the entry point and
+// SP at the linked stack top.
+func (im *Image) NewVM() *evm.VM {
+	m := evm.New(im.LoadFlat())
+	m.PC = im.Entry
+	if st, ok := im.FindSymbol("__stack_top"); ok {
+		m.SetSP(st.Addr)
+	}
+	return m
+}

@@ -1,0 +1,114 @@
+package minic
+
+// NodeKind discriminates AST nodes. The parser produces a typed, partially
+// lowered AST: a[i] becomes *(a+i), a->f becomes (*a).f, ++x becomes x += 1.
+type NodeKind int
+
+const (
+	// Expressions.
+	NNum     NodeKind = iota // integer literal (Val)
+	NVar                     // variable reference (Var)
+	NStr                     // string literal (StrLabel)
+	NBinary                  // Lhs Op Rhs
+	NUnary                   // Op Lhs ("-", "~", "!")
+	NAssign                  // Lhs Op Rhs (Op is "=", "+=", ...)
+	NCond                    // Cond ? Then : Else
+	NLogAnd                  // Lhs && Rhs
+	NLogOr                   // Lhs || Rhs
+	NCall                    // FuncName(Args...)
+	NDeref                   // *Lhs
+	NAddr                    // &Lhs
+	NMember                  // Lhs.Field
+	NCast                    // (Type)Lhs
+	NPostInc                 // Lhs++ (Val holds +1 or -1)
+	NComma                   // Lhs, Rhs
+
+	// Statements.
+	NExprStmt // Lhs;
+	NBlock    // { Stmts... }
+	NIf       // if (Cond) Then else Else
+	NWhile    // while (Cond) Then
+	NDoWhile  // do Then while (Cond)
+	NFor      // for (Init; Cond; Post) Then
+	NSwitch   // switch (Cond) Then; Cases lists the case markers
+	NCase     // case Val: / default: (IsDefault)
+	NReturn   // return Lhs
+	NBreak    //
+	NContinue //
+	NEmpty    // ;
+)
+
+// Node is one AST node.
+type Node struct {
+	Kind NodeKind
+	Type *Type // expression type (nil for statements)
+	Line int
+
+	Lhs, Rhs               *Node
+	Cond, Then, Else, Init *Node
+	Post                   *Node
+	Stmts                  []*Node
+	Var                    *Obj
+	Val                    int64
+	StrLabel               string
+	FuncName               string
+	FuncType               *Type
+	Args                   []*Node
+	Op                     string
+	Field                  *Field
+	Cases                  []*Node // for NSwitch: its NCase nodes in order
+	IsDefault              bool
+	CaseLabel              string // filled by codegen
+	CommonType             *Type  // comparison operand type (signedness of the compare)
+}
+
+// Obj is a declared object: a global, a local, a parameter, or a function.
+type Obj struct {
+	Name     string
+	Type     *Type
+	Line     int
+	IsGlobal bool
+	IsFunc   bool
+	IsConst  bool // const-qualified global: placed in .rodata
+	IsStatic bool // internal linkage: not exported from the translation unit
+	IsDef    bool // has a body / is a defined global (vs extern prototype)
+
+	// Locals and parameters.
+	Offset int // frame offset from fp (negative), assigned by codegen
+
+	// Functions.
+	Params []*Obj
+	Locals []*Obj // all locals including params
+	Body   *Node
+
+	// Global initializer (nil means zero-initialized / .bss).
+	Init *Initializer
+}
+
+// Initializer is a parsed global initializer tree.
+type Initializer struct {
+	Type     *Type
+	Expr     *Node          // scalar constant expression (possibly &global or string)
+	Children []*Initializer // array / struct elements (len == Len / len(Fields))
+	Str      string         // string-literal initializer for char arrays
+	IsStr    bool
+}
+
+// Unit is one parsed translation unit.
+type Unit struct {
+	File    string
+	Globals []*Obj            // globals and functions in declaration order
+	Strings map[string]string // label -> contents (NUL added by codegen)
+}
+
+// lvalue reports whether n denotes an addressable object.
+func (n *Node) lvalue() bool {
+	switch n.Kind {
+	case NVar, NDeref:
+		return true
+	case NMember:
+		return n.Lhs.lvalue()
+	default:
+		return false
+	}
+}

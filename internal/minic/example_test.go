@@ -1,0 +1,37 @@
+package minic_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sgxelide/internal/minic"
+)
+
+// ExampleCompile shows the compiler's input and a slice of its output: C in,
+// EVM assembly out, ready for internal/asm.
+func ExampleCompile() {
+	src := `
+int add(int a, int b) { return a + b; }
+`
+	asmText, err := minic.Compile("add.c", src)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, line := range strings.Split(asmText, "\n") {
+		if strings.Contains(line, ".func") || strings.Contains(line, ".global") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+	// Output:
+	// .global add
+	// .func add
+}
+
+// ExampleCompile_errors shows the positioned diagnostics.
+func ExampleCompile_errors() {
+	_, err := minic.Compile("oops.c", "int main(void) {\n  return missing;\n}")
+	fmt.Println(err)
+	// Output:
+	// oops.c:2: undeclared identifier "missing"
+}

@@ -1,0 +1,790 @@
+package minic
+
+import "fmt"
+
+// expr parses a full expression (including the comma operator).
+func (p *parser) expr() *Node {
+	n := p.assign()
+	for p.accept(",") {
+		line := p.tok().line
+		rhs := p.assign()
+		n = &Node{Kind: NComma, Lhs: n, Rhs: rhs, Type: rhs.Type, Line: line}
+	}
+	return n
+}
+
+// assign parses assignment expressions.
+func (p *parser) assign() *Node {
+	lhs := p.conditional()
+	line := p.tok().line
+	switch {
+	case p.accept("="):
+		return p.newAssign(lhs, p.assign(), line)
+	case p.accept("+="):
+		return p.compound(lhs, "+", p.assign(), line)
+	case p.accept("-="):
+		return p.compound(lhs, "-", p.assign(), line)
+	case p.accept("*="):
+		return p.compound(lhs, "*", p.assign(), line)
+	case p.accept("/="):
+		return p.compound(lhs, "/", p.assign(), line)
+	case p.accept("%="):
+		return p.compound(lhs, "%", p.assign(), line)
+	case p.accept("&="):
+		return p.compound(lhs, "&", p.assign(), line)
+	case p.accept("|="):
+		return p.compound(lhs, "|", p.assign(), line)
+	case p.accept("^="):
+		return p.compound(lhs, "^", p.assign(), line)
+	case p.accept("<<="):
+		return p.compound(lhs, "<<", p.assign(), line)
+	case p.accept(">>="):
+		return p.compound(lhs, ">>", p.assign(), line)
+	}
+	return lhs
+}
+
+// newAssign builds lhs = rhs with conversion.
+func (p *parser) newAssign(lhs, rhs *Node, line int) *Node {
+	if !lhs.lvalue() {
+		p.errAt(line, "assignment target is not an lvalue")
+	}
+	if lhs.Type.Kind == TArray {
+		p.errAt(line, "cannot assign to an array")
+	}
+	if lhs.Type.Kind == TStruct {
+		rhs = p.decayNode(rhs)
+		if !equalType(lhs.Type, rhs.Type) {
+			p.errAt(line, "cannot assign %s to %s", rhs.Type, lhs.Type)
+		}
+	} else {
+		rhs = p.convert(rhs, lhs.Type, line)
+	}
+	return &Node{Kind: NAssign, Op: "=", Lhs: lhs, Rhs: rhs, Type: lhs.Type, Line: line}
+}
+
+// compound builds lhs op= rhs without double-evaluating lhs: for a simple
+// variable it becomes lhs = lhs op rhs; otherwise the address is captured in
+// a temporary: (tmp = &lhs, *tmp = *tmp op rhs).
+func (p *parser) compound(lhs *Node, op string, rhs *Node, line int) *Node {
+	if !lhs.lvalue() {
+		p.errAt(line, "assignment target is not an lvalue")
+	}
+	if lhs.Kind == NVar {
+		return p.newAssign(lhs, p.newBinary(op, lhs, rhs, line), line)
+	}
+	tmp := p.newTemp(pointerTo(lhs.Type), line)
+	tmpRef := func() *Node { return &Node{Kind: NVar, Var: tmp, Type: tmp.Type, Line: line} }
+	capture := &Node{
+		Kind: NAssign, Op: "=", Lhs: tmpRef(),
+		Rhs:  &Node{Kind: NAddr, Lhs: lhs, Type: tmp.Type, Line: line},
+		Type: tmp.Type, Line: line,
+	}
+	deref := func() *Node { return &Node{Kind: NDeref, Lhs: tmpRef(), Type: lhs.Type, Line: line} }
+	update := p.newAssign(deref(), p.newBinary(op, deref(), rhs, line), line)
+	return &Node{Kind: NComma, Lhs: capture, Rhs: update, Type: lhs.Type, Line: line}
+}
+
+// conditional parses ternary expressions.
+func (p *parser) conditional() *Node {
+	cond := p.logOr()
+	if !p.accept("?") {
+		return cond
+	}
+	line := p.tok().line
+	thenE := p.expr()
+	p.expect(":")
+	elseE := p.conditional()
+	cond = p.scalarize(cond)
+	thenE, elseE = p.decayNode(thenE), p.decayNode(elseE)
+	var ty *Type
+	switch {
+	case thenE.Type.IsInteger() && elseE.Type.IsInteger():
+		ty = usualArith(thenE.Type, elseE.Type)
+		thenE = p.convert(thenE, ty, line)
+		elseE = p.convert(elseE, ty, line)
+	case equalType(thenE.Type, elseE.Type):
+		ty = thenE.Type
+	case thenE.Type.Kind == TPointer && elseE.Type.IsInteger():
+		ty = thenE.Type // e.g. p ? p : 0
+		elseE = p.convert(elseE, ty, line)
+	case elseE.Type.Kind == TPointer && thenE.Type.IsInteger():
+		ty = elseE.Type
+		thenE = p.convert(thenE, ty, line)
+	default:
+		p.errAt(line, "incompatible ternary arms: %s vs %s", thenE.Type, elseE.Type)
+	}
+	return &Node{Kind: NCond, Cond: cond, Then: thenE, Else: elseE, Type: ty, Line: line}
+}
+
+func (p *parser) logOr() *Node {
+	n := p.logAnd()
+	for p.peekIs("||") {
+		line := p.tok().line
+		p.pos++
+		rhs := p.logAnd()
+		n = &Node{Kind: NLogOr, Lhs: p.scalarize(n), Rhs: p.scalarize(rhs), Type: typeInt, Line: line}
+	}
+	return n
+}
+
+func (p *parser) logAnd() *Node {
+	n := p.bitOr()
+	for p.peekIs("&&") {
+		line := p.tok().line
+		p.pos++
+		rhs := p.bitOr()
+		n = &Node{Kind: NLogAnd, Lhs: p.scalarize(n), Rhs: p.scalarize(rhs), Type: typeInt, Line: line}
+	}
+	return n
+}
+
+// binLevel builds one left-associative precedence level.
+func (p *parser) binLevel(next func() *Node, ops ...string) *Node {
+	n := next()
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.peekIs(op) {
+				line := p.tok().line
+				p.pos++
+				n = p.newBinary(op, n, next(), line)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return n
+		}
+	}
+}
+
+func (p *parser) bitOr() *Node  { return p.binLevel(p.bitXor, "|") }
+func (p *parser) bitXor() *Node { return p.binLevel(p.bitAnd, "^") }
+func (p *parser) bitAnd() *Node { return p.binLevel(p.equality, "&") }
+func (p *parser) equality() *Node {
+	return p.binLevel(p.relational, "==", "!=")
+}
+func (p *parser) relational() *Node {
+	return p.binLevel(p.shift, "<=", ">=", "<", ">")
+}
+func (p *parser) shift() *Node { return p.binLevel(p.additive, "<<", ">>") }
+func (p *parser) additive() *Node {
+	return p.binLevel(p.multiplicative, "+", "-")
+}
+func (p *parser) multiplicative() *Node {
+	return p.binLevel(p.castExpr, "*", "/", "%")
+}
+
+// newBinary builds a typed binary expression.
+func (p *parser) newBinary(op string, lhs, rhs *Node, line int) *Node {
+	lhs, rhs = p.decayNode(lhs), p.decayNode(rhs)
+	switch op {
+	case "+":
+		return p.newAdd(lhs, rhs, line)
+	case "-":
+		return p.newSub(lhs, rhs, line)
+	case "*", "/", "%", "&", "|", "^":
+		if !lhs.Type.IsInteger() || !rhs.Type.IsInteger() {
+			p.errAt(line, "operator %q wants integers, got %s and %s", op, lhs.Type, rhs.Type)
+		}
+		ty := usualArith(lhs.Type, rhs.Type)
+		return &Node{Kind: NBinary, Op: op,
+			Lhs: p.convert(lhs, ty, line), Rhs: p.convert(rhs, ty, line), Type: ty, Line: line}
+	case "<<", ">>":
+		if !lhs.Type.IsInteger() || !rhs.Type.IsInteger() {
+			p.errAt(line, "shift wants integers, got %s and %s", lhs.Type, rhs.Type)
+		}
+		ty := lhs.Type.promote()
+		return &Node{Kind: NBinary, Op: op,
+			Lhs: p.convert(lhs, ty, line), Rhs: p.convert(rhs, typeLong, line), Type: ty, Line: line}
+	case "==", "!=", "<", ">", "<=", ">=":
+		var common *Type
+		switch {
+		case lhs.Type.IsInteger() && rhs.Type.IsInteger():
+			common = usualArith(lhs.Type, rhs.Type)
+		case lhs.Type.Kind == TPointer && rhs.Type.Kind == TPointer:
+			common = typeULong
+		case lhs.Type.Kind == TPointer && rhs.Type.IsInteger():
+			common = typeULong // p == 0
+		case rhs.Type.Kind == TPointer && lhs.Type.IsInteger():
+			common = typeULong
+		default:
+			p.errAt(line, "cannot compare %s and %s", lhs.Type, rhs.Type)
+		}
+		n := &Node{Kind: NBinary, Op: op, Type: typeInt, Line: line, CommonType: common}
+		n.Lhs = p.convertForCompare(lhs, common, line)
+		n.Rhs = p.convertForCompare(rhs, common, line)
+		return n
+	}
+	p.errAt(line, "unknown operator %q", op)
+	return nil
+}
+
+// convertForCompare converts comparison operands; pointers pass through.
+func (p *parser) convertForCompare(n *Node, common *Type, line int) *Node {
+	if n.Type.Kind == TPointer {
+		return n
+	}
+	return p.convert(n, common, line)
+}
+
+// newAdd builds lhs + rhs with pointer arithmetic.
+func (p *parser) newAdd(lhs, rhs *Node, line int) *Node {
+	lhs, rhs = p.decayNode(lhs), p.decayNode(rhs)
+	if lhs.Type.IsInteger() && rhs.Type.IsInteger() {
+		ty := usualArith(lhs.Type, rhs.Type)
+		return &Node{Kind: NBinary, Op: "+",
+			Lhs: p.convert(lhs, ty, line), Rhs: p.convert(rhs, ty, line), Type: ty, Line: line}
+	}
+	if rhs.Type.Kind == TPointer && lhs.Type.IsInteger() {
+		lhs, rhs = rhs, lhs
+	}
+	if lhs.Type.Kind == TPointer && rhs.Type.IsInteger() {
+		if lhs.Type.Elem.Size <= 0 {
+			p.errAt(line, "arithmetic on pointer to incomplete type %s", lhs.Type.Elem)
+		}
+		scaled := p.scaleBy(rhs, lhs.Type.Elem.Size, line)
+		return &Node{Kind: NBinary, Op: "+", Lhs: lhs, Rhs: scaled, Type: lhs.Type, Line: line}
+	}
+	p.errAt(line, "invalid operands to +: %s and %s", lhs.Type, rhs.Type)
+	return nil
+}
+
+// newSub builds lhs - rhs with pointer arithmetic.
+func (p *parser) newSub(lhs, rhs *Node, line int) *Node {
+	lhs, rhs = p.decayNode(lhs), p.decayNode(rhs)
+	switch {
+	case lhs.Type.IsInteger() && rhs.Type.IsInteger():
+		ty := usualArith(lhs.Type, rhs.Type)
+		return &Node{Kind: NBinary, Op: "-",
+			Lhs: p.convert(lhs, ty, line), Rhs: p.convert(rhs, ty, line), Type: ty, Line: line}
+	case lhs.Type.Kind == TPointer && rhs.Type.IsInteger():
+		scaled := p.scaleBy(rhs, lhs.Type.Elem.Size, line)
+		return &Node{Kind: NBinary, Op: "-", Lhs: lhs, Rhs: scaled, Type: lhs.Type, Line: line}
+	case lhs.Type.Kind == TPointer && rhs.Type.Kind == TPointer:
+		diff := &Node{Kind: NBinary, Op: "-", Lhs: lhs, Rhs: rhs, Type: typeLong, Line: line}
+		size := &Node{Kind: NNum, Val: int64(lhs.Type.Elem.Size), Type: typeLong, Line: line}
+		return &Node{Kind: NBinary, Op: "/", Lhs: diff, Rhs: size, Type: typeLong, Line: line}
+	}
+	p.errAt(line, "invalid operands to -: %s and %s", lhs.Type, rhs.Type)
+	return nil
+}
+
+// scaleBy multiplies an index expression by an element size.
+func (p *parser) scaleBy(n *Node, size, line int) *Node {
+	n = p.convert(n, typeLong, line)
+	if size == 1 {
+		return n
+	}
+	sz := &Node{Kind: NNum, Val: int64(size), Type: typeLong, Line: line}
+	return &Node{Kind: NBinary, Op: "*", Lhs: n, Rhs: sz, Type: typeLong, Line: line}
+}
+
+// castExpr parses (type)expr or a unary expression.
+func (p *parser) castExpr() *Node {
+	if p.peekIs("(") && p.typeStartsAt(p.pos+1) {
+		line := p.tok().line
+		p.expect("(")
+		ty := p.typeName()
+		p.expect(")")
+		inner := p.castExpr()
+		inner = p.decayNode(inner)
+		if ty.Kind == TVoid {
+			return &Node{Kind: NCast, Lhs: inner, Type: typeVoid, Line: line}
+		}
+		if !ty.IsScalar() {
+			p.errAt(line, "cannot cast to %s", ty)
+		}
+		if !inner.Type.IsScalar() {
+			p.errAt(line, "cannot cast from %s", inner.Type)
+		}
+		return &Node{Kind: NCast, Lhs: inner, Type: ty, Line: line}
+	}
+	return p.unary()
+}
+
+// typeStartsAt reports whether the token at index i begins a type name.
+func (p *parser) typeStartsAt(i int) bool {
+	t := p.toks[i]
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "void", "char", "short", "int", "long", "signed", "unsigned", "struct", "enum", "const":
+			return true
+		}
+		return false
+	}
+	return t.kind == tkIdent && p.lookupTypedef(t.text) != nil
+}
+
+// typeName parses an abstract type name (for casts and sizeof).
+func (p *parser) typeName() *Type {
+	var fl declFlags
+	ty := p.declspec(&fl)
+	for p.accept("*") {
+		ty = pointerTo(ty)
+	}
+	// Abstract array suffixes (rare in casts; supported for sizeof).
+	ty = p.typeSuffix(ty)
+	return ty
+}
+
+// unary parses unary expressions.
+func (p *parser) unary() *Node {
+	line := p.tok().line
+	switch {
+	case p.accept("+"):
+		n := p.castExpr()
+		n = p.decayNode(n)
+		if !n.Type.IsInteger() {
+			p.errAt(line, "unary + wants an integer")
+		}
+		return p.convert(n, n.Type.promote(), line)
+	case p.accept("-"):
+		n := p.decayNode(p.castExpr())
+		if !n.Type.IsInteger() {
+			p.errAt(line, "unary - wants an integer")
+		}
+		ty := n.Type.promote()
+		return &Node{Kind: NUnary, Op: "-", Lhs: p.convert(n, ty, line), Type: ty, Line: line}
+	case p.accept("~"):
+		n := p.decayNode(p.castExpr())
+		if !n.Type.IsInteger() {
+			p.errAt(line, "~ wants an integer")
+		}
+		ty := n.Type.promote()
+		return &Node{Kind: NUnary, Op: "~", Lhs: p.convert(n, ty, line), Type: ty, Line: line}
+	case p.accept("!"):
+		n := p.scalarize(p.castExpr())
+		return &Node{Kind: NUnary, Op: "!", Lhs: n, Type: typeInt, Line: line}
+	case p.accept("*"):
+		n := p.decayNode(p.castExpr())
+		if n.Type.Kind != TPointer {
+			p.errAt(line, "cannot dereference %s", n.Type)
+		}
+		if n.Type.Elem.Kind == TVoid {
+			p.errAt(line, "cannot dereference void*")
+		}
+		return &Node{Kind: NDeref, Lhs: n, Type: n.Type.Elem, Line: line}
+	case p.accept("&"):
+		n := p.castExpr()
+		if !n.lvalue() {
+			p.errAt(line, "cannot take the address of this expression")
+		}
+		return &Node{Kind: NAddr, Lhs: n, Type: pointerTo(n.Type), Line: line}
+	case p.accept("++"):
+		n := p.unary()
+		return p.compound(n, "+", &Node{Kind: NNum, Val: 1, Type: typeInt, Line: line}, line)
+	case p.accept("--"):
+		n := p.unary()
+		return p.compound(n, "-", &Node{Kind: NNum, Val: 1, Type: typeInt, Line: line}, line)
+	case p.accept("sizeof"):
+		if p.peekIs("(") && p.typeStartsAt(p.pos+1) {
+			p.expect("(")
+			ty := p.typeName()
+			p.expect(")")
+			if ty.Size < 0 {
+				p.errAt(line, "sizeof incomplete type %s", ty)
+			}
+			return &Node{Kind: NNum, Val: int64(ty.Size), Type: typeULong, Line: line}
+		}
+		n := p.unary()
+		if n.Type.Size < 0 {
+			p.errAt(line, "sizeof incomplete type %s", n.Type)
+		}
+		return &Node{Kind: NNum, Val: int64(n.Type.Size), Type: typeULong, Line: line}
+	}
+	return p.postfix()
+}
+
+// postfix parses postfix expressions.
+func (p *parser) postfix() *Node {
+	n := p.primary()
+	for {
+		line := p.tok().line
+		switch {
+		case p.accept("["):
+			idx := p.expr()
+			p.expect("]")
+			sum := p.newAdd(n, idx, line)
+			if sum.Type.Kind != TPointer {
+				p.errAt(line, "subscripted value is not an array or pointer")
+			}
+			n = &Node{Kind: NDeref, Lhs: sum, Type: sum.Type.Elem, Line: line}
+		case p.accept("."):
+			name := p.ident()
+			n = p.member(n, name, line)
+		case p.accept("->"):
+			name := p.ident()
+			inner := p.decayNode(n)
+			if inner.Type.Kind != TPointer || inner.Type.Elem.Kind != TStruct {
+				p.errAt(line, "-> on non-struct-pointer %s", inner.Type)
+			}
+			deref := &Node{Kind: NDeref, Lhs: inner, Type: inner.Type.Elem, Line: line}
+			n = p.member(deref, name, line)
+		case p.accept("++"):
+			n = p.postIncDec(n, 1, line)
+		case p.accept("--"):
+			n = p.postIncDec(n, -1, line)
+		default:
+			return n
+		}
+	}
+}
+
+// member builds n.name.
+func (p *parser) member(n *Node, name string, line int) *Node {
+	if n.Type.Kind != TStruct {
+		p.errAt(line, ". on non-struct %s", n.Type)
+	}
+	if n.Type.Size < 0 {
+		p.errAt(line, "member access on incomplete struct %s", n.Type)
+	}
+	f := n.Type.field(name)
+	if f == nil {
+		p.errAt(line, "%s has no field %q", n.Type, name)
+	}
+	return &Node{Kind: NMember, Lhs: n, Field: f, Type: f.Type, Line: line}
+}
+
+// postIncDec builds n++ / n--.
+func (p *parser) postIncDec(n *Node, delta int64, line int) *Node {
+	if !n.lvalue() {
+		p.errAt(line, "%s is not an lvalue", n.Type)
+	}
+	step := delta
+	switch {
+	case n.Type.IsInteger():
+	case n.Type.Kind == TPointer:
+		step = delta * int64(n.Type.Elem.Size)
+	default:
+		p.errAt(line, "cannot increment %s", n.Type)
+	}
+	return &Node{Kind: NPostInc, Lhs: n, Val: step, Type: n.Type, Line: line}
+}
+
+// primary parses primary expressions.
+func (p *parser) primary() *Node {
+	t := p.tok()
+	line := t.line
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		return &Node{Kind: NNum, Val: t.num, Type: literalType(t.num, t.suffix, t.hex), Line: line}
+	case tkString:
+		p.pos++
+		label := fmt.Sprintf(".Lstr%d", p.strCount)
+		p.strCount++
+		p.unit.Strings[label] = t.str
+		return &Node{Kind: NStr, StrLabel: label, Type: arrayOf(typeChar, len(t.str)+1), Line: line}
+	case tkPunct:
+		if t.text == "(" {
+			p.pos++
+			n := p.expr()
+			p.expect(")")
+			return n
+		}
+	case tkIdent:
+		name := t.text
+		// Function call?
+		if p.toks[p.pos+1].kind == tkPunct && p.toks[p.pos+1].text == "(" {
+			p.pos += 2
+			return p.call(name, line)
+		}
+		p.pos++
+		if v, ok := p.lookupEnum(name); ok {
+			return &Node{Kind: NNum, Val: v, Type: typeInt, Line: line}
+		}
+		o := p.lookupVar(name)
+		if o == nil {
+			p.errAt(line, "undeclared identifier %q", name)
+		}
+		if o.IsFunc {
+			p.errAt(line, "function %q used as a value (function pointers are not supported)", name)
+		}
+		return &Node{Kind: NVar, Var: o, Type: o.Type, Line: line}
+	}
+	p.errf("expected expression, got %q", p.describe())
+	return nil
+}
+
+// call parses the arguments of name(...) and types the call.
+func (p *parser) call(name string, line int) *Node {
+	o := p.lookupVar(name)
+	if o == nil {
+		p.errAt(line, "call to undeclared function %q", name)
+	}
+	if !o.IsFunc {
+		p.errAt(line, "%q is not a function", name)
+	}
+	ft := o.Type
+	var args []*Node
+	for !p.accept(")") {
+		if len(args) > 0 {
+			p.expect(",")
+		}
+		args = append(args, p.assign())
+	}
+	if len(args) < len(ft.Params) {
+		p.errAt(line, "too few arguments to %q: got %d, want %d", name, len(args), len(ft.Params))
+	}
+	if len(args) > len(ft.Params) && !ft.Variadic {
+		p.errAt(line, "too many arguments to %q: got %d, want %d", name, len(args), len(ft.Params))
+	}
+	for i := range args {
+		if i < len(ft.Params) {
+			args[i] = p.convert(args[i], ft.Params[i], line)
+		} else {
+			a := p.decayNode(args[i])
+			if a.Type.IsInteger() {
+				a = p.convert(a, a.Type.promote(), line)
+			}
+			args[i] = a
+		}
+	}
+	return &Node{Kind: NCall, FuncName: name, FuncType: ft, Args: args, Type: ft.Ret, Line: line}
+}
+
+// literalType picks the type of an integer literal following C11's rules
+// for our type set: the suffix sets a floor, then the first type in the
+// ladder that can represent the value wins. Decimal literals without a U
+// suffix never become unsigned; hex/octal literals may.
+func literalType(v int64, suffix string, hexOrOctal bool) *Type {
+	fitsInt := v >= 0 && v < 1<<31
+	fitsUInt := v >= 0 && v < 1<<32
+	switch suffix {
+	case "U":
+		if fitsUInt {
+			return typeUInt
+		}
+		return typeULong
+	case "L":
+		return typeLong // values above int64 max cannot be written in our grammar
+	case "UL":
+		return typeULong
+	}
+	switch {
+	case fitsInt:
+		return typeInt
+	case fitsUInt && hexOrOctal:
+		return typeUInt
+	default:
+		return typeLong
+	}
+}
+
+// decayNode converts array-typed expressions to pointers to their first
+// element (implemented as a cast node; codegen takes the address).
+func (p *parser) decayNode(n *Node) *Node {
+	if n.Type != nil && n.Type.Kind == TArray {
+		return &Node{Kind: NCast, Lhs: n, Type: pointerTo(n.Type.Elem), Line: n.Line}
+	}
+	return n
+}
+
+// convert coerces n to type to, inserting a cast node when needed.
+func (p *parser) convert(n *Node, to *Type, line int) *Node {
+	n = p.decayNode(n)
+	if equalType(n.Type, to) {
+		return n
+	}
+	if !n.Type.IsScalar() || !to.IsScalar() {
+		p.errAt(line, "cannot convert %s to %s", n.Type, to)
+	}
+	// Fold numeric literals immediately for cleaner code and constant
+	// expressions.
+	if n.Kind == NNum && to.IsInteger() {
+		return &Node{Kind: NNum, Val: truncateTo(n.Val, to), Type: to, Line: n.Line}
+	}
+	return &Node{Kind: NCast, Lhs: n, Type: to, Line: line}
+}
+
+// truncateTo wraps v to the width and signedness of ty.
+func truncateTo(v int64, ty *Type) int64 {
+	switch ty.Size {
+	case 1:
+		if ty.Unsigned {
+			return int64(uint8(v))
+		}
+		return int64(int8(v))
+	case 2:
+		if ty.Unsigned {
+			return int64(uint16(v))
+		}
+		return int64(int16(v))
+	case 4:
+		if ty.Unsigned {
+			return int64(uint32(v))
+		}
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+// evalConst evaluates a constant expression or fails.
+func (p *parser) evalConst(n *Node) int64 {
+	v, ok := constValue(n)
+	if !ok {
+		p.errAt(n.Line, "expression is not constant")
+	}
+	return v
+}
+
+// constValue attempts constant folding.
+func constValue(n *Node) (int64, bool) {
+	switch n.Kind {
+	case NNum:
+		return n.Val, true
+	case NCast:
+		v, ok := constValue(n.Lhs)
+		if !ok || !n.Type.IsInteger() {
+			return 0, false
+		}
+		return truncateTo(v, n.Type), true
+	case NUnary:
+		v, ok := constValue(n.Lhs)
+		if !ok {
+			return 0, false
+		}
+		switch n.Op {
+		case "-":
+			return truncateTo(-v, n.Type), true
+		case "~":
+			return truncateTo(^v, n.Type), true
+		case "!":
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case NCond:
+		c, ok := constValue(n.Cond)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return constValue(n.Then)
+		}
+		return constValue(n.Else)
+	case NLogAnd:
+		a, ok := constValue(n.Lhs)
+		if !ok {
+			return 0, false
+		}
+		if a == 0 {
+			return 0, true
+		}
+		b, ok := constValue(n.Rhs)
+		if !ok {
+			return 0, false
+		}
+		if b != 0 {
+			return 1, true
+		}
+		return 0, true
+	case NLogOr:
+		a, ok := constValue(n.Lhs)
+		if !ok {
+			return 0, false
+		}
+		if a != 0 {
+			return 1, true
+		}
+		b, ok := constValue(n.Rhs)
+		if !ok {
+			return 0, false
+		}
+		if b != 0 {
+			return 1, true
+		}
+		return 0, true
+	case NBinary:
+		a, ok := constValue(n.Lhs)
+		if !ok {
+			return 0, false
+		}
+		b, ok := constValue(n.Rhs)
+		if !ok {
+			return 0, false
+		}
+		ty := n.Type
+		unsigned := ty.IsInteger() && ty.Unsigned
+		switch n.Op {
+		case "+":
+			return truncateTo(a+b, ty), true
+		case "-":
+			return truncateTo(a-b, ty), true
+		case "*":
+			return truncateTo(a*b, ty), true
+		case "/":
+			if b == 0 {
+				return 0, false
+			}
+			if unsigned {
+				return truncateTo(int64(uint64(a)/uint64(b)), ty), true
+			}
+			return truncateTo(a/b, ty), true
+		case "%":
+			if b == 0 {
+				return 0, false
+			}
+			if unsigned {
+				return truncateTo(int64(uint64(a)%uint64(b)), ty), true
+			}
+			return truncateTo(a%b, ty), true
+		case "&":
+			return truncateTo(a&b, ty), true
+		case "|":
+			return truncateTo(a|b, ty), true
+		case "^":
+			return truncateTo(a^b, ty), true
+		case "<<":
+			return truncateTo(a<<(uint64(b)&63), ty), true
+		case ">>":
+			if unsigned {
+				return truncateTo(int64(uint64(a)>>(uint64(b)&63)), ty), true
+			}
+			return truncateTo(a>>(uint64(b)&63), ty), true
+		case "==", "!=", "<", ">", "<=", ">=":
+			cu := n.CommonType != nil && n.CommonType.Unsigned
+			var r bool
+			switch n.Op {
+			case "==":
+				r = a == b
+			case "!=":
+				r = a != b
+			case "<":
+				if cu {
+					r = uint64(a) < uint64(b)
+				} else {
+					r = a < b
+				}
+			case ">":
+				if cu {
+					r = uint64(a) > uint64(b)
+				} else {
+					r = a > b
+				}
+			case "<=":
+				if cu {
+					r = uint64(a) <= uint64(b)
+				} else {
+					r = a <= b
+				}
+			case ">=":
+				if cu {
+					r = uint64(a) >= uint64(b)
+				} else {
+					r = a >= b
+				}
+			}
+			if r {
+				return 1, true
+			}
+			return 0, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,322 @@
+package minic
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Differential fuzzing: generate random C expressions over typed variables,
+// compile and run them on the EVM, and compare against a Go evaluator that
+// mirrors C's arithmetic conversions. This is the strongest correctness
+// evidence for the compiler's integer semantics (the enclave benchmarks
+// lean on exactly these: mixed-width unsigned arithmetic, shifts, and
+// comparisons).
+
+// cType describes one of the fuzzer's types.
+type cType struct {
+	name     string
+	bits     uint
+	unsigned bool
+}
+
+var fuzzTypes = []cType{
+	{"int8_t", 8, false},
+	{"uint8_t", 8, true},
+	{"int16_t", 16, false},
+	{"uint16_t", 16, true},
+	{"int", 32, false},
+	{"unsigned int", 32, true},
+	{"long", 64, false},
+	{"unsigned long", 64, true},
+}
+
+// cVal is a value carried with its C type.
+type cVal struct {
+	v  int64 // canonical: sign- or zero-extended into 64 bits per type
+	ty cType
+}
+
+// canon wraps v to ty's width and extension.
+func canon(v int64, ty cType) int64 {
+	switch ty.bits {
+	case 8:
+		if ty.unsigned {
+			return int64(uint8(v))
+		}
+		return int64(int8(v))
+	case 16:
+		if ty.unsigned {
+			return int64(uint16(v))
+		}
+		return int64(int16(v))
+	case 32:
+		if ty.unsigned {
+			return int64(uint32(v))
+		}
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+var tInt = cType{"int", 32, false}
+var tLong = cType{"long", 64, false}
+
+// promote applies C integer promotion.
+func (t cType) promote() cType {
+	if t.bits < 32 {
+		return tInt
+	}
+	return t
+}
+
+// usual applies the usual arithmetic conversions.
+func usual(a, b cType) cType {
+	a, b = a.promote(), b.promote()
+	switch {
+	case a.bits > b.bits:
+		return a
+	case b.bits > a.bits:
+		return b
+	case a.unsigned:
+		return a
+	default:
+		return b
+	}
+}
+
+// expr is a generated expression: C source, the Go-evaluated value, and
+// whether evaluation hit undefined/trapping behavior (division by zero) —
+// in which case the candidate is discarded.
+type expr struct {
+	src string
+	val cVal
+	bad bool
+}
+
+// genExpr builds a random expression of the given depth over the variables.
+func genExpr(r *rand.Rand, vars []cVal, depth int) expr {
+	if depth == 0 || r.Intn(4) == 0 {
+		if r.Intn(2) == 0 && len(vars) > 0 {
+			i := r.Intn(len(vars))
+			return expr{src: fmt.Sprintf("v%d", i), val: vars[i]}
+		}
+		ty := fuzzTypes[r.Intn(len(fuzzTypes))]
+		raw := r.Int63() >> uint(r.Intn(62))
+		if r.Intn(2) == 0 {
+			raw = -raw
+		}
+		v := canon(raw, ty)
+		// Emit the literal as a cast so its C type matches ty exactly.
+		return expr{src: fmt.Sprintf("(%s)%dL", ty.name, v), val: cVal{v: v, ty: ty}}
+	}
+
+	ops := []string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>", "==", "!=", "<", ">", "<=", ">=", "u-", "u~", "u!", "cast", "cond"}
+	op := ops[r.Intn(len(ops))]
+	a := genExpr(r, vars, depth-1)
+	if a.bad {
+		return a
+	}
+	switch op {
+	case "u-":
+		ty := a.val.ty.promote()
+		return expr{src: "(-(" + a.src + "))", val: cVal{v: canon(-canon(a.val.v, ty), ty), ty: ty}}
+	case "u~":
+		ty := a.val.ty.promote()
+		return expr{src: "(~(" + a.src + "))", val: cVal{v: canon(^canon(a.val.v, ty), ty), ty: ty}}
+	case "u!":
+		var v int64
+		if a.val.v == 0 {
+			v = 1
+		}
+		return expr{src: "(!(" + a.src + "))", val: cVal{v: v, ty: tInt}}
+	case "cast":
+		ty := fuzzTypes[r.Intn(len(fuzzTypes))]
+		return expr{src: fmt.Sprintf("((%s)(%s))", ty.name, a.src), val: cVal{v: canon(a.val.v, ty), ty: ty}}
+	case "cond":
+		b := genExpr(r, vars, depth-1)
+		c := genExpr(r, vars, depth-1)
+		if b.bad || c.bad {
+			return expr{bad: true}
+		}
+		ty := usual(b.val.ty, c.val.ty)
+		pick := c.val
+		if a.val.v != 0 {
+			pick = b.val
+		}
+		return expr{
+			src: "((" + a.src + ") ? (" + b.src + ") : (" + c.src + "))",
+			val: cVal{v: canon(pick.v, ty), ty: ty},
+		}
+	}
+
+	b := genExpr(r, vars, depth-1)
+	if b.bad {
+		return b
+	}
+	src := "((" + a.src + ") " + op + " (" + b.src + "))"
+	switch op {
+	case "==", "!=", "<", ">", "<=", ">=":
+		ct := usual(a.val.ty, b.val.ty)
+		av, bv := canon(a.val.v, ct), canon(b.val.v, ct)
+		var res bool
+		if ct.unsigned {
+			ua, ub := uint64(av), uint64(bv)
+			switch op {
+			case "==":
+				res = ua == ub
+			case "!=":
+				res = ua != ub
+			case "<":
+				res = ua < ub
+			case ">":
+				res = ua > ub
+			case "<=":
+				res = ua <= ub
+			case ">=":
+				res = ua >= ub
+			}
+		} else {
+			switch op {
+			case "==":
+				res = av == bv
+			case "!=":
+				res = av != bv
+			case "<":
+				res = av < bv
+			case ">":
+				res = av > bv
+			case "<=":
+				res = av <= bv
+			case ">=":
+				res = av >= bv
+			}
+		}
+		var v int64
+		if res {
+			v = 1
+		}
+		return expr{src: src, val: cVal{v: v, ty: tInt}}
+	case "<<", ">>":
+		ty := a.val.ty.promote()
+		// Keep the count well-defined: mask into [0, bits).
+		count := canon(b.val.v, tLong)
+		if count < 0 || count >= int64(ty.bits) {
+			return expr{bad: true}
+		}
+		av := canon(a.val.v, ty)
+		var v int64
+		if op == "<<" {
+			v = canon(av<<uint(count), ty)
+		} else if ty.unsigned {
+			v = canon(int64(uint64(av)>>uint(count)), ty)
+		} else {
+			v = canon(av>>uint(count), ty)
+		}
+		return expr{src: src, val: cVal{v: v, ty: ty}}
+	default:
+		ct := usual(a.val.ty, b.val.ty)
+		av, bv := canon(a.val.v, ct), canon(b.val.v, ct)
+		var v int64
+		switch op {
+		case "+":
+			v = av + bv
+		case "-":
+			v = av - bv
+		case "*":
+			v = av * bv
+		case "/", "%":
+			if bv == 0 {
+				return expr{bad: true}
+			}
+			if !ct.unsigned && av == -1<<63 && bv == -1 {
+				return expr{bad: true} // signed overflow
+			}
+			if ct.unsigned {
+				if op == "/" {
+					v = int64(uint64(av) / uint64(bv))
+				} else {
+					v = int64(uint64(av) % uint64(bv))
+				}
+			} else {
+				if op == "/" {
+					v = av / bv
+				} else {
+					v = av % bv
+				}
+			}
+		case "&":
+			v = av & bv
+		case "|":
+			v = av | bv
+		case "^":
+			v = av ^ bv
+		}
+		return expr{src: src, val: cVal{v: canon(v, ct), ty: ct}}
+	}
+}
+
+// TestDifferentialExpressionFuzz compiles batches of random expressions and
+// compares EVM results against the Go model.
+func TestDifferentialExpressionFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(20260706))
+	const rounds = 150
+	const perProgram = 8
+	for round := 0; round < rounds; round++ {
+		// Random typed variables with known values.
+		var decls strings.Builder
+		vars := make([]cVal, 4)
+		for i := range vars {
+			ty := fuzzTypes[r.Intn(len(fuzzTypes))]
+			v := canon(r.Int63()>>uint(r.Intn(62))-r.Int63()>>uint(r.Intn(62)), ty)
+			vars[i] = cVal{v: v, ty: ty}
+			fmt.Fprintf(&decls, "%s v%d = (%s)%dL;\n", ty.name, i, ty.name, v)
+		}
+
+		// A batch of expressions; each is checked via an equality test so
+		// widths/extensions must match exactly.
+		var body strings.Builder
+		var exprs []expr
+		for len(exprs) < perProgram {
+			e := genExpr(r, vars, 3)
+			if e.bad {
+				continue
+			}
+			exprs = append(exprs, e)
+		}
+		for i, e := range exprs {
+			fmt.Fprintf(&body, "    { %s got%d = %s; if (got%d != (%s)%dL) return %d; }\n",
+				e.val.ty.name, i, e.src, i, e.val.ty.name, e.val.v, i+1)
+		}
+		src := decls.String() + "int main(void) {\n" + body.String() + "    return 0;\n}\n"
+		got := ret(t, src)
+		if int32(got) != 0 {
+			idx := int32(got) - 1
+			t.Fatalf("round %d: expression %d disagreed\nexpr: %s\nwant: %d (%s)\nprogram:\n%s",
+				round, idx, exprs[idx].src, exprs[idx].val.v, exprs[idx].val.ty.name, src)
+		}
+	}
+}
+
+// TestConstantFoldingMatchesRuntime checks that expressions the compiler
+// folds at compile time (global initializers) agree with the same
+// expressions computed at run time.
+func TestConstantFoldingMatchesRuntime(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for round := 0; round < 25; round++ {
+		e := genExpr(r, nil, 3)
+		if e.bad {
+			continue
+		}
+		src := fmt.Sprintf(`
+%s g = %s;                       /* folded at compile time */
+%s compute(void) { %s x = %s; return x; } /* computed at run time */
+int main(void) { return g == compute() ? 0 : 1; }
+`, e.val.ty.name, e.src, e.val.ty.name, e.val.ty.name, e.src)
+		if got := ret(t, src); int32(got) != 0 {
+			t.Fatalf("round %d: fold/runtime disagreement for %s\nprogram:\n%s", round, e.src, src)
+		}
+	}
+}

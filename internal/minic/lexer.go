@@ -1,0 +1,358 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// tokenKind discriminates lexer tokens.
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber
+	tkString
+	tkPunct
+)
+
+// token is one lexical token.
+type token struct {
+	kind   tokenKind
+	text   string // identifier, keyword, or punctuator text
+	num    int64  // numeric value for tkNumber
+	suffix string // integer suffix, normalized to upper case ("", "U", "L", "UL")
+	hex    bool   // literal was written in hex/octal (affects C typing rules)
+	str    string // decoded value for tkString
+	line   int
+}
+
+// Error is a compile error with a source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"signed": true, "unsigned": true, "struct": true, "enum": true,
+	"typedef": true, "const": true, "static": true, "extern": true,
+	"if": true, "else": true, "while": true, "do": true, "for": true,
+	"switch": true, "case": true, "default": true,
+	"return": true, "break": true, "continue": true, "sizeof": true,
+}
+
+// punctuators, longest first so maximal munch works.
+var puncts = []string{
+	"<<=", ">>=", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// lexer tokenizes minic source, expanding object-like #define macros.
+type lexer struct {
+	file   string
+	src    string
+	pos    int
+	line   int
+	macros map[string][]token
+}
+
+// lexAll tokenizes the whole file.
+func lexAll(file, src string) ([]token, error) {
+	lx := &lexer{file: file, src: src, line: 1, macros: make(map[string][]token)}
+	var out []token
+	for {
+		toks, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		if toks == nil {
+			continue // directive consumed
+		}
+		out = append(out, toks...)
+		if toks[len(toks)-1].kind == tkEOF {
+			return out, nil
+		}
+	}
+}
+
+// errf builds a positioned error.
+func (lx *lexer) errf(format string, args ...interface{}) error {
+	return &Error{File: lx.file, Line: lx.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// next returns the next token(s): usually one, several for an expanded
+// macro, or nil when a directive line was consumed.
+func (lx *lexer) next() ([]token, error) {
+	lx.skipSpace()
+	if lx.pos >= len(lx.src) {
+		return []token{{kind: tkEOF, line: lx.line}}, nil
+	}
+	c := lx.src[lx.pos]
+
+	if c == '#' && lx.atLineStart() {
+		return nil, lx.directive()
+	}
+
+	switch {
+	case isDigit(c):
+		return lx.number()
+	case isIdentStart(c):
+		return lx.ident()
+	case c == '"':
+		return lx.stringLit()
+	case c == '\'':
+		return lx.charLit()
+	}
+	for _, p := range puncts {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.pos += len(p)
+			return []token{{kind: tkPunct, text: p, line: lx.line}}, nil
+		}
+	}
+	return nil, lx.errf("unexpected character %q", c)
+}
+
+// atLineStart reports whether only whitespace precedes pos on this line.
+func (lx *lexer) atLineStart() bool {
+	for i := lx.pos - 1; i >= 0; i-- {
+		switch lx.src[i] {
+		case '\n':
+			return true
+		case ' ', '\t', '\r':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// skipSpace consumes whitespace and comments.
+func (lx *lexer) skipSpace() {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				lx.pos++
+			}
+			lx.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+// directive handles #define NAME tokens... and #undef. Other directives
+// (#include, conditionals) are rejected with a clear message.
+func (lx *lexer) directive() error {
+	// Take the rest of the physical line.
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+		lx.pos++
+	}
+	line := lx.src[start:lx.pos]
+	defLine := lx.line
+
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return lx.errf("empty preprocessor directive")
+	}
+	switch fields[0] {
+	case "#define":
+		if len(fields) < 2 {
+			return lx.errf("#define wants a name")
+		}
+		name := fields[1]
+		if strings.Contains(name, "(") {
+			return lx.errf("function-like macros are not supported")
+		}
+		body := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(line, fields[0]), " "))
+		body = strings.TrimSpace(strings.TrimPrefix(body, name))
+		sub := &lexer{file: lx.file, src: body, line: defLine, macros: lx.macros}
+		var toks []token
+		for {
+			ts, err := sub.next()
+			if err != nil {
+				return err
+			}
+			if ts == nil {
+				continue
+			}
+			if ts[len(ts)-1].kind == tkEOF {
+				toks = append(toks, ts[:len(ts)-1]...)
+				break
+			}
+			toks = append(toks, ts...)
+		}
+		lx.macros[name] = toks
+		return nil
+	case "#undef":
+		if len(fields) != 2 {
+			return lx.errf("#undef wants a name")
+		}
+		delete(lx.macros, fields[1])
+		return nil
+	default:
+		return lx.errf("unsupported preprocessor directive %s", fields[0])
+	}
+}
+
+func (lx *lexer) number() ([]token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && (isIdentChar(lx.src[lx.pos])) {
+		lx.pos++
+	}
+	text := lx.src[start:lx.pos]
+	trimmed := strings.TrimRight(text, "uUlL")
+	rawSuffix := text[len(trimmed):]
+	v, err := strconv.ParseUint(trimmed, 0, 64)
+	if err != nil {
+		return nil, lx.errf("bad number %q", text)
+	}
+	var suffix string
+	if strings.ContainsAny(rawSuffix, "uU") {
+		suffix += "U"
+	}
+	if strings.ContainsAny(rawSuffix, "lL") {
+		suffix += "L"
+	}
+	hex := len(trimmed) > 1 && trimmed[0] == '0' // hex or octal
+	return []token{{kind: tkNumber, num: int64(v), suffix: suffix, hex: hex, line: lx.line}}, nil
+}
+
+func (lx *lexer) ident() ([]token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentChar(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	name := lx.src[start:lx.pos]
+	if body, ok := lx.macros[name]; ok {
+		out := make([]token, len(body))
+		for i, t := range body {
+			t.line = lx.line
+			out[i] = t
+		}
+		if len(out) == 0 {
+			return nil, nil // macro expanding to nothing
+		}
+		return out, nil
+	}
+	kind := tkIdent
+	if keywords[name] {
+		kind = tkKeyword
+	}
+	return []token{{kind: kind, text: name, line: lx.line}}, nil
+}
+
+func (lx *lexer) stringLit() ([]token, error) {
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for {
+		if lx.pos >= len(lx.src) || lx.src[lx.pos] == '\n' {
+			return nil, lx.errf("unterminated string literal")
+		}
+		c := lx.src[lx.pos]
+		if c == '"' {
+			lx.pos++
+			return []token{{kind: tkString, str: sb.String(), line: lx.line}}, nil
+		}
+		if c == '\\' {
+			v, err := lx.escape()
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteByte(v)
+			continue
+		}
+		sb.WriteByte(c)
+		lx.pos++
+	}
+}
+
+func (lx *lexer) charLit() ([]token, error) {
+	lx.pos++ // opening quote
+	if lx.pos >= len(lx.src) {
+		return nil, lx.errf("unterminated char literal")
+	}
+	var v byte
+	if lx.src[lx.pos] == '\\' {
+		b, err := lx.escape()
+		if err != nil {
+			return nil, err
+		}
+		v = b
+	} else {
+		v = lx.src[lx.pos]
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) || lx.src[lx.pos] != '\'' {
+		return nil, lx.errf("unterminated char literal")
+	}
+	lx.pos++
+	return []token{{kind: tkNumber, num: int64(v), line: lx.line}}, nil
+}
+
+// escape decodes a backslash escape starting at the backslash.
+func (lx *lexer) escape() (byte, error) {
+	lx.pos++ // backslash
+	if lx.pos >= len(lx.src) {
+		return 0, lx.errf("unterminated escape")
+	}
+	c := lx.src[lx.pos]
+	lx.pos++
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case 'a':
+		return 7, nil
+	case 'b':
+		return 8, nil
+	case '\\', '\'', '"':
+		return c, nil
+	case 'x':
+		start := lx.pos
+		for lx.pos < len(lx.src) && isHexDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		v, err := strconv.ParseUint(lx.src[start:lx.pos], 16, 8)
+		if err != nil {
+			return 0, lx.errf("bad hex escape")
+		}
+		return byte(v), nil
+	default:
+		return 0, lx.errf("unknown escape \\%c", c)
+	}
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool   { return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') }
+func isIdentStart(c byte) bool { return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+func isIdentChar(c byte) bool  { return isIdentStart(c) || isDigit(c) }

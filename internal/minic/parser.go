@@ -1,0 +1,677 @@
+package minic
+
+import "fmt"
+
+// parser builds a typed AST from the token stream. Parse errors are raised
+// by panicking with *Error and recovered in Parse.
+type parser struct {
+	file string
+	toks []token
+	pos  int
+
+	unit     *Unit
+	scopes   []*scope
+	fn       *Obj // current function, nil at file scope
+	strCount int
+	tmpCount int
+	switches []*Node
+
+	// lastParamNames holds parameter names from the most recent funcParams
+	// call, consumed by funcDef.
+	lastParamNames []string
+}
+
+// scope is one lexical scope level.
+type scope struct {
+	vars     map[string]*Obj
+	typedefs map[string]*Type
+	tags     map[string]*Type // struct tags
+	enums    map[string]int64
+}
+
+func newScope() *scope {
+	return &scope{
+		vars:     make(map[string]*Obj),
+		typedefs: make(map[string]*Type),
+		tags:     make(map[string]*Type),
+		enums:    make(map[string]int64),
+	}
+}
+
+// Parse parses one translation unit.
+func Parse(file, src string) (u *Unit, err error) {
+	toks, err := lexAll(file, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		file: file,
+		toks: toks,
+		unit: &Unit{File: file, Strings: make(map[string]string)},
+	}
+	p.pushScope()
+	for name, t := range builtinTypedefs {
+		p.scopes[0].typedefs[name] = t
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(*Error); ok {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	for !p.atEOF() {
+		p.topLevel()
+	}
+	return p.unit, nil
+}
+
+// --- token helpers ---
+
+func (p *parser) tok() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.tok().kind == tkEOF }
+
+func (p *parser) errf(format string, args ...interface{}) {
+	panic(&Error{File: p.file, Line: p.tok().line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) errAt(line int, format string, args ...interface{}) {
+	panic(&Error{File: p.file, Line: line, Msg: fmt.Sprintf(format, args...)})
+}
+
+// peekIs reports whether the current token is punctuator or keyword s.
+func (p *parser) peekIs(s string) bool {
+	t := p.tok()
+	return (t.kind == tkPunct || t.kind == tkKeyword) && t.text == s
+}
+
+// accept consumes s if present.
+func (p *parser) accept(s string) bool {
+	if p.peekIs(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes s or fails.
+func (p *parser) expect(s string) {
+	if !p.accept(s) {
+		p.errf("expected %q, got %q", s, p.describe())
+	}
+}
+
+func (p *parser) describe() string {
+	t := p.tok()
+	switch t.kind {
+	case tkEOF:
+		return "end of file"
+	case tkNumber:
+		return fmt.Sprintf("%d", t.num)
+	case tkString:
+		return fmt.Sprintf("%q", t.str)
+	default:
+		return t.text
+	}
+}
+
+// ident consumes and returns an identifier.
+func (p *parser) ident() string {
+	t := p.tok()
+	if t.kind != tkIdent {
+		p.errf("expected identifier, got %q", p.describe())
+	}
+	p.pos++
+	return t.text
+}
+
+// --- scopes ---
+
+func (p *parser) pushScope() { p.scopes = append(p.scopes, newScope()) }
+func (p *parser) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *parser) lookupVar(name string) *Obj {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if o, ok := p.scopes[i].vars[name]; ok {
+			return o
+		}
+	}
+	return nil
+}
+
+func (p *parser) lookupTypedef(name string) *Type {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if t, ok := p.scopes[i].typedefs[name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *parser) lookupTag(name string) *Type {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if t, ok := p.scopes[i].tags[name]; ok {
+			return t
+		}
+	}
+	return nil
+}
+
+func (p *parser) lookupEnum(name string) (int64, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if v, ok := p.scopes[i].enums[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func (p *parser) curScope() *scope { return p.scopes[len(p.scopes)-1] }
+
+// --- declarations ---
+
+// declFlags carries storage-class and qualifier info from declspec.
+type declFlags struct {
+	isTypedef bool
+	isExtern  bool
+	isStatic  bool
+	isConst   bool
+}
+
+// isTypeStart reports whether the current token can begin a declaration
+// specifier.
+func (p *parser) isTypeStart() bool {
+	t := p.tok()
+	if t.kind == tkKeyword {
+		switch t.text {
+		case "void", "char", "short", "int", "long", "signed", "unsigned",
+			"struct", "enum", "typedef", "const", "static", "extern":
+			return true
+		}
+		return false
+	}
+	return t.kind == tkIdent && p.lookupTypedef(t.text) != nil
+}
+
+// declspec parses declaration specifiers and returns the base type.
+func (p *parser) declspec(fl *declFlags) *Type {
+	var (
+		base     *Type
+		sawInt   bool
+		short    bool
+		long     int
+		signed   bool
+		unsigned bool
+		sawChar  bool
+	)
+	for {
+		t := p.tok()
+		if t.kind == tkKeyword {
+			switch t.text {
+			case "typedef":
+				fl.isTypedef = true
+				p.pos++
+				continue
+			case "extern":
+				fl.isExtern = true
+				p.pos++
+				continue
+			case "static":
+				fl.isStatic = true
+				p.pos++
+				continue
+			case "const":
+				fl.isConst = true
+				p.pos++
+				continue
+			case "void":
+				base = typeVoid
+				p.pos++
+				continue
+			case "char":
+				sawChar = true
+				p.pos++
+				continue
+			case "short":
+				short = true
+				p.pos++
+				continue
+			case "int":
+				sawInt = true
+				p.pos++
+				continue
+			case "long":
+				long++
+				p.pos++
+				continue
+			case "signed":
+				signed = true
+				p.pos++
+				continue
+			case "unsigned":
+				unsigned = true
+				p.pos++
+				continue
+			case "struct":
+				p.pos++
+				base = p.structDecl()
+				continue
+			case "enum":
+				p.pos++
+				base = p.enumDecl()
+				continue
+			}
+		}
+		if t.kind == tkIdent && base == nil && !sawChar && !short && !sawInt && long == 0 {
+			if td := p.lookupTypedef(t.text); td != nil {
+				// Only take the typedef if it is not the declared name
+				// (e.g. "typedef int foo; foo foo;" is out of scope here).
+				base = td
+				p.pos++
+				continue
+			}
+		}
+		break
+	}
+	if base != nil {
+		if unsigned && base.Kind == TInt {
+			u := *base
+			u.Unsigned = true
+			return &u
+		}
+		return base
+	}
+	switch {
+	case sawChar:
+		if unsigned {
+			return typeUChar
+		}
+		return typeChar
+	case short:
+		if unsigned {
+			return typeUShort
+		}
+		return typeUShort2(unsigned)
+	case long > 0:
+		if unsigned {
+			return typeULong
+		}
+		return typeLong
+	case sawInt || signed || unsigned:
+		if unsigned {
+			return typeUInt
+		}
+		return typeInt
+	}
+	p.errf("expected type, got %q", p.describe())
+	return nil
+}
+
+// typeUShort2 exists to keep short handling symmetrical.
+func typeUShort2(unsigned bool) *Type {
+	if unsigned {
+		return typeUShort
+	}
+	return typeShort
+}
+
+// structDecl parses struct Tag? { fields }? .
+func (p *parser) structDecl() *Type {
+	var tag string
+	if p.tok().kind == tkIdent {
+		tag = p.ident()
+	}
+	if !p.peekIs("{") {
+		if tag == "" {
+			p.errf("anonymous struct needs a body")
+		}
+		if t := p.lookupTag(tag); t != nil {
+			return t
+		}
+		// Forward declaration: incomplete struct, usable through pointers.
+		t := &Type{Kind: TStruct, StructName: tag, Size: -1, Align: 1}
+		p.curScope().tags[tag] = t
+		return t
+	}
+	p.expect("{")
+	st := &Type{Kind: TStruct, StructName: tag, Align: 1}
+	if tag != "" {
+		if prev := p.lookupTag(tag); prev != nil && prev.Size == -1 {
+			st = prev // complete the forward declaration in place
+			st.Align = 1
+		}
+		p.curScope().tags[tag] = st
+	}
+	offset := 0
+	for !p.accept("}") {
+		var fl declFlags
+		base := p.declspec(&fl)
+		first := true
+		for !p.accept(";") {
+			if !first {
+				p.expect(",")
+			}
+			first = false
+			ty, name := p.declarator(base)
+			if name == "" {
+				p.errf("struct field needs a name")
+			}
+			if ty.Size <= 0 && ty.Kind != TInt {
+				p.errf("field %q has incomplete type", name)
+			}
+			offset = alignUp(offset, ty.Align)
+			st.Fields = append(st.Fields, Field{Name: name, Type: ty, Offset: offset})
+			offset += ty.Size
+			if ty.Align > st.Align {
+				st.Align = ty.Align
+			}
+		}
+	}
+	st.Size = alignUp(offset, st.Align)
+	return st
+}
+
+// enumDecl parses enum Tag? { A, B = expr, ... }? .
+func (p *parser) enumDecl() *Type {
+	if p.tok().kind == tkIdent {
+		p.ident() // tag, unused beyond syntax
+	}
+	if !p.peekIs("{") {
+		return typeInt
+	}
+	p.expect("{")
+	next := int64(0)
+	for !p.accept("}") {
+		name := p.ident()
+		if p.accept("=") {
+			e := p.conditional()
+			next = p.evalConst(e)
+		}
+		p.curScope().enums[name] = next
+		next++
+		if !p.peekIs("}") {
+			p.expect(",")
+		}
+	}
+	return typeInt
+}
+
+// declarator parses pointers, a (possibly absent) name, and array/function
+// suffixes, returning the full type and the name.
+func (p *parser) declarator(base *Type) (*Type, string) {
+	ty := base
+	for p.accept("*") {
+		ty = pointerTo(ty)
+		for p.accept("const") {
+		}
+	}
+	name := ""
+	if p.tok().kind == tkIdent {
+		name = p.ident()
+	} else if p.peekIs("(") {
+		p.errf("parenthesized declarators (function pointers) are not supported")
+	}
+	return p.typeSuffix(ty), name
+}
+
+// typeSuffix parses array dimensions or a function parameter list.
+func (p *parser) typeSuffix(ty *Type) *Type {
+	if p.accept("(") {
+		return p.funcParams(ty)
+	}
+	if p.accept("[") {
+		if p.accept("]") {
+			// Incomplete array: only valid with an initializer or as a
+			// parameter (decays to pointer). Mark Len -1.
+			inner := p.typeSuffix(ty)
+			return &Type{Kind: TArray, Size: -1, Align: inner.Align, Elem: inner, Len: -1}
+		}
+		e := p.conditional()
+		n := p.evalConst(e)
+		p.expect("]")
+		if n < 0 {
+			p.errf("negative array size")
+		}
+		inner := p.typeSuffix(ty)
+		if inner.Size < 0 {
+			p.errf("array of incomplete type")
+		}
+		return arrayOf(inner, int(n))
+	}
+	return ty
+}
+
+// funcParams parses a parameter list after '('. The returned type is a
+// TFunc; parameter names are stashed via paramNames.
+func (p *parser) funcParams(ret *Type) *Type {
+	fn := &Type{Kind: TFunc, Ret: ret}
+	p.lastParamNames = nil
+	if p.accept(")") {
+		return fn
+	}
+	if p.peekIs("void") && p.toks[p.pos+1].kind == tkPunct && p.toks[p.pos+1].text == ")" {
+		p.pos += 2
+		return fn
+	}
+	for {
+		if p.accept("...") {
+			fn.Variadic = true
+			p.expect(")")
+			return fn
+		}
+		var fl declFlags
+		base := p.declspec(&fl)
+		ty, name := p.declarator(base)
+		// Arrays decay to pointers in parameter position.
+		if ty.Kind == TArray {
+			ty = pointerTo(ty.Elem)
+		}
+		fn.Params = append(fn.Params, ty)
+		p.lastParamNames = append(p.lastParamNames, name)
+		if p.accept(")") {
+			return fn
+		}
+		p.expect(",")
+	}
+}
+
+// topLevel parses one top-level declaration.
+func (p *parser) topLevel() {
+	var fl declFlags
+	base := p.declspec(&fl)
+
+	// "struct S;" / "enum {...};" style declarations.
+	if p.accept(";") {
+		return
+	}
+
+	first := true
+	for {
+		if !first {
+			p.expect(",")
+		}
+		first = false
+		line := p.tok().line
+		ty, name := p.declarator(base)
+		if name == "" {
+			p.errf("declaration needs a name")
+		}
+		if fl.isTypedef {
+			p.curScope().typedefs[name] = ty
+			p.expect(";")
+			return
+		}
+		if ty.Kind == TFunc {
+			if p.peekIs("{") {
+				o := p.funcDef(name, ty, line)
+				if fl.isStatic {
+					o.IsStatic = true
+				}
+				return
+			}
+			o := p.declareFunc(name, ty, line, false)
+			if fl.isStatic {
+				o.IsStatic = true
+			}
+			if p.accept(";") {
+				return
+			}
+			continue
+		}
+		p.globalVar(name, ty, fl, line)
+		if p.accept(";") {
+			return
+		}
+	}
+}
+
+// lastParamNames holds the names from the most recent funcParams call.
+// (Field on parser; declared here for proximity.)
+
+// declareFunc records a function prototype (or definition shell).
+func (p *parser) declareFunc(name string, ty *Type, line int, def bool) *Obj {
+	if prev := p.lookupVar(name); prev != nil {
+		if !prev.IsFunc {
+			p.errAt(line, "%q redeclared as function", name)
+		}
+		if !equalType(prev.Type, ty) {
+			p.errAt(line, "conflicting declarations of %q", name)
+		}
+		if def && prev.IsDef {
+			p.errAt(line, "function %q redefined", name)
+		}
+		if def {
+			prev.IsDef = true
+		}
+		return prev
+	}
+	o := &Obj{Name: name, Type: ty, Line: line, IsGlobal: true, IsFunc: true, IsDef: def}
+	p.scopes[0].vars[name] = o
+	p.unit.Globals = append(p.unit.Globals, o)
+	return o
+}
+
+// funcDef parses a function body.
+func (p *parser) funcDef(name string, ty *Type, line int) *Obj {
+	o := p.declareFunc(name, ty, line, true)
+	if len(ty.Params) > 0 && len(p.lastParamNames) != len(ty.Params) {
+		p.errAt(line, "internal: parameter name bookkeeping")
+	}
+	p.fn = o
+	o.Params = nil
+	o.Locals = nil
+	p.pushScope()
+	for i, pt := range ty.Params {
+		pn := p.lastParamNames[i]
+		if pn == "" {
+			p.errAt(line, "parameter %d of %q needs a name", i+1, name)
+		}
+		po := &Obj{Name: pn, Type: pt, Line: line}
+		o.Params = append(o.Params, po)
+		o.Locals = append(o.Locals, po)
+		p.curScope().vars[pn] = po
+	}
+	o.Body = p.block()
+	p.popScope()
+	p.fn = nil
+	return o
+}
+
+// globalVar parses a global variable declaration (with optional initializer).
+func (p *parser) globalVar(name string, ty *Type, fl declFlags, line int) {
+	o := &Obj{
+		Name: name, Type: ty, Line: line,
+		IsGlobal: true, IsConst: fl.isConst, IsStatic: fl.isStatic, IsDef: !fl.isExtern,
+	}
+	if p.accept("=") {
+		o.Init = p.initializer(ty)
+		if ty.Len == -1 { // complete incomplete arrays from the initializer
+			n := len(o.Init.Children)
+			if o.Init.IsStr {
+				n = len(o.Init.Str) + 1
+			}
+			*o.Type = *arrayOf(ty.Elem, n)
+		}
+		o.Init.Type = o.Type
+		o.IsDef = true
+	}
+	if o.Type.Size < 0 {
+		p.errAt(line, "global %q has incomplete type", name)
+	}
+	if prev := p.lookupVar(name); prev != nil {
+		if prev.IsFunc || !equalType(prev.Type, o.Type) {
+			p.errAt(line, "conflicting declarations of %q", name)
+		}
+		if o.Init != nil {
+			if prev.Init != nil {
+				p.errAt(line, "global %q redefined", name)
+			}
+			prev.Init = o.Init
+			prev.IsDef = true
+		}
+		return
+	}
+	p.scopes[0].vars[name] = o
+	p.unit.Globals = append(p.unit.Globals, o)
+}
+
+// initializer parses an initializer for type ty.
+func (p *parser) initializer(ty *Type) *Initializer {
+	init := &Initializer{Type: ty}
+	switch ty.Kind {
+	case TArray:
+		if p.tok().kind == tkString && ty.Elem.Kind == TInt && ty.Elem.Size == 1 {
+			init.IsStr = true
+			init.Str = p.tok().str
+			p.pos++
+			// C permits dropping the NUL when the string exactly fills the
+			// array (char s[4] = "wxyz").
+			if ty.Len >= 0 && len(init.Str) > ty.Len {
+				p.errf("string initializer too long")
+			}
+			return init
+		}
+		p.expect("{")
+		for !p.accept("}") {
+			init.Children = append(init.Children, p.initializer(ty.Elem))
+			if !p.peekIs("}") {
+				p.expect(",")
+			}
+		}
+		if ty.Len >= 0 && len(init.Children) > ty.Len {
+			p.errf("too many initializers (%d for array of %d)", len(init.Children), ty.Len)
+		}
+		return init
+	case TStruct:
+		p.expect("{")
+		for !p.accept("}") {
+			if len(init.Children) >= len(ty.Fields) {
+				p.errf("too many initializers for struct")
+			}
+			f := ty.Fields[len(init.Children)]
+			init.Children = append(init.Children, p.initializer(f.Type))
+			if !p.peekIs("}") {
+				p.expect(",")
+			}
+		}
+		return init
+	default:
+		// Scalar; allow a redundant level of braces.
+		if p.accept("{") {
+			init.Expr = p.assign()
+			p.expect("}")
+		} else {
+			init.Expr = p.assign()
+		}
+		return init
+	}
+}
+
+func alignUp(v, a int) int {
+	if a <= 1 {
+		return v
+	}
+	return (v + a - 1) &^ (a - 1)
+}

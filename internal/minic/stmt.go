@@ -1,0 +1,289 @@
+package minic
+
+// block parses { stmt* } with a fresh scope.
+func (p *parser) block() *Node {
+	line := p.tok().line
+	p.expect("{")
+	p.pushScope()
+	n := &Node{Kind: NBlock, Line: line}
+	for !p.accept("}") {
+		if p.isTypeStart() {
+			n.Stmts = append(n.Stmts, p.localDecl()...)
+			continue
+		}
+		n.Stmts = append(n.Stmts, p.stmt())
+	}
+	p.popScope()
+	return n
+}
+
+// localDecl parses one local declaration statement, lowering initializers to
+// assignment statements.
+func (p *parser) localDecl() []*Node {
+	var fl declFlags
+	base := p.declspec(&fl)
+	var stmts []*Node
+	first := true
+	for !p.accept(";") {
+		if !first {
+			p.expect(",")
+		}
+		first = false
+		line := p.tok().line
+		ty, name := p.declarator(base)
+		if fl.isTypedef {
+			if name == "" {
+				p.errAt(line, "typedef needs a name")
+			}
+			p.curScope().typedefs[name] = ty
+			continue
+		}
+		if name == "" {
+			p.errAt(line, "declaration needs a name")
+		}
+		if ty.Kind == TFunc {
+			// Local function prototype.
+			p.declareFunc(name, ty, line, false)
+			continue
+		}
+		var init *Initializer
+		if p.accept("=") {
+			init = p.initializer(ty)
+			if ty.Len == -1 {
+				n := len(init.Children)
+				if init.IsStr {
+					n = len(init.Str) + 1
+				}
+				ty = arrayOf(ty.Elem, n)
+				init.Type = ty
+			}
+		}
+		if ty.Size < 0 {
+			p.errAt(line, "local %q has incomplete type", name)
+		}
+		o := p.newLocal(name, ty, line)
+		if init != nil {
+			stmts = append(stmts, p.lowerLocalInit(o, init, line)...)
+		}
+	}
+	if stmts == nil {
+		stmts = []*Node{{Kind: NEmpty}}
+	}
+	return stmts
+}
+
+// newLocal registers a local variable in the current function and scope.
+func (p *parser) newLocal(name string, ty *Type, line int) *Obj {
+	if p.fn == nil {
+		p.errAt(line, "local declaration outside function")
+	}
+	if _, exists := p.curScope().vars[name]; exists {
+		p.errAt(line, "%q redeclared in this scope", name)
+	}
+	o := &Obj{Name: name, Type: ty, Line: line}
+	p.fn.Locals = append(p.fn.Locals, o)
+	p.curScope().vars[name] = o
+	return o
+}
+
+// newTemp creates an anonymous local, used to desugar compound assignment
+// without double-evaluating the lvalue.
+func (p *parser) newTemp(ty *Type, line int) *Obj {
+	p.tmpCount++
+	o := &Obj{Name: "", Type: ty, Line: line}
+	p.fn.Locals = append(p.fn.Locals, o)
+	return o
+}
+
+// lowerLocalInit expands a local initializer into assignment statements,
+// including zero stores for unspecified elements (C zero-fills partial
+// aggregate initializers).
+func (p *parser) lowerLocalInit(o *Obj, init *Initializer, line int) []*Node {
+	var stmts []*Node
+	target := &Node{Kind: NVar, Var: o, Type: o.Type, Line: line}
+	p.lowerInitInto(&stmts, target, o.Type, init, line)
+	return stmts
+}
+
+func (p *parser) lowerInitInto(stmts *[]*Node, target *Node, ty *Type, init *Initializer, line int) {
+	switch ty.Kind {
+	case TArray:
+		if init != nil && init.IsStr {
+			for i := 0; i < ty.Len; i++ {
+				var b int64
+				if i < len(init.Str) {
+					b = int64(init.Str[i])
+				}
+				elem := p.indexNode(target, i, line)
+				*stmts = append(*stmts, p.assignStmt(elem, &Node{Kind: NNum, Val: b, Type: typeInt, Line: line}, line))
+			}
+			return
+		}
+		for i := 0; i < ty.Len; i++ {
+			var child *Initializer
+			if init != nil && i < len(init.Children) {
+				child = init.Children[i]
+			}
+			p.lowerInitInto(stmts, p.indexNode(target, i, line), ty.Elem, child, line)
+		}
+	case TStruct:
+		for i := range ty.Fields {
+			f := &ty.Fields[i]
+			var child *Initializer
+			if init != nil && i < len(init.Children) {
+				child = init.Children[i]
+			}
+			member := &Node{Kind: NMember, Lhs: target, Field: f, Type: f.Type, Line: line}
+			p.lowerInitInto(stmts, member, f.Type, child, line)
+		}
+	default:
+		var val *Node
+		if init != nil && init.Expr != nil {
+			val = init.Expr
+		} else {
+			val = &Node{Kind: NNum, Val: 0, Type: typeInt, Line: line}
+		}
+		*stmts = append(*stmts, p.assignStmt(target, val, line))
+	}
+}
+
+// indexNode builds target[i] as *(target + i).
+func (p *parser) indexNode(target *Node, i int, line int) *Node {
+	idx := &Node{Kind: NNum, Val: int64(i), Type: typeLong, Line: line}
+	sum := p.newAdd(target, idx, line)
+	return &Node{Kind: NDeref, Lhs: sum, Type: sum.Type.Elem, Line: line}
+}
+
+// assignStmt builds an expression statement lhs = rhs.
+func (p *parser) assignStmt(lhs, rhs *Node, line int) *Node {
+	as := p.newAssign(lhs, rhs, line)
+	return &Node{Kind: NExprStmt, Lhs: as, Line: line}
+}
+
+// stmt parses one statement.
+func (p *parser) stmt() *Node {
+	line := p.tok().line
+	switch {
+	case p.peekIs("{"):
+		return p.block()
+
+	case p.accept(";"):
+		return &Node{Kind: NEmpty, Line: line}
+
+	case p.accept("if"):
+		p.expect("(")
+		cond := p.expr()
+		p.expect(")")
+		n := &Node{Kind: NIf, Line: line, Cond: p.scalarize(cond), Then: p.stmt()}
+		if p.accept("else") {
+			n.Else = p.stmt()
+		}
+		return n
+
+	case p.accept("while"):
+		p.expect("(")
+		cond := p.expr()
+		p.expect(")")
+		return &Node{Kind: NWhile, Line: line, Cond: p.scalarize(cond), Then: p.stmt()}
+
+	case p.accept("do"):
+		body := p.stmt()
+		p.expect("while")
+		p.expect("(")
+		cond := p.expr()
+		p.expect(")")
+		p.expect(";")
+		return &Node{Kind: NDoWhile, Line: line, Cond: p.scalarize(cond), Then: body}
+
+	case p.accept("for"):
+		p.expect("(")
+		p.pushScope()
+		n := &Node{Kind: NFor, Line: line}
+		if p.isTypeStart() {
+			decls := p.localDecl() // consumes ';'
+			n.Init = &Node{Kind: NBlock, Stmts: decls, Line: line}
+		} else if !p.accept(";") {
+			n.Init = &Node{Kind: NExprStmt, Lhs: p.expr(), Line: line}
+			p.expect(";")
+		}
+		if !p.peekIs(";") {
+			n.Cond = p.scalarize(p.expr())
+		}
+		p.expect(";")
+		if !p.peekIs(")") {
+			n.Post = &Node{Kind: NExprStmt, Lhs: p.expr(), Line: line}
+		}
+		p.expect(")")
+		n.Then = p.stmt()
+		p.popScope()
+		return n
+
+	case p.accept("switch"):
+		p.expect("(")
+		cond := p.expr()
+		p.expect(")")
+		n := &Node{Kind: NSwitch, Line: line, Cond: p.scalarize(cond)}
+		p.switches = append(p.switches, n)
+		n.Then = p.stmt()
+		p.switches = p.switches[:len(p.switches)-1]
+		return n
+
+	case p.accept("case"):
+		if len(p.switches) == 0 {
+			p.errAt(line, "case outside switch")
+		}
+		v := p.evalConst(p.conditional())
+		p.expect(":")
+		n := &Node{Kind: NCase, Line: line, Val: v}
+		sw := p.switches[len(p.switches)-1]
+		sw.Cases = append(sw.Cases, n)
+		// A case label is followed by its statement; wrap as marker + stmt.
+		return &Node{Kind: NBlock, Line: line, Stmts: []*Node{n, p.stmt()}}
+
+	case p.accept("default"):
+		if len(p.switches) == 0 {
+			p.errAt(line, "default outside switch")
+		}
+		p.expect(":")
+		n := &Node{Kind: NCase, Line: line, IsDefault: true}
+		sw := p.switches[len(p.switches)-1]
+		sw.Cases = append(sw.Cases, n)
+		return &Node{Kind: NBlock, Line: line, Stmts: []*Node{n, p.stmt()}}
+
+	case p.accept("return"):
+		n := &Node{Kind: NReturn, Line: line}
+		if !p.peekIs(";") {
+			ret := p.fn.Type.Ret
+			if ret.Kind == TVoid {
+				p.errAt(line, "void function returning a value")
+			}
+			n.Lhs = p.convert(p.expr(), ret, line)
+		} else if p.fn.Type.Ret.Kind != TVoid {
+			p.errAt(line, "non-void function %q returns no value", p.fn.Name)
+		}
+		p.expect(";")
+		return n
+
+	case p.accept("break"):
+		p.expect(";")
+		return &Node{Kind: NBreak, Line: line}
+
+	case p.accept("continue"):
+		p.expect(";")
+		return &Node{Kind: NContinue, Line: line}
+
+	default:
+		n := &Node{Kind: NExprStmt, Lhs: p.expr(), Line: line}
+		p.expect(";")
+		return n
+	}
+}
+
+// scalarize validates that n can be used as a condition and decays arrays.
+func (p *parser) scalarize(n *Node) *Node {
+	n = p.decayNode(n)
+	if !n.Type.IsScalar() {
+		p.errAt(n.Line, "condition must be scalar, got %s", n.Type)
+	}
+	return n
+}

@@ -1,0 +1,223 @@
+// Package minic implements a small C compiler targeting the EVM. It exists
+// so the paper's benchmarks (tiny-AES, DES, SHA-1, SHA-2, 2048, Biniax,
+// crackme) can be ported into enclaves as genuinely compiled code whose text
+// bytes carry the secret algorithms, exactly as in the original evaluation.
+//
+// The language is a C subset: char/short/int/long with unsigned variants and
+// the stdint-style aliases, pointers, multi-dimensional arrays, structs,
+// enums, typedef, function prototypes, the full C expression grammar
+// (including assignment operators, ternary, short-circuit logic, casts,
+// sizeof), if/else, while, do-while, for, switch, break/continue/return,
+// global initializers (scalars, nested arrays, strings), string literals,
+// and object-like #define macros. Floats, unions, varargs, function
+// pointers, and the rest of the preprocessor are not supported.
+//
+// Compile produces EVM assembly text for internal/asm.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind discriminates Type.
+type TypeKind int
+
+const (
+	TVoid TypeKind = iota
+	TInt           // integer types, parameterized by Size and Unsigned
+	TPointer
+	TArray
+	TStruct
+	TFunc
+)
+
+// Type is a minic type.
+type Type struct {
+	Kind     TypeKind
+	Size     int  // size in bytes (integers: 1,2,4,8; aggregates: full size)
+	Align    int  // alignment in bytes
+	Unsigned bool // for TInt
+
+	Elem *Type // pointer target / array element
+	Len  int   // array length
+
+	// Struct fields.
+	StructName string
+	Fields     []Field
+
+	// Function signature.
+	Ret      *Type
+	Params   []*Type
+	Variadic bool // accepted in prototypes for printf-like externs; calls pass extra args on the stack
+}
+
+// Field is one struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int
+}
+
+// Prebuilt integer types.
+var (
+	typeVoid   = &Type{Kind: TVoid}
+	typeChar   = &Type{Kind: TInt, Size: 1, Align: 1}
+	typeUChar  = &Type{Kind: TInt, Size: 1, Align: 1, Unsigned: true}
+	typeShort  = &Type{Kind: TInt, Size: 2, Align: 2}
+	typeUShort = &Type{Kind: TInt, Size: 2, Align: 2, Unsigned: true}
+	typeInt    = &Type{Kind: TInt, Size: 4, Align: 4}
+	typeUInt   = &Type{Kind: TInt, Size: 4, Align: 4, Unsigned: true}
+	typeLong   = &Type{Kind: TInt, Size: 8, Align: 8}
+	typeULong  = &Type{Kind: TInt, Size: 8, Align: 8, Unsigned: true}
+)
+
+// builtinTypedefs are always predeclared, easing ports of C code.
+var builtinTypedefs = map[string]*Type{
+	"int8_t": typeChar, "uint8_t": typeUChar,
+	"int16_t": typeShort, "uint16_t": typeUShort,
+	"int32_t": typeInt, "uint32_t": typeUInt,
+	"int64_t": typeLong, "uint64_t": typeULong,
+	"size_t": typeULong, "intptr_t": typeLong, "uintptr_t": typeULong,
+	"bool": typeChar,
+}
+
+// pointerTo returns a pointer type to elem.
+func pointerTo(elem *Type) *Type {
+	return &Type{Kind: TPointer, Size: 8, Align: 8, Elem: elem}
+}
+
+// arrayOf returns an array type of n elems.
+func arrayOf(elem *Type, n int) *Type {
+	return &Type{Kind: TArray, Size: elem.Size * n, Align: elem.Align, Elem: elem, Len: n}
+}
+
+// IsInteger reports whether t is an integer type.
+func (t *Type) IsInteger() bool { return t.Kind == TInt }
+
+// IsScalar reports whether t is integer or pointer.
+func (t *Type) IsScalar() bool { return t.Kind == TInt || t.Kind == TPointer }
+
+// decay converts array types to pointers to their element type.
+func (t *Type) decay() *Type {
+	if t.Kind == TArray {
+		return pointerTo(t.Elem)
+	}
+	return t
+}
+
+// rank orders integer types for the usual arithmetic conversions.
+func (t *Type) rank() int { return t.Size }
+
+// promote applies the integer promotions: types narrower than int widen
+// to int (they can hold all values, so signed int).
+func (t *Type) promote() *Type {
+	if t.Kind == TInt && t.Size < 4 {
+		return typeInt
+	}
+	return t
+}
+
+// usualArith computes the common type of a binary arithmetic expression
+// (the usual arithmetic conversions). After promotion only 4- and 8-byte
+// types remain, and a wider signed type always represents the values of a
+// narrower unsigned one, so the rule collapses to: wider rank wins; at equal
+// rank, unsigned wins.
+func usualArith(a, b *Type) *Type {
+	a, b = a.promote(), b.promote()
+	switch {
+	case a.rank() > b.rank():
+		return a
+	case b.rank() > a.rank():
+		return b
+	case a.Unsigned:
+		return a
+	default:
+		return b
+	}
+}
+
+// equalType reports structural type equality.
+func equalType(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TVoid:
+		return true
+	case TInt:
+		return a.Size == b.Size && a.Unsigned == b.Unsigned
+	case TPointer:
+		return equalType(a.Elem, b.Elem)
+	case TArray:
+		return a.Len == b.Len && equalType(a.Elem, b.Elem)
+	case TStruct:
+		return a.StructName == b.StructName && len(a.Fields) == len(b.Fields)
+	case TFunc:
+		if !equalType(a.Ret, b.Ret) || len(a.Params) != len(b.Params) || a.Variadic != b.Variadic {
+			return false
+		}
+		for i := range a.Params {
+			if !equalType(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// field returns the struct field named name.
+func (t *Type) field(name string) *Field {
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i]
+		}
+	}
+	return nil
+}
+
+// String renders the type for diagnostics.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TInt:
+		u := ""
+		if t.Unsigned {
+			u = "unsigned "
+		}
+		switch t.Size {
+		case 1:
+			return u + "char"
+		case 2:
+			return u + "short"
+		case 4:
+			return u + "int"
+		default:
+			return u + "long"
+		}
+	case TPointer:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TStruct:
+		return "struct " + t.StructName
+	case TFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		if t.Variadic {
+			ps = append(ps, "...")
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ", "))
+	}
+	return "?"
+}

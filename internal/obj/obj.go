@@ -1,0 +1,170 @@
+// Package obj defines the in-memory object file model shared by the
+// assembler (which produces it) and the linker (which consumes it).
+//
+// An obj.File corresponds to one translation unit: the sections it
+// contributes, the symbols it defines, and the relocations that must be
+// applied once final addresses are known.
+package obj
+
+import "fmt"
+
+// SectionKind classifies a section for layout and permission purposes.
+type SectionKind int
+
+const (
+	SecText   SectionKind = iota // executable code (R+X; R+W+X after sanitization)
+	SecRodata                    // read-only data
+	SecData                      // initialized writable data
+	SecBss                       // zero-initialized writable data
+)
+
+func (k SectionKind) String() string {
+	switch k {
+	case SecText:
+		return ".text"
+	case SecRodata:
+		return ".rodata"
+	case SecData:
+		return ".data"
+	case SecBss:
+		return ".bss"
+	}
+	return ".sec?"
+}
+
+// KindByName maps canonical section names to kinds.
+func KindByName(name string) (SectionKind, bool) {
+	switch name {
+	case ".text":
+		return SecText, true
+	case ".rodata":
+		return SecRodata, true
+	case ".data":
+		return SecData, true
+	case ".bss":
+		return SecBss, true
+	}
+	return 0, false
+}
+
+// Section is one section's contribution from a translation unit.
+type Section struct {
+	Kind  SectionKind
+	Data  []byte // nil for bss
+	Size  uint64 // bss size; for others len(Data)
+	Align uint64 // required alignment, power of two, >= 1
+}
+
+// Len returns the section's size in bytes.
+func (s *Section) Len() uint64 {
+	if s.Kind == SecBss {
+		return s.Size
+	}
+	return uint64(len(s.Data))
+}
+
+// SymKind classifies symbols.
+type SymKind int
+
+const (
+	SymFunc   SymKind = iota // function (sanitizer candidates)
+	SymObject                // data object
+	SymLabel                 // local code label (not a function)
+)
+
+func (k SymKind) String() string {
+	switch k {
+	case SymFunc:
+		return "func"
+	case SymObject:
+		return "object"
+	case SymLabel:
+		return "label"
+	}
+	return "sym?"
+}
+
+// Symbol is a defined symbol within a section of this unit.
+type Symbol struct {
+	Name    string
+	Section SectionKind
+	Off     uint64 // offset within this unit's section contribution
+	Size    uint64
+	Kind    SymKind
+	Global  bool
+}
+
+// RelocType identifies how a relocation patches its field.
+type RelocType int
+
+const (
+	// RelPC32 patches a 4-byte little-endian field with
+	// target+addend-(fieldAddr+4). All EVM pc-relative instruction forms
+	// (CALL/JMP/branches/LEA) place the displacement field exactly 4 bytes
+	// before the next instruction, so one type covers them all.
+	RelPC32 RelocType = iota
+	// RelAbs64 patches an 8-byte little-endian field with target+addend.
+	// Used for MOVI immediates and .quad data words.
+	RelAbs64
+)
+
+func (t RelocType) String() string {
+	switch t {
+	case RelPC32:
+		return "PC32"
+	case RelAbs64:
+		return "ABS64"
+	}
+	return "REL?"
+}
+
+// Reloc is one relocation to apply in a section of this unit.
+type Reloc struct {
+	Section SectionKind
+	Off     uint64 // offset of the field within this unit's section
+	Type    RelocType
+	Sym     string // target symbol name (resolved local-first, then global)
+	Addend  int64
+}
+
+// File is one assembled translation unit.
+type File struct {
+	Name     string // source name, for diagnostics
+	Sections map[SectionKind]*Section
+	Symbols  []*Symbol
+	Relocs   []Reloc
+}
+
+// NewFile returns an empty unit named name.
+func NewFile(name string) *File {
+	return &File{Name: name, Sections: make(map[SectionKind]*Section)}
+}
+
+// Section returns the unit's section of kind k, creating it if needed.
+func (f *File) Section(k SectionKind) *Section {
+	s := f.Sections[k]
+	if s == nil {
+		s = &Section{Kind: k, Align: 1}
+		f.Sections[k] = s
+	}
+	return s
+}
+
+// Lookup returns the unit's symbol named name, or nil.
+func (f *File) Lookup(name string) *Symbol {
+	for _, s := range f.Symbols {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// AddSymbol appends a symbol, rejecting duplicates within the unit.
+func (f *File) AddSymbol(s *Symbol) error {
+	if f.Lookup(s.Name) != nil {
+		return fmt.Errorf("%s: symbol %q redefined", f.Name, s.Name)
+	}
+	f.Symbols = append(f.Symbols, s)
+	return nil
+}

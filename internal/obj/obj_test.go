@@ -1,0 +1,62 @@
+package obj
+
+import "testing"
+
+func TestSectionCreationAndLen(t *testing.T) {
+	f := NewFile("t.s")
+	text := f.Section(SecText)
+	if text == nil || text.Kind != SecText || text.Align != 1 {
+		t.Fatalf("bad section: %+v", text)
+	}
+	if f.Section(SecText) != text {
+		t.Error("Section not idempotent")
+	}
+	text.Data = []byte{1, 2, 3}
+	if text.Len() != 3 {
+		t.Errorf("Len = %d", text.Len())
+	}
+	bss := f.Section(SecBss)
+	bss.Size = 128
+	if bss.Len() != 128 {
+		t.Errorf("bss Len = %d", bss.Len())
+	}
+}
+
+func TestSymbolTable(t *testing.T) {
+	f := NewFile("t.s")
+	if err := f.AddSymbol(&Symbol{Name: "a", Section: SecText, Kind: SymFunc}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AddSymbol(&Symbol{Name: "a"}); err == nil {
+		t.Error("duplicate symbol accepted")
+	}
+	if f.Lookup("a") == nil || f.Lookup("b") != nil {
+		t.Error("lookup wrong")
+	}
+}
+
+func TestKindByName(t *testing.T) {
+	for name, want := range map[string]SectionKind{
+		".text": SecText, ".rodata": SecRodata, ".data": SecData, ".bss": SecBss,
+	} {
+		got, ok := KindByName(name)
+		if !ok || got != want {
+			t.Errorf("KindByName(%q) = %v, %v", name, got, ok)
+		}
+		if got.String() != name {
+			t.Errorf("String() = %q", got.String())
+		}
+	}
+	if _, ok := KindByName(".junk"); ok {
+		t.Error("unknown section accepted")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SymFunc.String() != "func" || SymObject.String() != "object" || SymLabel.String() != "label" {
+		t.Error("SymKind strings wrong")
+	}
+	if RelPC32.String() != "PC32" || RelAbs64.String() != "ABS64" {
+		t.Error("RelocType strings wrong")
+	}
+}

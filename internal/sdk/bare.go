@@ -1,0 +1,132 @@
+package sdk
+
+import (
+	"fmt"
+	"io"
+
+	"sgxelide/internal/asm"
+	"sgxelide/internal/elf"
+	"sgxelide/internal/evm"
+	"sgxelide/internal/link"
+	"sgxelide/internal/minic"
+	"sgxelide/internal/obj"
+)
+
+// BareRuntimeSource is the freestanding runtime for non-enclave programs
+// (toolchain demos and compiler tests): _start calls main and halts with
+// main's return value in r0; putchar traps to the host (intrinsic 1).
+const BareRuntimeSource = `
+; bare-metal runtime
+.text
+.global _start
+.func _start
+	call main
+	halt
+.endfunc
+.global putchar
+.func putchar
+	intrin 1
+	ret
+.endfunc
+`
+
+// BareIntrinPutchar is the intrinsic number of the bare runtime's putchar.
+const BareIntrinPutchar = 1
+
+// BuildBare compiles and links sources (mini-C and assembly) together with
+// the bare runtime into a standalone image with entry _start.
+func BuildBare(cfg link.Config, sources ...Source) (*link.Image, error) {
+	if cfg.Entry == "" {
+		cfg.Entry = "_start"
+	}
+	units := append([]Source{
+		Asm("bare_rt.s", BareRuntimeSource),
+		Asm("tlibc.s", TlibcSource),
+	}, sources...)
+	var objs []*obj.File
+	for _, src := range units {
+		text := src.Text
+		if len(src.Name) > 2 && src.Name[len(src.Name)-2:] == ".c" {
+			var err error
+			text, err = minic.Compile(src.Name, src.Text)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f, err := asm.Assemble(src.Name, text)
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, f)
+	}
+	return link.Link(cfg, objs...)
+}
+
+// RunBare executes a bare image, streaming putchar output to out, and
+// returns main's exit value (r0 at HALT).
+func RunBare(im *link.Image, out io.Writer, maxSteps uint64) (uint64, error) {
+	m := im.NewVM()
+	if maxSteps == 0 {
+		maxSteps = 1 << 32
+	}
+	m.MaxSteps = maxSteps
+	m.Intrinsics = map[uint16]evm.Intrinsic{
+		BareIntrinPutchar: func(m *evm.VM) *evm.Fault {
+			if out != nil {
+				if _, err := out.Write([]byte{byte(m.Reg[evm.RegA0])}); err != nil {
+					return &evm.Fault{Kind: evm.FaultIntrinsic, Msg: err.Error()}
+				}
+			}
+			m.Reg[evm.RegRet] = m.Reg[evm.RegA0]
+			return nil
+		},
+	}
+	stop := m.Run()
+	if stop.Reason != evm.StopHalt {
+		return 0, fmt.Errorf("sdk: bare program did not halt: %s", stop)
+	}
+	return m.Reg[0], nil
+}
+
+// RunBareELF loads a bare ELF image into flat memory and runs it.
+func RunBareELF(elfBytes []byte, out io.Writer, maxSteps uint64) (uint64, error) {
+	f, err := elf.Read(elfBytes)
+	if err != nil {
+		return 0, err
+	}
+	base, end := f.Base(), f.End()
+	mem := evm.NewFlatMem(base, int(end-base))
+	for _, ph := range f.Phdrs {
+		if ph.Type != elf.PTLoad || ph.Filesz == 0 {
+			continue
+		}
+		mem.WriteBytes(ph.Vaddr, f.Raw[ph.Off:ph.Off+ph.Filesz])
+	}
+	m := evm.New(mem)
+	m.PC = f.Entry
+	if sym, ok := f.FindSymbol("__stack_top"); ok {
+		m.SetSP(sym.Value)
+	} else {
+		m.SetSP(end)
+	}
+	if maxSteps == 0 {
+		maxSteps = 1 << 32
+	}
+	m.MaxSteps = maxSteps
+	m.Intrinsics = map[uint16]evm.Intrinsic{
+		BareIntrinPutchar: func(m *evm.VM) *evm.Fault {
+			if out != nil {
+				if _, err := out.Write([]byte{byte(m.Reg[evm.RegA0])}); err != nil {
+					return &evm.Fault{Kind: evm.FaultIntrinsic, Msg: err.Error()}
+				}
+			}
+			m.Reg[evm.RegRet] = m.Reg[evm.RegA0]
+			return nil
+		},
+	}
+	stop := m.Run()
+	if stop.Reason != evm.StopHalt {
+		return 0, fmt.Errorf("sdk: bare program did not halt: %s", stop)
+	}
+	return m.Reg[0], nil
+}

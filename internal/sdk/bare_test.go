@@ -1,0 +1,138 @@
+package sdk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sgxelide/internal/elf"
+	"sgxelide/internal/link"
+)
+
+const bareHello = `
+int putchar(int c);
+void prints(char *s) { while (*s) putchar(*s++); }
+int main(void) {
+    prints("bare!");
+    int sum = 0;
+    for (int i = 1; i <= 10; i++) sum += i;
+    return sum;
+}
+`
+
+func TestBuildAndRunBare(t *testing.T) {
+	im, err := BuildBare(link.Config{}, C("hello.c", bareHello))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	exit, err := RunBare(im, &out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 55 {
+		t.Errorf("exit = %d, want 55", exit)
+	}
+	if out.String() != "bare!" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunBareELFRoundTrip(t *testing.T) {
+	im, err := BuildBare(link.Config{}, C("hello.c", bareHello))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elfBytes := elf.Write(im)
+	var out bytes.Buffer
+	exit, err := RunBareELF(elfBytes, &out, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 55 || out.String() != "bare!" {
+		t.Errorf("exit=%d out=%q", exit, out.String())
+	}
+}
+
+func TestRunBareELFRejectsGarbage(t *testing.T) {
+	if _, err := RunBareELF([]byte("nope"), nil, 0); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBuildBareMixedSources(t *testing.T) {
+	asmPart := `
+.text
+.global magic
+.func magic
+	movi rv, 123
+	ret
+.endfunc
+`
+	cPart := `
+int magic(void);
+int main(void) { return magic() + 1; }
+`
+	im, err := BuildBare(link.Config{}, Asm("magic.s", asmPart), C("main.c", cPart))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exit, err := RunBare(im, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exit != 124 {
+		t.Errorf("exit = %d, want 124", exit)
+	}
+}
+
+func TestBuildBareCompileErrorSurfaces(t *testing.T) {
+	_, err := BuildBare(link.Config{}, C("bad.c", "int main(void) { return x; }"))
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestBareStepBudget(t *testing.T) {
+	im, err := BuildBare(link.Config{}, C("loop.c", "int main(void) { for (;;) {} }"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunBare(im, nil, 10_000); err == nil {
+		t.Error("infinite loop not bounded")
+	}
+}
+
+func TestDisassembleRejectsGarbage(t *testing.T) {
+	if _, err := Disassemble([]byte("not an elf")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMeasureELFDeterministic(t *testing.T) {
+	h, encl := buildTestEnclave(t)
+	_ = encl
+	res, err := BuildEnclaveFromEDL(BuildConfig{}, testEDL, C("test_enclave.c", testCSource))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := MeasureELF(h, res.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MeasureELF(h, res.ELF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("MeasureELF not deterministic")
+	}
+	// Measuring must not leak EPC pages.
+	free := h.Platform.FreePages()
+	if _, err := MeasureELF(h, res.ELF); err != nil {
+		t.Fatal(err)
+	}
+	if h.Platform.FreePages() != free {
+		t.Errorf("MeasureELF leaked EPC pages: %d -> %d", free, h.Platform.FreePages())
+	}
+}

@@ -1,0 +1,121 @@
+package sdk
+
+import (
+	"fmt"
+
+	"sgxelide/internal/asm"
+	"sgxelide/internal/edl"
+	"sgxelide/internal/elf"
+	"sgxelide/internal/evm"
+	"sgxelide/internal/link"
+	"sgxelide/internal/minic"
+	"sgxelide/internal/obj"
+)
+
+// Source is one trusted-side source file for an enclave build.
+type Source struct {
+	Name string // file name for diagnostics; .c compiles with minic, .s assembles
+	Text string
+}
+
+// C and Asm construct Sources.
+func C(name, text string) Source   { return Source{Name: name, Text: text} }
+func Asm(name, text string) Source { return Source{Name: name, Text: text} }
+
+// BuildConfig controls enclave image building.
+type BuildConfig struct {
+	Base      uint64 // image base; default 0x10000000
+	HeapSize  uint64 // default 8 MiB
+	StackSize uint64 // default 256 KiB
+}
+
+// BuildResult is a built (unsigned) enclave image.
+type BuildResult struct {
+	ELF   []byte
+	Image *link.Image
+	EDL   *edl.Interface
+}
+
+// BuildEnclave compiles and links an enclave shared object from the trusted
+// runtime, the EDL-generated bridges, and the given sources — the job the
+// SGX SDK's Makefile + edger8r pipeline performs.
+func BuildEnclave(cfg BuildConfig, iface *edl.Interface, sources ...Source) (*BuildResult, error) {
+	if cfg.Base == 0 {
+		cfg.Base = 0x10000000
+	}
+	if cfg.HeapSize == 0 {
+		cfg.HeapSize = 8 << 20
+	}
+	if cfg.StackSize == 0 {
+		cfg.StackSize = 256 << 10
+	}
+
+	bridges, err := edl.GenerateBridges(iface)
+	if err != nil {
+		return nil, err
+	}
+	units := []Source{
+		Asm("trts.s", TrtsSource),
+		Asm("tlibc.s", TlibcSource),
+		Asm("tcrypto.s", CryptoSource),
+		Asm("bridges.s", bridges),
+	}
+	units = append(units, sources...)
+
+	var objs []*obj.File
+	for _, src := range units {
+		text := src.Text
+		if len(src.Name) > 2 && src.Name[len(src.Name)-2:] == ".c" {
+			text, err = minic.Compile(src.Name, src.Text)
+			if err != nil {
+				return nil, err
+			}
+		}
+		f, err := asm.Assemble(src.Name, text)
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, f)
+	}
+
+	im, err := link.Link(link.Config{
+		Base:      cfg.Base,
+		Entry:     "enclave_entry",
+		HeapSize:  cfg.HeapSize,
+		StackSize: cfg.StackSize,
+	}, objs...)
+	if err != nil {
+		return nil, err
+	}
+	return &BuildResult{ELF: elf.Write(im), Image: im, EDL: iface}, nil
+}
+
+// BuildEnclaveFromEDL parses the EDL source and builds.
+func BuildEnclaveFromEDL(cfg BuildConfig, edlSrc string, sources ...Source) (*BuildResult, error) {
+	iface, err := edl.Parse(edlSrc)
+	if err != nil {
+		return nil, err
+	}
+	return BuildEnclave(cfg, iface, sources...)
+}
+
+// Disassemble renders the text section of an enclave ELF with symbolized
+// targets — what an attacker does to an enclave file before initialization.
+func Disassemble(elfBytes []byte) (string, error) {
+	f, err := elf.Read(elfBytes)
+	if err != nil {
+		return "", err
+	}
+	text := f.Section(".text")
+	if text == nil {
+		return "", fmt.Errorf("sdk: no .text section")
+	}
+	syms := make(map[uint64]string)
+	for _, s := range f.Symbols {
+		if s.Type == elf.STTFunc || s.Type == elf.STTObject {
+			syms[s.Value] = s.Name
+		}
+	}
+	d := &evm.Disassembler{Symbols: syms}
+	return d.Format(text.Addr, f.SectionData(text)), nil
+}

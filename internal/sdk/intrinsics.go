@@ -1,0 +1,294 @@
+package sdk
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+
+	"sgxelide/internal/evm"
+	"sgxelide/internal/sgx"
+)
+
+// Intrinsic numbers for the trusted crypto/platform library (tcrypto).
+const (
+	IntrinAESGCMEncrypt = 0x100
+	IntrinAESGCMDecrypt = 0x101
+	IntrinReadRand      = 0x102
+	IntrinSHA256        = 0x103
+	IntrinCreateReport  = 0x104
+	IntrinGetSealKey    = 0x105
+	IntrinECDHKeypair   = 0x106
+	IntrinECDHShared    = 0x107
+)
+
+// ReportBlobSize is the serialized size of an sgx.Report as seen by enclave
+// C code (sgx_create_report's output buffer).
+const ReportBlobSize = 200
+
+// MarshalReport serializes a report into the enclave-visible layout.
+func MarshalReport(r *sgx.Report) []byte {
+	out := make([]byte, ReportBlobSize)
+	copy(out[0:32], r.MrEnclave[:])
+	copy(out[32:64], r.MrSigner[:])
+	binary.LittleEndian.PutUint16(out[64:], r.ProdID)
+	copy(out[72:136], r.Data[:])
+	copy(out[136:168], r.TargetInfo[:])
+	copy(out[168:200], r.MAC[:])
+	return out
+}
+
+// UnmarshalReport parses the enclave-visible report layout.
+func UnmarshalReport(b []byte) *sgx.Report {
+	if len(b) < ReportBlobSize {
+		return nil
+	}
+	r := &sgx.Report{}
+	copy(r.MrEnclave[:], b[0:32])
+	copy(r.MrSigner[:], b[32:64])
+	r.ProdID = binary.LittleEndian.Uint16(b[64:])
+	copy(r.Data[:], b[72:136])
+	copy(r.TargetInfo[:], b[136:168])
+	copy(r.MAC[:], b[168:200])
+	return r
+}
+
+// GCMIVSize and GCMMACSize are the AES-GCM parameter sizes used across the
+// enclave, the authentication server, and the secret files.
+const (
+	GCMKeySize = 16
+	GCMIVSize  = 12
+	GCMMACSize = 16
+)
+
+// AESGCMSeal encrypts plaintext, returning ciphertext and MAC separately
+// (the SGX SDK's sgx_rijndael128GCM_encrypt convention).
+func AESGCMSeal(key, iv, plaintext []byte) (ct, mac []byte, err error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, nil, err
+	}
+	sealed := gcm.Seal(nil, iv, plaintext, nil)
+	n := len(sealed) - GCMMACSize
+	return sealed[:n], sealed[n:], nil
+}
+
+// AESGCMOpen decrypts ciphertext with its MAC.
+func AESGCMOpen(key, iv, ct, mac []byte) ([]byte, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	return gcm.Open(nil, iv, append(append([]byte{}, ct...), mac...), nil)
+}
+
+// installIntrinsics wires the tcrypto stubs to their implementations. The
+// handlers execute "as" the enclave: all memory access goes through the
+// enclave address space, so EPCM permissions still apply.
+func installIntrinsics(e *Enclave) {
+	vm := e.VM
+	arg := func(i int) uint64 { return vm.Reg[evm.RegA0+i] }
+	setRet := func(v uint64) { vm.Reg[evm.RegRet] = v }
+	fail := func(msg string) *evm.Fault {
+		return &evm.Fault{Kind: evm.FaultIntrinsic, Msg: msg}
+	}
+
+	vm.Intrinsics = map[uint16]evm.Intrinsic{
+		IntrinAESGCMEncrypt: func(m *evm.VM) *evm.Fault {
+			key, f := m.ReadBytes(arg(0), GCMKeySize)
+			if f != nil {
+				return f
+			}
+			n := int(arg(2))
+			src, f := m.ReadBytes(arg(1), n)
+			if f != nil {
+				return f
+			}
+			iv, f := m.ReadBytes(arg(4), GCMIVSize)
+			if f != nil {
+				return f
+			}
+			ct, mac, err := AESGCMSeal(key, iv, src)
+			if err != nil {
+				return fail("aes-gcm: " + err.Error())
+			}
+			if f := m.WriteBytes(arg(3), ct); f != nil {
+				return f
+			}
+			if f := m.WriteBytes(arg(5), mac); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+
+		IntrinAESGCMDecrypt: func(m *evm.VM) *evm.Fault {
+			key, f := m.ReadBytes(arg(0), GCMKeySize)
+			if f != nil {
+				return f
+			}
+			n := int(arg(2))
+			ct, f := m.ReadBytes(arg(1), n)
+			if f != nil {
+				return f
+			}
+			iv, f := m.ReadBytes(arg(4), GCMIVSize)
+			if f != nil {
+				return f
+			}
+			mac, f := m.ReadBytes(arg(5), GCMMACSize)
+			if f != nil {
+				return f
+			}
+			pt, err := AESGCMOpen(key, iv, ct, mac)
+			if err != nil {
+				setRet(1) // SGX_ERROR_MAC_MISMATCH
+				return nil
+			}
+			if f := m.WriteBytes(arg(3), pt); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+
+		IntrinReadRand: func(m *evm.VM) *evm.Fault {
+			n := int(arg(1))
+			buf := make([]byte, n)
+			if _, err := rand.Read(buf); err != nil {
+				return fail("rdrand: " + err.Error())
+			}
+			if f := m.WriteBytes(arg(0), buf); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+
+		IntrinSHA256: func(m *evm.VM) *evm.Fault {
+			n := int(arg(1))
+			src, f := m.ReadBytes(arg(0), n)
+			if f != nil {
+				return f
+			}
+			sum := sha256.Sum256(src)
+			if f := m.WriteBytes(arg(2), sum[:]); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+
+		IntrinCreateReport: func(m *evm.VM) *evm.Fault {
+			target, f := m.ReadBytes(arg(0), 32)
+			if f != nil {
+				return f
+			}
+			data, f := m.ReadBytes(arg(1), sgx.ReportDataSize)
+			if f != nil {
+				return f
+			}
+			var ti [32]byte
+			copy(ti[:], target)
+			var rd [sgx.ReportDataSize]byte
+			copy(rd[:], data)
+			rep, err := e.Host.Platform.EReport(e.Encl, ti, rd)
+			if err != nil {
+				return fail("ereport: " + err.Error())
+			}
+			if f := m.WriteBytes(arg(2), MarshalReport(rep)); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+
+		IntrinGetSealKey: func(m *evm.VM) *evm.Fault {
+			policy := sgx.KeyPolicy(arg(0))
+			key, err := e.Host.Platform.EGetKeySeal(e.Encl, policy)
+			if err != nil {
+				return fail("egetkey: " + err.Error())
+			}
+			if f := m.WriteBytes(arg(1), key); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+
+		IntrinECDHKeypair: func(m *evm.VM) *evm.Fault {
+			priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+			if err != nil {
+				return fail("ecdh: " + err.Error())
+			}
+			if f := m.WriteBytes(arg(0), priv.Bytes()); f != nil {
+				return f
+			}
+			if f := m.WriteBytes(arg(1), priv.PublicKey().Bytes()); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+
+		IntrinECDHShared: func(m *evm.VM) *evm.Fault {
+			privB, f := m.ReadBytes(arg(0), 32)
+			if f != nil {
+				return f
+			}
+			peerB, f := m.ReadBytes(arg(1), 32)
+			if f != nil {
+				return f
+			}
+			key, err := DeriveChannelKey(privB, peerB)
+			if err != nil {
+				setRet(1)
+				return nil
+			}
+			if f := m.WriteBytes(arg(2), key); f != nil {
+				return f
+			}
+			setRet(0)
+			return nil
+		},
+	}
+}
+
+// DeriveChannelKey computes the AES-128 channel key from an X25519 private
+// key and a peer public key: SHA-256(shared)[:16]. The authentication
+// server uses the same derivation.
+func DeriveChannelKey(priv, peerPub []byte) ([]byte, error) {
+	sk, err := ecdh.X25519().NewPrivateKey(priv)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := ecdh.X25519().NewPublicKey(peerPub)
+	if err != nil {
+		return nil, err
+	}
+	shared, err := sk.ECDH(pk)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(shared)
+	return sum[:GCMKeySize], nil
+}
+
+// GenerateECDHKeypair returns a fresh X25519 keypair (server side helper).
+func GenerateECDHKeypair() (priv, pub []byte, err error) {
+	key, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	return key.Bytes(), key.PublicKey().Bytes(), nil
+}

@@ -1,0 +1,53 @@
+package sgx
+
+import (
+	"crypto/x509"
+	"encoding/pem"
+	"fmt"
+	"os"
+)
+
+// SaveCA persists the CA's private key as PEM (EC PRIVATE KEY). The CLI
+// tools use this so a "machine" keeps the same root of trust across runs —
+// letting the authentication server run in a separate process.
+func (ca *CA) Save(path string) error {
+	der, err := x509.MarshalECPrivateKey(ca.key)
+	if err != nil {
+		return fmt.Errorf("sgx: encoding CA key: %w", err)
+	}
+	blob := pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: der})
+	return os.WriteFile(path, blob, 0o600)
+}
+
+// LoadCA reads a CA saved with Save.
+func LoadCA(path string) (*CA, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	block, _ := pem.Decode(blob)
+	if block == nil {
+		return nil, fmt.Errorf("sgx: %s is not PEM", path)
+	}
+	key, err := x509.ParseECPrivateKey(block.Bytes)
+	if err != nil {
+		return nil, fmt.Errorf("sgx: parsing CA key: %w", err)
+	}
+	return &CA{key: key}, nil
+}
+
+// LoadOrCreateCA loads the CA at path, creating and persisting a fresh one
+// when the file does not exist.
+func LoadOrCreateCA(path string) (*CA, error) {
+	if _, err := os.Stat(path); err == nil {
+		return LoadCA(path)
+	}
+	ca, err := NewCA()
+	if err != nil {
+		return nil, err
+	}
+	if err := ca.Save(path); err != nil {
+		return nil, err
+	}
+	return ca, nil
+}

@@ -1,0 +1,73 @@
+package sgx
+
+import (
+	"testing"
+
+	"sgxelide/internal/evm"
+)
+
+// TestSelfModificationInvalidatesICache is the correctness condition the
+// decoded-instruction cache must honor for SgxElide to work at all: after
+// enclave code overwrites an already-executed instruction, the next
+// execution must see the new bytes, not a stale decode.
+func TestSelfModificationInvalidatesICache(t *testing.T) {
+	_, p := testEnv(t, Config{EPCPages: 64})
+	key := devKey(t)
+
+	// Page content: movi r0, 1; eexit 0 — with RWX permissions (the
+	// sanitized-text situation).
+	code := Inst2Bytes(
+		evm.Inst{Op: evm.MOVI, Rd: 0, U64: 1},
+		evm.Inst{Op: evm.EEXIT, Imm: 0},
+	)
+	page := make([]byte, PageSize)
+	copy(page, code)
+	e := buildEnclave(t, p, key, map[uint64][]byte{base: page},
+		map[uint64]Perm{base: PermR | PermW | PermX})
+
+	as := &AddressSpace{Enclave: e, Untrusted: evm.NewFlatMem(0x1000, 4096)}
+	m := evm.New(as)
+	m.MaxSteps = 1000
+
+	run := func() uint64 {
+		m.PC = base
+		m.SetSP(0x1000 + 4096)
+		stop := m.Run()
+		if stop.Reason != evm.StopExit {
+			t.Fatalf("stop = %v", stop)
+		}
+		return m.Reg[0]
+	}
+
+	if got := run(); got != 1 {
+		t.Fatalf("first run: r0 = %d", got)
+	}
+	// The instruction is now cached. Patch the immediate (an enclave-mode
+	// write to an X page) and re-run: the VM must decode the new bytes.
+	patched := Inst2Bytes(evm.Inst{Op: evm.MOVI, Rd: 0, U64: 2})
+	if f := as.EnclaveWriteBytes(base, patched); f != nil {
+		t.Fatal(f)
+	}
+	if got := run(); got != 2 {
+		t.Fatalf("after self-modification: r0 = %d, want 2 (stale icache?)", got)
+	}
+	// And once more through the byte-wise (page-spanning) write path.
+	patched2 := Inst2Bytes(evm.Inst{Op: evm.MOVI, Rd: 0, U64: 3})
+	for i, b := range patched2 {
+		if f := as.EnclaveWriteBytes(base+uint64(i), []byte{b}); f != nil {
+			t.Fatal(f)
+		}
+	}
+	if got := run(); got != 3 {
+		t.Fatalf("after byte-wise self-modification: r0 = %d, want 3", got)
+	}
+}
+
+// Inst2Bytes encodes instructions (test helper).
+func Inst2Bytes(insts ...evm.Inst) []byte {
+	var out []byte
+	for _, in := range insts {
+		out = in.Encode(out)
+	}
+	return out
+}

@@ -1,0 +1,25 @@
+package sgx
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+)
+
+// meeEncrypt models the Memory Encryption Engine's at-rest protection of
+// EPC pages: AES-CTR under the boot-time MEE key with a nonce derived from
+// the page's physical placement (we use its virtual address — the model has
+// no separate physical map). The CPU decrypts transparently on access, so
+// the VM never sees ciphertext; DumpDRAM uses this to show what a bus
+// probe would observe.
+func meeEncrypt(key [32]byte, vaddr uint64, plain []byte) []byte {
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		panic("sgx: MEE cipher: " + err.Error()) // 32-byte key cannot fail
+	}
+	iv := make([]byte, aes.BlockSize)
+	binary.LittleEndian.PutUint64(iv, vaddr)
+	out := make([]byte, len(plain))
+	cipher.NewCTR(block, iv).XORKeyStream(out, plain)
+	return out
+}
