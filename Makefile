@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build verify test race bench-server clean
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verification (see ROADMAP.md): build, vet, full tests, and the
+# race detector over the transport-heavy packages.
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/elide/... ./internal/sdk/...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/elide/... ./internal/sdk/...
+
+# Concurrent-restore transport benchmark; writes BENCH_server.json.
+bench-server:
+	$(GO) run ./cmd/elide-bench -server
+
+clean:
+	rm -rf bin BENCH_server.json

@@ -115,7 +115,7 @@ func BenchmarkTable2_Restore(b *testing.B) {
 					code, err := encl.ECall("elide_restore", 0)
 					restoreNs += time.Since(t0).Nanoseconds()
 					if err != nil || code != elide.RestoreOKServer {
-						b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+						b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 					}
 					encl.Destroy()
 				}
@@ -162,7 +162,7 @@ func figureBenchmark(b *testing.B, local bool) {
 				}
 				code, err := encl.ECall("elide_restore", 0)
 				if err != nil || code != elide.RestoreOKServer {
-					b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+					b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 				}
 				if err := p.Workload(env.Host, encl); err != nil {
 					b.Fatal(err)
@@ -214,7 +214,7 @@ func BenchmarkAblation_WholeTextVsRanges(b *testing.B) {
 				code, err := encl.ECall("elide_restore", 0)
 				restoreNs += time.Since(t0).Nanoseconds()
 				if err != nil || code != elide.RestoreOKServer {
-					b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+					b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 				}
 				encl.Destroy()
 			}
@@ -261,7 +261,7 @@ func BenchmarkAblation_BlacklistVsWhitelist(b *testing.B) {
 				code, err := encl.ECall("elide_restore", 0)
 				restoreNs += time.Since(t0).Nanoseconds()
 				if err != nil || code != elide.RestoreOKServer {
-					b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+					b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 				}
 				encl.Destroy()
 			}
@@ -290,7 +290,7 @@ func BenchmarkAblation_SealedRestore(b *testing.B) {
 		b.Fatal(err)
 	}
 	if code, err := encl.ECall("elide_restore", elide.FlagSealAfter); err != nil || code != 0 {
-		b.Fatalf("first restore: %d %v (%v)", code, err, rt.LastErr)
+		b.Fatalf("first restore: %d %v (%v)", code, err, rt.LastErr())
 	}
 	encl.Destroy()
 	files := rt.Files
@@ -306,7 +306,7 @@ func BenchmarkAblation_SealedRestore(b *testing.B) {
 			code, err := e2.ECall("elide_restore", 0)
 			restoreNs += time.Since(t0).Nanoseconds()
 			if err != nil || code != elide.RestoreOKServer {
-				b.Fatalf("restore: %d %v (%v)", code, err, rt2.LastErr)
+				b.Fatalf("restore: %d %v (%v)", code, err, rt2.LastErr())
 			}
 			e2.Destroy()
 		}
@@ -380,7 +380,7 @@ func BenchmarkAblation_TransparentFirstCall(b *testing.B) {
 				b.Fatal(err)
 			}
 			if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-				b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+				b.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 			}
 			t0 := time.Now()
 			if _, err := encl.ECall("ecall_crackme_check", buf); err != nil { // measured: post-restore first user ecall
@@ -410,7 +410,7 @@ func BenchmarkAblation_TransparentFirstCall(b *testing.B) {
 			}
 			t0 := time.Now()
 			if _, err := encl.ECall("ecall_crackme_check", buf); err != nil { // measured: restore happens inside this call
-				b.Fatalf("%v (%v)", err, rt.LastErr)
+				b.Fatalf("%v (%v)", err, rt.LastErr())
 			}
 			callNs += time.Since(t0).Nanoseconds()
 			encl.Destroy()

@@ -3,11 +3,17 @@
 // mean ± σ over -iters runs), and Figures 3 and 4 (normalized end-to-end
 // overhead with remote and local data).
 //
+// It can also benchmark the authentication-server transport itself —
+// concurrent TCP restores with attest/request latency percentiles — and
+// emit the result as machine-readable JSON:
+//
 //	elide-bench -all
 //	elide-bench -table2 -iters 10
+//	elide-bench -server -server-clients 16 -server-out BENCH_server.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,12 +29,18 @@ func main() {
 		f4    = flag.Bool("fig4", false, "reproduce Figure 4 (local data)")
 		all   = flag.Bool("all", false, "reproduce everything")
 		iters = flag.Int("iters", 10, "runs per measurement (the paper uses 10)")
+
+		server      = flag.Bool("server", false, "benchmark the TCP authentication-server transport")
+		srvProgram  = flag.String("server-program", "Sha1", "benchmark program for -server")
+		srvClients  = flag.Int("server-clients", 16, "concurrent clients for -server")
+		srvSessions = flag.Int("server-sessions", 8, "server session cap for -server")
+		srvOut      = flag.String("server-out", "BENCH_server.json", "JSON output path for -server")
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *f4 = true, true, true, true
+		*t1, *t2, *f3, *f4, *server = true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 {
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -68,6 +80,27 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(bench.RenderFigure("Figure 4. Overhead with local data (w/ SgxElide vs w/ SGX).", rows))
+	}
+	if *server {
+		fmt.Printf("(benchmarking server transport: %d clients, %d-session cap...)\n",
+			*srvClients, *srvSessions)
+		res, err := bench.ServerBench(env, bench.ServerBenchConfig{
+			Program:     *srvProgram,
+			Clients:     *srvClients,
+			MaxSessions: *srvSessions,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*srvOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *srvOut)
 	}
 }
 

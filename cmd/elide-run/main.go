@@ -19,13 +19,14 @@
 package main
 
 import (
+	"context"
 	"encoding/gob"
 	"flag"
 	"fmt"
-	"net"
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"sgxelide/internal/elide"
 	"sgxelide/internal/sdk"
@@ -34,13 +35,17 @@ import (
 
 func main() {
 	var (
-		dir        = flag.String("dir", "build", "directory with sanitized.so, enclave.sigstruct, enclave.secret.*")
-		edlPath    = flag.String("edl", "", "the application EDL file")
-		caPath     = flag.String("ca", "machine_ca.pem", "machine attestation root (created if missing)")
-		connect    = flag.String("connect", "", "authentication server address (empty = in-process server)")
-		emitServer = flag.String("emit-server", "", "write the server-side files to this directory and exit")
-		ecallName  = flag.String("ecall", "", "ecall to invoke after restoring")
-		flags      = flag.Uint64("flags", 0, "elide_restore flags (1 = try sealed, 2 = seal after)")
+		dir         = flag.String("dir", "build", "directory with sanitized.so, enclave.sigstruct, enclave.secret.*")
+		edlPath     = flag.String("edl", "", "the application EDL file")
+		caPath      = flag.String("ca", "machine_ca.pem", "machine attestation root (created if missing)")
+		connect     = flag.String("connect", "", "authentication server address (empty = in-process server)")
+		emitServer  = flag.String("emit-server", "", "write the server-side files to this directory and exit")
+		ecallName   = flag.String("ecall", "", "ecall to invoke after restoring")
+		flags       = flag.Uint64("flags", 0, "elide_restore flags (1 = try sealed, 2 = seal after)")
+		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "server connection timeout")
+		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request timeout on the server channel")
+		retries     = flag.Int("retries", 3, "transient-failure retries before giving up")
+		timeout     = flag.Duration("timeout", 0, "overall deadline for the restore (0 = none)")
 	)
 	var args argList
 	flag.Var(&args, "arg", "ecall argument (repeatable)")
@@ -88,13 +93,23 @@ func main() {
 	check(err)
 	host := sdk.NewHost(platform)
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var client elide.Client
 	if *connect != "" {
-		conn, err := net.Dial("tcp", *connect)
-		check(err)
-		defer conn.Close()
-		client = &elide.TCPClient{Conn: conn}
-		fmt.Printf("elide-run: connected to %s\n", *connect)
+		tc := elide.NewTCPClient(*connect,
+			elide.WithDialTimeout(*dialTimeout),
+			elide.WithRequestTimeout(*reqTimeout),
+			elide.WithMaxRetries(*retries),
+		)
+		defer tc.Close()
+		client = tc
+		fmt.Printf("elide-run: authentication server at %s (retries=%d)\n", *connect, *retries)
 	} else {
 		cfg := elide.ServerConfig{
 			CAPub:             ca.PublicKey(),
@@ -114,7 +129,7 @@ func main() {
 	if meta.Encrypted {
 		files.SecretData = secretData
 	}
-	rt := &elide.Runtime{Client: client, Files: files}
+	rt := &elide.Runtime{Client: client, Files: files, Ctx: ctx}
 	rt.Install(host)
 	encl, err := host.CreateEnclave(sanitized, &ss, iface)
 	check(err)
@@ -122,7 +137,8 @@ func main() {
 
 	code, err := encl.ECall("elide_restore", *flags)
 	if err != nil {
-		fatal(fmt.Errorf("elide_restore: %w (runtime: %v)", err, rt.LastErr))
+		dumpRuntimeErrs(rt)
+		fatal(fmt.Errorf("elide_restore: %w (runtime: %v)", err, rt.LastErr()))
 	}
 	switch code {
 	case elide.RestoreOKServer:
@@ -130,7 +146,8 @@ func main() {
 	case elide.RestoreOKSealed:
 		fmt.Println("elide-run: restored from the sealed file")
 	default:
-		fatal(fmt.Errorf("elide_restore failed with code %d (runtime: %v)", code, rt.LastErr))
+		dumpRuntimeErrs(rt)
+		fatal(fmt.Errorf("elide_restore failed with code %d (runtime: %v)", code, rt.LastErr()))
 	}
 
 	if *ecallName != "" {
@@ -152,6 +169,13 @@ func (a *argList) Set(s string) error {
 	}
 	*a = append(*a, v)
 	return nil
+}
+
+// dumpRuntimeErrs prints the runtime's recent-error ring, oldest first.
+func dumpRuntimeErrs(rt *elide.Runtime) {
+	for _, e := range rt.Errs() {
+		fmt.Fprintf(os.Stderr, "elide-run: runtime error: %v\n", e)
+	}
 }
 
 func check(err error) {

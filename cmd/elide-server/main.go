@@ -8,21 +8,37 @@
 //
 // The serverfiles directory is produced by the deployment pipeline (see
 // examples/remoteattest or Protected.WriteServerFiles).
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
+// drains in-flight sessions (bounded by -drain-timeout), and prints a
+// metrics snapshot before exiting. -metrics-json additionally writes the
+// snapshot to a file for scraping.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"sgxelide/internal/elide"
+	"sgxelide/internal/obs"
 )
 
 func main() {
 	var (
-		dir    = flag.String("dir", "serverfiles", "directory with ca_pub.pem, enclave.mrenclave, enclave.secret.meta[, enclave.secret.data]")
-		listen = flag.String("listen", "127.0.0.1:7788", "listen address")
+		dir          = flag.String("dir", "serverfiles", "directory with ca_pub.pem, enclave.mrenclave, enclave.secret.meta[, enclave.secret.data]")
+		listen       = flag.String("listen", "127.0.0.1:7788", "listen address")
+		maxSessions  = flag.Int("max-sessions", 256, "maximum concurrent sessions")
+		ioTimeout    = flag.Duration("io-timeout", 30*time.Second, "per-connection read/write deadline")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight sessions")
+		metricsJSON  = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
 	flag.Parse()
 
@@ -30,7 +46,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv, err := elide.NewServer(cfg)
+	metrics := obs.NewRegistry()
+	srv, err := elide.NewServer(cfg,
+		elide.WithMaxSessions(*maxSessions),
+		elide.WithIOTimeout(*ioTimeout),
+		elide.WithDrainTimeout(*drainTimeout),
+		elide.WithServerMetrics(metrics),
+	)
 	if err != nil {
 		fatal(err)
 	}
@@ -44,7 +66,24 @@ func main() {
 	}
 	fmt.Printf("elide-server: %s mode, expecting MRENCLAVE %x..., listening on %s\n",
 		mode, cfg.ExpectedMrEnclave[:8], l.Addr())
-	if err := srv.Serve(l); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = srv.Serve(ctx, l)
+	snap := metrics.Snapshot()
+	if *metricsJSON != "" {
+		if blob, jerr := json.MarshalIndent(snap, "", "  "); jerr == nil {
+			if werr := os.WriteFile(*metricsJSON, blob, 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, werr)
+			}
+		}
+	}
+	if errors.Is(err, elide.ErrServerClosed) {
+		fmt.Printf("elide-server: shut down cleanly\n%s", snap)
+		return
+	}
+	if err != nil {
+		fmt.Fprint(os.Stderr, snap)
 		fatal(err)
 	}
 }

@@ -8,11 +8,14 @@
 package main
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
+	"errors"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"sgxelide/internal/elide"
 	"sgxelide/internal/sdk"
@@ -57,20 +60,26 @@ func main() {
 	check(err)
 	fmt.Printf("sanitized measurement: %x...\n", prot.Measurement[:8])
 
-	// The authentication server, reachable only over TCP.
+	// The authentication server, reachable only over TCP. It serves until
+	// the context is cancelled, then drains in-flight sessions.
 	srv, err := prot.NewServerFor(ca)
 	check(err)
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	check(err)
-	defer l.Close()
-	go srv.Serve(l)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, l) }()
 	fmt.Printf("authentication server listening on %s\n", l.Addr())
 
 	fmt.Println("\n== honest user: restore over TCP ==")
-	conn, err := net.Dial("tcp", l.Addr().String())
-	check(err)
-	defer conn.Close()
-	encl, rt, err := prot.Launch(host, &elide.TCPClient{Conn: conn}, prot.LocalFiles())
+	client := elide.NewTCPClient(l.Addr().String(),
+		elide.WithDialTimeout(2*time.Second),
+		elide.WithRequestTimeout(5*time.Second),
+		elide.WithMaxRetries(2),
+	)
+	defer client.Close()
+	encl, rt, err := prot.LaunchContext(ctx, host, client, prot.LocalFiles())
 	check(err)
 	code, err := encl.ECall("elide_restore", 0)
 	check(err)
@@ -87,17 +96,23 @@ func main() {
 	check(err)
 	ss, err := sgx.SignEnclave(key, mr, 1, 1)
 	check(err)
-	conn2, err := net.Dial("tcp", l.Addr().String())
-	check(err)
-	defer conn2.Close()
-	rt2 := &elide.Runtime{Client: &elide.TCPClient{Conn: conn2}, Files: &elide.FileStore{}}
+	// An attestation refusal is a typed error, not a dropped connection:
+	// the client does not waste its retry budget on it.
+	evilClient := elide.NewTCPClient(l.Addr().String())
+	defer evilClient.Close()
+	rt2 := &elide.Runtime{Client: evilClient, Files: &elide.FileStore{}}
 	rt2.Install(host)
 	evil, err := host.CreateEnclave(prot.PlainELF, ss, prot.EDL)
 	check(err)
 	code, err = evil.ECall("elide_restore", 0)
 	check(err)
 	fmt.Printf("attacker's elide_restore -> %d (refused)\n", code)
-	fmt.Printf("server-side reason: %v\n", rt2.LastErr)
+	fmt.Printf("server-side reason: %v (ErrRefused: %v)\n",
+		rt2.LastErr(), errors.Is(rt2.LastErr(), elide.ErrRefused))
+
+	fmt.Println("\n== graceful shutdown: drain and stop the server ==")
+	cancel()
+	fmt.Printf("server exited with: %v\n", <-served)
 }
 
 func check(err error) {

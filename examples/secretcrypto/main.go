@@ -88,7 +88,7 @@ func main() {
 	code, err := encl.ECall("elide_restore", 0)
 	check(err)
 	fmt.Printf("elide_restore -> %d (attested; key released over the channel; code restored) [runtime err: %v]\n",
-		code, rt.LastErr)
+		code, rt.LastErr())
 
 	_, err = encl.ECall("ecall_encrypt", buf, uint64(len(data)), 42)
 	check(err)

@@ -117,10 +117,10 @@ func RunProtected(env *Env, prot *elide.Protected, p *Program, flags uint64) (ui
 	defer encl.Destroy()
 	code, err := encl.ECall("elide_restore", flags)
 	if err != nil {
-		return 0, fmt.Errorf("restore: %w (runtime: %v)", err, rt.LastErr)
+		return 0, fmt.Errorf("restore: %w (runtime: %v)", err, rt.LastErr())
 	}
 	if code >= 100 {
-		return code, fmt.Errorf("elide_restore failed with code %d (runtime: %v)", code, rt.LastErr)
+		return code, fmt.Errorf("elide_restore failed with code %d (runtime: %v)", code, rt.LastErr())
 	}
 	if err := p.Workload(env.Host, encl); err != nil {
 		return code, err

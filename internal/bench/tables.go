@@ -162,7 +162,7 @@ func Table2(env *Env, iters int) ([]Table2Row, error) {
 				took := time.Since(start)
 				if err != nil || code != elide.RestoreOKServer {
 					encl.Destroy()
-					return nil, fmt.Errorf("%s: restore failed: %d %v (%v)", p.Name, code, err, rt.LastErr)
+					return nil, fmt.Errorf("%s: restore failed: %d %v (%v)", p.Name, code, err, rt.LastErr())
 				}
 				restTimes = append(restTimes, took)
 				encl.Destroy()
@@ -232,7 +232,7 @@ func Figures(env *Env, local bool, iters int) ([]FigureRow, error) {
 			code, err := encl.ECall("elide_restore", 0)
 			if err != nil || code != elide.RestoreOKServer {
 				encl.Destroy()
-				return nil, fmt.Errorf("%s: restore: %d %v (%v)", p.Name, code, err, rt.LastErr)
+				return nil, fmt.Errorf("%s: restore: %d %v (%v)", p.Name, code, err, rt.LastErr())
 			}
 			if err := p.Workload(env.Host, encl); err != nil {
 				encl.Destroy()

@@ -1,6 +1,7 @@
 package elide
 
 import (
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"fmt"
@@ -98,8 +99,9 @@ func BuildProtected(h *sdk.Host, opts BuildProtectedOptions) (*Protected, error)
 }
 
 // NewServerFor builds the authentication server for this deployment,
-// pinning the given attestation CA.
-func (p *Protected) NewServerFor(ca *sgx.CA) (*Server, error) {
+// pinning the given attestation CA. Options configure the serving policy
+// (session cap, timeouts, metrics).
+func (p *Protected) NewServerFor(ca *sgx.CA, opts ...ServerOption) (*Server, error) {
 	cfg := ServerConfig{
 		CAPub:             ca.PublicKey(),
 		ExpectedMrEnclave: p.Measurement,
@@ -108,7 +110,7 @@ func (p *Protected) NewServerFor(ca *sgx.CA) (*Server, error) {
 	if !p.Meta.Encrypted {
 		cfg.SecretPlain = p.SecretData
 	}
-	return NewServer(cfg)
+	return NewServer(cfg, opts...)
 }
 
 // LocalFiles returns the file store a user machine would hold: the
@@ -123,9 +125,17 @@ func (p *Protected) LocalFiles() *FileStore {
 
 // Launch loads the sanitized enclave on the user's machine and installs the
 // SgxElide untrusted runtime. The caller then invokes the single required
-// ecall: enclave.ECall("elide_restore", flags).
+// ecall: enclave.ECall("elide_restore", flags). It is the compatibility
+// wrapper around LaunchContext with a background context.
 func (p *Protected) Launch(h *sdk.Host, client Client, files *FileStore) (*sdk.Enclave, *Runtime, error) {
-	rt := &Runtime{Client: client, Files: files}
+	return p.LaunchContext(context.Background(), h, client, files)
+}
+
+// LaunchContext is Launch with an explicit context: every server call the
+// runtime makes on behalf of the enclave's ocalls (attestation, channel
+// requests during elide_restore) is bounded by ctx.
+func (p *Protected) LaunchContext(ctx context.Context, h *sdk.Host, client Client, files *FileStore) (*sdk.Enclave, *Runtime, error) {
+	rt := &Runtime{Client: client, Files: files, Ctx: ctx}
 	rt.Install(h)
 	encl, err := h.CreateEnclave(p.SanitizedELF, p.SigStruct, p.EDL)
 	if err != nil {

@@ -2,6 +2,7 @@ package elide
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"crypto/rsa"
 	"encoding/json"
@@ -261,7 +262,7 @@ func TestRestoreRemoteData(t *testing.T) {
 	encl, rt, _ := launchWithServer(t, SanitizeOptions{})
 	code, err := encl.ECall("elide_restore", 0)
 	if err != nil {
-		t.Fatalf("elide_restore: %v (last: %v)", err, rt.LastErr)
+		t.Fatalf("elide_restore: %v (last: %v)", err, rt.LastErr())
 	}
 	if code != RestoreOKServer {
 		t.Fatalf("elide_restore = %d", code)
@@ -301,7 +302,7 @@ func TestRestoreLocalData(t *testing.T) {
 
 	code, err := encl.ECall("elide_restore", 0)
 	if err != nil {
-		t.Fatalf("elide_restore: %v (last: %v)", err, rt.LastErr)
+		t.Fatalf("elide_restore: %v (last: %v)", err, rt.LastErr())
 	}
 	if code != RestoreOKServer {
 		t.Fatalf("elide_restore = %d", code)
@@ -334,7 +335,7 @@ func TestRestoreLocalDataTamperDetected(t *testing.T) {
 	}()
 	code, err := encl.ECall("elide_restore", 0)
 	if err != nil {
-		t.Fatalf("restore errored at the wrong layer: %v (%v)", err, rt.LastErr)
+		t.Fatalf("restore errored at the wrong layer: %v (%v)", err, rt.LastErr())
 	}
 	if code != 107 {
 		t.Fatalf("restore = %d, want MAC failure 107", code)
@@ -372,8 +373,8 @@ func TestServerRefusesWrongEnclave(t *testing.T) {
 	if code != 103 {
 		t.Fatalf("restore = %d, want attestation refusal 103", code)
 	}
-	if rt.LastErr == nil || !strings.Contains(rt.LastErr.Error(), "measurement") {
-		t.Errorf("server error = %v", rt.LastErr)
+	if rt.LastErr() == nil || !strings.Contains(rt.LastErr().Error(), "measurement") {
+		t.Errorf("server error = %v", rt.LastErr())
 	}
 }
 
@@ -391,7 +392,7 @@ func TestSealingAndSealedRestore(t *testing.T) {
 	}
 	code, err := encl.ECall("elide_restore", FlagSealAfter)
 	if err != nil || code != RestoreOKServer {
-		t.Fatalf("restore: %d, %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d, %v (%v)", code, err, rt.LastErr())
 	}
 	if len(rt.Files.Sealed) == 0 {
 		t.Fatal("nothing sealed")
@@ -443,10 +444,10 @@ func TestSealingAndSealedRestore(t *testing.T) {
 // deadClient refuses everything, proving no server traffic happened.
 type deadClient struct{}
 
-func (deadClient) Attest(*sgx.Quote, []byte) ([]byte, error) {
+func (deadClient) Attest(context.Context, *sgx.Quote, []byte) ([]byte, error) {
 	return nil, errDead
 }
-func (deadClient) Request([]byte) ([]byte, error) { return nil, errDead }
+func (deadClient) Request(context.Context, []byte) ([]byte, error) { return nil, errDead }
 
 var errDead = &net.OpError{Op: "dial", Err: &net.AddrError{Err: "server unreachable"}}
 
@@ -461,7 +462,7 @@ func TestRangesFormat(t *testing.T) {
 	}
 	code, err := encl.ECall("elide_restore", 0)
 	if err != nil || code != RestoreOKServer {
-		t.Fatalf("restore: %d, %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d, %v (%v)", code, err, rt.LastErr())
 	}
 	got, err := encl.ECall("ecall_compute", 7)
 	if err != nil || got != secretTransformGo(7) {
@@ -484,7 +485,7 @@ func TestBlacklistMode(t *testing.T) {
 	}
 	code, err := encl.ECall("elide_restore", 0)
 	if err != nil || code != RestoreOKServer {
-		t.Fatalf("restore: %d, %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d, %v (%v)", code, err, rt.LastErr())
 	}
 	got, err := encl.ECall("ecall_double_secret", 3)
 	if err != nil || got != secretTransformGo(3)^0xABCDEF {
@@ -547,20 +548,17 @@ func TestRestoreOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 
-	conn, err := net.Dial("tcp", l.Addr().String())
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer conn.Close()
-	encl, rt, err := p.Launch(h, &TCPClient{Conn: conn}, p.LocalFiles())
+	client := NewTCPClient(l.Addr().String())
+	defer client.Close()
+	encl, rt, err := p.Launch(h, client, p.LocalFiles())
 	if err != nil {
 		t.Fatal(err)
 	}
 	code, err := encl.ECall("elide_restore", 0)
 	if err != nil || code != RestoreOKServer {
-		t.Fatalf("restore over TCP: %d, %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore over TCP: %d, %v (%v)", code, err, rt.LastErr())
 	}
 	got, err := encl.ECall("ecall_compute", 123)
 	if err != nil || got != secretTransformGo(123) {

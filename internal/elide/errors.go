@@ -1,0 +1,83 @@
+package elide
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the authentication-server transport. All errors the
+// transport returns match one of these with errors.Is, so callers can
+// distinguish "the server said no" (give up) from "the server is
+// unreachable" (maybe later) without string matching.
+var (
+	// ErrRefused: the server processed the message and refused it
+	// (attestation failure, unknown request, ...). Never retried.
+	ErrRefused = errors.New("elide: server refused")
+
+	// ErrNotAttested: a Request was issued on a session whose attestation
+	// has not succeeded.
+	ErrNotAttested = errors.New("elide: request before attestation")
+
+	// ErrFrameTooLarge: a frame exceeded MaxFrame on either side.
+	ErrFrameTooLarge = errors.New("elide: frame exceeds maximum size")
+
+	// ErrServerUnavailable: the client exhausted its retry budget on
+	// transient (connection-level) failures.
+	ErrServerUnavailable = errors.New("elide: authentication server unavailable")
+
+	// ErrServerClosed: Serve returned because its context was cancelled;
+	// in-flight sessions were drained first.
+	ErrServerClosed = errors.New("elide: server closed")
+)
+
+// RefusedError carries the server's reason alongside the ErrRefused
+// identity: errors.Is(err, ErrRefused) is true for every RefusedError.
+type RefusedError struct {
+	Msg string // the server's error frame message
+}
+
+func (e *RefusedError) Error() string {
+	if e.Msg == "" {
+		return ErrRefused.Error()
+	}
+	return "elide: server refused: " + e.Msg
+}
+
+// Is makes errors.Is(err, ErrRefused) match.
+func (e *RefusedError) Is(target error) bool { return target == ErrRefused }
+
+// unavailableError wraps the last transient failure once the retry budget
+// is spent, matching ErrServerUnavailable.
+type unavailableError struct {
+	attempts int
+	last     error
+}
+
+func (e *unavailableError) Error() string {
+	return fmt.Sprintf("elide: authentication server unavailable after %d attempts: %v", e.attempts, e.last)
+}
+
+func (e *unavailableError) Is(target error) bool { return target == ErrServerUnavailable }
+
+func (e *unavailableError) Unwrap() error { return e.last }
+
+// isTransient reports whether an error is worth a reconnect-and-retry:
+// connection-level failures, timeouts, and torn frames — but never a
+// server refusal, a protocol-state error, or a cancelled context.
+func isTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrRefused) || errors.Is(err, ErrNotAttested) || errors.Is(err, ErrFrameTooLarge) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Everything else on the TCP path — dial errors, resets, EOF from a
+	// dropped connection, i/o timeouts, short frames, torn gob streams —
+	// is transient: the handshake replay is idempotent (the server resumes
+	// the session), so a reconnect can only help.
+	return true
+}

@@ -1,6 +1,7 @@
 package elide
 
 import (
+	"context"
 	"math/rand"
 	"net"
 	"strings"
@@ -68,11 +69,11 @@ func TestServerSendsGarbage(t *testing.T) {
 // garbageClient "attests" fine but then responds with noise.
 type garbageClient struct{}
 
-func (garbageClient) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
+func (garbageClient) Attest(_ context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
 	return make([]byte, 32), nil // a zero public key: ECDH will produce junk
 }
 
-func (garbageClient) Request(enc []byte) ([]byte, error) {
+func (garbageClient) Request(_ context.Context, enc []byte) ([]byte, error) {
 	return []byte("this is definitely not AES-GCM framed data"), nil
 }
 
@@ -131,7 +132,7 @@ func TestConcurrentTCPSessions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close()
-	go srv.Serve(l)
+	go srv.Serve(context.Background(), l)
 
 	const clients = 4
 	var wg sync.WaitGroup
@@ -147,13 +148,9 @@ func TestConcurrentTCPSessions(t *testing.T) {
 				return
 			}
 			host := sdk.NewHost(platform)
-			conn, err := net.Dial("tcp", l.Addr().String())
-			if err != nil {
-				errs <- err
-				return
-			}
-			defer conn.Close()
-			encl, rt, err := p.Launch(host, &TCPClient{Conn: conn}, p.LocalFiles())
+			client := NewTCPClient(l.Addr().String())
+			defer client.Close()
+			encl, rt, err := p.Launch(host, client, p.LocalFiles())
 			if err != nil {
 				errs <- err
 				return
@@ -184,7 +181,7 @@ func TestConcurrentTCPSessions(t *testing.T) {
 func TestHeapWatermarkReclaimsAcrossECalls(t *testing.T) {
 	encl, rt, _ := launchWithServer(t, SanitizeOptions{})
 	if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 	}
 	// ecall_compute is scalar; the restore itself mallocs ~the text size.
 	// Run many restores-worth of heap pressure through repeated ecalls with

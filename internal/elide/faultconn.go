@@ -1,0 +1,152 @@
+package elide
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error a FaultConn reports when a scripted fault
+// fires. It is connection-shaped on purpose: the transport treats it as
+// transient, exactly like a real mid-stream reset.
+var ErrInjected = errors.New("elide: injected connection fault")
+
+// FaultConn wraps a net.Conn and injects faults — added latency, mid-stream
+// connection drops, and short (truncated) I/O — so the robustness tests can
+// prove the transport's retry and reconnect behaviour against deterministic
+// failures instead of flaky sleeps. The zero configuration injects nothing;
+// arm faults with the With* methods before handing the conn out.
+//
+// A FaultConn is safe for concurrent use.
+type FaultConn struct {
+	net.Conn
+
+	mu          sync.Mutex
+	readDelay   time.Duration
+	writeDelay  time.Duration
+	readBudget  int64 // bytes until reads fail; -1 = unlimited
+	writeBudget int64 // bytes until writes fail; -1 = unlimited
+	truncate    bool  // deliver the partial data before failing
+}
+
+// NewFaultConn wraps conn with no faults armed.
+func NewFaultConn(conn net.Conn) *FaultConn {
+	return &FaultConn{Conn: conn, readBudget: -1, writeBudget: -1}
+}
+
+// WithReadDelay sleeps d before every read.
+func (f *FaultConn) WithReadDelay(d time.Duration) *FaultConn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readDelay = d
+	return f
+}
+
+// WithWriteDelay sleeps d before every write.
+func (f *FaultConn) WithWriteDelay(d time.Duration) *FaultConn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeDelay = d
+	return f
+}
+
+// FailReadsAfter drops the connection once n more bytes have been read.
+func (f *FaultConn) FailReadsAfter(n int64) *FaultConn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.readBudget = n
+	return f
+}
+
+// FailWritesAfter drops the connection once n more bytes have been
+// written.
+func (f *FaultConn) FailWritesAfter(n int64) *FaultConn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+	return f
+}
+
+// Truncating makes the budget faults deliver the partial data first (a
+// short read/write followed by the drop), modelling a torn frame rather
+// than a clean failure.
+func (f *FaultConn) Truncating() *FaultConn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.truncate = true
+	return f
+}
+
+// Read implements net.Conn with the armed read faults.
+func (f *FaultConn) Read(b []byte) (int, error) {
+	f.mu.Lock()
+	delay := f.readDelay
+	budget := f.readBudget
+	truncate := f.truncate
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if budget < 0 {
+		return f.Conn.Read(b)
+	}
+	if budget == 0 {
+		f.Conn.Close()
+		return 0, ErrInjected
+	}
+	limit := b
+	if int64(len(limit)) > budget {
+		limit = limit[:budget]
+	}
+	n, err := f.Conn.Read(limit)
+	f.mu.Lock()
+	f.readBudget -= int64(n)
+	exhausted := f.readBudget == 0
+	f.mu.Unlock()
+	if err == nil && exhausted && !truncate {
+		// Clean-failure mode kills the conn at the boundary immediately;
+		// truncating mode lets this short read through and fails the next.
+		f.Conn.Close()
+		return n, ErrInjected
+	}
+	return n, err
+}
+
+// Write implements net.Conn with the armed write faults.
+func (f *FaultConn) Write(b []byte) (int, error) {
+	f.mu.Lock()
+	delay := f.writeDelay
+	budget := f.writeBudget
+	truncate := f.truncate
+	f.mu.Unlock()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if budget < 0 {
+		return f.Conn.Write(b)
+	}
+	if budget == 0 {
+		f.Conn.Close()
+		return 0, ErrInjected
+	}
+	limit := b
+	if int64(len(limit)) > budget {
+		limit = limit[:budget]
+	}
+	n, err := f.Conn.Write(limit)
+	f.mu.Lock()
+	f.writeBudget -= int64(n)
+	f.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if n < len(b) {
+		f.Conn.Close()
+		if truncate {
+			return n, ErrInjected
+		}
+		return 0, ErrInjected
+	}
+	return n, nil
+}

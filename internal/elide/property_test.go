@@ -55,7 +55,7 @@ func TestSanitizeRestoreIdentity(t *testing.T) {
 			}
 
 			if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-				t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+				t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 			}
 
 			post := readEnclave(t, encl, text.Addr, len(original))
@@ -122,7 +122,7 @@ func TestServerFilesRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 		if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-			t.Fatalf("restore with loaded config: %d %v (%v)", code, err, rt.LastErr)
+			t.Fatalf("restore with loaded config: %d %v (%v)", code, err, rt.LastErr())
 		}
 	}
 }

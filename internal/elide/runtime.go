@@ -1,6 +1,11 @@
 package elide
 
 import (
+	"context"
+	"sync"
+	"time"
+
+	"sgxelide/internal/obs"
 	"sgxelide/internal/sdk"
 	"sgxelide/internal/sgx"
 )
@@ -13,6 +18,9 @@ type FileStore struct {
 	Sealed     []byte // enclave.secret.sealed
 }
 
+// errRingCap bounds the runtime's recent-error ring.
+const errRingCap = 16
+
 // Runtime is the untrusted half of SgxElide: it services the ocalls the
 // trusted restorer makes (server requests, file I/O, QE target lookup).
 // Installing it and calling elide_restore is all a developer adds (§3.4).
@@ -20,10 +28,56 @@ type Runtime struct {
 	Client Client
 	Files  *FileStore
 
-	// LastErr records the most recent client/server error for diagnostics
-	// (the enclave only sees a failure code, as it would in the real
-	// system).
-	LastErr error
+	// Ctx, when set (LaunchContext sets it), is the context the runtime
+	// passes to every Client call made from an ocall handler — ocalls
+	// themselves have no context parameter, so cancellation and deadlines
+	// flow in from the launch site through here.
+	Ctx context.Context
+
+	// Metrics, when set, receives ocall-path counters and latencies.
+	Metrics *obs.Registry
+
+	// Recent errors, guarded: ocall handlers run on whichever goroutine
+	// drives the ecall, so diagnostics must be safe to read concurrently.
+	mu   sync.Mutex
+	errs []error // newest last, capped at errRingCap
+}
+
+// recordErr appends to the error ring (oldest entries fall off).
+func (rt *Runtime) recordErr(err error) {
+	rt.Metrics.Counter("runtime.errors").Inc()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.errs = append(rt.errs, err)
+	if len(rt.errs) > errRingCap {
+		rt.errs = rt.errs[len(rt.errs)-errRingCap:]
+	}
+}
+
+// LastErr returns the most recent client/server error for diagnostics
+// (the enclave only sees a failure code, as it would in the real system).
+func (rt *Runtime) LastErr() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.errs) == 0 {
+		return nil
+	}
+	return rt.errs[len(rt.errs)-1]
+}
+
+// Errs returns the recent-error ring, oldest first.
+func (rt *Runtime) Errs() []error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return append([]error(nil), rt.errs...)
+}
+
+// ctx returns the runtime's base context.
+func (rt *Runtime) ctx() context.Context {
+	if rt.Ctx != nil {
+		return rt.Ctx
+	}
+	return context.Background()
 }
 
 // Install registers the SgxElide ocalls with the untrusted runtime.
@@ -33,10 +87,13 @@ func (rt *Runtime) Install(h *sdk.Host) {
 	}
 
 	h.RegisterOcall("elide_server_request", func(c *sdk.OcallContext) (uint64, error) {
+		defer rt.Metrics.Observe("runtime.server_request_ns", time.Now())
+		rt.Metrics.Counter("runtime.server_requests").Inc()
 		req := c.Arg(0)
 		inlen := int(c.Arg(2))
 		in := c.ArgBytes(1, inlen)
 		cap := int(c.Arg(4))
+		ctx := rt.ctx()
 		var resp []byte
 		switch req {
 		case ReqAttest:
@@ -49,19 +106,19 @@ func (rt *Runtime) Install(h *sdk.Host) {
 			// turn the local report into a quote, then forwards it.
 			quote, err := h.Platform.QuoteReport(report)
 			if err != nil {
-				rt.LastErr = err
+				rt.recordErr(err)
 				return 0, nil
 			}
-			resp, err = rt.Client.Attest(quote, clientPub)
+			resp, err = rt.Client.Attest(ctx, quote, clientPub)
 			if err != nil {
-				rt.LastErr = err
+				rt.recordErr(err)
 				return 0, nil
 			}
 		case ReqChannel:
 			var err error
-			resp, err = rt.Client.Request(in)
+			resp, err = rt.Client.Request(ctx, in)
 			if err != nil {
-				rt.LastErr = err
+				rt.recordErr(err)
 				return 0, nil
 			}
 		default:

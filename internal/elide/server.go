@@ -1,14 +1,18 @@
 package elide
 
 import (
+	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"time"
 
+	"sgxelide/internal/obs"
 	"sgxelide/internal/sdk"
 	"sgxelide/internal/sgx"
 )
@@ -31,15 +35,79 @@ type ServerConfig struct {
 	SecretPlain []byte
 }
 
+// serverOptions collects the functional options of NewServer.
+type serverOptions struct {
+	maxSessions int
+	ioTimeout   time.Duration
+	drain       time.Duration
+	resumeCap   int
+	metrics     *obs.Registry
+
+	// onHandshake is a package-internal test seam, called with each
+	// decoded handshake before attestation (robustness tests use it to
+	// simulate a session that panics).
+	onHandshake func(*attestMsg)
+}
+
+// ServerOption configures a Server beyond its ServerConfig.
+type ServerOption func(*serverOptions)
+
+// WithMaxSessions caps concurrent TCP sessions; further accepts block until
+// a slot frees (default 256).
+func WithMaxSessions(n int) ServerOption {
+	return func(o *serverOptions) { o.maxSessions = n }
+}
+
+// WithIOTimeout sets the per-connection read/write deadline armed before
+// every wire interaction (default 30s). A session idle longer than this is
+// dropped.
+func WithIOTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.ioTimeout = d }
+}
+
+// WithDrainTimeout bounds how long Serve waits for in-flight sessions
+// after its context is cancelled before force-closing their connections
+// (default 10s).
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.drain = d }
+}
+
+// WithResumeCacheSize caps the session-resumption cache (default 1024
+// entries; 0 disables resumption).
+func WithResumeCacheSize(n int) ServerOption {
+	return func(o *serverOptions) { o.resumeCap = n }
+}
+
+// WithServerMetrics wires the server into an obs registry.
+func WithServerMetrics(r *obs.Registry) ServerOption {
+	return func(o *serverOptions) { o.metrics = r }
+}
+
 // Server is the SgxElide authentication server: it verifies a quote,
 // establishes an AES-GCM channel, and answers the paper's one-byte
 // REQUEST_META / REQUEST_DATA protocol.
 type Server struct {
 	cfg ServerConfig
+	opt serverOptions
+
+	// Session resumption: a client that reconnects mid-protocol replays
+	// its attestation handshake; keying the established channel by the
+	// quote-bound client ephemeral key lets the server hand back the same
+	// channel key, so the enclave's derived key stays valid (the moral
+	// equivalent of TLS session resumption).
+	resumeMu    sync.Mutex
+	resume      map[[32]byte]resumeEntry
+	resumeOrder [][32]byte // FIFO eviction order
+}
+
+// resumeEntry is one cached attested channel.
+type resumeEntry struct {
+	serverPub  []byte
+	channelKey []byte
 }
 
 // NewServer builds a server.
-func NewServer(cfg ServerConfig) (*Server, error) {
+func NewServer(cfg ServerConfig, opts ...ServerOption) (*Server, error) {
 	if cfg.CAPub == nil {
 		return nil, fmt.Errorf("elide: server needs the attestation CA public key")
 	}
@@ -49,8 +117,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if !cfg.Meta.Encrypted && cfg.SecretPlain == nil {
 		return nil, fmt.Errorf("elide: remote-data mode needs the plaintext secret data")
 	}
-	return &Server{cfg: cfg}, nil
+	o := serverOptions{
+		maxSessions: 256,
+		ioTimeout:   30 * time.Second,
+		drain:       10 * time.Second,
+		resumeCap:   1024,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &Server{cfg: cfg, opt: o, resume: make(map[[32]byte]resumeEntry)}, nil
 }
+
+// Metrics returns the server's registry (nil when not configured).
+func (s *Server) Metrics() *obs.Registry { return s.opt.metrics }
 
 // Session is one client's attested channel with the server.
 type Session struct {
@@ -63,20 +143,32 @@ func (s *Server) NewSession() *Session { return &Session{srv: s} }
 
 // Attest verifies the quote and the channel binding, then completes the
 // ECDH exchange, returning the server's public key. Secrets become
-// available to this session only after success.
+// available to this session only after success. A replayed handshake
+// (same quote-bound client key) resumes the previously established
+// channel rather than generating a fresh keypair, so reconnecting clients
+// keep their channel key.
 func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
 	s := ss.srv
+	defer s.opt.metrics.Observe("server.attest_ns", time.Now())
 	if err := sgx.VerifyQuote(s.cfg.CAPub, q); err != nil {
+		s.opt.metrics.Counter("server.attest_refused").Inc()
 		return nil, fmt.Errorf("elide server: %w", err)
 	}
 	if q.MrEnclave != s.cfg.ExpectedMrEnclave {
+		s.opt.metrics.Counter("server.attest_refused").Inc()
 		return nil, fmt.Errorf("elide server: enclave measurement %x is not the expected sanitized enclave", q.MrEnclave[:8])
 	}
 	// The report data binds the client's ephemeral key to the quote,
 	// preventing a man-in-the-middle from substituting its own key.
 	binding := sha256.Sum256(clientPub)
 	if string(q.Data[:32]) != string(binding[:]) {
+		s.opt.metrics.Counter("server.attest_refused").Inc()
 		return nil, fmt.Errorf("elide server: channel key not bound to the quote")
+	}
+	if pub, key, ok := s.resumeLookup(binding); ok {
+		ss.channelKey = key
+		s.opt.metrics.Counter("server.attest_resumed").Inc()
+		return pub, nil
 	}
 	priv, pub, err := sdk.GenerateECDHKeypair()
 	if err != nil {
@@ -87,19 +179,54 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
 		return nil, err
 	}
 	ss.channelKey = key
+	s.resumeStore(binding, pub, key)
+	s.opt.metrics.Counter("server.attest_ok").Inc()
 	return pub, nil
+}
+
+// resumeLookup finds a cached channel for this client ephemeral key.
+func (s *Server) resumeLookup(key [32]byte) (pub, channelKey []byte, ok bool) {
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	e, ok := s.resume[key]
+	if !ok {
+		return nil, nil, false
+	}
+	return e.serverPub, e.channelKey, true
+}
+
+// resumeStore caches an established channel, evicting FIFO at capacity.
+func (s *Server) resumeStore(key [32]byte, pub, channelKey []byte) {
+	if s.opt.resumeCap <= 0 {
+		return
+	}
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	if _, ok := s.resume[key]; !ok {
+		for len(s.resumeOrder) >= s.opt.resumeCap {
+			delete(s.resume, s.resumeOrder[0])
+			s.resumeOrder = s.resumeOrder[1:]
+		}
+		s.resumeOrder = append(s.resumeOrder, key)
+	}
+	s.resume[key] = resumeEntry{serverPub: pub, channelKey: channelKey}
 }
 
 // Request answers one encrypted request on the attested channel.
 func (ss *Session) Request(enc []byte) ([]byte, error) {
+	s := ss.srv
 	if ss.channelKey == nil {
-		return nil, fmt.Errorf("elide server: request before attestation")
+		return nil, ErrNotAttested
 	}
+	defer s.opt.metrics.Observe("server.request_ns", time.Now())
+	s.opt.metrics.Counter("server.requests").Inc()
 	req, err := sealDecrypt(ss.channelKey, enc)
 	if err != nil {
+		s.opt.metrics.Counter("server.request_errors").Inc()
 		return nil, fmt.Errorf("elide server: bad request: %w", err)
 	}
 	if len(req) != 1 {
+		s.opt.metrics.Counter("server.request_errors").Inc()
 		return nil, fmt.Errorf("elide server: request must be one byte")
 	}
 	var resp []byte
@@ -108,10 +235,12 @@ func (ss *Session) Request(enc []byte) ([]byte, error) {
 		resp = ss.srv.cfg.Meta.Marshal()
 	case RequestData:
 		if ss.srv.cfg.SecretPlain == nil {
+			s.opt.metrics.Counter("server.request_errors").Inc()
 			return nil, fmt.Errorf("elide server: no remote data (local-data deployment)")
 		}
 		resp = ss.srv.cfg.SecretPlain
 	default:
+		s.opt.metrics.Counter("server.request_errors").Inc()
 		return nil, fmt.Errorf("elide server: unknown request %d", req[0])
 	}
 	return sealEncrypt(ss.channelKey, resp)
@@ -120,10 +249,12 @@ func (ss *Session) Request(enc []byte) ([]byte, error) {
 // --- transport ---
 
 // Client is how the untrusted runtime reaches the authentication server:
-// either in-process (DirectClient) or over TCP (TCPClient / Serve).
+// either in-process (DirectClient) or over TCP (TCPClient / Serve). Both
+// calls respect context cancellation; the TCP implementation also applies
+// its configured timeouts and retry policy.
 type Client interface {
-	Attest(q *sgx.Quote, clientPub []byte) ([]byte, error)
-	Request(enc []byte) ([]byte, error)
+	Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error)
+	Request(ctx context.Context, enc []byte) ([]byte, error)
 }
 
 // DirectClient runs the server in-process (and is also what the benchmarks
@@ -134,12 +265,18 @@ type DirectClient struct {
 }
 
 // Attest implements Client.
-func (c *DirectClient) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
+func (c *DirectClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return c.Session.Attest(q, clientPub)
 }
 
 // Request implements Client.
-func (c *DirectClient) Request(enc []byte) ([]byte, error) {
+func (c *DirectClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return c.Session.Request(enc)
 }
 
@@ -149,120 +286,142 @@ type attestMsg struct {
 	ClientPub []byte
 }
 
-// Serve accepts connections until the listener closes. Each connection is
-// one session: an attestation handshake followed by framed encrypted
-// requests.
-func (s *Server) Serve(l net.Listener) error {
+// Serve accepts connections until ctx is cancelled or the listener fails.
+// Each connection is one session: an attestation handshake followed by
+// framed encrypted requests. Concurrency is bounded by WithMaxSessions;
+// every read/write is bounded by WithIOTimeout; a panic in one session is
+// contained to that connection.
+//
+// On cancellation Serve stops accepting, lets in-flight sessions finish
+// their current exchange (up to WithDrainTimeout), then returns
+// ErrServerClosed.
+func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	// Unblock Accept when the context ends.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			l.Close()
+		case <-stop:
+		}
+	}()
+
+	sem := make(chan struct{}, s.opt.maxSessions)
+	var wg sync.WaitGroup
+	var connMu sync.Mutex
+	active := make(map[net.Conn]struct{})
+
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if ctx.Err() != nil {
+				// Graceful shutdown: drain in-flight sessions, then close
+				// whatever is still running after the drain window.
+				drained := make(chan struct{})
+				go func() { wg.Wait(); close(drained) }()
+				select {
+				case <-drained:
+				case <-time.After(s.opt.drain):
+					connMu.Lock()
+					for c := range active {
+						c.Close()
+					}
+					connMu.Unlock()
+					wg.Wait()
+				}
+				return ErrServerClosed
+			}
+			wg.Wait()
 			return err
 		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			conn.Close()
+			continue // next Accept fails; the shutdown path above runs
+		}
+		connMu.Lock()
+		active[conn] = struct{}{}
+		connMu.Unlock()
+		wg.Add(1)
+		s.opt.metrics.Counter("server.sessions").Inc()
 		go func() {
-			defer conn.Close()
-			_ = s.handleConn(conn)
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				connMu.Lock()
+				delete(active, conn)
+				connMu.Unlock()
+				conn.Close()
+			}()
+			defer func() {
+				if r := recover(); r != nil {
+					// One poisoned session must not take the server down.
+					s.opt.metrics.Counter("server.panics").Inc()
+					writeErrorFrame(conn, fmt.Sprintf("internal error: %v", r))
+				}
+			}()
+			s.handleConn(ctx, conn)
 		}()
 	}
 }
 
-// handleConn speaks the TCP protocol for one session.
-func (s *Server) handleConn(conn net.Conn) error {
+// handleConn speaks the TCP protocol for one session: handshake, then a
+// request loop. Errors are reported to the peer as status frames; an
+// attestation failure closes the session, a bad request does not.
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) error {
 	ss := s.NewSession()
+	s.armDeadline(conn)
 	var msg attestMsg
 	if err := gob.NewDecoder(conn).Decode(&msg); err != nil {
 		return err
 	}
+	if s.opt.onHandshake != nil {
+		s.opt.onHandshake(&msg)
+	}
 	pub, err := ss.Attest(msg.Quote, msg.ClientPub)
 	if err != nil {
-		writeFrame(conn, nil) // empty frame = refused
+		s.armDeadline(conn)
+		writeErrorFrame(conn, err.Error())
 		return err
 	}
-	if err := writeFrame(conn, pub); err != nil {
+	s.armDeadline(conn)
+	if err := writeResponse(conn, pub); err != nil {
 		return err
 	}
 	for {
+		s.armDeadline(conn)
 		req, err := readFrame(conn)
 		if err != nil {
-			if err == io.EOF {
+			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
 		resp, err := ss.Request(req)
+		s.armDeadline(conn)
 		if err != nil {
-			writeFrame(conn, nil)
+			// A refusal is an answer, not a transport failure: report it
+			// and keep the session open for further requests.
+			if werr := writeErrorFrame(conn, err.Error()); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if err := writeResponse(conn, resp); err != nil {
 			return err
 		}
-		if err := writeFrame(conn, resp); err != nil {
-			return err
-		}
+		// Drain semantics: a cancelled context does not cut the session
+		// off here — a restore in flight may need further requests and the
+		// closed listener means it could not reconnect. Stragglers are
+		// bounded by Serve's drain window, which force-closes connections.
 	}
 }
 
-// TCPClient speaks the same protocol from the client side.
-type TCPClient struct {
-	Conn     net.Conn
-	attested bool
-}
-
-// Attest implements Client.
-func (c *TCPClient) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
-	if err := gob.NewEncoder(c.Conn).Encode(&attestMsg{Quote: q, ClientPub: clientPub}); err != nil {
-		return nil, err
+// armDeadline (re)sets the per-connection I/O deadline.
+func (s *Server) armDeadline(conn net.Conn) {
+	if s.opt.ioTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(s.opt.ioTimeout))
 	}
-	pub, err := readFrame(c.Conn)
-	if err != nil {
-		return nil, err
-	}
-	if len(pub) == 0 {
-		return nil, fmt.Errorf("elide: server refused attestation")
-	}
-	c.attested = true
-	return pub, nil
-}
-
-// Request implements Client.
-func (c *TCPClient) Request(enc []byte) ([]byte, error) {
-	if !c.attested {
-		return nil, fmt.Errorf("elide: request before attestation")
-	}
-	if err := writeFrame(c.Conn, enc); err != nil {
-		return nil, err
-	}
-	resp, err := readFrame(c.Conn)
-	if err != nil {
-		return nil, err
-	}
-	if len(resp) == 0 {
-		return nil, fmt.Errorf("elide: server refused request")
-	}
-	return resp, nil
-}
-
-const maxFrame = 64 << 20
-
-func writeFrame(w io.Writer, b []byte) error {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(b)
-	return err
-}
-
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxFrame {
-		return nil, fmt.Errorf("elide: oversized frame (%d bytes)", n)
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
 }

@@ -15,7 +15,7 @@ import (
 func TestSGXv1TextStaysWritable(t *testing.T) {
 	encl, rt, _ := launchWithServer(t, SanitizeOptions{})
 	if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 	}
 	textBase := encl.Encl.Base // text is the first segment
 	perm, ok := encl.Encl.PagePerm(textBase)
@@ -55,7 +55,7 @@ func TestSGX2RevokeTextWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 	}
 
 	if err := RevokeTextWrite(encl, p.SanitizedELF); err != nil {
@@ -95,7 +95,7 @@ func TestTransparentAutoRestore(t *testing.T) {
 	// the entry hook restores first.
 	got, err := encl.ECall("ecall_compute", 9)
 	if err != nil {
-		t.Fatalf("transparent first ecall: %v (runtime: %v)", err, rt.LastErr)
+		t.Fatalf("transparent first ecall: %v (runtime: %v)", err, rt.LastErr())
 	}
 	if got != secretTransformGo(9) {
 		t.Fatalf("got %#x, want %#x", got, secretTransformGo(9))

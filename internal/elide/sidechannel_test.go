@@ -24,7 +24,7 @@ import (
 func TestControlledChannelArgument(t *testing.T) {
 	encl, rt, p := launchWithServer(t, SanitizeOptions{})
 	if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 	}
 
 	// (1) Record page traces for two different inputs (the malicious-OS
@@ -75,7 +75,7 @@ func TestControlledChannelArgument(t *testing.T) {
 func TestPageTraceObservesOnlyPageNumbers(t *testing.T) {
 	encl, rt, _ := launchWithServer(t, SanitizeOptions{})
 	if code, err := encl.ECall("elide_restore", 0); err != nil || code != 0 {
-		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr)
+		t.Fatalf("restore: %d %v (%v)", code, err, rt.LastErr())
 	}
 	seen := map[uint64]bool{}
 	encl.Space.PageTrace = func(page uint64, kind evm.Access) { seen[page] = true }

@@ -1,0 +1,372 @@
+package elide
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"sgxelide/internal/obs"
+	"sgxelide/internal/sgx"
+)
+
+// MaxFrame bounds a single frame's payload, enforced on both the read and
+// the write side so a corrupted length header cannot make either end
+// allocate unboundedly or stream garbage.
+const MaxFrame = 64 << 20
+
+// Response frames carry a one-byte status prefix so a refusal is a
+// first-class protocol event, distinct from any payload (including a
+// legitimate zero-length response).
+const (
+	statusOK  = 0 // rest of the frame is the response payload
+	statusErr = 1 // rest of the frame is a UTF-8 error message
+)
+
+// writeFrame writes one length-prefixed frame.
+func writeFrame(w io.Writer, b []byte) error {
+	if len(b) > MaxFrame {
+		return fmt.Errorf("%w (%d bytes on write)", ErrFrameTooLarge, len(b))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w (%d bytes on read)", ErrFrameTooLarge, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// writeResponse writes an OK response frame (status prefix + payload).
+func writeResponse(w io.Writer, b []byte) error {
+	out := make([]byte, 1+len(b))
+	out[0] = statusOK
+	copy(out[1:], b)
+	return writeFrame(w, out)
+}
+
+// writeErrorFrame writes a refusal frame carrying the reason.
+func writeErrorFrame(w io.Writer, msg string) error {
+	const maxMsg = 1024 // cap the reason so errors can't balloon frames
+	if len(msg) > maxMsg {
+		msg = msg[:maxMsg]
+	}
+	out := make([]byte, 1+len(msg))
+	out[0] = statusErr
+	copy(out[1:], msg)
+	return writeFrame(w, out)
+}
+
+// readResponse reads a status-prefixed response frame. A statusErr frame
+// becomes a *RefusedError (matching ErrRefused).
+func readResponse(r io.Reader) ([]byte, error) {
+	frame, err := readFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("elide: malformed response frame (no status byte)")
+	}
+	switch frame[0] {
+	case statusOK:
+		return frame[1:], nil
+	case statusErr:
+		return nil, &RefusedError{Msg: string(frame[1:])}
+	default:
+		return nil, fmt.Errorf("elide: unknown response status %d", frame[0])
+	}
+}
+
+// --- client options ---
+
+// clientOptions collects the functional options of NewTCPClient.
+type clientOptions struct {
+	dialTimeout    time.Duration
+	requestTimeout time.Duration
+	maxRetries     int
+	backoffBase    time.Duration
+	backoffCap     time.Duration
+	metrics        *obs.Registry
+	dial           func(ctx context.Context, addr string) (net.Conn, error)
+	rng            *rand.Rand
+}
+
+// ClientOption configures a TCPClient.
+type ClientOption func(*clientOptions)
+
+// WithDialTimeout bounds each connection attempt (default 5s).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.dialTimeout = d }
+}
+
+// WithRequestTimeout bounds each attest/request round trip, including the
+// reads and writes on the wire (default 30s).
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.requestTimeout = d }
+}
+
+// WithMaxRetries sets how many times a transient failure is retried after
+// the first attempt (default 3; 0 disables retries).
+func WithMaxRetries(n int) ClientOption {
+	return func(o *clientOptions) { o.maxRetries = n }
+}
+
+// WithBackoff sets the exponential backoff base and cap between retries
+// (default 50ms base, 2s cap). Each retry sleeps a uniformly jittered
+// duration in [base/2, base) * 2^attempt, clamped to cap.
+func WithBackoff(base, cap time.Duration) ClientOption {
+	return func(o *clientOptions) { o.backoffBase, o.backoffCap = base, cap }
+}
+
+// WithClientMetrics wires the client into an obs registry.
+func WithClientMetrics(r *obs.Registry) ClientOption {
+	return func(o *clientOptions) { o.metrics = r }
+}
+
+// WithDialer replaces the TCP dialer — tests use this to inject faulty
+// connections or in-memory pipes.
+func WithDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) ClientOption {
+	return func(o *clientOptions) { o.dial = dial }
+}
+
+// --- TCPClient ---
+
+// TCPClient reaches the authentication server over TCP. It dials lazily,
+// applies per-operation deadlines, and retries transient connection
+// failures with exponential backoff and jitter, transparently replaying
+// the attestation handshake on a fresh connection (the server resumes the
+// session keyed by the client's quote-bound ephemeral key, so the channel
+// key survives a reconnect).
+//
+// Build it with NewTCPClient; the zero value is not usable. A TCPClient is
+// safe for concurrent use, though the restore protocol is sequential.
+type TCPClient struct {
+	addr string
+	opt  clientOptions
+
+	mu       sync.Mutex
+	conn     net.Conn
+	attested bool
+	// handshake replay state: the exact attestMsg that last attested
+	// successfully, resent on a fresh connection before retrying a
+	// request.
+	handshake *attestMsg
+}
+
+// NewTCPClient builds a client for the server at addr. No connection is
+// made until the first Attest.
+func NewTCPClient(addr string, opts ...ClientOption) *TCPClient {
+	o := clientOptions{
+		dialTimeout:    5 * time.Second,
+		requestTimeout: 30 * time.Second,
+		maxRetries:     3,
+		backoffBase:    50 * time.Millisecond,
+		backoffCap:     2 * time.Second,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.dial == nil {
+		o.dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			var d net.Dialer
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	if o.rng == nil {
+		o.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return &TCPClient{addr: addr, opt: o}
+}
+
+// Close tears down the current connection, if any.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closeConnLocked()
+}
+
+func (c *TCPClient) closeConnLocked() error {
+	var err error
+	if c.conn != nil {
+		err = c.conn.Close()
+		c.conn = nil
+	}
+	return err
+}
+
+// ensureConnLocked dials if there is no live connection.
+func (c *TCPClient) ensureConnLocked(ctx context.Context) error {
+	if c.conn != nil {
+		return nil
+	}
+	dctx, cancel := context.WithTimeout(ctx, c.opt.dialTimeout)
+	defer cancel()
+	conn, err := c.opt.dial(dctx, c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.opt.metrics.Counter("client.dials").Inc()
+	return nil
+}
+
+// sendHandshakeLocked sends msg and reads the server's attestation reply.
+func (c *TCPClient) sendHandshakeLocked(msg *attestMsg) ([]byte, error) {
+	if err := gob.NewEncoder(c.conn).Encode(msg); err != nil {
+		return nil, err
+	}
+	return readResponse(c.conn)
+}
+
+// Attest implements Client: it performs the attestation handshake,
+// retrying transient failures on fresh connections.
+func (c *TCPClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	msg := &attestMsg{Quote: q, ClientPub: append([]byte(nil), clientPub...)}
+	defer c.opt.metrics.Observe("client.attest_ns", time.Now())
+	pub, err := c.withRetry(ctx, "client.attest", func() ([]byte, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if err := c.ensureConnLocked(ctx); err != nil {
+			return nil, err
+		}
+		c.setDeadlineLocked()
+		pub, err := c.sendHandshakeLocked(msg)
+		if err != nil {
+			return nil, err
+		}
+		c.attested = true
+		c.handshake = msg
+		return pub, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return pub, nil
+}
+
+// Request implements Client: one encrypted round trip on the attested
+// channel. On a transient failure it reconnects, replays the attestation
+// handshake (resuming the server-side session and channel key), and
+// resends the request.
+func (c *TCPClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
+	c.mu.Lock()
+	attested := c.attested
+	c.mu.Unlock()
+	if !attested {
+		return nil, ErrNotAttested
+	}
+	defer c.opt.metrics.Observe("client.request_ns", time.Now())
+	return c.withRetry(ctx, "client.request", func() ([]byte, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		fresh := c.conn == nil
+		if err := c.ensureConnLocked(ctx); err != nil {
+			return nil, err
+		}
+		c.setDeadlineLocked()
+		if fresh {
+			// New connection: resume the session before the request.
+			if _, err := c.sendHandshakeLocked(c.handshake); err != nil {
+				return nil, err
+			}
+		}
+		if err := writeFrame(c.conn, enc); err != nil {
+			return nil, err
+		}
+		return readResponse(c.conn)
+	})
+}
+
+// setDeadlineLocked arms the per-operation I/O deadline.
+func (c *TCPClient) setDeadlineLocked() {
+	if c.opt.requestTimeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.opt.requestTimeout))
+	}
+}
+
+// withRetry runs op, retrying transient failures with exponential backoff
+// and jitter until the budget is spent, then reports ErrServerUnavailable.
+func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]byte, error)) ([]byte, error) {
+	var last error
+	attempts := c.opt.maxRetries + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.opt.metrics.Counter(metric + "_retries").Inc()
+			if err := sleepCtx(ctx, c.backoff(attempt-1)); err != nil {
+				return nil, err
+			}
+		}
+		out, err := op()
+		if err == nil {
+			return out, nil
+		}
+		// A dead connection must not be reused by the next attempt (or a
+		// later Request); drop it before classifying the error.
+		c.mu.Lock()
+		c.closeConnLocked()
+		c.mu.Unlock()
+		if !isTransient(err) {
+			return nil, err
+		}
+		last = err
+	}
+	c.opt.metrics.Counter(metric + "_unavailable").Inc()
+	return nil, &unavailableError{attempts: attempts, last: last}
+}
+
+// backoff computes the jittered exponential delay for the given retry
+// index: uniform in [base/2, base) * 2^i, clamped to the cap.
+func (c *TCPClient) backoff(i int) time.Duration {
+	d := c.opt.backoffBase << uint(i)
+	if d > c.opt.backoffCap || d <= 0 {
+		d = c.opt.backoffCap
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	c.mu.Lock()
+	j := time.Duration(c.opt.rng.Int63n(int64(half)))
+	c.mu.Unlock()
+	return half + j
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -287,7 +287,7 @@ func (e *Enclave) dispatchOCall() error {
 		return fmt.Errorf("no handler registered for ocall %q", fn.Name)
 	}
 	e.midOCall = true
-	ret, err := handler(&OcallContext{Host: e.Host, ms: ms, fn: fn})
+	ret, err := safeOCall(handler, &OcallContext{Host: e.Host, ms: ms, fn: fn})
 	e.midOCall = false
 	if err != nil {
 		return err
@@ -295,6 +295,18 @@ func (e *Enclave) dispatchOCall() error {
 	e.Host.Mem.Store(ms, 8, ret)
 	e.VM.Reg[0] = 0
 	return nil
+}
+
+// safeOCall contains a panicking ocall handler: the restore path reports
+// the failure to the caller as an ecall error instead of tearing down the
+// whole untrusted process.
+func safeOCall(handler OcallHandler, c *OcallContext) (ret uint64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ret, err = 0, fmt.Errorf("ocall %q panicked: %v", c.fn.Name, r)
+		}
+	}()
+	return handler(c)
 }
 
 // Destroy releases the enclave's EPC pages.
