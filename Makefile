@@ -1,26 +1,35 @@
 GO ?= go
 
-.PHONY: build verify test race bench-server clean
+.PHONY: build verify test race bench-server bench-phases trace-demo clean
 
 build:
 	$(GO) build ./...
 
 # Tier-1 verification (see ROADMAP.md): build, vet, full tests, and the
-# race detector over the transport-heavy packages.
+# race detector over the transport-heavy packages and the tracer.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/elide/... ./internal/sdk/...
+	$(GO) test -race ./internal/obs/...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/elide/... ./internal/sdk/...
+	$(GO) test -race ./internal/elide/... ./internal/sdk/... ./internal/obs/...
 
 # Concurrent-restore transport benchmark; writes BENCH_server.json.
 bench-server:
 	$(GO) run ./cmd/elide-bench -server
 
+# Per-phase restore latency breakdown; writes BENCH_restore_phases.json.
+bench-phases:
+	$(GO) run ./cmd/elide-bench -phases
+
+# One traced local-data restore, span tree pretty-printed to stdout.
+trace-demo:
+	$(GO) run ./cmd/elide-bench -trace-demo
+
 clean:
-	rm -rf bin BENCH_server.json
+	rm -rf bin BENCH_server.json BENCH_restore_phases.json

@@ -35,12 +35,17 @@ func main() {
 		srvClients  = flag.Int("server-clients", 16, "concurrent clients for -server")
 		srvSessions = flag.Int("server-sessions", 8, "server session cap for -server")
 		srvOut      = flag.String("server-out", "BENCH_server.json", "JSON output path for -server")
+
+		phases    = flag.Bool("phases", false, "measure the per-phase restore latency breakdown")
+		phProgram = flag.String("phases-program", "Sha1", "benchmark program for -phases")
+		phOut     = flag.String("phases-out", "BENCH_restore_phases.json", "JSON output path for -phases")
+		traceDemo = flag.Bool("trace-demo", false, "run one traced local-data restore and print the span tree")
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *f4, *server = true, true, true, true, true
+		*t1, *t2, *f3, *f4, *server, *phases = true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 && !*server {
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*phases && !*traceDemo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -101,6 +106,32 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *srvOut)
+	}
+	if *phases {
+		fmt.Printf("(measuring restore phase breakdown, %d iterations per mode...)\n", *iters)
+		res, err := bench.PhasesBench(env, bench.PhasesBenchConfig{
+			Program: *phProgram,
+			Iters:   *iters,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*phOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *phOut)
+	}
+	if *traceDemo {
+		tree, err := bench.TraceDemo(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(tree)
 	}
 }
 

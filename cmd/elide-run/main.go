@@ -21,6 +21,7 @@ package main
 import (
 	"context"
 	"encoding/gob"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"sgxelide/internal/elide"
+	"sgxelide/internal/obs"
 	"sgxelide/internal/sdk"
 	"sgxelide/internal/sgx"
 )
@@ -46,6 +48,8 @@ func main() {
 		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request timeout on the server channel")
 		retries     = flag.Int("retries", 3, "transient-failure retries before giving up")
 		timeout     = flag.Duration("timeout", 0, "overall deadline for the restore (0 = none)")
+		traceJSON   = flag.String("trace-json", "", "write the launch trace (one JSON span per line) to this file")
+		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
 	)
 	var args argList
 	flag.Var(&args, "arg", "ecall argument (repeatable)")
@@ -92,6 +96,10 @@ func main() {
 	platform, err := sgx.NewPlatform(sgx.Config{}, ca)
 	check(err)
 	host := sdk.NewHost(platform)
+	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	host.Metrics = metrics
+	host.Tracer = tracer
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -106,6 +114,8 @@ func main() {
 			elide.WithDialTimeout(*dialTimeout),
 			elide.WithRequestTimeout(*reqTimeout),
 			elide.WithMaxRetries(*retries),
+			elide.WithClientMetrics(metrics),
+			elide.WithClientTracer(tracer),
 		)
 		defer tc.Close()
 		client = tc
@@ -135,7 +145,9 @@ func main() {
 	check(err)
 	fmt.Printf("elide-run: enclave initialized, MRENCLAVE %x...\n", encl.Encl.MrEnclave[:8])
 
-	code, err := encl.ECall("elide_restore", *flags)
+	code, err := elide.Restore(encl, *flags)
+	writeObsFiles(tracer, metrics, *traceJSON, *metricsJSON)
+	phaseSummary(tracer)
 	if err != nil {
 		dumpRuntimeErrs(rt)
 		fatal(fmt.Errorf("elide_restore: %w (runtime: %v)", err, rt.LastErr()))
@@ -154,6 +166,59 @@ func main() {
 		ret, err := encl.ECall(*ecallName, args...)
 		check(err)
 		fmt.Printf("elide-run: %s(%v) = %d (%#x)\n", *ecallName, []uint64(args), ret, ret)
+	}
+}
+
+// phaseSummary prints the per-phase latency breakdown of the restore to
+// stderr, in the paper's protocol order, plus the end-to-end total.
+func phaseSummary(tr *obs.Tracer) {
+	recs := tr.Completed()
+	durs := obs.DurationsByName(recs)
+	var total time.Duration
+	for _, r := range recs {
+		if r.Name == "elide_restore" {
+			total = r.Duration()
+		}
+	}
+	fmt.Fprintln(os.Stderr, "elide-run: restore phase timings:")
+	for _, name := range elide.RestorePhases {
+		d, ok := durs[name]
+		if !ok {
+			continue // e.g. no seal phase without -flags 2
+		}
+		fmt.Fprintf(os.Stderr, "  %-14s %12v\n", name, d)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "  %-14s %12v\n", "total", total)
+	}
+}
+
+// writeObsFiles writes the trace JSONL and metrics snapshot files when the
+// corresponding flags are set. Failures are reported, not fatal: the
+// restore outcome matters more than the telemetry files.
+func writeObsFiles(tr *obs.Tracer, reg *obs.Registry, tracePath, metricsPath string) {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err == nil {
+			err = tr.WriteJSONL(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elide-run: writing %s: %v\n", tracePath, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "elide-run: trace written to %s\n", tracePath)
+		}
+	}
+	if metricsPath != "" {
+		blob, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(metricsPath, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elide-run: writing %s: %v\n", metricsPath, err)
+		}
 	}
 }
 

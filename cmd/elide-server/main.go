@@ -12,7 +12,10 @@
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // drains in-flight sessions (bounded by -drain-timeout), and prints a
 // metrics snapshot before exiting. -metrics-json additionally writes the
-// snapshot to a file for scraping.
+// snapshot to a file on shutdown (and, with -metrics-interval, periodically
+// while serving). -admin-addr starts a telemetry HTTP listener serving
+// /metrics (Prometheus text; ?format=json for the JSON snapshot), /healthz,
+// /trace (recent session spans), and /debug/pprof.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,10 +39,12 @@ func main() {
 	var (
 		dir          = flag.String("dir", "serverfiles", "directory with ca_pub.pem, enclave.mrenclave, enclave.secret.meta[, enclave.secret.data]")
 		listen       = flag.String("listen", "127.0.0.1:7788", "listen address")
+		adminAddr    = flag.String("admin-addr", "", "telemetry HTTP listen address for /metrics, /healthz, /trace, /debug/pprof (empty = disabled)")
 		maxSessions  = flag.Int("max-sessions", 256, "maximum concurrent sessions")
 		ioTimeout    = flag.Duration("io-timeout", 30*time.Second, "per-connection read/write deadline")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight sessions")
-		metricsJSON  = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
+		metricsJSON  = flag.String("metrics-json", "", "write the metrics snapshot to this file on shutdown (and periodically with -metrics-interval)")
+		metricsEvery = flag.Duration("metrics-interval", 0, "also rewrite -metrics-json at this interval while serving (0 = only on shutdown)")
 	)
 	flag.Parse()
 
@@ -47,11 +53,13 @@ func main() {
 		fatal(err)
 	}
 	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
 	srv, err := elide.NewServer(cfg,
 		elide.WithMaxSessions(*maxSessions),
 		elide.WithIOTimeout(*ioTimeout),
 		elide.WithDrainTimeout(*drainTimeout),
 		elide.WithServerMetrics(metrics),
+		elide.WithServerTracer(tracer),
 	)
 	if err != nil {
 		fatal(err)
@@ -69,14 +77,46 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *adminAddr != "" {
+		al, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal(err)
+		}
+		admin := &http.Server{Handler: obs.AdminHandler(metrics, tracer, "sgxelide")}
+		go func() {
+			if err := admin.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "elide-server: admin listener: %v\n", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			admin.Shutdown(shctx)
+		}()
+		fmt.Printf("elide-server: telemetry on http://%s/metrics\n", al.Addr())
+	}
+
+	if *metricsEvery > 0 && *metricsJSON != "" {
+		go func() {
+			t := time.NewTicker(*metricsEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					writeSnapshot(*metricsJSON, metrics.Snapshot())
+				}
+			}
+		}()
+	}
+
 	err = srv.Serve(ctx, l)
 	snap := metrics.Snapshot()
 	if *metricsJSON != "" {
-		if blob, jerr := json.MarshalIndent(snap, "", "  "); jerr == nil {
-			if werr := os.WriteFile(*metricsJSON, blob, 0o644); werr != nil {
-				fmt.Fprintln(os.Stderr, werr)
-			}
-		}
+		writeSnapshot(*metricsJSON, snap)
 	}
 	if errors.Is(err, elide.ErrServerClosed) {
 		fmt.Printf("elide-server: shut down cleanly\n%s", snap)
@@ -85,6 +125,24 @@ func main() {
 	if err != nil {
 		fmt.Fprint(os.Stderr, snap)
 		fatal(err)
+	}
+}
+
+// writeSnapshot atomically replaces path with the JSON-encoded snapshot so
+// a scraper never reads a half-written file.
+func writeSnapshot(path string, snap obs.Snapshot) {
+	blob, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 }
 

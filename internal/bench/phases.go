@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sgxelide/internal/elide"
+	"sgxelide/internal/obs"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// PhasesBenchConfig drives the per-phase restore breakdown: Iters traced
+// launches of Program in each data mode, every launch on a fresh simulated
+// machine (the paper measures cold launches).
+type PhasesBenchConfig struct {
+	Program string // benchmark name (see All); default "Sha1"
+	Iters   int    // traced launches per mode; default 10
+}
+
+// PhaseModeResult is one data mode's breakdown: a latency summary per
+// pipeline phase (attest, request_meta, request_data, decrypt, restore,
+// seal) plus the end-to-end elide_restore ecall.
+type PhaseModeResult struct {
+	Mode   string                    `json:"mode"` // "remote-data" or "local-data"
+	Phases map[string]LatencySummary `json:"phases"`
+	Total  LatencySummary            `json:"total_restore"`
+}
+
+// PhasesBenchResult is the JSON document elide-bench writes to
+// BENCH_restore_phases.json: where the restore time of Table 2 actually
+// goes — attestation vs data fetch vs decrypt vs the memcpy restore.
+type PhasesBenchResult struct {
+	Program string            `json:"program"`
+	Iters   int               `json:"iters"`
+	Modes   []PhaseModeResult `json:"modes"`
+}
+
+func (r *PhasesBenchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "restore phase breakdown: %s, %d iterations per mode\n", r.Program, r.Iters)
+	for _, m := range r.Modes {
+		fmt.Fprintf(&b, "  %s (total p50 %.0fµs):\n", m.Mode, m.Total.P50Us)
+		names := make([]string, 0, len(m.Phases))
+		for name := range m.Phases {
+			names = append(names, name)
+		}
+		// Protocol order first, anything else alphabetically after.
+		rank := make(map[string]int, len(elide.RestorePhases))
+		for i, name := range elide.RestorePhases {
+			rank[name] = i + 1
+		}
+		sort.Slice(names, func(i, j int) bool {
+			ri, rj := rank[names[i]], rank[names[j]]
+			if ri == 0 && rj == 0 {
+				return names[i] < names[j]
+			}
+			if ri == 0 || rj == 0 {
+				return rj == 0
+			}
+			return ri < rj
+		})
+		for _, name := range names {
+			s := m.Phases[name]
+			fmt.Fprintf(&b, "    %-14s p50 %8.0fµs  p90 %8.0fµs  mean %8.0fµs (n=%d)\n",
+				name, s.P50Us, s.P90Us, s.MeanUs, s.Count)
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// tracedLaunch runs one full traced restore of prot on a fresh machine and
+// returns the completed trace. Flags always include seal-after so the seal
+// phase is exercised.
+func tracedLaunch(env *Env, prot *elide.Protected) ([]obs.SpanRecord, error) {
+	platform, err := sgx.NewPlatform(sgx.Config{}, env.CA)
+	if err != nil {
+		return nil, err
+	}
+	host := sdk.NewHost(platform)
+	tracer := obs.NewTracer(0)
+	host.Tracer = tracer
+	srv, err := prot.NewServerFor(env.CA)
+	if err != nil {
+		return nil, err
+	}
+	encl, rt, err := prot.Launch(host, &elide.DirectClient{Session: srv.NewSession()}, prot.LocalFiles())
+	if err != nil {
+		return nil, err
+	}
+	defer encl.Destroy()
+	code, err := elide.Restore(encl, elide.FlagSealAfter)
+	if err != nil {
+		return nil, fmt.Errorf("restore: %w (runtime: %v)", err, rt.LastErr())
+	}
+	if code != elide.RestoreOKServer {
+		return nil, fmt.Errorf("restore code %d (runtime: %v)", code, rt.LastErr())
+	}
+	return tracer.Completed(), nil
+}
+
+// PhasesBench measures the per-phase restore latency breakdown in both
+// data modes. Each iteration is an independent traced launch; per-phase
+// durations come from the launch's span records.
+func PhasesBench(env *Env, cfg PhasesBenchConfig) (*PhasesBenchResult, error) {
+	if cfg.Program == "" {
+		cfg.Program = "Sha1"
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 10
+	}
+	p, err := ByName(cfg.Program)
+	if err != nil {
+		return nil, err
+	}
+	res := &PhasesBenchResult{Program: p.Name, Iters: cfg.Iters}
+	for _, mode := range []struct {
+		name string
+		san  elide.SanitizeOptions
+	}{
+		{"remote-data", elide.SanitizeOptions{}},
+		{"local-data", elide.SanitizeOptions{EncryptLocal: true}},
+	} {
+		prot, err := BuildProtected(env, p, mode.san)
+		if err != nil {
+			return nil, err
+		}
+		phaseHists := make(map[string]*obs.Histogram)
+		total := obs.NewHistogram()
+		for i := 0; i < cfg.Iters; i++ {
+			recs, err := tracedLaunch(env, prot)
+			if err != nil {
+				return nil, fmt.Errorf("%s iter %d: %w", mode.name, i, err)
+			}
+			for name, d := range obs.DurationsByName(recs) {
+				switch name {
+				case "elide_restore":
+					total.Observe(d)
+				case "attest", "request_meta", "request_data", "decrypt", "restore", "seal":
+					h := phaseHists[name]
+					if h == nil {
+						h = obs.NewHistogram()
+						phaseHists[name] = h
+					}
+					h.Observe(d)
+				}
+			}
+		}
+		mr := PhaseModeResult{
+			Mode:   mode.name,
+			Phases: make(map[string]LatencySummary, len(phaseHists)),
+			Total:  summarize(total.Snapshot()),
+		}
+		for name, h := range phaseHists {
+			mr.Phases[name] = summarize(h.Snapshot())
+		}
+		res.Modes = append(res.Modes, mr)
+	}
+	return res, nil
+}
+
+// TraceDemo runs a single traced local-data restore and returns the
+// rendered span tree — the quickest way to see the whole pipeline.
+func TraceDemo(env *Env) (string, error) {
+	p, err := ByName("Sha1")
+	if err != nil {
+		return "", err
+	}
+	prot, err := BuildProtected(env, p, elide.SanitizeOptions{EncryptLocal: true})
+	if err != nil {
+		return "", err
+	}
+	recs, err := tracedLaunch(env, prot)
+	if err != nil {
+		return "", err
+	}
+	return obs.RenderTree(recs), nil
+}

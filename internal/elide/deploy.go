@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"sgxelide/internal/edl"
+	"sgxelide/internal/obs"
 	"sgxelide/internal/sdk"
 	"sgxelide/internal/sgx"
 )
@@ -135,11 +136,83 @@ func (p *Protected) Launch(h *sdk.Host, client Client, files *FileStore) (*sdk.E
 // runtime makes on behalf of the enclave's ocalls (attestation, channel
 // requests during elide_restore) is bounded by ctx.
 func (p *Protected) LaunchContext(ctx context.Context, h *sdk.Host, client Client, files *FileStore) (*sdk.Enclave, *Runtime, error) {
-	rt := &Runtime{Client: client, Files: files, Ctx: ctx}
+	rt := &Runtime{Client: client, Files: files, Ctx: ctx, Metrics: h.Metrics}
 	rt.Install(h)
 	encl, err := h.CreateEnclave(p.SanitizedELF, p.SigStruct, p.EDL)
 	if err != nil {
 		return nil, nil, err
 	}
 	return encl, rt, nil
+}
+
+// Restore invokes the elide_restore ecall under a root trace span and
+// completes the launch trace. The observable phases — attest,
+// request_meta, request_data, decrypt, seal — are recorded live by the
+// runtime's ocall handlers and the SDK's crypto intrinsics as the enclave
+// drives the protocol; the self-modification itself (elide_apply's memcpy
+// over the sanitized text) runs entirely inside the enclave between two
+// observable events, so its "restore" span is synthesized afterwards from
+// the surrounding boundaries. Tracing is wired through the Host; with no
+// Host.Tracer this is exactly ECall("elide_restore", flags).
+func Restore(encl *sdk.Enclave, flags uint64) (uint64, error) {
+	root, endSpan := encl.Host.BeginSpan("elide_restore")
+	root.SetInt("flags", int64(flags))
+	code, err := encl.ECall("elide_restore", flags)
+	root.SetInt("code", int64(code))
+	root.SetError(err)
+	endSpan()
+	if err == nil && code < RestoreErrBase {
+		// Only a successful restore actually ran the memcpy; a failure
+		// (e.g. server unreachable) must not synthesize a phantom phase.
+		synthesizeRestoreSpan(encl.Host.Tracer, root)
+	}
+	return code, err
+}
+
+// synthesizeRestoreSpan adds the enclave-internal "restore" phase to the
+// trace rooted at root: it starts where the last data-producing event
+// ended (the payload decrypt, or the data fetch) and ends where the seal
+// sequence begins (its first encrypt) or where the restore ecall returned.
+func synthesizeRestoreSpan(tr *obs.Tracer, root *obs.Span) {
+	if tr == nil || root == nil {
+		return
+	}
+	traceID := root.TraceID()
+	var trace []obs.SpanRecord
+	for _, r := range tr.Completed() {
+		if r.TraceID == traceID {
+			trace = append(trace, r)
+		}
+	}
+	var start, end int64
+	for _, r := range trace {
+		switch r.Name {
+		case "attest", "request_meta", "request_data", "read_sealed", "decrypt":
+			if r.EndNS > start {
+				start = r.EndNS
+			}
+		case "ecall:elide_restore":
+			if r.EndNS > end {
+				end = r.EndNS
+			}
+		}
+	}
+	if start == 0 || end <= start {
+		return // nothing restored (failed early, or already restored)
+	}
+	for _, r := range trace {
+		switch r.Name {
+		case "seal", "encrypt":
+			if r.StartNS >= start && r.StartNS < end {
+				end = r.StartNS
+			}
+		}
+	}
+	tr.Add(obs.SpanRecord{
+		TraceID:  traceID,
+		ParentID: root.ID(),
+		Name:     "restore",
+		StartNS:  start,
+		EndNS:    end,
+	})
 }

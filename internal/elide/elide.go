@@ -52,8 +52,9 @@ const (
 
 // elide_restore return codes.
 const (
-	RestoreOKServer = 0 // restored via the authentication server
-	RestoreOKSealed = 1 // restored from the sealed file, no network
+	RestoreOKServer = 0   // restored via the authentication server
+	RestoreOKSealed = 1   // restored from the sealed file, no network
+	RestoreErrBase  = 100 // codes >= RestoreErrBase are failures (see trusted.go)
 )
 
 // MetaBlobSize is the serialized SecretMeta size (fixed layout, carried

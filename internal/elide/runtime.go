@@ -2,6 +2,7 @@ package elide
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -41,7 +42,20 @@ type Runtime struct {
 	// drives the ecall, so diagnostics must be safe to read concurrently.
 	mu   sync.Mutex
 	errs []error // newest last, capped at errRingCap
+
+	// chanReqs counts encrypted channel requests since the last
+	// attestation (guarded by mu). The runtime cannot read the request
+	// byte — it is encrypted — but the paper's protocol is strictly
+	// ordered, so position names the phase: the first request after an
+	// attest is REQUEST_META, the second is REQUEST_DATA.
+	chanReqs int
 }
+
+// RestorePhases lists the restore pipeline's phase span names in protocol
+// order: the names a traced launch records (request_data covers both the
+// remote fetch and the local-file read; seal appears only with
+// FlagSealAfter).
+var RestorePhases = []string{"attest", "request_meta", "request_data", "decrypt", "restore", "seal"}
 
 // recordErr appends to the error ring (oldest entries fall off).
 func (rt *Runtime) recordErr(err error) {
@@ -93,35 +107,16 @@ func (rt *Runtime) Install(h *sdk.Host) {
 		inlen := int(c.Arg(2))
 		in := c.ArgBytes(1, inlen)
 		cap := int(c.Arg(4))
-		ctx := rt.ctx()
 		var resp []byte
 		switch req {
 		case ReqAttest:
-			if len(in) != sdk.ReportBlobSize+32 {
-				return 0, nil
-			}
-			report := sdk.UnmarshalReport(in[:sdk.ReportBlobSize])
-			clientPub := in[sdk.ReportBlobSize:]
-			// The untrusted runtime asks the platform's quoting enclave to
-			// turn the local report into a quote, then forwards it.
-			quote, err := h.Platform.QuoteReport(report)
-			if err != nil {
-				rt.recordErr(err)
-				return 0, nil
-			}
-			resp, err = rt.Client.Attest(ctx, quote, clientPub)
-			if err != nil {
-				rt.recordErr(err)
-				return 0, nil
-			}
+			resp = rt.doAttest(c, h, in)
 		case ReqChannel:
-			var err error
-			resp, err = rt.Client.Request(ctx, in)
-			if err != nil {
-				rt.recordErr(err)
-				return 0, nil
-			}
+			resp = rt.doChannelRequest(c, in)
 		default:
+			return 0, nil
+		}
+		if resp == nil {
 			return 0, nil
 		}
 		if len(resp) > cap {
@@ -133,17 +128,26 @@ func (rt *Runtime) Install(h *sdk.Host) {
 
 	h.RegisterOcall("elide_read_file", func(c *sdk.OcallContext) (uint64, error) {
 		var file []byte
+		var span *obs.Span
 		switch c.Arg(0) {
 		case 0:
 			file = rt.Files.SecretData
+			// In local-data mode the file read *is* the data-acquisition
+			// phase, so it gets the protocol phase name.
+			span = c.Span().Child("request_data")
+			span.SetStr("source", "local")
 		case 1:
 			file = rt.Files.Sealed
+			span = c.Span().Child("read_sealed")
 		default:
 			return 0, nil
 		}
+		defer span.End()
 		if file == nil {
+			span.SetStr("status", "missing")
 			return 0, nil
 		}
+		span.SetInt("bytes", int64(len(file)))
 		cap := int(c.Arg(2))
 		n := len(file)
 		if n > cap {
@@ -154,7 +158,10 @@ func (rt *Runtime) Install(h *sdk.Host) {
 	})
 
 	h.RegisterOcall("elide_write_file", func(c *sdk.OcallContext) (uint64, error) {
+		span := c.Span().Child("seal")
+		defer span.End()
 		n := int(c.Arg(1))
+		span.SetInt("bytes", int64(n))
 		rt.Files.Sealed = append([]byte(nil), c.ArgBytes(0, n)...)
 		return 0, nil
 	})
@@ -164,4 +171,61 @@ func (rt *Runtime) Install(h *sdk.Host) {
 		c.SetArgBytes(0, ti[:])
 		return 0, nil
 	})
+}
+
+// doAttest services a ReqAttest server request under the "attest" phase
+// span: quote the local report, forward it to the authentication server,
+// and return the server's channel public key (nil on failure — the
+// enclave sees only the short read, as it would in the real system).
+func (rt *Runtime) doAttest(c *sdk.OcallContext, h *sdk.Host, in []byte) (resp []byte) {
+	span := c.Span().Child("attest")
+	defer span.End()
+	rt.mu.Lock()
+	rt.chanReqs = 0 // a (re)attestation restarts the protocol sequence
+	rt.mu.Unlock()
+	if len(in) != sdk.ReportBlobSize+32 {
+		span.SetError(fmt.Errorf("short attest payload (%d bytes)", len(in)))
+		return nil
+	}
+	report := sdk.UnmarshalReport(in[:sdk.ReportBlobSize])
+	clientPub := in[sdk.ReportBlobSize:]
+	// The untrusted runtime asks the platform's quoting enclave to turn
+	// the local report into a quote, then forwards it.
+	quote, err := h.Platform.QuoteReport(report)
+	if err != nil {
+		rt.recordErr(err)
+		span.SetError(err)
+		return nil
+	}
+	resp, err = rt.Client.Attest(obs.ContextWithSpan(rt.ctx(), span), quote, clientPub)
+	if err != nil {
+		rt.recordErr(err)
+		span.SetError(err)
+		return nil
+	}
+	return resp
+}
+
+// doChannelRequest services a ReqChannel server request. The payload is
+// opaque (encrypted), so the phase name comes from the protocol position:
+// first request after attestation = request_meta, later = request_data.
+func (rt *Runtime) doChannelRequest(c *sdk.OcallContext, in []byte) []byte {
+	rt.mu.Lock()
+	rt.chanReqs++
+	seq := rt.chanReqs
+	rt.mu.Unlock()
+	name := "request_data"
+	if seq == 1 {
+		name = "request_meta"
+	}
+	span := c.Span().Child(name)
+	defer span.End()
+	span.SetStr("source", "server")
+	resp, err := rt.Client.Request(obs.ContextWithSpan(rt.ctx(), span), in)
+	if err != nil {
+		rt.recordErr(err)
+		span.SetError(err)
+		return nil
+	}
+	return resp
 }

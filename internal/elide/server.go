@@ -42,6 +42,7 @@ type serverOptions struct {
 	drain       time.Duration
 	resumeCap   int
 	metrics     *obs.Registry
+	tracer      *obs.Tracer
 
 	// onHandshake is a package-internal test seam, called with each
 	// decoded handshake before attestation (robustness tests use it to
@@ -81,6 +82,13 @@ func WithResumeCacheSize(n int) ServerOption {
 // WithServerMetrics wires the server into an obs registry.
 func WithServerMetrics(r *obs.Registry) ServerOption {
 	return func(o *serverOptions) { o.metrics = r }
+}
+
+// WithServerTracer wires the server into an obs tracer: each TCP session
+// becomes a trace (root span "session") with a child per protocol phase —
+// the server-side mirror of the client's restore pipeline.
+func WithServerTracer(t *obs.Tracer) ServerOption {
+	return func(o *serverOptions) { o.tracer = t }
 }
 
 // Server is the SgxElide authentication server: it verifies a quote,
@@ -132,10 +140,14 @@ func NewServer(cfg ServerConfig, opts ...ServerOption) (*Server, error) {
 // Metrics returns the server's registry (nil when not configured).
 func (s *Server) Metrics() *obs.Registry { return s.opt.metrics }
 
+// Tracer returns the server's tracer (nil when not configured).
+func (s *Server) Tracer() *obs.Tracer { return s.opt.tracer }
+
 // Session is one client's attested channel with the server.
 type Session struct {
 	srv        *Server
 	channelKey []byte
+	span       *obs.Span // session root span; nil without a tracer
 }
 
 // NewSession starts an unattested session.
@@ -147,9 +159,14 @@ func (s *Server) NewSession() *Session { return &Session{srv: s} }
 // (same quote-bound client key) resumes the previously established
 // channel rather than generating a fresh keypair, so reconnecting clients
 // keep their channel key.
-func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
+func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error) {
 	s := ss.srv
 	defer s.opt.metrics.Observe("server.attest_ns", time.Now())
+	span := ss.span.Child("attest")
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
 	if err := sgx.VerifyQuote(s.cfg.CAPub, q); err != nil {
 		s.opt.metrics.Counter("server.attest_refused").Inc()
 		return nil, fmt.Errorf("elide server: %w", err)
@@ -168,6 +185,7 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) ([]byte, error) {
 	if pub, key, ok := s.resumeLookup(binding); ok {
 		ss.channelKey = key
 		s.opt.metrics.Counter("server.attest_resumed").Inc()
+		span.SetBool("resumed", true)
 		return pub, nil
 	}
 	priv, pub, err := sdk.GenerateECDHKeypair()
@@ -213,13 +231,18 @@ func (s *Server) resumeStore(key [32]byte, pub, channelKey []byte) {
 }
 
 // Request answers one encrypted request on the attested channel.
-func (ss *Session) Request(enc []byte) ([]byte, error) {
+func (ss *Session) Request(enc []byte) (out []byte, err error) {
 	s := ss.srv
 	if ss.channelKey == nil {
 		return nil, ErrNotAttested
 	}
 	defer s.opt.metrics.Observe("server.request_ns", time.Now())
 	s.opt.metrics.Counter("server.requests").Inc()
+	span := ss.span.Child("request")
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
 	req, err := sealDecrypt(ss.channelKey, enc)
 	if err != nil {
 		s.opt.metrics.Counter("server.request_errors").Inc()
@@ -232,13 +255,16 @@ func (ss *Session) Request(enc []byte) ([]byte, error) {
 	var resp []byte
 	switch req[0] {
 	case RequestMeta:
+		span.SetStr("kind", "meta")
 		resp = ss.srv.cfg.Meta.Marshal()
 	case RequestData:
+		span.SetStr("kind", "data")
 		if ss.srv.cfg.SecretPlain == nil {
 			s.opt.metrics.Counter("server.request_errors").Inc()
 			return nil, fmt.Errorf("elide server: no remote data (local-data deployment)")
 		}
 		resp = ss.srv.cfg.SecretPlain
+		span.SetInt("bytes", int64(len(resp)))
 	default:
 		s.opt.metrics.Counter("server.request_errors").Inc()
 		return nil, fmt.Errorf("elide server: unknown request %d", req[0])
@@ -346,9 +372,11 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 		connMu.Unlock()
 		wg.Add(1)
 		s.opt.metrics.Counter("server.sessions").Inc()
+		s.opt.metrics.Gauge("server.active_sessions").Inc()
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			defer s.opt.metrics.Gauge("server.active_sessions").Dec()
 			defer func() {
 				connMu.Lock()
 				delete(active, conn)
@@ -370,8 +398,14 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 // handleConn speaks the TCP protocol for one session: handshake, then a
 // request loop. Errors are reported to the peer as status frames; an
 // attestation failure closes the session, a bad request does not.
-func (s *Server) handleConn(ctx context.Context, conn net.Conn) error {
+func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 	ss := s.NewSession()
+	ss.span = s.opt.tracer.Start("session")
+	ss.span.SetStr("peer", conn.RemoteAddr().String())
+	defer func() {
+		ss.span.SetError(err)
+		ss.span.End()
+	}()
 	s.armDeadline(conn)
 	var msg attestMsg
 	if err := gob.NewDecoder(conn).Decode(&msg); err != nil {

@@ -1,0 +1,225 @@
+package elide
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"sgxelide/internal/obs"
+	"sgxelide/internal/sgx"
+)
+
+// tracedRestore launches app p on a fresh traced host and runs a full
+// restore, returning the completed span records.
+func tracedRestore(t *testing.T, san SanitizeOptions, flags uint64) []obs.SpanRecord {
+	t.Helper()
+	ca, h := env(t)
+	p := buildApp(t, h, san)
+	tracer := obs.NewTracer(0)
+	h.Tracer = tracer
+	h.Metrics = obs.NewRegistry()
+	srv, err := p.NewServerFor(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, rt, err := p.Launch(h, &DirectClient{Session: srv.NewSession()}, p.LocalFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl.Destroy()
+	code, err := Restore(encl, flags)
+	if err != nil || code != RestoreOKServer {
+		t.Fatalf("restore = %d, %v (runtime: %v)", code, err, rt.Errs())
+	}
+	if got := h.Metrics.Counter("sdk.ecalls").Load(); got < 1 {
+		t.Fatalf("sdk.ecalls = %d, want >= 1", got)
+	}
+	if got := h.Metrics.Counter("sdk.ocalls").Load(); got < 3 {
+		t.Fatalf("sdk.ocalls = %d, want >= 3", got)
+	}
+	return tracer.Completed()
+}
+
+// phaseRecord returns the first record with the given name and whether one
+// exists.
+func phaseRecord(recs []obs.SpanRecord, name string) (obs.SpanRecord, bool) {
+	for _, r := range recs {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return obs.SpanRecord{}, false
+}
+
+// assertSpanTree checks the invariants every trace must satisfy: spans end
+// after they start, and every child lies within its parent's bounds.
+func assertSpanTree(t *testing.T, recs []obs.SpanRecord) {
+	t.Helper()
+	byID := make(map[uint64]obs.SpanRecord, len(recs))
+	for _, r := range recs {
+		byID[r.SpanID] = r
+	}
+	for _, r := range recs {
+		if r.EndNS < r.StartNS {
+			t.Errorf("span %q ends before it starts (%d < %d)", r.Name, r.EndNS, r.StartNS)
+		}
+		p, ok := byID[r.ParentID]
+		if !ok {
+			continue
+		}
+		if r.StartNS < p.StartNS || r.EndNS > p.EndNS {
+			t.Errorf("span %q [%d,%d] outside parent %q [%d,%d]",
+				r.Name, r.StartNS, r.EndNS, p.Name, p.StartNS, p.EndNS)
+		}
+	}
+}
+
+// TestRestoreTracePhases: a single traced launch yields a span tree with
+// all six pipeline phases in the paper's protocol order — attest strictly
+// before request_meta before request_data, the synthesized restore after
+// the data arrives, and seal last.
+func TestRestoreTracePhases(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		san    SanitizeOptions
+		source string // expected request_data attribute
+	}{
+		{"remote-data", SanitizeOptions{}, "server"},
+		{"local-data", SanitizeOptions{EncryptLocal: true}, "local"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			recs := tracedRestore(t, tc.san, FlagSealAfter)
+			assertSpanTree(t, recs)
+
+			phases := make(map[string]obs.SpanRecord, len(RestorePhases))
+			for _, name := range RestorePhases {
+				r, ok := phaseRecord(recs, name)
+				if !ok {
+					t.Fatalf("phase %q missing from trace:\n%s", name, obs.RenderTree(recs))
+				}
+				phases[name] = r
+			}
+			if got := phases["request_data"].Attrs["source"]; got != tc.source {
+				t.Errorf("request_data source = %v, want %v", got, tc.source)
+			}
+
+			// Protocol ordering (paper Figure 2): each phase strictly after
+			// the previous one; seal after everything else.
+			order := []string{"attest", "request_meta", "request_data", "restore", "seal"}
+			for i := 1; i < len(order); i++ {
+				prev, cur := phases[order[i-1]], phases[order[i]]
+				if cur.StartNS < prev.EndNS {
+					t.Errorf("phase %q starts (%d) before %q ends (%d)",
+						cur.Name, cur.StartNS, prev.Name, prev.EndNS)
+				}
+			}
+			// The payload decrypt+MAC-verify precedes the restore memcpy.
+			if d := phases["decrypt"]; d.EndNS > phases["restore"].StartNS &&
+				d.StartNS > phases["restore"].StartNS {
+				t.Errorf("decrypt [%d,%d] after restore start %d",
+					d.StartNS, d.EndNS, phases["restore"].StartNS)
+			}
+			for _, r := range recs {
+				if r.Name != "seal" && r.Name != "ecall:elide_restore" && r.Name != "elide_restore" &&
+					r.StartNS > phases["seal"].EndNS {
+					t.Errorf("span %q starts after the seal phase", r.Name)
+				}
+			}
+
+			// The per-phase accounting the CLI prints must see every phase.
+			durs := obs.DurationsByName(recs)
+			for _, name := range RestorePhases {
+				if durs[name] < 0 {
+					t.Errorf("negative accumulated duration for %q", name)
+				}
+			}
+		})
+	}
+}
+
+// downClient fails every server call — the shape of an unreachable
+// authentication server.
+type downClient struct{}
+
+func (downClient) Attest(context.Context, *sgx.Quote, []byte) ([]byte, error) {
+	return nil, errors.New("server unreachable")
+}
+func (downClient) Request(context.Context, []byte) ([]byte, error) {
+	return nil, errors.New("server unreachable")
+}
+
+// TestRestoreTraceFailureNoRestoreSpan: a failed restore must not
+// synthesize a phantom "restore" phase — the memcpy never ran.
+func TestRestoreTraceFailureNoRestoreSpan(t *testing.T) {
+	_, h := env(t)
+	p := buildApp(t, h, SanitizeOptions{EncryptLocal: true})
+	tracer := obs.NewTracer(0)
+	h.Tracer = tracer
+	encl, _, err := p.Launch(h, downClient{}, p.LocalFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl.Destroy()
+	code, err := Restore(encl, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code < RestoreErrBase {
+		t.Fatalf("restore unexpectedly succeeded with code %d", code)
+	}
+	recs := tracer.Completed()
+	if _, ok := phaseRecord(recs, "restore"); ok {
+		t.Fatalf("failed restore synthesized a restore span:\n%s", obs.RenderTree(recs))
+	}
+	att, ok := phaseRecord(recs, "attest")
+	if !ok || att.Error == "" {
+		t.Fatalf("attest span missing or not marked failed: %+v", att)
+	}
+}
+
+// TestRestoreTraceSealedLaunch: a second launch restoring from the sealed
+// file needs no server — the trace must show read_sealed + decrypt +
+// restore and no attestation or channel phases.
+func TestRestoreTraceSealedLaunch(t *testing.T) {
+	ca, h := env(t)
+	p := buildApp(t, h, SanitizeOptions{EncryptLocal: true})
+	srv, err := p.NewServerFor(ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First launch seals; the file store carries over to the second.
+	files := p.LocalFiles()
+	encl, rt, err := p.Launch(h, &DirectClient{Session: srv.NewSession()}, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, err := Restore(encl, FlagSealAfter); err != nil || code != RestoreOKServer {
+		t.Fatalf("first restore = %d, %v (runtime: %v)", code, err, rt.Errs())
+	}
+	encl.Destroy()
+
+	// Second launch on the same host (the seal key is platform-bound),
+	// this time traced: the first restore above ran with a nil tracer.
+	tracer := obs.NewTracer(0)
+	h.Tracer = tracer
+	encl2, rt2, err := p.Launch(h, &DirectClient{Session: srv.NewSession()}, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer encl2.Destroy()
+	if code, err := Restore(encl2, FlagTrySealed); err != nil || code != RestoreOKSealed {
+		t.Fatalf("sealed restore = %d, %v (runtime: %v)", code, err, rt2.Errs())
+	}
+	recs := tracer.Completed()
+	assertSpanTree(t, recs)
+	for _, want := range []string{"read_sealed", "decrypt", "restore"} {
+		if _, ok := phaseRecord(recs, want); !ok {
+			t.Fatalf("sealed-launch trace missing %q:\n%s", want, obs.RenderTree(recs))
+		}
+	}
+	for _, absent := range []string{"attest", "request_meta", "request_data"} {
+		if _, ok := phaseRecord(recs, absent); ok {
+			t.Fatalf("sealed-launch trace unexpectedly contains %q", absent)
+		}
+	}
+}

@@ -109,6 +109,7 @@ type clientOptions struct {
 	backoffBase    time.Duration
 	backoffCap     time.Duration
 	metrics        *obs.Registry
+	tracer         *obs.Tracer
 	dial           func(ctx context.Context, addr string) (net.Conn, error)
 	rng            *rand.Rand
 }
@@ -143,6 +144,15 @@ func WithBackoff(base, cap time.Duration) ClientOption {
 // WithClientMetrics wires the client into an obs registry.
 func WithClientMetrics(r *obs.Registry) ClientOption {
 	return func(o *clientOptions) { o.metrics = r }
+}
+
+// WithClientTracer wires the client into an obs tracer: each Attest or
+// Request becomes a span (with per-attempt children showing the retry
+// history). When the caller's context already carries a span — the
+// restore runtime passes its phase span down — the client parents to it
+// and the tracer option is unnecessary.
+func WithClientTracer(t *obs.Tracer) ClientOption {
+	return func(o *clientOptions) { o.tracer = t }
 }
 
 // WithDialer replaces the TCP dialer — tests use this to inject faulty
@@ -308,7 +318,20 @@ func (c *TCPClient) setDeadlineLocked() {
 
 // withRetry runs op, retrying transient failures with exponential backoff
 // and jitter until the budget is spent, then reports ErrServerUnavailable.
-func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]byte, error)) ([]byte, error) {
+// The whole operation is one span (parented to the context's span when
+// present), with an "attempt" child per try so a trace shows the retry
+// history, not just the final outcome.
+func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]byte, error)) (out []byte, err error) {
+	span := obs.SpanFromContext(ctx).Child(metric)
+	if span == nil {
+		span = c.opt.tracer.Start(metric)
+	}
+	tried := 0
+	defer func() {
+		span.SetInt("attempts", int64(tried))
+		span.SetError(err)
+		span.End()
+	}()
 	var last error
 	attempts := c.opt.maxRetries + 1
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -321,10 +344,15 @@ func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]b
 				return nil, err
 			}
 		}
+		tried++
+		asp := span.Child("attempt")
 		out, err := op()
 		if err == nil {
+			asp.End()
 			return out, nil
 		}
+		asp.SetError(err)
+		asp.End()
 		// A dead connection must not be reused by the next attempt (or a
 		// later Request); drop it before classifying the error.
 		c.mu.Lock()

@@ -592,8 +592,10 @@ func TestServerPanicContained(t *testing.T) {
 }
 
 // TestStress64ConcurrentRestores: 64 simultaneous attest+restore sessions
-// against one server, squeezed through a 16-session semaphore. Run with
-// -race in tier-1 verification.
+// against one server, squeezed through a 16-session semaphore. All client
+// hosts share one tracer (as all sessions share the server's), so this
+// also stresses concurrent span creation and restore-span synthesis. Run
+// with -race in tier-1 verification.
 func TestStress64ConcurrentRestores(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test skipped in -short mode")
@@ -601,9 +603,12 @@ func TestStress64ConcurrentRestores(t *testing.T) {
 	ca, h := env(t)
 	p := buildApp(t, h, SanitizeOptions{})
 	metrics := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	srvTracer := obs.NewTracer(0)
 	srv, err := p.NewServerFor(ca,
 		WithMaxSessions(16), // < clients: accepts must queue on the semaphore
 		WithServerMetrics(metrics),
+		WithServerTracer(srvTracer),
 	)
 	if err != nil {
 		t.Fatal(err)
@@ -627,6 +632,7 @@ func TestStress64ConcurrentRestores(t *testing.T) {
 				return
 			}
 			host := sdk.NewHost(platform)
+			host.Tracer = tracer // deliberately shared across all 64 clients
 			// Generous timeouts: with 64 CPU-heavy restores sharing few
 			// cores, tight deadlines measure scheduler starvation, not
 			// transport correctness.
@@ -634,6 +640,7 @@ func TestStress64ConcurrentRestores(t *testing.T) {
 				WithMaxRetries(5),
 				WithDialTimeout(30*time.Second),
 				WithRequestTimeout(time.Minute),
+				WithClientTracer(tracer),
 			)
 			defer client.Close()
 			encl, rt, err := p.Launch(host, client, p.LocalFiles())
@@ -641,7 +648,7 @@ func TestStress64ConcurrentRestores(t *testing.T) {
 				errs <- err
 				return
 			}
-			code, err := encl.ECall("elide_restore", 0)
+			code, err := Restore(encl, 0)
 			if err != nil || code != RestoreOKServer {
 				errs <- fmt.Errorf("client %d: restore %d %v (%v)", i, code, err, rt.Errs())
 				return
@@ -668,6 +675,21 @@ func TestStress64ConcurrentRestores(t *testing.T) {
 	snap := metrics.Snapshot()
 	if snap.Histograms["server.request_ns"].Count == 0 {
 		t.Fatal("request latency histogram empty")
+	}
+	// Each client's trace must have synthesized its own restore span — the
+	// synthesis filters the shared ring by trace ID, so a miscount here
+	// means cross-client attribution under concurrency.
+	restores := 0
+	for _, r := range tracer.Completed() {
+		if r.Name == "restore" {
+			restores++
+		}
+	}
+	if restores != clients {
+		t.Fatalf("synthesized %d restore spans, want %d", restores, clients)
+	}
+	if got := len(srvTracer.Completed()); got < clients {
+		t.Fatalf("server tracer recorded %d spans, want >= %d", got, clients)
 	}
 	cancel()
 	select {

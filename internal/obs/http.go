@@ -1,0 +1,60 @@
+// The live telemetry surface: an http.Handler exposing the registry and
+// tracer of a running process. elide-server mounts it on -admin-addr;
+// anything that holds a Registry and a Tracer can serve the same endpoints.
+//
+//	GET /metrics              Prometheus text exposition
+//	GET /metrics?format=json  the JSON Snapshot (same schema as -metrics-json)
+//	GET /healthz              liveness probe ("ok")
+//	GET /trace                retained spans as JSONL
+//	GET /trace?format=tree    retained spans as a rendered tree
+//	GET /debug/pprof/...      the standard Go profiler endpoints
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminHandler serves the telemetry endpoints for reg and tr. Either may
+// be nil (the corresponding endpoints serve empty documents). The prefix
+// is prepended to every Prometheus metric name.
+func AdminHandler(reg *Registry, tr *Tracer, prefix string) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		if r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		snap.WritePrometheus(w, prefix)
+	})
+
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "tree" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Write([]byte(RenderTree(tr.Completed())))
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		tr.WriteJSONL(w)
+	})
+
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	return mux
+}

@@ -33,6 +33,28 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge is an instantaneous value that can go up and down (active
+// sessions, queue depth). Signed so decrements past zero are visible bugs
+// rather than wraparounds.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // histBuckets is the number of power-of-two latency buckets. Bucket i
 // counts observations d with 2^(i-1) ns <= d < 2^i ns (bucket 0 counts
 // d == 0), which spans sub-nanosecond to ~584 years — no clamping needed.
@@ -52,6 +74,11 @@ func newHistogram() *Histogram {
 	h.min.Store(^uint64(0))
 	return h
 }
+
+// NewHistogram returns a standalone histogram, for callers aggregating
+// outside a Registry. The zero Histogram is not valid (min tracking needs
+// initialization); always construct through here or Registry.Histogram.
+func NewHistogram() *Histogram { return newHistogram() }
 
 // Observe records one duration. Negative durations count as zero.
 func (h *Histogram) Observe(d time.Duration) {
@@ -187,10 +214,11 @@ func (s HistogramSnapshot) quantile(q float64) uint64 {
 	return s.MaxNanos
 }
 
-// Registry is a named collection of counters and histograms.
+// Registry is a named collection of counters, gauges, and histograms.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -198,6 +226,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
 	}
 }
@@ -217,6 +246,22 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+// Safe on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the histogram with the given name, creating it on
@@ -246,6 +291,7 @@ func (r *Registry) Observe(name string, start time.Time) {
 // Snapshot is an exportable view of a whole registry.
 type Snapshot struct {
 	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
@@ -254,6 +300,7 @@ type Snapshot struct {
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
 	}
 	if r == nil {
@@ -264,6 +311,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for k, v := range r.counters {
 		counters[k] = v
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
 	hists := make(map[string]*Histogram, len(r.histograms))
 	for k, v := range r.histograms {
 		hists[k] = v
@@ -271,6 +322,9 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 	for k, v := range counters {
 		s.Counters[k] = v.Load()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Load()
 	}
 	for k, v := range hists {
 		s.Histograms[k] = v.Snapshot()
@@ -289,6 +343,14 @@ func (s Snapshot) String() string {
 	out := ""
 	for _, k := range names {
 		out += fmt.Sprintf("%-32s %d\n", k, s.Counters[k])
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		out += fmt.Sprintf("%-32s %d\n", k, s.Gauges[k])
 	}
 	names = names[:0]
 	for k := range s.Histograms {

@@ -1,0 +1,106 @@
+// Prometheus text exposition (format version 0.0.4) for a Registry
+// snapshot. Zero-dependency on purpose: the format is a handful of lines
+// per metric, and emitting it ourselves keeps the observability layer free
+// of a client library while letting any Prometheus-compatible scraper read
+// the admin endpoint.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format. Every metric name is prefixed with prefix + "_" (pass "" for
+// none) and sanitized to the Prometheus character set. Counters gain the
+// conventional _total suffix; histograms whose name ends in "_ns" are
+// converted to base-unit seconds and renamed *_seconds. Safe on a nil
+// registry (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer, prefix string) error {
+	return r.Snapshot().WritePrometheus(w, prefix)
+}
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format. Output is deterministic: metric families are sorted by name
+// within each kind (counters, gauges, histograms).
+func (s Snapshot) WritePrometheus(w io.Writer, prefix string) error {
+	var b strings.Builder
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := promName(prefix, k) + "_total"
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := promName(prefix, k)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[k])
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		writePromHistogram(&b, prefix, k, s.Histograms[k])
+	}
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writePromHistogram emits one histogram family: cumulative buckets with
+// le labels, then _sum and _count. Nanosecond histograms (name *_ns) are
+// emitted in seconds, Prometheus's base unit for durations.
+func writePromHistogram(b *strings.Builder, prefix, key string, h HistogramSnapshot) {
+	name := promName(prefix, key)
+	scale := 1.0
+	if strings.HasSuffix(name, "_ns") {
+		name = strings.TrimSuffix(name, "_ns") + "_seconds"
+		scale = 1e-9
+	}
+	fmt.Fprintf(b, "# TYPE %s histogram\n", name)
+	cum := uint64(0)
+	for _, bk := range h.Buckets {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, promFloat(float64(bk.UpperNanos)*scale), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(b, "%s_sum %s\n", name, promFloat(float64(h.SumNanos)*scale))
+	fmt.Fprintf(b, "%s_count %d\n", name, h.Count)
+}
+
+// promFloat formats a float the way Prometheus expects (shortest
+// round-trippable representation).
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// promName joins prefix and name and maps every character outside
+// [a-zA-Z0-9_] (metric names here use dots) to an underscore.
+func promName(prefix, name string) string {
+	if prefix != "" {
+		name = prefix + "_" + name
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("active")
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+	if got := r.Snapshot().Gauges["active"]; got != 3 {
+		t.Fatalf("snapshot gauge = %d, want 3", got)
+	}
+	var nilReg *Registry
+	nilReg.Gauge("x").Inc() // must not panic
+}
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// sorted counters with _total, gauges, then histograms with cumulative
+// power-of-two buckets, *_ns renamed to *_seconds at 1e-9 scale.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.sessions").Add(3)
+	r.Counter("server.attest_ok").Inc()
+	r.Gauge("server.active_sessions").Set(2)
+	h := r.Histogram("op_ns")
+	h.Observe(1000 * time.Nanosecond) // bucket (512, 1024]
+	h.Observe(3000 * time.Nanosecond) // bucket (2048, 4096]
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "sgxelide"); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE sgxelide_server_attest_ok_total counter
+sgxelide_server_attest_ok_total 1
+# TYPE sgxelide_server_sessions_total counter
+sgxelide_server_sessions_total 3
+# TYPE sgxelide_server_active_sessions gauge
+sgxelide_server_active_sessions 2
+# TYPE sgxelide_op_seconds histogram
+sgxelide_op_seconds_bucket{le="1.024e-06"} 1
+sgxelide_op_seconds_bucket{le="4.096e-06"} 2
+sgxelide_op_seconds_bucket{le="+Inf"} 2
+sgxelide_op_seconds_sum 4.000000000000001e-06
+sgxelide_op_seconds_count 2
+`
+	if got := buf.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var nilReg *Registry
+	var buf bytes.Buffer
+	if err := nilReg.WritePrometheus(&buf, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q", buf.String())
+	}
+	if err := NewRegistry().WritePrometheus(&buf, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("empty registry wrote %q", buf.String())
+	}
+}
+
+// TestAdminHandler drives every telemetry endpoint through the handler the
+// server mounts on -admin-addr.
+func TestAdminHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("restores").Inc()
+	tr := NewTracer(0)
+	root := tr.Start("session")
+	root.Child("attest").End()
+	root.End()
+	srv := httptest.NewServer(AdminHandler(reg, tr, "sgxelide"))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	if body, _ := get("/healthz"); body != "ok\n" {
+		t.Errorf("healthz = %q", body)
+	}
+	if body, ct := get("/metrics"); !strings.Contains(body, "sgxelide_restores_total 1") ||
+		!strings.Contains(ct, "0.0.4") {
+		t.Errorf("metrics = %q (content-type %q)", body, ct)
+	}
+	body, ct := get("/metrics?format=json")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap.Counters["restores"] != 1 {
+		t.Errorf("json metrics = %q (content-type %q, err %v)", body, ct, err)
+	}
+	body, _ = get("/trace")
+	var lines int
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("trace line %q: %v", line, err)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Errorf("trace returned %d spans, want 2", lines)
+	}
+	if body, _ := get("/trace?format=tree"); !strings.Contains(body, "session") ||
+		!strings.Contains(body, "  attest") {
+		t.Errorf("trace tree = %q", body)
+	}
+	if body, _ := get("/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeBasics(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start("root")
+	child := root.Child("child")
+	child.SetInt("bytes", 42)
+	child.SetStr("mode", "local")
+	child.SetBool("ok", true)
+	child.End()
+	grand := root.Child("grand") // started after child ended; still parented to root
+	grand.SetError(errors.New("boom"))
+	grand.End()
+	root.End()
+
+	recs := tr.Completed()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	// Ring order is completion order: child, grand, root.
+	if recs[0].Name != "child" || recs[1].Name != "grand" || recs[2].Name != "root" {
+		t.Fatalf("bad order: %v %v %v", recs[0].Name, recs[1].Name, recs[2].Name)
+	}
+	rootRec := recs[2]
+	if rootRec.ParentID != 0 {
+		t.Fatalf("root has parent %d", rootRec.ParentID)
+	}
+	if rootRec.TraceID != rootRec.SpanID {
+		t.Fatalf("root trace id %d != span id %d", rootRec.TraceID, rootRec.SpanID)
+	}
+	for _, r := range recs[:2] {
+		if r.TraceID != rootRec.TraceID {
+			t.Errorf("%s trace id %d, want %d", r.Name, r.TraceID, rootRec.TraceID)
+		}
+		if r.ParentID != rootRec.SpanID {
+			t.Errorf("%s parent %d, want %d", r.Name, r.ParentID, rootRec.SpanID)
+		}
+	}
+	if got := recs[0].Attrs["bytes"]; got != int64(42) {
+		t.Errorf("bytes attr = %v (%T)", got, got)
+	}
+	if got := recs[0].Attrs["mode"]; got != "local" {
+		t.Errorf("mode attr = %v", got)
+	}
+	if got := recs[0].Attrs["ok"]; got != true {
+		t.Errorf("ok attr = %v", got)
+	}
+	if recs[1].Error != "boom" {
+		t.Errorf("error = %q, want boom", recs[1].Error)
+	}
+	if recs[0].Error != "" {
+		t.Errorf("child has error %q", recs[0].Error)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(0)
+	s := tr.Start("once")
+	s.End()
+	s.End()
+	if got := len(tr.Completed()); got != 1 {
+		t.Fatalf("double End recorded %d spans", got)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Start("s").End()
+	}
+	recs := tr.Completed()
+	if len(recs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(recs))
+	}
+	if got := tr.Evicted(); got != 6 {
+		t.Fatalf("evicted = %d, want 6", got)
+	}
+	// Oldest-first: the survivors are the last four spans started, and their
+	// span IDs must be strictly increasing.
+	for i := 1; i < len(recs); i++ {
+		if recs[i].SpanID <= recs[i-1].SpanID {
+			t.Fatalf("not oldest-first: %d then %d", recs[i-1].SpanID, recs[i].SpanID)
+		}
+	}
+}
+
+func TestNilTracerAndSpanSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	s.SetInt("a", 1)
+	s.SetStr("b", "c")
+	s.SetBool("d", true)
+	s.SetError(errors.New("e"))
+	s.Child("f").End()
+	s.End()
+	if recs := tr.Completed(); recs != nil {
+		t.Fatalf("nil tracer completed = %v", recs)
+	}
+	if err := tr.WriteJSONL(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	var nilSpan *Span
+	nilSpan.Child("g").End()
+	nilSpan.End()
+	if nilSpan.ID() != 0 || nilSpan.TraceID() != 0 {
+		t.Fatal("nil span has nonzero ids")
+	}
+}
+
+func TestTracerAdd(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Add(SpanRecord{TraceID: 7, ParentID: 1, Name: "synthesized", StartNS: 10, EndNS: 20})
+	recs := tr.Completed()
+	if len(recs) != 1 || recs[0].Name != "synthesized" {
+		t.Fatalf("Add not recorded: %+v", recs)
+	}
+	if recs[0].SpanID == 0 {
+		t.Fatal("Add did not assign a span id")
+	}
+	if recs[0].Duration() != 10*time.Nanosecond {
+		t.Fatalf("duration = %v", recs[0].Duration())
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	tr := NewTracer(0)
+	root := tr.Start("root")
+	c := root.Child("child")
+	c.SetInt("n", 3)
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lines int
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d: %v", lines, err)
+		}
+		if rec.Name == "" || rec.SpanID == 0 {
+			t.Fatalf("line %d lost fields: %+v", lines, rec)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("wrote %d lines, want 2", lines)
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	tr := NewTracer(0)
+	base := time.Unix(0, 1000)
+	root := tr.StartAt("root", base)
+	c := root.ChildAt("child", base.Add(100))
+	c.SetInt("bytes", 9)
+	c.EndAt(base.Add(600))
+	root.EndAt(base.Add(1000))
+	// An orphan (parent never completed / evicted) renders as a root.
+	tr.Add(SpanRecord{TraceID: 99, ParentID: 12345, Name: "orphan", StartNS: 5000, EndNS: 6000})
+
+	out := RenderTree(tr.Completed())
+	if !strings.Contains(out, "root") || !strings.Contains(out, "orphan") {
+		t.Fatalf("missing spans:\n%s", out)
+	}
+	rootLine, childLine := -1, -1
+	for i, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "root") {
+			rootLine = i
+		}
+		if strings.HasPrefix(line, "  child") {
+			childLine = i
+		}
+		if strings.Contains(line, "child") && !strings.Contains(line, "bytes=9") {
+			t.Fatalf("child line lost attrs: %q", line)
+		}
+	}
+	if rootLine == -1 || childLine != rootLine+1 {
+		t.Fatalf("child not indented under root:\n%s", out)
+	}
+}
+
+func TestDurationsByName(t *testing.T) {
+	recs := []SpanRecord{
+		{Name: "decrypt", StartNS: 0, EndNS: 10},
+		{Name: "decrypt", StartNS: 20, EndNS: 50},
+		{Name: "attest", StartNS: 0, EndNS: 7},
+	}
+	durs := DurationsByName(recs)
+	if durs["decrypt"] != 40*time.Nanosecond {
+		t.Fatalf("decrypt = %v, want 40ns", durs["decrypt"])
+	}
+	if durs["attest"] != 7*time.Nanosecond {
+		t.Fatalf("attest = %v", durs["attest"])
+	}
+}
+
+func TestSpanContext(t *testing.T) {
+	tr := NewTracer(0)
+	s := tr.Start("s")
+	ctx := ContextWithSpan(context.Background(), s)
+	if got := SpanFromContext(ctx); got != s {
+		t.Fatal("span not recovered from context")
+	}
+	if got := SpanFromContext(context.Background()); got != nil {
+		t.Fatal("empty context yielded a span")
+	}
+}
+
+// TestConcurrentSpans exercises the tracer from many goroutines — the
+// shape of the 64-client stress test — so the -race run covers the ring
+// and ID allocation.
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer(256)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				root := tr.Start("root")
+				c := root.Child("child")
+				c.SetInt("j", int64(j))
+				c.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	recs := tr.Completed()
+	if len(recs) != 256 {
+		t.Fatalf("ring holds %d, want 256", len(recs))
+	}
+	if got := tr.Evicted(); got != 16*100*2-256 {
+		t.Fatalf("evicted = %d, want %d", got, 16*100*2-256)
+	}
+	seen := make(map[uint64]bool, len(recs))
+	for _, r := range recs {
+		if seen[r.SpanID] {
+			t.Fatalf("duplicate span id %d", r.SpanID)
+		}
+		seen[r.SpanID] = true
+	}
+}

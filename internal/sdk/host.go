@@ -6,6 +6,7 @@ import (
 	"sgxelide/internal/edl"
 	"sgxelide/internal/elf"
 	"sgxelide/internal/evm"
+	"sgxelide/internal/obs"
 	"sgxelide/internal/sgx"
 )
 
@@ -49,6 +50,10 @@ func (c *OcallContext) SetArgBytes(i int, data []byte) {
 	c.Host.Mem.WriteBytes(c.Arg(i), data)
 }
 
+// Span returns the live span of the ocall being serviced (nil when the
+// host has no tracer), so handlers can attach phase spans to it.
+func (c *OcallContext) Span() *obs.Span { return c.Host.cur }
+
 // OcallHandler services one ocall and returns its result value.
 type OcallHandler func(c *OcallContext) (uint64, error)
 
@@ -59,10 +64,44 @@ type Host struct {
 	Platform *sgx.Platform
 	Mem      *evm.FlatMem
 
+	// Metrics, when set, receives ecall/ocall dispatch counters
+	// (sdk.ecalls, sdk.ocalls, sdk.ecall_errors, sdk.ocall_errors).
+	Metrics *obs.Registry
+
+	// Tracer, when set, receives a span per ecall and per ocall dispatch.
+	// Ocall handlers reach the live span through OcallContext.Span to
+	// attach their own sub-spans; intrinsics attach theirs to the current
+	// innermost span. Like the rest of the Host, tracing assumes one
+	// goroutine drives ecalls on a given Host at a time.
+	Tracer *obs.Tracer
+
 	cursor uint64 // untrusted bump allocator
 	arena  uint64 // ocall arena base
 
+	cur *obs.Span // innermost live span of the dispatch in progress
+
 	ocalls map[string]OcallHandler
+}
+
+// BeginSpan starts a span (a child of the current dispatch span, or a new
+// trace root) and makes it the parent of subsequent ecall spans. The
+// returned func restores the previous parent and ends the span; callers
+// use this to group one logical operation — e.g. a whole restore — into a
+// single trace. The span is nil (and everything still works) when the
+// Host has no tracer.
+func (h *Host) BeginSpan(name string) (*obs.Span, func()) {
+	var sp *obs.Span
+	if h.cur != nil {
+		sp = h.cur.Child(name)
+	} else {
+		sp = h.Tracer.Start(name)
+	}
+	prev := h.cur
+	h.cur = sp
+	return sp, func() {
+		h.cur = prev
+		sp.End()
+	}
 }
 
 // NewHost creates an untrusted runtime on the given platform.
@@ -220,7 +259,7 @@ func loadEnclavePages(p *sgx.Platform, encl *sgx.Enclave, f *elf.File) error {
 // ECall invokes the named ecall. Pointer arguments are untrusted-memory
 // addresses the caller obtained from Host.Alloc/AllocBytes; the enclave
 // bridge copies them in and out. Returns the ecall's 64-bit result.
-func (e *Enclave) ECall(name string, args ...uint64) (uint64, error) {
+func (e *Enclave) ECall(name string, args ...uint64) (ret uint64, err error) {
 	idx, ok := e.EDL.EcallIndex(name)
 	if !ok {
 		return 0, fmt.Errorf("sdk: unknown ecall %q", name)
@@ -232,6 +271,18 @@ func (e *Enclave) ECall(name string, args ...uint64) (uint64, error) {
 	if e.midOCall {
 		return 0, fmt.Errorf("sdk: re-entrant ecall while an ocall is outstanding")
 	}
+
+	e.Host.Metrics.Counter("sdk.ecalls").Inc()
+	span, endSpan := e.Host.BeginSpan("ecall:" + name)
+	defer func() {
+		if err != nil {
+			e.Host.Metrics.Counter("sdk.ecall_errors").Inc()
+			span.SetError(err)
+		} else {
+			span.SetInt("ret", int64(ret))
+		}
+		endSpan()
+	}()
 
 	ms := e.Host.Alloc(8 * (1 + len(args)))
 	e.Host.Mem.Store(ms, 8, 0)
@@ -247,7 +298,11 @@ func (e *Enclave) ECall(name string, args ...uint64) (uint64, error) {
 	vm.Reg[3] = e.Host.arena
 
 	start := vm.Steps
-	defer func() { e.Steps += vm.Steps - start }()
+	defer func() {
+		n := vm.Steps - start
+		e.Steps += n
+		span.SetInt("steps", int64(n))
+	}()
 
 	for {
 		stop := vm.Run()
@@ -278,18 +333,25 @@ func (e *Enclave) ECall(name string, args ...uint64) (uint64, error) {
 func (e *Enclave) dispatchOCall() error {
 	idx := int(e.VM.Reg[1])
 	ms := e.VM.Reg[2]
+	e.Host.Metrics.Counter("sdk.ocalls").Inc()
 	if idx < 0 || idx >= len(e.EDL.Ocalls) {
+		e.Host.Metrics.Counter("sdk.ocall_errors").Inc()
 		return fmt.Errorf("bad ocall index %d", idx)
 	}
 	fn := e.EDL.Ocalls[idx]
 	handler := e.Host.ocalls[fn.Name]
 	if handler == nil {
+		e.Host.Metrics.Counter("sdk.ocall_errors").Inc()
 		return fmt.Errorf("no handler registered for ocall %q", fn.Name)
 	}
+	span, endSpan := e.Host.BeginSpan("ocall:" + fn.Name)
 	e.midOCall = true
 	ret, err := safeOCall(handler, &OcallContext{Host: e.Host, ms: ms, fn: fn})
 	e.midOCall = false
+	span.SetError(err)
+	endSpan()
 	if err != nil {
+		e.Host.Metrics.Counter("sdk.ocall_errors").Inc()
 		return err
 	}
 	e.Host.Mem.Store(ms, 8, ret)

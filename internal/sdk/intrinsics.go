@@ -7,6 +7,7 @@ import (
 	"crypto/rand"
 	"crypto/sha256"
 	"encoding/binary"
+	"fmt"
 
 	"sgxelide/internal/evm"
 	"sgxelide/internal/sgx"
@@ -262,6 +263,28 @@ func installIntrinsics(e *Enclave) {
 			return nil
 		},
 	}
+
+	// The AES-GCM intrinsics are the only observable boundary of the
+	// enclave-internal decrypt+MAC-verify phase, so they get spans of their
+	// own ("decrypt"/"encrypt" with the payload size) parented to whatever
+	// dispatch is in flight. With no tracer the current span is nil and the
+	// wrapper is a couple of nil checks.
+	traced := func(name string, inner evm.Intrinsic) evm.Intrinsic {
+		return func(m *evm.VM) *evm.Fault {
+			sp := e.Host.cur.Child(name)
+			sp.SetInt("bytes", int64(arg(2)))
+			f := inner(m)
+			if f != nil {
+				sp.SetError(fmt.Errorf("intrinsic fault: %s", f.Msg))
+			} else if ret := m.Reg[evm.RegRet]; ret != 0 {
+				sp.SetInt("ret", int64(ret)) // e.g. MAC mismatch
+			}
+			sp.End()
+			return f
+		}
+	}
+	vm.Intrinsics[IntrinAESGCMEncrypt] = traced("encrypt", vm.Intrinsics[IntrinAESGCMEncrypt])
+	vm.Intrinsics[IntrinAESGCMDecrypt] = traced("decrypt", vm.Intrinsics[IntrinAESGCMDecrypt])
 }
 
 // DeriveChannelKey computes the AES-128 channel key from an X25519 private
