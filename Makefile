@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build verify test race bench-server bench-phases trace-demo clean
+.PHONY: build verify test race bench-server bench-multi bench-phases trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,11 @@ race:
 bench-server:
 	$(GO) run ./cmd/elide-bench -server
 
+# Multi-enclave serving benchmark: N distinct sanitized enclaves restored
+# concurrently against one server; writes BENCH_multi.json.
+bench-multi:
+	$(GO) run ./cmd/elide-bench -multi
+
 # Per-phase restore latency breakdown; writes BENCH_restore_phases.json.
 bench-phases:
 	$(GO) run ./cmd/elide-bench -phases
@@ -32,4 +37,4 @@ trace-demo:
 	$(GO) run ./cmd/elide-bench -trace-demo
 
 clean:
-	rm -rf bin BENCH_server.json BENCH_restore_phases.json
+	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json

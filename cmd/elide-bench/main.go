@@ -10,6 +10,7 @@
 //	elide-bench -all
 //	elide-bench -table2 -iters 10
 //	elide-bench -server -server-clients 16 -server-out BENCH_server.json
+//	elide-bench -multi -multi-enclaves 4 -multi-out BENCH_multi.json
 package main
 
 import (
@@ -36,6 +37,11 @@ func main() {
 		srvSessions = flag.Int("server-sessions", 8, "server session cap for -server")
 		srvOut      = flag.String("server-out", "BENCH_server.json", "JSON output path for -server")
 
+		multi         = flag.Bool("multi", false, "benchmark multi-enclave serving: N distinct sanitized enclaves against one server")
+		multiEnclaves = flag.Int("multi-enclaves", 4, "distinct sanitized enclaves for -multi")
+		multiClients  = flag.Int("multi-clients", 4, "concurrent clients per enclave for -multi")
+		multiOut      = flag.String("multi-out", "BENCH_multi.json", "JSON output path for -multi")
+
 		phases    = flag.Bool("phases", false, "measure the per-phase restore latency breakdown")
 		phProgram = flag.String("phases-program", "Sha1", "benchmark program for -phases")
 		phOut     = flag.String("phases-out", "BENCH_restore_phases.json", "JSON output path for -phases")
@@ -43,9 +49,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *f4, *server, *phases = true, true, true, true, true, true
+		*t1, *t2, *f3, *f4, *server, *multi, *phases = true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*phases && !*traceDemo {
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*phases && !*traceDemo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -106,6 +112,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *srvOut)
+	}
+	if *multi {
+		fmt.Printf("(benchmarking multi-enclave serving: %d enclaves x %d clients...)\n",
+			*multiEnclaves, *multiClients)
+		res, err := bench.MultiBench(env, bench.MultiBenchConfig{
+			Enclaves:   *multiEnclaves,
+			ClientsPer: *multiClients,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*multiOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *multiOut)
 	}
 	if *phases {
 		fmt.Printf("(measuring restore phase breakdown, %d iterations per mode...)\n", *iters)

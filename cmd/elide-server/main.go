@@ -9,6 +9,15 @@
 // The serverfiles directory is produced by the deployment pipeline (see
 // examples/remoteattest or Protected.WriteServerFiles).
 //
+// With -secrets-dir the daemon serves many sanitized enclaves at once: the
+// directory holds one deployment subdirectory per enclave (each in the
+// WriteServerFiles layout), secrets are released strictly by attested
+// MRENCLAVE, and the directory is re-scanned every -rescan-interval so
+// deployments added, replaced, or deleted on disk are picked up without a
+// restart:
+//
+//	elide-server -secrets-dir deployments -listen 127.0.0.1:7788
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // drains in-flight sessions (bounded by -drain-timeout), and prints a
 // metrics snapshot before exiting. -metrics-json additionally writes the
@@ -38,6 +47,8 @@ import (
 func main() {
 	var (
 		dir          = flag.String("dir", "serverfiles", "directory with ca_pub.pem, enclave.mrenclave, enclave.secret.meta[, enclave.secret.data]")
+		secretsDir   = flag.String("secrets-dir", "", "multi-enclave mode: directory of per-enclave deployment subdirs (overrides -dir)")
+		rescanEvery  = flag.Duration("rescan-interval", 30*time.Second, "how often -secrets-dir is re-scanned for new/changed/removed deployments (0 = never)")
 		listen       = flag.String("listen", "127.0.0.1:7788", "listen address")
 		adminAddr    = flag.String("admin-addr", "", "telemetry HTTP listen address for /metrics, /healthz, /trace, /debug/pprof (empty = disabled)")
 		maxSessions  = flag.Int("max-sessions", 256, "maximum concurrent sessions")
@@ -48,35 +59,74 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, err := elide.LoadServerConfig(*dir)
-	if err != nil {
-		fatal(err)
-	}
 	metrics := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
-	srv, err := elide.NewServer(cfg,
+	opts := []elide.ServerOption{
 		elide.WithMaxSessions(*maxSessions),
 		elide.WithIOTimeout(*ioTimeout),
 		elide.WithDrainTimeout(*drainTimeout),
 		elide.WithServerMetrics(metrics),
 		elide.WithServerTracer(tracer),
-	)
-	if err != nil {
-		fatal(err)
+	}
+	var srv *elide.Server
+	var err error
+	if *secretsDir != "" {
+		store := elide.NewSecretStore()
+		rep, err := store.LoadDir(*secretsDir)
+		if err != nil {
+			fatal(err)
+		}
+		for name, lerr := range rep.Failed {
+			fmt.Fprintf(os.Stderr, "elide-server: skipping deployment %s: %v\n", name, lerr)
+		}
+		if store.Len() == 0 {
+			fatal(fmt.Errorf("elide-server: no loadable deployments under %s", *secretsDir))
+		}
+		srv, err = elide.NewMultiServer(store.CA(), store, opts...)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		cfg, err := elide.LoadServerConfig(*dir)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err = elide.NewServer(cfg, opts...)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fatal(err)
 	}
-	mode := "remote-data"
-	if cfg.Meta.Encrypted {
-		mode = "local-data (serving metadata + key only)"
+	if *secretsDir != "" {
+		fmt.Printf("elide-server: multi-enclave mode, %d deployments from %s, listening on %s\n",
+			srv.Store().Len(), *secretsDir, l.Addr())
+		for _, e := range srv.Store().Entries() {
+			printEntry(e)
+		}
+	} else {
+		e := srv.Store().Entries()[0]
+		mode := "remote-data"
+		if e.Meta.Encrypted {
+			mode = "local-data (serving metadata + key only)"
+		}
+		fmt.Printf("elide-server: %s mode, expecting MRENCLAVE %x..., listening on %s\n",
+			mode, e.MrEnclave[:8], l.Addr())
 	}
-	fmt.Printf("elide-server: %s mode, expecting MRENCLAVE %x..., listening on %s\n",
-		mode, cfg.ExpectedMrEnclave[:8], l.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *secretsDir != "" && *rescanEvery > 0 {
+		go srv.Store().Watch(ctx, *secretsDir, *rescanEvery, func(rep elide.DirReport) {
+			fmt.Printf("elide-server: rescan of %s: %s\n", *secretsDir, rep)
+			for _, e := range srv.Store().Entries() {
+				printEntry(e)
+			}
+		})
+	}
 
 	if *adminAddr != "" {
 		al, err := net.Listen("tcp", *adminAddr)
@@ -144,6 +194,19 @@ func writeSnapshot(path string, snap obs.Snapshot) {
 	if err := os.Rename(tmp, path); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
+}
+
+// printEntry lists one registered deployment.
+func printEntry(e *elide.SecretEntry) {
+	mode := "remote-data"
+	if e.Meta.Encrypted {
+		mode = "local-data"
+	}
+	name := e.Name
+	if name == "" {
+		name = "(manual)"
+	}
+	fmt.Printf("elide-server:   %s  MRENCLAVE %x...  %s\n", name, e.MrEnclave[:8], mode)
 }
 
 func fatal(err error) {

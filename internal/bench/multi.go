@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"sgxelide/internal/elide"
+	"sgxelide/internal/obs"
+	"sgxelide/internal/sdk"
+	"sgxelide/internal/sgx"
+)
+
+// MultiBenchConfig drives the multi-enclave serving benchmark: one
+// authentication server holding N distinct sanitized enclave identities in
+// its secret store, restored concurrently by ClientsPer user machines per
+// enclave over TCP.
+type MultiBenchConfig struct {
+	Enclaves    int // distinct sanitized enclaves; default 4, capped at len(All())
+	ClientsPer  int // concurrent clients per enclave; default 4
+	MaxSessions int // server concurrent-session cap; default 16
+}
+
+// MultiEnclaveResult is one enclave's slice of the benchmark.
+type MultiEnclaveResult struct {
+	Program    string `json:"program"`
+	MrEnclave  string `json:"mrenclave"` // short hex prefix
+	Restores   int    `json:"restores"`
+	Attests    uint64 `json:"attests"`
+	MetaServed uint64 `json:"meta_served"`
+	DataServed uint64 `json:"data_served"`
+}
+
+// MultiBenchResult is the JSON document elide-bench writes to
+// BENCH_multi.json.
+type MultiBenchResult struct {
+	Enclaves    int     `json:"enclaves"`
+	ClientsPer  int     `json:"clients_per_enclave"`
+	MaxSessions int     `json:"max_sessions"`
+	WallMs      float64 `json:"wall_ms"`
+	Restores    int     `json:"restores"`
+
+	PerEnclave    []MultiEnclaveResult `json:"per_enclave"`
+	ServerAttest  LatencySummary       `json:"server_attest_latency"`
+	ServerRequest LatencySummary       `json:"server_request_latency"`
+	Counters      map[string]uint64    `json:"counters"`
+}
+
+func (r *MultiBenchResult) String() string {
+	s := fmt.Sprintf(
+		"multi-enclave bench: %d enclaves x %d clients (cap %d): %d restores in %.1f ms\n"+
+			"  attest  p50 %.0fµs  p90 %.0fµs  p99 %.0fµs (server-side, n=%d)\n"+
+			"  request p50 %.0fµs  p90 %.0fµs  p99 %.0fµs (server-side, n=%d)",
+		r.Enclaves, r.ClientsPer, r.MaxSessions, r.Restores, r.WallMs,
+		r.ServerAttest.P50Us, r.ServerAttest.P90Us, r.ServerAttest.P99Us, r.ServerAttest.Count,
+		r.ServerRequest.P50Us, r.ServerRequest.P90Us, r.ServerRequest.P99Us, r.ServerRequest.Count)
+	for _, e := range r.PerEnclave {
+		s += fmt.Sprintf("\n  %-10s mr=%s  restores=%d attests=%d meta=%d data=%d",
+			e.Program, e.MrEnclave, e.Restores, e.Attests, e.MetaServed, e.DataServed)
+	}
+	return s
+}
+
+// MultiBench builds cfg.Enclaves distinct sanitized enclaves, registers
+// them all in one SecretStore behind one TCP server, and restores each
+// concurrently from ClientsPer independent user machines. Afterwards it
+// cross-checks the store's per-enclave release counters against the
+// restores performed — every enclave must have been served exactly its own
+// secrets, exactly as often as its clients asked.
+func MultiBench(env *Env, cfg MultiBenchConfig) (*MultiBenchResult, error) {
+	programs := All()
+	if cfg.Enclaves <= 0 {
+		cfg.Enclaves = 4
+	}
+	if cfg.Enclaves > len(programs) {
+		cfg.Enclaves = len(programs)
+	}
+	if cfg.ClientsPer <= 0 {
+		cfg.ClientsPer = 4
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 16
+	}
+
+	store := elide.NewSecretStore()
+	type deployment struct {
+		prog *Program
+		prot *elide.Protected
+	}
+	deployments := make([]deployment, 0, cfg.Enclaves)
+	for i := 0; i < cfg.Enclaves; i++ {
+		p := programs[i]
+		prot, err := BuildProtected(env, p, elide.SanitizeOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := store.Register(prot.Measurement, prot.Meta, prot.SecretData, p.Name); err != nil {
+			return nil, err
+		}
+		deployments = append(deployments, deployment{prog: p, prot: prot})
+	}
+
+	serverMetrics := obs.NewRegistry()
+	srv, err := elide.NewMultiServer(env.CA.PublicKey(), store,
+		elide.WithMaxSessions(cfg.MaxSessions),
+		elide.WithServerMetrics(serverMetrics),
+	)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, l) }()
+
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		restores = make([]int, len(deployments))
+		firstErr error
+	)
+	for di := range deployments {
+		for c := 0; c < cfg.ClientsPer; c++ {
+			wg.Add(1)
+			go func(di int) {
+				defer wg.Done()
+				d := deployments[di]
+				err := func() error {
+					platform, err := sgx.NewPlatform(sgx.Config{}, env.CA)
+					if err != nil {
+						return err
+					}
+					host := sdk.NewHost(platform)
+					client := elide.NewTCPClient(l.Addr().String(),
+						elide.WithDialTimeout(30*time.Second),
+						elide.WithRequestTimeout(time.Minute),
+					)
+					defer client.Close()
+					encl, rt, err := d.prot.Launch(host, client, d.prot.LocalFiles())
+					if err != nil {
+						return err
+					}
+					defer encl.Destroy()
+					code, err := encl.ECall("elide_restore", 0)
+					if err != nil {
+						return err
+					}
+					if code != elide.RestoreOKServer {
+						return fmt.Errorf("%s: restore code %d (runtime: %v)", d.prog.Name, code, rt.LastErr())
+					}
+					mu.Lock()
+					restores[di]++
+					mu.Unlock()
+					return nil
+				}()
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(di)
+		}
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	cancel()
+	if err := <-served; err != nil && !errors.Is(err, elide.ErrServerClosed) {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	total := 0
+	per := make([]MultiEnclaveResult, 0, len(deployments))
+	for di, d := range deployments {
+		entry, ok := store.Lookup(d.prot.Measurement)
+		if !ok {
+			return nil, fmt.Errorf("bench: %s vanished from the store", d.prog.Name)
+		}
+		st := entry.Stats()
+		// Release-counter cross-check: each restore needs at least one
+		// metadata and one data release of THIS enclave's entry (retries
+		// after a transport hiccup can add more) — a shortfall would mean
+		// the restore was fed from some other enclave's entry.
+		if st.MetaServed < uint64(restores[di]) || st.DataServed < uint64(restores[di]) {
+			return nil, fmt.Errorf("bench: %s served meta=%d data=%d for %d restores",
+				d.prog.Name, st.MetaServed, st.DataServed, restores[di])
+		}
+		per = append(per, MultiEnclaveResult{
+			Program:    d.prog.Name,
+			MrEnclave:  hex.EncodeToString(d.prot.Measurement[:4]),
+			Restores:   restores[di],
+			Attests:    st.Attests,
+			MetaServed: st.MetaServed,
+			DataServed: st.DataServed,
+		})
+		total += restores[di]
+	}
+
+	snap := serverMetrics.Snapshot()
+	return &MultiBenchResult{
+		Enclaves:      cfg.Enclaves,
+		ClientsPer:    cfg.ClientsPer,
+		MaxSessions:   cfg.MaxSessions,
+		WallMs:        float64(wall.Nanoseconds()) / 1e6,
+		Restores:      total,
+		PerEnclave:    per,
+		ServerAttest:  summarize(snap.Histograms["server.attest_ns"]),
+		ServerRequest: summarize(snap.Histograms["server.request_ns"]),
+		Counters:      snap.Counters,
+	}, nil
+}

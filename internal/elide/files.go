@@ -21,9 +21,36 @@ const (
 	FileWhitelist   = "whitelist.json"
 )
 
+// atomicWriteFile writes data to path via a same-directory temp file and
+// rename, so a crash mid-write can never leave a torn file at path — the
+// server (and the secrets-dir re-scan) would otherwise happily load a
+// half-written secret.
+func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // WriteServerFiles writes everything the authentication server needs into
 // dir: the CA public key, the expected (sanitized) measurement, the secret
-// metadata, and — in remote-data mode — the plaintext secret data.
+// metadata, and — in remote-data mode — the plaintext secret data. Each
+// file is written atomically (temp file + rename), so a crash mid-write
+// cannot leave a torn secret for the server to load; this also makes it
+// safe to (re)deploy into a directory a running server is watching.
 func (p *Protected) WriteServerFiles(dir string, caPub *ecdsa.PublicKey) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -33,22 +60,22 @@ func (p *Protected) WriteServerFiles(dir string, caPub *ecdsa.PublicKey) error {
 		return fmt.Errorf("elide: encoding CA key: %w", err)
 	}
 	pemBytes := pem.EncodeToMemory(&pem.Block{Type: "PUBLIC KEY", Bytes: der})
-	if err := os.WriteFile(filepath.Join(dir, FileCAPub), pemBytes, 0o644); err != nil {
+	if err := atomicWriteFile(filepath.Join(dir, FileCAPub), pemBytes, 0o644); err != nil {
 		return err
 	}
-	mr := hex.EncodeToString(p.Measurement[:]) + "\n"
-	if err := os.WriteFile(filepath.Join(dir, FileMeasurement), []byte(mr), 0o644); err != nil {
-		return err
-	}
-	if err := os.WriteFile(filepath.Join(dir, FileSecretMeta), p.Meta.Marshal(), 0o600); err != nil {
+	if err := atomicWriteFile(filepath.Join(dir, FileSecretMeta), p.Meta.Marshal(), 0o600); err != nil {
 		return err
 	}
 	if !p.Meta.Encrypted {
-		if err := os.WriteFile(filepath.Join(dir, FileSecretData), p.SecretData, 0o600); err != nil {
+		if err := atomicWriteFile(filepath.Join(dir, FileSecretData), p.SecretData, 0o600); err != nil {
 			return err
 		}
 	}
-	return nil
+	// The measurement file last: its presence marks the deployment subdir
+	// as loadable, so a watcher scanning mid-deploy sees either nothing or
+	// a complete deployment.
+	mr := hex.EncodeToString(p.Measurement[:]) + "\n"
+	return atomicWriteFile(filepath.Join(dir, FileMeasurement), []byte(mr), 0o644)
 }
 
 // LoadServerConfig reads the files written by WriteServerFiles.

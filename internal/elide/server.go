@@ -1,9 +1,11 @@
 package elide
 
 import (
+	"container/list"
 	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -17,7 +19,10 @@ import (
 	"sgxelide/internal/sgx"
 )
 
-// ServerConfig configures the developer-controlled authentication server.
+// ServerConfig configures a single-enclave authentication server (the
+// paper's one-server-per-deployment shape). It is the compatibility layer
+// over a one-entry SecretStore; multi-enclave deployments build the store
+// directly and use NewMultiServer.
 type ServerConfig struct {
 	CAPub *ecdsa.PublicKey // pinned attestation root ("Intel")
 
@@ -92,38 +97,53 @@ func WithServerTracer(t *obs.Tracer) ServerOption {
 }
 
 // Server is the SgxElide authentication server: it verifies a quote,
-// establishes an AES-GCM channel, and answers the paper's one-byte
-// REQUEST_META / REQUEST_DATA protocol.
+// resolves the attested measurement in its secret store, establishes an
+// AES-GCM channel, and answers the paper's one-byte REQUEST_META /
+// REQUEST_DATA protocol — for every sanitized enclave registered in the
+// store, not just one.
 type Server struct {
-	cfg ServerConfig
-	opt serverOptions
+	caPub *ecdsa.PublicKey
+	store *SecretStore
+	opt   serverOptions
 
 	// Session resumption: a client that reconnects mid-protocol replays
 	// its attestation handshake; keying the established channel by the
 	// quote-bound client ephemeral key lets the server hand back the same
 	// channel key, so the enclave's derived key stays valid (the moral
-	// equivalent of TLS session resumption).
-	resumeMu    sync.Mutex
-	resume      map[[32]byte]resumeEntry
-	resumeOrder [][32]byte // FIFO eviction order
+	// equivalent of TLS session resumption). True LRU: both a cache hit
+	// and a re-store refresh the entry's position, so a hot resumed
+	// session cannot be evicted before cold ones.
+	resumeMu   sync.Mutex
+	resume     map[[32]byte]*list.Element // value: *resumeEntry
+	resumeList *list.List                 // front = least recently used
 }
 
 // resumeEntry is one cached attested channel.
 type resumeEntry struct {
+	key        [32]byte // quote-bound client ephemeral key hash
 	serverPub  []byte
 	channelKey []byte
 }
 
-// NewServer builds a server.
+// NewServer builds a single-enclave server: a one-entry store under the
+// hood, releasing secrets only to cfg.ExpectedMrEnclave.
 func NewServer(cfg ServerConfig, opts ...ServerOption) (*Server, error) {
-	if cfg.CAPub == nil {
+	st := NewSecretStore()
+	if _, err := st.Register(cfg.ExpectedMrEnclave, cfg.Meta, cfg.SecretPlain, ""); err != nil {
+		return nil, err
+	}
+	return NewMultiServer(cfg.CAPub, st, opts...)
+}
+
+// NewMultiServer builds a server over an externally managed secret store.
+// The store may be mutated while serving (Register/Remove/LoadDir/Watch);
+// each attestation resolves the measurement at handshake time.
+func NewMultiServer(caPub *ecdsa.PublicKey, store *SecretStore, opts ...ServerOption) (*Server, error) {
+	if caPub == nil {
 		return nil, fmt.Errorf("elide: server needs the attestation CA public key")
 	}
-	if cfg.Meta == nil {
-		return nil, fmt.Errorf("elide: server needs the secret metadata")
-	}
-	if !cfg.Meta.Encrypted && cfg.SecretPlain == nil {
-		return nil, fmt.Errorf("elide: remote-data mode needs the plaintext secret data")
+	if store == nil {
+		return nil, fmt.Errorf("elide: server needs a secret store")
 	}
 	o := serverOptions{
 		maxSessions: 256,
@@ -134,8 +154,18 @@ func NewServer(cfg ServerConfig, opts ...ServerOption) (*Server, error) {
 	for _, fn := range opts {
 		fn(&o)
 	}
-	return &Server{cfg: cfg, opt: o, resume: make(map[[32]byte]resumeEntry)}, nil
+	return &Server{
+		caPub:      caPub,
+		store:      store,
+		opt:        o,
+		resume:     make(map[[32]byte]*list.Element),
+		resumeList: list.New(),
+	}, nil
 }
+
+// Store returns the server's secret store (never nil), for runtime
+// registration and removal of enclave identities.
+func (s *Server) Store() *SecretStore { return s.store }
 
 // Metrics returns the server's registry (nil when not configured).
 func (s *Server) Metrics() *obs.Registry { return s.opt.metrics }
@@ -143,22 +173,27 @@ func (s *Server) Metrics() *obs.Registry { return s.opt.metrics }
 // Tracer returns the server's tracer (nil when not configured).
 func (s *Server) Tracer() *obs.Tracer { return s.opt.tracer }
 
-// Session is one client's attested channel with the server.
+// Session is one client's attested channel with the server. The secret
+// entry it serves is resolved from the attested quote's measurement, so
+// one server process concurrently holds sessions for many distinct
+// sanitized enclaves without any cross-talk.
 type Session struct {
 	srv        *Server
 	channelKey []byte
-	span       *obs.Span // session root span; nil without a tracer
+	entry      *SecretEntry // resolved by Attest; nil before attestation
+	span       *obs.Span    // session root span; nil without a tracer
 }
 
 // NewSession starts an unattested session.
 func (s *Server) NewSession() *Session { return &Session{srv: s} }
 
-// Attest verifies the quote and the channel binding, then completes the
-// ECDH exchange, returning the server's public key. Secrets become
-// available to this session only after success. A replayed handshake
-// (same quote-bound client key) resumes the previously established
-// channel rather than generating a fresh keypair, so reconnecting clients
-// keep their channel key.
+// Attest verifies the quote, resolves the attested measurement in the
+// secret store, checks the channel binding, then completes the ECDH
+// exchange, returning the server's public key. The resolved entry's
+// secrets become available to this session only after success. A replayed
+// handshake (same quote-bound client key) resumes the previously
+// established channel rather than generating a fresh keypair, so
+// reconnecting clients keep their channel key.
 func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error) {
 	s := ss.srv
 	defer s.opt.metrics.Observe("server.attest_ns", time.Now())
@@ -167,21 +202,28 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 		span.SetError(err)
 		span.End()
 	}()
-	if err := sgx.VerifyQuote(s.cfg.CAPub, q); err != nil {
+	if err := sgx.VerifyQuote(s.caPub, q); err != nil {
 		s.opt.metrics.Counter("server.attest_refused").Inc()
 		return nil, fmt.Errorf("elide server: %w", err)
 	}
-	if q.MrEnclave != s.cfg.ExpectedMrEnclave {
+	entry, ok := s.store.Lookup(q.MrEnclave)
+	if !ok {
 		s.opt.metrics.Counter("server.attest_refused").Inc()
 		return nil, fmt.Errorf("elide server: enclave measurement %x is not the expected sanitized enclave", q.MrEnclave[:8])
 	}
 	// The report data binds the client's ephemeral key to the quote,
-	// preventing a man-in-the-middle from substituting its own key.
+	// preventing a man-in-the-middle from substituting its own key. The
+	// compare is constant-time: its outcome gates secret release, and a
+	// byte-by-byte early exit would leak how much of a guessed binding
+	// matched.
 	binding := sha256.Sum256(clientPub)
-	if string(q.Data[:32]) != string(binding[:]) {
+	if subtle.ConstantTimeCompare(q.Data[:32], binding[:]) != 1 {
 		s.opt.metrics.Counter("server.attest_refused").Inc()
 		return nil, fmt.Errorf("elide server: channel key not bound to the quote")
 	}
+	ss.entry = entry
+	span.SetStr("mrenclave", entry.Label())
+	entry.attests.Add(1)
 	if pub, key, ok := s.resumeLookup(binding); ok {
 		ss.channelKey = key
 		s.opt.metrics.Counter("server.attest_resumed").Inc()
@@ -199,38 +241,58 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 	ss.channelKey = key
 	s.resumeStore(binding, pub, key)
 	s.opt.metrics.Counter("server.attest_ok").Inc()
+	s.opt.metrics.Counter("server.attest_ok.mr_" + entry.Label()).Inc()
 	return pub, nil
 }
 
-// resumeLookup finds a cached channel for this client ephemeral key.
+// resumeLookup finds a cached channel for this client ephemeral key and
+// refreshes its recency (a hot session must outlive cold ones).
 func (s *Server) resumeLookup(key [32]byte) (pub, channelKey []byte, ok bool) {
 	s.resumeMu.Lock()
 	defer s.resumeMu.Unlock()
-	e, ok := s.resume[key]
+	el, ok := s.resume[key]
 	if !ok {
 		return nil, nil, false
 	}
+	s.resumeList.MoveToBack(el)
+	e := el.Value.(*resumeEntry)
 	return e.serverPub, e.channelKey, true
 }
 
-// resumeStore caches an established channel, evicting FIFO at capacity.
+// resumeStore caches an established channel, evicting the least recently
+// used entry at capacity. Re-storing an existing key refreshes both its
+// channel state and its recency.
 func (s *Server) resumeStore(key [32]byte, pub, channelKey []byte) {
 	if s.opt.resumeCap <= 0 {
 		return
 	}
 	s.resumeMu.Lock()
 	defer s.resumeMu.Unlock()
-	if _, ok := s.resume[key]; !ok {
-		for len(s.resumeOrder) >= s.opt.resumeCap {
-			delete(s.resume, s.resumeOrder[0])
-			s.resumeOrder = s.resumeOrder[1:]
-		}
-		s.resumeOrder = append(s.resumeOrder, key)
+	if el, ok := s.resume[key]; ok {
+		e := el.Value.(*resumeEntry)
+		e.serverPub, e.channelKey = pub, channelKey
+		s.resumeList.MoveToBack(el)
+		return
 	}
-	s.resume[key] = resumeEntry{serverPub: pub, channelKey: channelKey}
+	for s.resumeList.Len() >= s.opt.resumeCap {
+		oldest := s.resumeList.Front()
+		delete(s.resume, oldest.Value.(*resumeEntry).key)
+		s.resumeList.Remove(oldest)
+	}
+	s.resume[key] = s.resumeList.PushBack(&resumeEntry{
+		key: key, serverPub: pub, channelKey: channelKey,
+	})
 }
 
-// Request answers one encrypted request on the attested channel.
+// resumeLen reports the cache size (test seam).
+func (s *Server) resumeLen() int {
+	s.resumeMu.Lock()
+	defer s.resumeMu.Unlock()
+	return len(s.resume)
+}
+
+// Request answers one encrypted request on the attested channel, serving
+// only the secret entry resolved by this session's attestation.
 func (ss *Session) Request(enc []byte) (out []byte, err error) {
 	s := ss.srv
 	if ss.channelKey == nil {
@@ -243,6 +305,7 @@ func (ss *Session) Request(enc []byte) (out []byte, err error) {
 		span.SetError(err)
 		span.End()
 	}()
+	span.SetStr("mrenclave", ss.entry.Label())
 	req, err := sealDecrypt(ss.channelKey, enc)
 	if err != nil {
 		s.opt.metrics.Counter("server.request_errors").Inc()
@@ -256,15 +319,19 @@ func (ss *Session) Request(enc []byte) (out []byte, err error) {
 	switch req[0] {
 	case RequestMeta:
 		span.SetStr("kind", "meta")
-		resp = ss.srv.cfg.Meta.Marshal()
+		resp = ss.entry.Meta.Marshal()
+		ss.entry.metaServed.Add(1)
+		s.opt.metrics.Counter("server.meta_served.mr_" + ss.entry.Label()).Inc()
 	case RequestData:
 		span.SetStr("kind", "data")
-		if ss.srv.cfg.SecretPlain == nil {
+		if ss.entry.SecretPlain == nil {
 			s.opt.metrics.Counter("server.request_errors").Inc()
 			return nil, fmt.Errorf("elide server: no remote data (local-data deployment)")
 		}
-		resp = ss.srv.cfg.SecretPlain
+		resp = ss.entry.SecretPlain
 		span.SetInt("bytes", int64(len(resp)))
+		ss.entry.dataServed.Add(1)
+		s.opt.metrics.Counter("server.data_served.mr_" + ss.entry.Label()).Inc()
 	default:
 		s.opt.metrics.Counter("server.request_errors").Inc()
 		return nil, fmt.Errorf("elide server: unknown request %d", req[0])

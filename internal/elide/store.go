@@ -1,0 +1,336 @@
+package elide
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SecretEntry is one registered sanitized-enclave identity and the secrets
+// released to it: the metadata blob (with the local-data key when the
+// sanitizer encrypted the data) and, in remote-data mode, the plaintext
+// secret bytes. Entries are immutable once registered — a re-registration
+// replaces the entry wholesale (carrying the counters over), so sessions
+// holding a resolved entry keep a consistent snapshot.
+type SecretEntry struct {
+	MrEnclave   [32]byte
+	Meta        *SecretMeta
+	SecretPlain []byte // nil in local-data mode
+	Name        string // deployment name (directory-loaded entries: the subdir)
+
+	label string // short hex measurement prefix used in metric names and spans
+	dir   string // source subdir name when loaded by LoadDir ("" = manual)
+
+	// Per-enclave release counters, written by sessions on the hot path.
+	attests    atomic.Uint64
+	metaServed atomic.Uint64
+	dataServed atomic.Uint64
+}
+
+// Label returns the short hex measurement prefix identifying this entry in
+// metric names and trace attributes.
+func (e *SecretEntry) Label() string { return e.label }
+
+// EntryStats is a point-in-time view of one entry's release counters.
+type EntryStats struct {
+	Attests    uint64 `json:"attests"`
+	MetaServed uint64 `json:"meta_served"`
+	DataServed uint64 `json:"data_served"`
+}
+
+// Stats snapshots the entry's counters.
+func (e *SecretEntry) Stats() EntryStats {
+	return EntryStats{
+		Attests:    e.attests.Load(),
+		MetaServed: e.metaServed.Load(),
+		DataServed: e.dataServed.Load(),
+	}
+}
+
+// storeShards is the shard count of a SecretStore (power of two). The
+// measurement's first byte picks the shard; MRENCLAVE values are hash
+// outputs, so the distribution is uniform.
+const storeShards = 16
+
+type storeShard struct {
+	mu      sync.RWMutex
+	entries map[[32]byte]*SecretEntry
+}
+
+// SecretStore is a concurrent, sharded map from enclave measurement to the
+// secrets released to that identity. One store backs one authentication
+// server, letting a single process serve any number of distinct sanitized
+// enclave builds: Session.Attest resolves the entry from the attested
+// quote's MRENCLAVE, and Session.Request serves only that entry.
+//
+// Entries can be registered and removed at runtime; LoadDir/Watch keep the
+// store in sync with an on-disk directory of WriteServerFiles deployments
+// without a server restart.
+type SecretStore struct {
+	shards [storeShards]storeShard
+
+	// Directory-loading bookkeeping: the CA pinned by the first loaded
+	// deployment (all deployments must agree) guards against accidentally
+	// mixing attestation roots in one serving process.
+	dirMu sync.Mutex
+	caPub *ecdsa.PublicKey
+}
+
+// NewSecretStore returns an empty store.
+func NewSecretStore() *SecretStore {
+	st := &SecretStore{}
+	for i := range st.shards {
+		st.shards[i].entries = make(map[[32]byte]*SecretEntry)
+	}
+	return st
+}
+
+func (st *SecretStore) shard(mr [32]byte) *storeShard {
+	return &st.shards[mr[0]&(storeShards-1)]
+}
+
+// validateSecrets checks the (meta, plain) pair the same way NewServer
+// always validated its ServerConfig.
+func validateSecrets(meta *SecretMeta, plain []byte) error {
+	if meta == nil {
+		return fmt.Errorf("elide: server needs the secret metadata")
+	}
+	if !meta.Encrypted && plain == nil {
+		return fmt.Errorf("elide: remote-data mode needs the plaintext secret data")
+	}
+	return nil
+}
+
+// Register adds (or replaces) the entry for mr. On replacement the release
+// counters carry over; sessions that already resolved the old entry keep
+// serving its snapshot until they end. Returns the registered entry.
+func (st *SecretStore) Register(mr [32]byte, meta *SecretMeta, plain []byte, name string) (*SecretEntry, error) {
+	return st.register(mr, meta, plain, name, "")
+}
+
+func (st *SecretStore) register(mr [32]byte, meta *SecretMeta, plain []byte, name, dir string) (*SecretEntry, error) {
+	if err := validateSecrets(meta, plain); err != nil {
+		return nil, err
+	}
+	e := &SecretEntry{
+		MrEnclave:   mr,
+		Meta:        meta,
+		SecretPlain: plain,
+		Name:        name,
+		label:       hex.EncodeToString(mr[:4]),
+		dir:         dir,
+	}
+	sh := st.shard(mr)
+	sh.mu.Lock()
+	if old, ok := sh.entries[mr]; ok {
+		e.attests.Store(old.attests.Load())
+		e.metaServed.Store(old.metaServed.Load())
+		e.dataServed.Store(old.dataServed.Load())
+	}
+	sh.entries[mr] = e
+	sh.mu.Unlock()
+	return e, nil
+}
+
+// Remove deletes the entry for mr, reporting whether it existed. In-flight
+// sessions that already resolved the entry finish with it; new attestations
+// for mr are refused.
+func (st *SecretStore) Remove(mr [32]byte) bool {
+	sh := st.shard(mr)
+	sh.mu.Lock()
+	_, ok := sh.entries[mr]
+	delete(sh.entries, mr)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Lookup resolves the entry for an attested measurement.
+func (st *SecretStore) Lookup(mr [32]byte) (*SecretEntry, bool) {
+	sh := st.shard(mr)
+	sh.mu.RLock()
+	e, ok := sh.entries[mr]
+	sh.mu.RUnlock()
+	return e, ok
+}
+
+// Len counts registered entries.
+func (st *SecretStore) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Entries snapshots all registered entries, sorted by measurement for
+// deterministic listings.
+func (st *SecretStore) Entries() []*SecretEntry {
+	var out []*SecretEntry
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.entries {
+			out = append(out, e)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return string(out[i].MrEnclave[:]) < string(out[j].MrEnclave[:])
+	})
+	return out
+}
+
+// CA returns the attestation CA pinned by directory loading (nil until the
+// first successful LoadDir).
+func (st *SecretStore) CA() *ecdsa.PublicKey {
+	st.dirMu.Lock()
+	defer st.dirMu.Unlock()
+	return st.caPub
+}
+
+// DirReport summarizes one LoadDir pass over a deployments directory.
+type DirReport struct {
+	Added   int // deployments registered for the first time
+	Updated int // deployments whose measurement or secrets changed
+	Removed int // directory-loaded entries whose subdir disappeared
+	Failed  map[string]error
+}
+
+// Changed reports whether the pass modified the store.
+func (r DirReport) Changed() bool { return r.Added+r.Updated+r.Removed > 0 }
+
+func (r DirReport) String() string {
+	s := fmt.Sprintf("added %d, updated %d, removed %d", r.Added, r.Updated, r.Removed)
+	if len(r.Failed) > 0 {
+		names := make([]string, 0, len(r.Failed))
+		for n := range r.Failed {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		s += fmt.Sprintf(", failed %v", names)
+	}
+	return s
+}
+
+// LoadDir synchronizes the store with a deployments directory: every
+// immediate subdirectory holding an enclave.mrenclave file is one
+// deployment in the WriteServerFiles layout. New deployments are
+// registered, changed ones replaced, and directory-loaded entries whose
+// subdir vanished are removed (manually Registered entries are never
+// touched). All deployments must pin the same attestation CA; the first
+// one loaded pins it for the store's lifetime, and a mismatching
+// deployment is reported in Failed and skipped.
+func (st *SecretStore) LoadDir(dir string) (DirReport, error) {
+	rep := DirReport{Failed: map[string]error{}}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	seen := map[string][32]byte{} // subdir name -> measurement this pass
+	for _, de := range des {
+		if !de.IsDir() {
+			continue
+		}
+		name := de.Name()
+		sub := filepath.Join(dir, name)
+		if _, err := os.Stat(filepath.Join(sub, FileMeasurement)); err != nil {
+			continue // not a deployment subdir
+		}
+		cfg, err := LoadServerConfig(sub)
+		if err != nil {
+			rep.Failed[name] = err
+			continue
+		}
+		if err := st.pinCA(cfg.CAPub); err != nil {
+			rep.Failed[name] = err
+			continue
+		}
+		seen[name] = cfg.ExpectedMrEnclave
+		old, existed := st.Lookup(cfg.ExpectedMrEnclave)
+		if existed && old.dir == name && sameSecrets(old, cfg) {
+			continue // unchanged
+		}
+		if _, err := st.register(cfg.ExpectedMrEnclave, cfg.Meta, cfg.SecretPlain, name, name); err != nil {
+			rep.Failed[name] = err
+			continue
+		}
+		if existed {
+			rep.Updated++
+		} else {
+			rep.Added++
+		}
+	}
+	// Drop directory-loaded entries whose subdir is gone or now carries a
+	// different measurement (a redeploy under the same name).
+	for _, e := range st.Entries() {
+		if e.dir == "" {
+			continue
+		}
+		if mr, ok := seen[e.dir]; !ok || mr != e.MrEnclave {
+			if st.Remove(e.MrEnclave) {
+				rep.Removed++
+			}
+		}
+	}
+	return rep, nil
+}
+
+// pinCA pins the first attestation CA seen and rejects later mismatches.
+func (st *SecretStore) pinCA(pub *ecdsa.PublicKey) error {
+	st.dirMu.Lock()
+	defer st.dirMu.Unlock()
+	if st.caPub == nil {
+		st.caPub = pub
+		return nil
+	}
+	if !st.caPub.Equal(pub) {
+		return fmt.Errorf("elide: deployment pins a different attestation CA than the store")
+	}
+	return nil
+}
+
+// sameSecrets reports whether a loaded config matches the registered entry
+// byte for byte (so an unchanged deployment is not churned on every scan).
+func sameSecrets(e *SecretEntry, cfg ServerConfig) bool {
+	return string(e.Meta.Marshal()) == string(cfg.Meta.Marshal()) &&
+		string(e.SecretPlain) == string(cfg.SecretPlain)
+}
+
+// Watch rescans dir every interval until ctx ends, so deployments added,
+// changed, or removed on disk are picked up without a server restart.
+// onChange, when non-nil, runs after every pass that modified the store;
+// scan errors are reported through it as a report with Failed[dir] set.
+func (st *SecretStore) Watch(ctx context.Context, dir string, interval time.Duration, onChange func(DirReport)) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rep, err := st.LoadDir(dir)
+			if err != nil {
+				if rep.Failed == nil {
+					rep.Failed = map[string]error{}
+				}
+				rep.Failed[dir] = err
+			}
+			if onChange != nil && (rep.Changed() || len(rep.Failed) > 0) {
+				onChange(rep)
+			}
+		}
+	}
+}

@@ -6,7 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"math/rand"
+	"math/rand/v2"
 	"net"
 	"sync"
 	"time"
@@ -111,7 +111,6 @@ type clientOptions struct {
 	metrics        *obs.Registry
 	tracer         *obs.Tracer
 	dial           func(ctx context.Context, addr string) (net.Conn, error)
-	rng            *rand.Rand
 }
 
 // ClientOption configures a TCPClient.
@@ -203,9 +202,6 @@ func NewTCPClient(addr string, opts ...ClientOption) *TCPClient {
 			var d net.Dialer
 			return d.DialContext(ctx, "tcp", addr)
 		}
-	}
-	if o.rng == nil {
-		o.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
 	return &TCPClient{addr: addr, opt: o}
 }
@@ -368,7 +364,11 @@ func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]b
 }
 
 // backoff computes the jittered exponential delay for the given retry
-// index: uniform in [base/2, base) * 2^i, clamped to the cap.
+// index: uniform in [base/2, base) * 2^i, clamped to the cap. The jitter
+// comes from math/rand/v2's process-wide generator, which is safe for
+// concurrent use without a lock — backoffs from parallel requests on one
+// client must neither race on a shared rand.Rand nor contend on the
+// client mutex that the in-flight operation holds.
 func (c *TCPClient) backoff(i int) time.Duration {
 	d := c.opt.backoffBase << uint(i)
 	if d > c.opt.backoffCap || d <= 0 {
@@ -378,10 +378,7 @@ func (c *TCPClient) backoff(i int) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	c.mu.Lock()
-	j := time.Duration(c.opt.rng.Int63n(int64(half)))
-	c.mu.Unlock()
-	return half + j
+	return half + rand.N(half)
 }
 
 // sleepCtx sleeps d or returns early with the context's error.
