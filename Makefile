@@ -1,23 +1,30 @@
 GO ?= go
 
-.PHONY: build verify test race bench-server bench-multi bench-phases trace-demo clean
+.PHONY: build verify test race chaos bench-server bench-multi bench-phases bench-chaos trace-demo clean
 
 build:
 	$(GO) build ./...
 
-# Tier-1 verification (see ROADMAP.md): build, vet, full tests, and the
-# race detector over the transport-heavy packages and the tracer.
+# Tier-1 verification (see ROADMAP.md): build, vet, full tests, the race
+# detector over the transport-heavy packages and the tracer, and a
+# short-mode chaos smoke run against replicated servers.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/elide/... ./internal/sdk/...
 	$(GO) test -race ./internal/obs/...
+	$(MAKE) chaos
 
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./internal/elide/... ./internal/sdk/... ./internal/obs/...
+
+# Scaled-down chaos smoke: replicated servers, a mid-run kill + restart,
+# scripted connection faults; every restore must succeed or fail typed.
+chaos:
+	$(GO) test -short -run TestChaosBenchSmoke -v ./internal/bench/
 
 # Concurrent-restore transport benchmark; writes BENCH_server.json.
 bench-server:
@@ -32,9 +39,15 @@ bench-multi:
 bench-phases:
 	$(GO) run ./cmd/elide-bench -phases
 
+# Full chaos run: concurrent restores against server replicas while the
+# controller kills/restarts them and injects scripted connection faults;
+# writes BENCH_chaos.json.
+bench-chaos:
+	$(GO) run ./cmd/elide-bench -chaos
+
 # One traced local-data restore, span tree pretty-printed to stdout.
 trace-demo:
 	$(GO) run ./cmd/elide-bench -trace-demo
 
 clean:
-	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json
+	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json

@@ -11,6 +11,7 @@
 //	elide-bench -table2 -iters 10
 //	elide-bench -server -server-clients 16 -server-out BENCH_server.json
 //	elide-bench -multi -multi-enclaves 4 -multi-out BENCH_multi.json
+//	elide-bench -chaos -chaos-replicas 3 -chaos-out BENCH_chaos.json
 package main
 
 import (
@@ -42,6 +43,13 @@ func main() {
 		multiClients  = flag.Int("multi-clients", 4, "concurrent clients per enclave for -multi")
 		multiOut      = flag.String("multi-out", "BENCH_multi.json", "JSON output path for -multi")
 
+		chaos         = flag.Bool("chaos", false, "chaos-test restores against replicated servers with kills, restarts and injected faults")
+		chaosProgram  = flag.String("chaos-program", "Sha1", "benchmark program for -chaos")
+		chaosReplicas = flag.Int("chaos-replicas", 3, "server replicas for -chaos")
+		chaosRestores = flag.Int("chaos-restores", 48, "total restores for -chaos")
+		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent restore workers for -chaos")
+		chaosOut      = flag.String("chaos-out", "BENCH_chaos.json", "JSON output path for -chaos")
+
 		phases    = flag.Bool("phases", false, "measure the per-phase restore latency breakdown")
 		phProgram = flag.String("phases-program", "Sha1", "benchmark program for -phases")
 		phOut     = flag.String("phases-out", "BENCH_restore_phases.json", "JSON output path for -phases")
@@ -49,9 +57,9 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *f4, *server, *multi, *phases = true, true, true, true, true, true, true
+		*t1, *t2, *f3, *f4, *server, *multi, *chaos, *phases = true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*phases && !*traceDemo {
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*phases && !*traceDemo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -132,6 +140,28 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *multiOut)
+	}
+	if *chaos {
+		fmt.Printf("(chaos-testing restores: %d replicas, %d restores, %d workers...)\n",
+			*chaosReplicas, *chaosRestores, *chaosWorkers)
+		res, err := bench.ChaosBench(env, bench.ChaosConfig{
+			Program:  *chaosProgram,
+			Replicas: *chaosReplicas,
+			Restores: *chaosRestores,
+			Workers:  *chaosWorkers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*chaosOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *chaosOut)
 	}
 	if *phases {
 		fmt.Printf("(measuring restore phase breakdown, %d iterations per mode...)\n", *iters)

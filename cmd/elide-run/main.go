@@ -16,6 +16,15 @@
 //
 // The -ca file pins the machine's attestation root across invocations so
 // the server started from the emitted files trusts this machine's quotes.
+//
+// For availability, run several elide-server replicas from the same emitted
+// directory and hand the whole fleet to -servers; the runtime circuit-breaks
+// dead endpoints, re-attests on failover, and retries whole protocol runs:
+//
+//	elide-server -dir serverfiles -listen 127.0.0.1:7788 &
+//	elide-server -dir serverfiles -listen 127.0.0.1:7789 &
+//	elide-run -dir build -edl app.edl -ca machine_ca.pem \
+//	          -servers 127.0.0.1:7788,127.0.0.1:7789 -ecall ecall_compute -arg 42
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"sgxelide/internal/elide"
@@ -41,6 +51,8 @@ func main() {
 		edlPath     = flag.String("edl", "", "the application EDL file")
 		caPath      = flag.String("ca", "machine_ca.pem", "machine attestation root (created if missing)")
 		connect     = flag.String("connect", "", "authentication server address (empty = in-process server)")
+		servers     = flag.String("servers", "", "comma-separated replicated server addresses (failover pool; overrides -connect)")
+		restoreTrys = flag.Int("restore-retries", 3, "full protocol runs before the resilient restore gives up (with -servers)")
 		emitServer  = flag.String("emit-server", "", "write the server-side files to this directory and exit")
 		ecallName   = flag.String("ecall", "", "ecall to invoke after restoring")
 		flags       = flag.Uint64("flags", 0, "elide_restore flags (1 = try sealed, 2 = seal after)")
@@ -80,6 +92,10 @@ func main() {
 			Meta:         meta,
 			SecretData:   secretData,
 		}
+		if meta.Hybrid {
+			prot.SecretPlain, err = os.ReadFile(filepath.Join(*dir, elide.FileSecretPlain))
+			check(err)
+		}
 		check(prot.WriteServerFiles(*emitServer, ca.PublicKey()))
 		fmt.Printf("elide-run: wrote server files to %s (start elide-server -dir %s)\n", *emitServer, *emitServer)
 		return
@@ -109,7 +125,27 @@ func main() {
 	}
 
 	var client elide.Client
-	if *connect != "" {
+	if *servers != "" {
+		addrs := strings.Split(*servers, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
+		}
+		fc, err := elide.NewFailoverClient(addrs,
+			elide.WithFailoverMetrics(metrics),
+			elide.WithEndpointClientOptions(
+				elide.WithDialTimeout(*dialTimeout),
+				elide.WithRequestTimeout(*reqTimeout),
+				elide.WithMaxRetries(*retries),
+				elide.WithClientMetrics(metrics),
+				elide.WithClientTracer(tracer),
+			),
+		)
+		check(err)
+		defer fc.Close()
+		client = fc
+		fmt.Printf("elide-run: failover pool of %d authentication servers (restore-retries=%d)\n",
+			len(addrs), *restoreTrys)
+	} else if *connect != "" {
 		tc := elide.NewTCPClient(*connect,
 			elide.WithDialTimeout(*dialTimeout),
 			elide.WithRequestTimeout(*reqTimeout),
@@ -145,17 +181,37 @@ func main() {
 	check(err)
 	fmt.Printf("elide-run: enclave initialized, MRENCLAVE %x...\n", encl.Encl.MrEnclave[:8])
 
-	code, err := elide.Restore(encl, *flags)
+	var code uint64
+	var source string
+	if *servers != "" {
+		out, oerr := elide.RestoreResilient(ctx, encl, rt, elide.RestoreOptions{
+			Flags:       *flags,
+			MaxAttempts: *restoreTrys,
+		})
+		err = oerr
+		code = out.Code
+		source = out.Source
+		for _, ev := range out.Events {
+			fmt.Fprintf(os.Stderr, "elide-run: restore event: %v\n", ev)
+		}
+		if err == nil && out.Attempts > 1 {
+			fmt.Fprintf(os.Stderr, "elide-run: restore needed %d protocol runs\n", out.Attempts)
+		}
+	} else {
+		code, err = elide.Restore(encl, *flags)
+	}
 	writeObsFiles(tracer, metrics, *traceJSON, *metricsJSON)
 	phaseSummary(tracer)
 	if err != nil {
 		dumpRuntimeErrs(rt)
 		fatal(fmt.Errorf("elide_restore: %w (runtime: %v)", err, rt.LastErr()))
 	}
-	switch code {
-	case elide.RestoreOKServer:
+	switch {
+	case source == "local":
+		fmt.Println("elide-run: restored from the encrypted local file (degraded: no server reachable)")
+	case code == elide.RestoreOKServer:
 		fmt.Println("elide-run: restored via the authentication server")
-	case elide.RestoreOKSealed:
+	case code == elide.RestoreOKSealed:
 		fmt.Println("elide-run: restored from the sealed file")
 	default:
 		dumpRuntimeErrs(rt)

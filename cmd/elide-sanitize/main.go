@@ -4,9 +4,13 @@
 // sanitized enclave plus the two secret files. Pass -c to encrypt the
 // secret data for local storage (the artifact's flag); without it the data
 // stays plaintext and must be deployed to the authentication server.
+// -hybrid does both: the server keeps the plaintext and the user machine
+// ships the ciphertext, so a restore that attested but lost the data
+// fetch can degrade to the local file (DESIGN.md §10).
 //
 //	elide-sanitize -whitelist whitelist.json -o outdir enclave.so
 //	elide-sanitize -c -whitelist whitelist.json -o outdir enclave.so
+//	elide-sanitize -hybrid -whitelist whitelist.json -o outdir enclave.so
 package main
 
 import (
@@ -24,12 +28,13 @@ func main() {
 	var (
 		wlPath  = flag.String("whitelist", elide.FileWhitelist, "whitelist.json from elide-whitelist")
 		encrypt = flag.Bool("c", false, "encrypt the secret data for local storage")
+		hybrid  = flag.Bool("hybrid", false, "remote data plus an encrypted local fallback copy")
 		ranges  = flag.Bool("ranges", false, "per-function secret format (space optimization)")
 		outDir  = flag.String("o", ".", "output directory")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: elide-sanitize [-c] [-ranges] -whitelist whitelist.json -o dir enclave.so")
+		fmt.Fprintln(os.Stderr, "usage: elide-sanitize [-c|-hybrid] [-ranges] -whitelist whitelist.json -o dir enclave.so")
 		os.Exit(2)
 	}
 
@@ -46,7 +51,7 @@ func main() {
 		fatal(fmt.Errorf("parsing %s: %w", *wlPath, err))
 	}
 
-	opts := elide.SanitizeOptions{EncryptLocal: *encrypt}
+	opts := elide.SanitizeOptions{EncryptLocal: *encrypt, Hybrid: *hybrid}
 	if *ranges {
 		opts.Ranges = true
 	}
@@ -68,6 +73,12 @@ func main() {
 	write(elide.FileSanitizedSO, res.SanitizedELF, 0o644)
 	write(elide.FileSecretMeta, res.Meta.Marshal(), 0o600)
 	write(elide.FileSecretData, res.SecretData, 0o600)
+	if *hybrid {
+		// The plaintext copy the server serves; elide-run -emit-server
+		// forwards it into the server directory and it must never ship
+		// to user machines.
+		write(elide.FileSecretPlain, res.SecretPlain, 0o600)
+	}
 
 	st := res.Stats
 	fmt.Printf("elide-sanitize: %s\n", flag.Arg(0))
@@ -80,6 +91,9 @@ func main() {
 	fmt.Printf("  wrote %s, %s, %s in %s\n",
 		elide.FileSanitizedSO, elide.FileSecretMeta, elide.FileSecretData, *outDir)
 	fmt.Printf("  NOTE: %s must only ever live on the authentication server.\n", elide.FileSecretMeta)
+	if *hybrid {
+		fmt.Printf("  NOTE: %s (plaintext) must only ever live on the authentication server.\n", elide.FileSecretPlain)
+	}
 }
 
 func fatal(err error) {

@@ -18,6 +18,15 @@
 //
 //	elide-server -secrets-dir deployments -listen 127.0.0.1:7788
 //
+// Replication is share-nothing: for availability, start several daemons on
+// the same serverfiles (or secrets) directory under different -listen
+// addresses — possibly on different hosts, each with its own copy of the
+// files — and give clients the whole fleet via elide-run -servers. Every
+// replica can answer any restore independently; sessions are per-replica
+// (there is no shared session state), so after a failover the client simply
+// re-attests to the survivor, which the runtime's failover pool does
+// automatically.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // drains in-flight sessions (bounded by -drain-timeout), and prints a
 // metrics snapshot before exiting. -metrics-json additionally writes the

@@ -41,6 +41,7 @@ type Protected struct {
 	Measurement  [32]byte // of the sanitized enclave
 	Meta         *SecretMeta
 	SecretData   []byte
+	SecretPlain  []byte // hybrid mode: the plaintext copy the server serves
 	Stats        SanitizeStats
 	EDL          *edl.Interface
 }
@@ -94,6 +95,7 @@ func BuildProtected(h *sdk.Host, opts BuildProtectedOptions) (*Protected, error)
 		Measurement:  mr,
 		Meta:         san.Meta,
 		SecretData:   san.SecretData,
+		SecretPlain:  san.SecretPlain,
 		Stats:        san.Stats,
 		EDL:          iface,
 	}, nil
@@ -110,6 +112,8 @@ func (p *Protected) NewServerFor(ca *sgx.CA, opts ...ServerOption) (*Server, err
 	}
 	if !p.Meta.Encrypted {
 		cfg.SecretPlain = p.SecretData
+	} else if p.Meta.Hybrid {
+		cfg.SecretPlain = p.SecretPlain
 	}
 	return NewServer(cfg, opts...)
 }

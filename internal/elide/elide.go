@@ -55,11 +55,28 @@ const (
 	RestoreOKServer = 0   // restored via the authentication server
 	RestoreOKSealed = 1   // restored from the sealed file, no network
 	RestoreErrBase  = 100 // codes >= RestoreErrBase are failures (see trusted.go)
+
+	// RestoreErrTorn: the post-restore text digest did not match the
+	// metadata's digest — the memcpy wrote something other than the
+	// original bytes (torn apply, or a server that released tampered
+	// data). The enclave does not mark itself restored, so a retry
+	// re-runs the whole protocol.
+	RestoreErrTorn = 110
+)
+
+// Diagnostic codes of the elide_report ocall: the trusted restorer's way
+// of telling the untrusted runtime *why* it degraded, beyond the single
+// return code of elide_restore. The runtime maps these to typed errors in
+// its error ring.
+const (
+	ReportSealedCorrupt = 1 // sealed blob failed its MAC / digest; falling back to the network
+	ReportTornRestore   = 2 // post-restore digest mismatch (RestoreErrTorn follows)
+	ReportDegradedLocal = 3 // remote data fetch failed; degrading to the encrypted local file
 )
 
 // MetaBlobSize is the serialized SecretMeta size (fixed layout, carried
 // encrypted over the attested channel).
-const MetaBlobSize = 61
+const MetaBlobSize = 101
 
 // SecretMeta is the enclave.secret.meta content: everything the restorer
 // needs. It must never ship with the enclave — it lives only on the
@@ -68,16 +85,24 @@ type SecretMeta struct {
 	DataLen       uint64 // plaintext secret data length
 	RestoreOffset uint64 // offset of elide_restore from the text section start
 	Encrypted     bool   // secret data is stored locally, AES-GCM encrypted
+	Hybrid        bool   // data is both on the server and in the encrypted local file
 	Format        byte   // FormatWholeText or FormatRanges
 	Key           [16]byte
 	IV            [12]byte
 	MAC           [16]byte
+
+	// TextLen/TextDigest pin the expected post-restore text: the restorer
+	// hashes the whole text section after the apply and refuses to report
+	// success on a mismatch (torn-restore protection).
+	TextLen    uint64
+	TextDigest [32]byte
 }
 
 // Marshal serializes the meta blob in the wire/file layout:
 //
-//	0  dataLen u64        16 flags u8 (bit0 encrypted, bit1 ranges)
+//	0  dataLen u64        16 flags u8 (bit0 encrypted, bit1 ranges, bit2 hybrid)
 //	8  restoreOffset u64  17 key[16]  33 iv[12]  45 mac[16]
+//	61 textLen u64        69 textDigest[32]
 func (m *SecretMeta) Marshal() []byte {
 	out := make([]byte, MetaBlobSize)
 	binary.LittleEndian.PutUint64(out[0:], m.DataLen)
@@ -89,10 +114,15 @@ func (m *SecretMeta) Marshal() []byte {
 	if m.Format == FormatRanges {
 		flags |= 2
 	}
+	if m.Hybrid {
+		flags |= 4
+	}
 	out[16] = flags
 	copy(out[17:33], m.Key[:])
 	copy(out[33:45], m.IV[:])
 	copy(out[45:61], m.MAC[:])
+	binary.LittleEndian.PutUint64(out[61:], m.TextLen)
+	copy(out[69:101], m.TextDigest[:])
 	return out
 }
 
@@ -105,6 +135,8 @@ func UnmarshalMeta(b []byte) (*SecretMeta, error) {
 		DataLen:       binary.LittleEndian.Uint64(b[0:]),
 		RestoreOffset: binary.LittleEndian.Uint64(b[8:]),
 		Encrypted:     b[16]&1 != 0,
+		Hybrid:        b[16]&4 != 0,
+		TextLen:       binary.LittleEndian.Uint64(b[61:]),
 	}
 	if b[16]&2 != 0 {
 		m.Format = FormatRanges
@@ -112,6 +144,7 @@ func UnmarshalMeta(b []byte) (*SecretMeta, error) {
 	copy(m.Key[:], b[17:33])
 	copy(m.IV[:], b[33:45])
 	copy(m.MAC[:], b[45:61])
+	copy(m.TextDigest[:], b[69:101])
 	return m, nil
 }
 

@@ -29,6 +29,33 @@ var (
 	// ErrServerClosed: Serve returned because its context was cancelled;
 	// in-flight sessions were drained first.
 	ErrServerClosed = errors.New("elide: server closed")
+
+	// ErrSealedCorrupt: the sealed blob exists but failed its GCM MAC (or
+	// was truncated / produced a torn text). Reported by the trusted
+	// restorer through the runtime's error ring; the restore falls back to
+	// the network and re-seals a fresh blob.
+	ErrSealedCorrupt = errors.New("elide: sealed secret blob is corrupt")
+
+	// ErrTornRestore: the post-restore text digest did not match the
+	// metadata's digest. The enclave returned RestoreErrTorn and did not
+	// mark itself restored.
+	ErrTornRestore = errors.New("elide: restored text failed digest verification")
+
+	// ErrRemoteDataUnavailable: a hybrid deployment could not fetch the
+	// secret data remotely and degraded to the encrypted local file.
+	ErrRemoteDataUnavailable = errors.New("elide: remote data unavailable, degraded to local file")
+
+	// ErrSessionLost: a failover switched endpoints mid-protocol and the
+	// replacement server established a *different* channel key, so the
+	// enclave's in-flight session cannot continue. Retryable at the
+	// restore level (a fresh elide_restore re-attests from scratch), but
+	// terminal for the current protocol run.
+	ErrSessionLost = errors.New("elide: attested session lost on endpoint failover")
+
+	// ErrRestoreFailed: a resilient restore exhausted its strategy chain.
+	// Always carried by a *RestoreFailure with the enclave code and the
+	// last transport error.
+	ErrRestoreFailed = errors.New("elide: restore failed")
 )
 
 // RefusedError carries the server's reason alongside the ErrRefused
@@ -61,6 +88,20 @@ func (e *unavailableError) Error() string {
 func (e *unavailableError) Is(target error) bool { return target == ErrServerUnavailable }
 
 func (e *unavailableError) Unwrap() error { return e.last }
+
+// PhaseError tags an error recorded by the runtime with the protocol
+// phase it occurred in ("attest", "request_meta", "request_data"), so the
+// restore-level degradation chain can tell a terminal attest refusal
+// (wrong identity — retrying cannot help) from a channel refusal (usually
+// a stale session after a failover — a fresh protocol run can succeed).
+type PhaseError struct {
+	Phase string
+	Err   error
+}
+
+func (e *PhaseError) Error() string { return "elide: " + e.Phase + ": " + e.Err.Error() }
+
+func (e *PhaseError) Unwrap() error { return e.Err }
 
 // isTransient reports whether an error is worth a reconnect-and-retry:
 // connection-level failures, timeouts, and torn frames — but never a

@@ -1,0 +1,467 @@
+package elide
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sgxelide/internal/obs"
+	"sgxelide/internal/sgx"
+)
+
+// Breaker states of one endpoint (the classic three-state circuit
+// breaker): Closed admits traffic, Open rejects it until a cooldown
+// passes, HalfOpen admits a single probe whose outcome decides between
+// the other two.
+const (
+	BreakerClosed int32 = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// Endpoint is one replicated authentication server in an EndpointPool:
+// its address plus the local view of its health — a circuit breaker and
+// success/latency EWMAs. All state is caller-local (each user machine
+// tracks its own breakers, as it must: it only sees its own traffic).
+type Endpoint struct {
+	Addr  string
+	index int
+
+	mu          sync.Mutex
+	state       int32
+	consecFails int
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+
+	// health is an EWMA of the success indicator (1 success, 0 failure),
+	// starting optimistic at 1; latency is an EWMA of operation time in
+	// nanoseconds. Together they rank endpoints: highest health wins,
+	// latency breaks ties.
+	health  float64
+	latency float64
+}
+
+// State returns the endpoint's current breaker state.
+func (e *Endpoint) State() int32 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// Health returns the endpoint's success EWMA in [0, 1].
+func (e *Endpoint) Health() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.health
+}
+
+// poolOptions collects the failover policy knobs.
+type poolOptions struct {
+	failThreshold int           // consecutive failures that trip the breaker
+	cooldown      time.Duration // open → half-open delay
+	alpha         float64       // EWMA smoothing factor
+	metrics       *obs.Registry
+	clientOpts    []ClientOption
+	newClient     func(addr string) Client
+	now           func() time.Time
+}
+
+// FailoverOption configures a FailoverClient and its endpoint pool.
+type FailoverOption func(*poolOptions)
+
+// WithBreakerThreshold sets how many consecutive failures trip an
+// endpoint's breaker open (default 3).
+func WithBreakerThreshold(n int) FailoverOption {
+	return func(o *poolOptions) { o.failThreshold = n }
+}
+
+// WithBreakerCooldown sets how long a tripped breaker stays open before a
+// half-open probe is allowed (default 5s).
+func WithBreakerCooldown(d time.Duration) FailoverOption {
+	return func(o *poolOptions) { o.cooldown = d }
+}
+
+// WithHealthAlpha sets the EWMA smoothing factor in (0, 1] (default 0.3;
+// larger = faster reaction to recent outcomes).
+func WithHealthAlpha(a float64) FailoverOption {
+	return func(o *poolOptions) { o.alpha = a }
+}
+
+// WithFailoverMetrics wires the pool into an obs registry: per-endpoint
+// outcome counters plus pool-level failover/breaker counters.
+func WithFailoverMetrics(r *obs.Registry) FailoverOption {
+	return func(o *poolOptions) { o.metrics = r }
+}
+
+// WithEndpointClientOptions passes options to every per-endpoint
+// TCPClient the pool builds (timeouts, retry budget, dialer, ...).
+func WithEndpointClientOptions(opts ...ClientOption) FailoverOption {
+	return func(o *poolOptions) { o.clientOpts = opts }
+}
+
+// WithClientFactory replaces the per-endpoint client constructor (tests
+// use this to wire in-process or fault-injecting clients).
+func WithClientFactory(f func(addr string) Client) FailoverOption {
+	return func(o *poolOptions) { o.newClient = f }
+}
+
+// EndpointPool tracks a replicated authentication-server set: which
+// endpoints exist, how healthy each looks from here, and which breaker
+// admits traffic right now.
+type EndpointPool struct {
+	endpoints []*Endpoint
+	opt       poolOptions
+	trips     func() // metrics hook
+}
+
+// NewEndpointPool builds a pool over the given addresses.
+func NewEndpointPool(addrs []string, opts ...FailoverOption) *EndpointPool {
+	o := poolOptions{
+		failThreshold: 3,
+		cooldown:      5 * time.Second,
+		alpha:         0.3,
+		now:           time.Now,
+	}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.newClient == nil {
+		o.newClient = func(addr string) Client {
+			return NewTCPClient(addr, o.clientOpts...)
+		}
+	}
+	p := &EndpointPool{opt: o}
+	for i, a := range addrs {
+		p.endpoints = append(p.endpoints, &Endpoint{Addr: a, index: i, health: 1})
+	}
+	return p
+}
+
+// Endpoints returns the pool's endpoints (for diagnostics).
+func (p *EndpointPool) Endpoints() []*Endpoint {
+	return append([]*Endpoint(nil), p.endpoints...)
+}
+
+// pick chooses the best endpoint the breakers admit, skipping excluded
+// ones: closed endpoints ranked by health EWMA (latency EWMA breaking
+// ties), then — only if no closed endpoint is available — an open
+// endpoint whose cooldown has elapsed, transitioned to half-open for a
+// single probe. Returns nil when every endpoint is excluded or open.
+func (p *EndpointPool) pick(exclude map[*Endpoint]bool) *Endpoint {
+	var best *Endpoint
+	var bestHealth, bestLatency float64
+	now := p.opt.now()
+	for _, e := range p.endpoints {
+		if exclude[e] {
+			continue
+		}
+		e.mu.Lock()
+		if e.state != BreakerClosed {
+			e.mu.Unlock()
+			continue
+		}
+		h, l := e.health, e.latency
+		e.mu.Unlock()
+		if best == nil || h > bestHealth || (h == bestHealth && l < bestLatency) {
+			best, bestHealth, bestLatency = e, h, l
+		}
+	}
+	if best != nil {
+		return best
+	}
+	// No closed endpoint: allow one half-open probe on a cooled-down one.
+	for _, e := range p.endpoints {
+		if exclude[e] {
+			continue
+		}
+		e.mu.Lock()
+		switch e.state {
+		case BreakerOpen:
+			if now.Sub(e.openedAt) >= p.opt.cooldown {
+				e.state = BreakerHalfOpen
+				e.probing = true
+				e.mu.Unlock()
+				p.count("failover.probes")
+				return e
+			}
+		case BreakerHalfOpen:
+			if !e.probing {
+				e.probing = true
+				e.mu.Unlock()
+				p.count("failover.probes")
+				return e
+			}
+		}
+		e.mu.Unlock()
+	}
+	return nil
+}
+
+// record feeds one operation's outcome into the endpoint's health view
+// and drives the breaker state machine.
+func (p *EndpointPool) record(e *Endpoint, ok bool, dur time.Duration) {
+	a := p.opt.alpha
+	e.mu.Lock()
+	if ok {
+		e.consecFails = 0
+		e.health = a*1 + (1-a)*e.health
+		e.latency = a*float64(dur.Nanoseconds()) + (1-a)*e.latency
+		if e.state != BreakerClosed {
+			e.state = BreakerClosed
+			e.probing = false
+			e.mu.Unlock()
+			p.count("failover.breaker_closes")
+			p.count(fmt.Sprintf("failover.ok.ep_%d", e.index))
+			return
+		}
+		e.mu.Unlock()
+		p.count(fmt.Sprintf("failover.ok.ep_%d", e.index))
+		return
+	}
+	e.consecFails++
+	e.health = (1 - a) * e.health
+	tripped := false
+	switch e.state {
+	case BreakerHalfOpen:
+		// Failed probe: straight back to open, fresh cooldown.
+		e.state = BreakerOpen
+		e.openedAt = p.opt.now()
+		e.probing = false
+		tripped = true
+	case BreakerClosed:
+		if e.consecFails >= p.opt.failThreshold {
+			e.state = BreakerOpen
+			e.openedAt = p.opt.now()
+			tripped = true
+		}
+	}
+	e.mu.Unlock()
+	p.count(fmt.Sprintf("failover.fail.ep_%d", e.index))
+	if tripped {
+		p.count("failover.breaker_trips")
+	}
+}
+
+// count bumps a pool metric (nil-registry safe).
+func (p *EndpointPool) count(name string) { p.opt.metrics.Counter(name).Inc() }
+
+// FailoverClient exposes the Client surface over an EndpointPool of
+// replicated authentication servers. Attest tries endpoints in health
+// order until one accepts; Request runs on the endpoint that attested
+// and, when that endpoint dies mid-protocol, re-attests to a replica —
+// sessions are per-server, so the replayed handshake either resumes the
+// same channel (same server public key: carry on transparently) or lands
+// on a different key, in which case the in-flight protocol run cannot
+// continue and Request returns ErrSessionLost for the restore-level
+// chain to retry from scratch.
+//
+// A FailoverClient is safe for concurrent use, though the restore
+// protocol itself is sequential.
+type FailoverClient struct {
+	pool *EndpointPool
+
+	mu        sync.Mutex
+	clients   map[string]Client // per-endpoint, lazily built, reused
+	cur       *Endpoint
+	handshake *attestMsg // last successful handshake, replayed on switches
+	serverPub []byte     // the public key the enclave's channel key is bound to
+}
+
+// NewFailoverClient builds a failover client over the given replica
+// addresses.
+func NewFailoverClient(addrs []string, opts ...FailoverOption) (*FailoverClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("elide: failover client needs at least one endpoint")
+	}
+	return &FailoverClient{
+		pool:    NewEndpointPool(addrs, opts...),
+		clients: make(map[string]Client),
+	}, nil
+}
+
+// NewFailoverClientFromPool builds a failover client over an existing
+// (possibly shared) pool. Sharing one pool across many clients on a
+// machine pools their health observations: a replica that kills one
+// client's connection is instantly suspect for every other client, and
+// breaker state reflects the fleet's view rather than one session's.
+func NewFailoverClientFromPool(pool *EndpointPool) *FailoverClient {
+	return &FailoverClient{pool: pool, clients: make(map[string]Client)}
+}
+
+// Pool returns the underlying endpoint pool (for diagnostics and tests).
+func (fc *FailoverClient) Pool() *EndpointPool { return fc.pool }
+
+// Close closes every per-endpoint client that implements io.Closer.
+func (fc *FailoverClient) Close() error {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	var first error
+	for _, c := range fc.clients {
+		if cl, ok := c.(interface{ Close() error }); ok {
+			if err := cl.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// clientFor returns (building if needed) the client for an endpoint.
+func (fc *FailoverClient) clientFor(e *Endpoint) Client {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	c, ok := fc.clients[e.Addr]
+	if !ok {
+		c = fc.pool.opt.newClient(e.Addr)
+		fc.clients[e.Addr] = c
+	}
+	return c
+}
+
+// Attest implements Client: the handshake is tried against endpoints in
+// health order until one succeeds or every admitted endpoint has failed.
+// A refusal (the server answered and said no) is terminal — a replica
+// will refuse the same quote for the same reason.
+func (fc *FailoverClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	span := obs.SpanFromContext(ctx)
+	tried := make(map[*Endpoint]bool)
+	var last error
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e := fc.pool.pick(tried)
+		if e == nil {
+			break
+		}
+		tried[e] = true
+		esp := span.Child("endpoint")
+		esp.SetStr("addr", e.Addr)
+		start := time.Now()
+		pub, err := fc.clientFor(e).Attest(ctx, q, clientPub)
+		if err == nil {
+			fc.pool.record(e, true, time.Since(start))
+			esp.End()
+			fc.mu.Lock()
+			// An attest that had to walk past dead endpoints, or that landed
+			// somewhere other than the session's previous home, is a switch.
+			if len(tried) > 1 || (fc.cur != nil && fc.cur != e) {
+				fc.pool.count("failover.switches")
+			}
+			fc.cur = e
+			fc.handshake = &attestMsg{Quote: q, ClientPub: append([]byte(nil), clientPub...)}
+			fc.serverPub = append([]byte(nil), pub...)
+			fc.mu.Unlock()
+			return pub, nil
+		}
+		esp.SetError(err)
+		esp.End()
+		if !isTransient(err) {
+			// The endpoint is alive and answered: healthy for breaker
+			// purposes, but its answer is final.
+			fc.pool.record(e, true, time.Since(start))
+			return nil, err
+		}
+		fc.pool.record(e, false, time.Since(start))
+		last = err
+	}
+	fc.pool.count("failover.exhausted")
+	return nil, &unavailableError{attempts: len(tried), last: last}
+}
+
+// Request implements Client: one encrypted round trip on the endpoint
+// that attested. When that endpoint fails, the client fails over — it
+// re-attests the stored handshake to the next healthy replica and
+// compares the returned server key against the one the enclave's channel
+// key is bound to. Same key: the session resumed, the request is retried
+// there. Different key: the protocol run is unrecoverable mid-flight and
+// ErrSessionLost is returned.
+func (fc *FailoverClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
+	fc.mu.Lock()
+	cur, handshake, boundPub := fc.cur, fc.handshake, fc.serverPub
+	fc.mu.Unlock()
+	if cur == nil || handshake == nil {
+		return nil, ErrNotAttested
+	}
+	span := obs.SpanFromContext(ctx)
+
+	start := time.Now()
+	out, err := fc.clientFor(cur).Request(ctx, enc)
+	if err == nil {
+		fc.pool.record(cur, true, time.Since(start))
+		return out, nil
+	}
+	if !isTransient(err) {
+		fc.pool.record(cur, true, time.Since(start))
+		return nil, err
+	}
+	fc.pool.record(cur, false, time.Since(start))
+
+	// The attested endpoint is gone mid-protocol: fail over. Sessions are
+	// per-server, so each candidate replica must re-attest first.
+	tried := map[*Endpoint]bool{cur: true}
+	var last error = err
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e := fc.pool.pick(tried)
+		if e == nil {
+			break
+		}
+		tried[e] = true
+		esp := span.Child("failover")
+		esp.SetStr("addr", e.Addr)
+		astart := time.Now()
+		c := fc.clientFor(e)
+		pub, aerr := c.Attest(ctx, handshake.Quote, handshake.ClientPub)
+		if aerr != nil {
+			esp.SetError(aerr)
+			esp.End()
+			if !isTransient(aerr) {
+				fc.pool.record(e, true, time.Since(astart))
+				return nil, aerr
+			}
+			fc.pool.record(e, false, time.Since(astart))
+			last = aerr
+			continue
+		}
+		fc.pool.count("failover.switches")
+		fc.mu.Lock()
+		fc.cur = e
+		fc.serverPub = append([]byte(nil), pub...)
+		fc.mu.Unlock()
+		if !bytes.Equal(pub, boundPub) {
+			// The replica established a *different* channel: the enclave's
+			// key is bound to the dead server's key and cannot decrypt
+			// anything this replica sends. The in-flight protocol run is
+			// over; a fresh elide_restore will attest here directly.
+			esp.SetStr("outcome", "session_lost")
+			esp.End()
+			fc.pool.record(e, true, time.Since(astart))
+			fc.pool.count("failover.session_lost")
+			return nil, ErrSessionLost
+		}
+		// Same server key (a shared or persistent resume cache): the
+		// channel survived the switch — finish the request here.
+		out, rerr := c.Request(ctx, enc)
+		if rerr == nil {
+			esp.SetStr("outcome", "resumed")
+			esp.End()
+			fc.pool.record(e, true, time.Since(astart))
+			return out, nil
+		}
+		esp.SetError(rerr)
+		esp.End()
+		if !isTransient(rerr) {
+			fc.pool.record(e, true, time.Since(astart))
+			return nil, rerr
+		}
+		fc.pool.record(e, false, time.Since(astart))
+		last = rerr
+	}
+	fc.pool.count("failover.exhausted")
+	return nil, &unavailableError{attempts: len(tried), last: last}
+}

@@ -12,11 +12,32 @@ import (
 // transient, exactly like a real mid-stream reset.
 var ErrInjected = errors.New("elide: injected connection fault")
 
+// Fault operations a scripted FaultAction can match.
+const (
+	OpAny   = 0 // matches the next operation of either kind
+	OpRead  = 1
+	OpWrite = 2
+)
+
+// FaultAction is one step of a scripted fault schedule: when an I/O
+// operation matching Op arrives, sleep Delay, then optionally kill the
+// connection — Fail reports ErrInjected (a visible reset), Close shuts the
+// underlying conn silently so the *operation itself* sees the OS error, the
+// way a peer death between syscalls does. An action with neither set is a
+// pure delay probe.
+type FaultAction struct {
+	Op    int // OpAny, OpRead, or OpWrite
+	Delay time.Duration
+	Fail  bool
+	Close bool
+}
+
 // FaultConn wraps a net.Conn and injects faults — added latency, mid-stream
-// connection drops, and short (truncated) I/O — so the robustness tests can
-// prove the transport's retry and reconnect behaviour against deterministic
-// failures instead of flaky sleeps. The zero configuration injects nothing;
-// arm faults with the With* methods before handing the conn out.
+// connection drops, short (truncated) I/O, and ordered per-operation
+// scripts — so the robustness tests can prove the transport's retry and
+// reconnect behaviour against deterministic failures instead of flaky
+// sleeps. The zero configuration injects nothing; arm faults with the
+// With* methods before handing the conn out.
 //
 // A FaultConn is safe for concurrent use.
 type FaultConn struct {
@@ -28,6 +49,7 @@ type FaultConn struct {
 	readBudget  int64 // bytes until reads fail; -1 = unlimited
 	writeBudget int64 // bytes until writes fail; -1 = unlimited
 	truncate    bool  // deliver the partial data before failing
+	script      []FaultAction
 }
 
 // NewFaultConn wraps conn with no faults armed.
@@ -78,8 +100,55 @@ func (f *FaultConn) Truncating() *FaultConn {
 	return f
 }
 
+// WithScript arms an ordered fault schedule: each Read/Write consumes the
+// first pending action whose Op matches it (OpAny matches both) and acts
+// it out. Operations beyond the script fall through to the budget faults.
+// Scripts express "the third write dies" directly, where budgets would
+// need byte counting that breaks whenever a frame size changes.
+func (f *FaultConn) WithScript(actions ...FaultAction) *FaultConn {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.script = append(f.script, actions...)
+	return f
+}
+
+// nextAction consumes the first pending script action matching op.
+func (f *FaultConn) nextAction(op int) (FaultAction, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i, a := range f.script {
+		if a.Op == OpAny || a.Op == op {
+			f.script = append(f.script[:i:i], f.script[i+1:]...)
+			return a, true
+		}
+	}
+	return FaultAction{}, false
+}
+
+// runAction acts out one script step; done means the operation must not
+// proceed (the action consumed it).
+func (f *FaultConn) runAction(a FaultAction) (int, error, bool) {
+	if a.Delay > 0 {
+		time.Sleep(a.Delay)
+	}
+	if a.Fail {
+		f.Conn.Close()
+		return 0, ErrInjected, true
+	}
+	if a.Close {
+		// Silent close: let the operation itself hit the dead socket.
+		f.Conn.Close()
+	}
+	return 0, nil, false
+}
+
 // Read implements net.Conn with the armed read faults.
 func (f *FaultConn) Read(b []byte) (int, error) {
+	if a, ok := f.nextAction(OpRead); ok {
+		if n, err, done := f.runAction(a); done {
+			return n, err
+		}
+	}
 	f.mu.Lock()
 	delay := f.readDelay
 	budget := f.readBudget
@@ -115,6 +184,11 @@ func (f *FaultConn) Read(b []byte) (int, error) {
 
 // Write implements net.Conn with the armed write faults.
 func (f *FaultConn) Write(b []byte) (int, error) {
+	if a, ok := f.nextAction(OpWrite); ok {
+		if n, err, done := f.runAction(a); done {
+			return n, err
+		}
+	}
 	f.mu.Lock()
 	delay := f.writeDelay
 	budget := f.writeBudget

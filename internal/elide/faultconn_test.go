@@ -1,0 +1,97 @@
+package elide
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestFaultConnScriptOrder: scripted actions are consumed one per matching
+// operation, in order, and operations beyond the script pass through.
+func TestFaultConnScriptOrder(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	f := NewFaultConn(c1).WithScript(
+		FaultAction{Op: OpWrite},             // pure probe: first write passes
+		FaultAction{Op: OpWrite, Fail: true}, // second write dies
+	)
+
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 3)
+		_, err := io.ReadFull(c2, buf)
+		done <- err
+	}()
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatalf("first write (no-op action): %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	_, err := f.Write([]byte("def"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write err = %v, want ErrInjected", err)
+	}
+	// The fault closed the underlying conn: the peer sees EOF.
+	if _, err := c2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer still readable after injected fault")
+	}
+}
+
+// TestFaultConnScriptOpMatching: an OpRead action lets writes through
+// untouched and fires on the first read.
+func TestFaultConnScriptOpMatching(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	f := NewFaultConn(c1).WithScript(FaultAction{Op: OpRead, Fail: true})
+
+	go io.ReadFull(c2, make([]byte, 2))
+	if _, err := f.Write([]byte("hi")); err != nil {
+		t.Fatalf("write consumed a read action: %v", err)
+	}
+	if _, err := f.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read err = %v, want ErrInjected", err)
+	}
+}
+
+// TestFaultConnScriptSilentClose: a Close action kills the socket without
+// reporting ErrInjected — the operation itself hits the dead conn, the way
+// a peer dying between syscalls looks to real code.
+func TestFaultConnScriptSilentClose(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	f := NewFaultConn(c1).WithScript(FaultAction{Op: OpWrite, Close: true})
+	_, err := f.Write([]byte("x"))
+	if err == nil {
+		t.Fatal("write succeeded on a silently closed conn")
+	}
+	if errors.Is(err, ErrInjected) {
+		t.Fatalf("silent close leaked ErrInjected: %v", err)
+	}
+}
+
+// TestFaultConnScriptDelayThenBudget: a delay-only action holds the
+// operation without consuming it, and an exhausted script falls through to
+// the byte-budget faults.
+func TestFaultConnScriptDelayThenBudget(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c2.Close()
+	f := NewFaultConn(c1).
+		WithScript(FaultAction{Op: OpWrite, Delay: 10 * time.Millisecond}).
+		FailWritesAfter(2)
+
+	go io.ReadFull(c2, make([]byte, 2))
+	start := time.Now()
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatalf("delayed write: %v", err)
+	}
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("delay action did not delay")
+	}
+	// Script exhausted; the 2-byte write budget is spent too.
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget fault after script = %v, want ErrInjected", err)
+	}
+}

@@ -16,6 +16,7 @@ const (
 	FileSanitizedSO = "sanitized.so"
 	FileSecretMeta  = "enclave.secret.meta" // server only!
 	FileSecretData  = "enclave.secret.data"
+	FileSecretPlain = "enclave.secret.plain" // hybrid mode, server only!
 	FileMeasurement = "enclave.mrenclave"
 	FileCAPub       = "ca_pub.pem"
 	FileWhitelist   = "whitelist.json"
@@ -70,6 +71,12 @@ func (p *Protected) WriteServerFiles(dir string, caPub *ecdsa.PublicKey) error {
 		if err := atomicWriteFile(filepath.Join(dir, FileSecretData), p.SecretData, 0o600); err != nil {
 			return err
 		}
+	} else if p.Meta.Hybrid {
+		// Hybrid deployments serve the data remotely too: the server's copy
+		// is the plaintext, the user's local file stays ciphertext.
+		if err := atomicWriteFile(filepath.Join(dir, FileSecretData), p.SecretPlain, 0o600); err != nil {
+			return err
+		}
 	}
 	// The measurement file last: its presence marks the deployment subdir
 	// as loadable, so a watcher scanning mid-deploy sees either nothing or
@@ -117,7 +124,7 @@ func LoadServerConfig(dir string) (ServerConfig, error) {
 	if err != nil {
 		return cfg, err
 	}
-	if !cfg.Meta.Encrypted {
+	if !cfg.Meta.Encrypted || cfg.Meta.Hybrid {
 		cfg.SecretPlain, err = os.ReadFile(filepath.Join(dir, FileSecretData))
 		if err != nil {
 			return cfg, err

@@ -1,0 +1,187 @@
+package elide
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sgxelide/internal/sdk"
+)
+
+// RestoreOptions configures RestoreResilient.
+type RestoreOptions struct {
+	// Flags are the base elide_restore flags. FlagTrySealed is added
+	// automatically when the file store holds a sealed blob.
+	Flags uint64
+
+	// MaxAttempts bounds protocol runs (default 3). Each attempt is a full
+	// elide_restore: a retryable failure re-attests from scratch, which is
+	// exactly what a session lost to a failover needs.
+	MaxAttempts int
+
+	// Backoff is the base delay between attempts, doubled each retry
+	// (default 50ms; the per-endpoint transport already jitters below this).
+	Backoff time.Duration
+}
+
+// RestoreOutcome reports how a resilient restore ended: the enclave code,
+// which strategy in the degradation chain produced the bytes, how many
+// protocol runs it took, and the typed events the runtime observed along
+// the way (sealed-blob corruption, degradation to the local file, lost
+// sessions) — a restore can succeed *and* have a story worth logging.
+type RestoreOutcome struct {
+	Code     uint64
+	Source   string // "sealed", "server", or "local"
+	Attempts int
+	Events   []error
+}
+
+// RestoreFailure is the error RestoreResilient returns when the strategy
+// chain is exhausted; it matches ErrRestoreFailed and unwraps to the last
+// typed event.
+type RestoreFailure struct {
+	Code     uint64 // last enclave return code (>= RestoreErrBase)
+	Attempts int
+	Last     error // last typed event from the runtime ring, if any
+}
+
+func (e *RestoreFailure) Error() string {
+	s := fmt.Sprintf("elide: restore failed after %d attempts (code %d)", e.Attempts, e.Code)
+	if e.Last != nil {
+		s += ": " + e.Last.Error()
+	}
+	return s
+}
+
+func (e *RestoreFailure) Is(target error) bool { return target == ErrRestoreFailed }
+
+func (e *RestoreFailure) Unwrap() error { return e.Last }
+
+// RestoreResilient drives elide_restore through the degradation chain —
+// sealed blob, then the authentication server (or pool), then in hybrid
+// deployments the encrypted local file — retrying whole protocol runs
+// when the failure is retryable: a session lost to an endpoint failover,
+// an exhausted transport retry budget, a stale-session refusal on the
+// encrypted channel, or a torn apply. Terminal failures (an attestation
+// refusal — the server examined the quote and said no — or a cancelled
+// context) are returned immediately: retrying cannot change the answer.
+//
+// The strategy *ordering* lives in the enclave (trusted.go); this driver
+// adds what the enclave cannot do for itself: classify why a run failed
+// and decide whether another run is worth the wire traffic.
+func RestoreResilient(ctx context.Context, encl *sdk.Enclave, rt *Runtime, opts RestoreOptions) (*RestoreOutcome, error) {
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	flags := opts.Flags
+	if rt.Files != nil && len(rt.Files.Sealed) > 0 {
+		flags |= FlagTrySealed
+	}
+
+	out := &RestoreOutcome{}
+	var lastCode uint64
+	var lastErr error
+	for attempt := 0; attempt < opts.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		if attempt > 0 {
+			rt.Metrics.Counter("restore.retries").Inc()
+			if err := sleepCtx(ctx, opts.Backoff<<uint(attempt-1)); err != nil {
+				return out, err
+			}
+		}
+		mark := len(rt.Errs())
+		out.Attempts++
+		code, err := Restore(encl, flags)
+		events := rt.Errs()
+		if mark < len(events) {
+			events = events[mark:]
+		} else {
+			events = nil
+		}
+		out.Events = append(out.Events, events...)
+		if err != nil {
+			// The ecall itself failed (SDK-level): nothing ran, not retryable.
+			return out, err
+		}
+		if code < RestoreErrBase {
+			out.Code = code
+			out.Source = restoreSource(code, events)
+			rt.Metrics.Counter("restore.ok." + out.Source).Inc()
+			return out, nil
+		}
+		lastCode = code
+		lastErr = lastTyped(events)
+		if !restoreRetryable(code, events) {
+			break
+		}
+	}
+	rt.Metrics.Counter("restore.exhausted").Inc()
+	out.Code = lastCode
+	return out, &RestoreFailure{Code: lastCode, Attempts: out.Attempts, Last: lastErr}
+}
+
+// restoreSource names the strategy that produced a successful restore's
+// bytes. The enclave's code distinguishes sealed from protocol; within a
+// protocol run, a ReportDegradedLocal event means the remote fetch failed
+// and the encrypted local file supplied the data.
+func restoreSource(code uint64, events []error) string {
+	if code == RestoreOKSealed {
+		return "sealed"
+	}
+	for _, e := range events {
+		if errors.Is(e, ErrRemoteDataUnavailable) {
+			return "local"
+		}
+	}
+	return "server"
+}
+
+// restoreRetryable classifies a failed protocol run from the enclave code
+// and the typed events the runtime recorded during it.
+func restoreRetryable(code uint64, events []error) bool {
+	// A torn apply left elide_restored clear; the next run redoes the whole
+	// protocol, and a transient corruption (scribbled data ocall buffer)
+	// will not repeat.
+	if code == RestoreErrTorn {
+		return true
+	}
+	retryable := false
+	for _, e := range events {
+		var pe *PhaseError
+		if errors.As(e, &pe) {
+			if pe.Phase == "attest" && errors.Is(pe, ErrRefused) {
+				// The server examined the quote and refused it: wrong
+				// identity or revoked deployment. No retry helps.
+				return false
+			}
+			if errors.Is(pe, ErrRefused) {
+				// A refusal on the encrypted channel is almost always a
+				// stale session (the endpoint changed under us); a fresh
+				// protocol run attests to the live endpoint directly.
+				retryable = true
+				continue
+			}
+		}
+		if errors.Is(e, ErrSessionLost) || errors.Is(e, ErrServerUnavailable) {
+			retryable = true
+		}
+	}
+	return retryable
+}
+
+// lastTyped returns the newest event worth reporting (skipping the
+// degradation notices that are context, not cause).
+func lastTyped(events []error) error {
+	for i := len(events) - 1; i >= 0; i-- {
+		if !errors.Is(events[i], ErrRemoteDataUnavailable) {
+			return events[i]
+		}
+	}
+	return nil
+}

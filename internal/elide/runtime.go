@@ -171,6 +171,39 @@ func (rt *Runtime) Install(h *sdk.Host) {
 		c.SetArgBytes(0, ti[:])
 		return 0, nil
 	})
+
+	h.RegisterOcall("elide_report", func(c *sdk.OcallContext) (uint64, error) {
+		rt.handleReport(c, c.Arg(0))
+		return 0, nil
+	})
+}
+
+// handleReport services the elide_report ocall: the trusted restorer's
+// diagnostic channel. Codes become typed errors in the runtime's error
+// ring — the enclave's single return code cannot say *why* it degraded,
+// so this is how "sealed blob corrupt, fell back to the server" or "torn
+// restore detected" reach the operator.
+func (rt *Runtime) handleReport(c *sdk.OcallContext, code uint64) {
+	span := c.Span().Child("report")
+	defer span.End()
+	span.SetInt("code", int64(code))
+	switch code {
+	case ReportSealedCorrupt:
+		span.SetStr("event", "sealed_corrupt")
+		rt.Metrics.Counter("runtime.sealed_corrupt").Inc()
+		rt.recordErr(ErrSealedCorrupt)
+	case ReportTornRestore:
+		span.SetStr("event", "torn_restore")
+		rt.Metrics.Counter("runtime.torn_restores").Inc()
+		rt.recordErr(ErrTornRestore)
+	case ReportDegradedLocal:
+		span.SetStr("event", "degraded_local")
+		rt.Metrics.Counter("runtime.degraded_local").Inc()
+		rt.recordErr(ErrRemoteDataUnavailable)
+	default:
+		span.SetStr("event", "unknown")
+		rt.recordErr(fmt.Errorf("elide: unknown enclave report code %d", code))
+	}
 }
 
 // doAttest services a ReqAttest server request under the "attest" phase
@@ -199,7 +232,7 @@ func (rt *Runtime) doAttest(c *sdk.OcallContext, h *sdk.Host, in []byte) (resp [
 	}
 	resp, err = rt.Client.Attest(obs.ContextWithSpan(rt.ctx(), span), quote, clientPub)
 	if err != nil {
-		rt.recordErr(err)
+		rt.recordErr(&PhaseError{Phase: "attest", Err: err})
 		span.SetError(err)
 		return nil
 	}
@@ -223,7 +256,7 @@ func (rt *Runtime) doChannelRequest(c *sdk.OcallContext, in []byte) []byte {
 	span.SetStr("source", "server")
 	resp, err := rt.Client.Request(obs.ContextWithSpan(rt.ctx(), span), in)
 	if err != nil {
-		rt.recordErr(err)
+		rt.recordErr(&PhaseError{Phase: name, Err: err})
 		span.SetError(err)
 		return nil
 	}

@@ -2,6 +2,7 @@ package elide
 
 import (
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 
@@ -16,6 +17,12 @@ type SanitizeOptions struct {
 	// in the metadata on the server. When false, the data stays plaintext
 	// and must be kept on the server (remote-data mode).
 	EncryptLocal bool
+
+	// Hybrid keeps the plaintext on the server *and* emits the encrypted
+	// local file (implies EncryptLocal). The restorer prefers the remote
+	// copy and degrades to the local file when the data fetch fails
+	// mid-protocol — the last link of the sealed → remote → local chain.
+	Hybrid bool
 
 	// Ranges selects the per-function secret format (paper §5's space
 	// optimization) instead of saving the whole text section.
@@ -53,6 +60,7 @@ type SanitizeResult struct {
 	SanitizedELF []byte
 	Meta         *SecretMeta // enclave.secret.meta — server only!
 	SecretData   []byte      // enclave.secret.data — plaintext (remote) or ciphertext (local)
+	SecretPlain  []byte      // hybrid mode only: the plaintext copy the server serves
 	Stats        SanitizeStats
 }
 
@@ -155,9 +163,15 @@ func Sanitize(elfBytes []byte, wl Whitelist, opts SanitizeOptions) (*SanitizeRes
 		DataLen:       uint64(len(plain)),
 		RestoreOffset: restoreSym.Value - text.Addr,
 		Format:        format,
+		// The restorer hashes the whole text section after the apply and
+		// compares against this digest, so a torn or tampered restore can
+		// never be reported as success.
+		TextLen:    text.Size,
+		TextDigest: sha256.Sum256(originalText),
 	}
 	secretData := plain
-	if opts.EncryptLocal {
+	var secretPlain []byte
+	if opts.EncryptLocal || opts.Hybrid {
 		meta.Encrypted = true
 		var key [16]byte
 		if _, err := rand.Read(key[:]); err != nil {
@@ -175,6 +189,10 @@ func Sanitize(elfBytes []byte, wl Whitelist, opts SanitizeOptions) (*SanitizeRes
 		meta.IV = iv
 		copy(meta.MAC[:], mac)
 		secretData = ct
+		if opts.Hybrid {
+			meta.Hybrid = true
+			secretPlain = plain
+		}
 	}
 	stats.SecretDataBytes = len(secretData)
 
@@ -182,6 +200,7 @@ func Sanitize(elfBytes []byte, wl Whitelist, opts SanitizeOptions) (*SanitizeRes
 		SanitizedELF: raw,
 		Meta:         meta,
 		SecretData:   secretData,
+		SecretPlain:  secretPlain,
 		Stats:        stats,
 	}, nil
 }

@@ -105,6 +105,9 @@ func validateSecrets(meta *SecretMeta, plain []byte) error {
 	if !meta.Encrypted && plain == nil {
 		return fmt.Errorf("elide: remote-data mode needs the plaintext secret data")
 	}
+	if meta.Hybrid && plain == nil {
+		return fmt.Errorf("elide: hybrid mode needs the plaintext secret data on the server")
+	}
 	return nil
 }
 

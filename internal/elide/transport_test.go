@@ -378,9 +378,11 @@ func TestRestoreRecoversFromInjectedFaults(t *testing.T) {
 		}
 		switch dials.Add(1) {
 		case 1:
-			return NewFaultConn(conn).FailWritesAfter(40), nil // dies mid-handshake
+			// Dies on its first handshake write.
+			return NewFaultConn(conn).WithScript(FaultAction{Op: OpWrite, Fail: true}), nil
 		case 2:
-			return NewFaultConn(conn).FailReadsAfter(50).Truncating(), nil // torn reply
+			// Handshake goes out, then the reply read dies.
+			return NewFaultConn(conn).WithScript(FaultAction{Op: OpRead, Fail: true}), nil
 		default:
 			return conn, nil
 		}

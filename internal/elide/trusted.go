@@ -19,6 +19,7 @@ enclave {
         uint64_t elide_read_file(uint64_t which, [out, size=cap] uint8_t* buf, uint64_t cap);
         uint64_t elide_write_file([in, size=len] uint8_t* buf, uint64_t len);
         void elide_qe_target([out, size=32] uint8_t* ti);
+        void elide_report(uint64_t code);
     };
 };
 `
@@ -49,10 +50,12 @@ uint64_t elide_server_request(uint64_t req, uint8_t* inbuf, uint64_t inlen, uint
 uint64_t elide_read_file(uint64_t which, uint8_t* buf, uint64_t cap);
 uint64_t elide_write_file(uint8_t* buf, uint64_t len);
 void elide_qe_target(uint8_t* ti);
+void elide_report(uint64_t code);
 uint64_t elide_self_addr(void);
 
 uint8_t elide_channel_key[16];
 uint64_t elide_restored;
+uint64_t elide_sealed_corrupt;
 
 /* elide_channel_setup attests to the server and derives the channel key:
  * a fresh ECDH keypair is bound into the report data (sha256 of the public
@@ -118,86 +121,152 @@ void elide_apply(uint8_t* data, uint64_t dlen, uint64_t off, uint64_t format) {
     }
 }
 
-/* Sealed blob layout: dlen u64 | off u64 | format u64 | iv12 | mac16 | ct. */
+/* elide_verify_text hashes the whole text section after an apply and
+ * compares it (branch-free accumulate) against the expected digest the
+ * metadata carries. A mismatch means the restore tore: the memcpy did not
+ * reproduce the original bytes, and success must not be reported. */
+uint64_t elide_verify_text(uint64_t off, uint64_t textlen, uint8_t* digest) {
+    uint8_t h[32];
+    uint64_t text = elide_self_addr() - off;
+    uint64_t diff = 0;
+    if (textlen == 0) return 0;
+    if (sgx_sha256_msg((uint8_t*)text, textlen, h)) return 1;
+    for (int i = 0; i < 32; i++) diff = diff | (h[i] ^ digest[i]);
+    if (diff) return 1;
+    return 0;
+}
 
+/* Sealed blob layout:
+ * dlen u64 | off u64 | format u64 | textlen u64 | digest32 | iv12 | mac16 | ct.
+ * Header is 64 bytes; iv at 64, mac at 76, ciphertext at 92. */
+
+/* elide_try_sealed returns 0 on a verified sealed restore, 1 when there is
+ * no usable sealed file (missing), and 2 when the blob exists but is
+ * corrupt — truncated, failed its MAC, or produced a torn text. Corrupt
+ * blobs are reported so the runtime can surface a typed error, and the
+ * caller falls back to the network and re-seals a fresh blob. */
 uint64_t elide_try_sealed(void) {
-    uint8_t hdr[24];
+    uint8_t hdr[64];
     uint8_t key[16];
     uint64_t n;
     uint64_t dlen;
     uint64_t off;
     uint64_t format;
-    n = elide_read_file(1, hdr, 24);
-    if (n < 24) return 1;
+    uint64_t textlen;
+    n = elide_read_file(1, hdr, 64);
+    if (n == 0) return 1;
+    if (n < 64) return 2;
     memcpy(&dlen, hdr, 8);
     memcpy(&off, hdr + 8, 8);
     memcpy(&format, hdr + 16, 8);
-    uint64_t total = 24 + 28 + dlen;
+    memcpy(&textlen, hdr + 24, 8);
+    uint64_t total = 64 + 28 + dlen;
     uint8_t* blob = malloc(total);
     n = elide_read_file(1, blob, total);
-    if (n != total) return 1;
-    if (sgx_get_seal_key(0, key)) return 1;
+    if (n != total) return 2;
+    if (sgx_get_seal_key(0, key)) return 2;
     uint8_t* plain = malloc(dlen);
-    if (sgx_rijndael128GCM_decrypt(key, blob + 52, dlen, plain, blob + 24, blob + 36)) return 1;
+    if (sgx_rijndael128GCM_decrypt(key, blob + 92, dlen, plain, blob + 64, blob + 76)) return 2;
     elide_apply(plain, dlen, off, format);
+    if (elide_verify_text(off, textlen, blob + 32)) return 2;
     return 0;
 }
 
-void elide_seal(uint8_t* data, uint64_t dlen, uint64_t off, uint64_t format) {
+void elide_seal(uint8_t* data, uint64_t dlen, uint64_t off, uint64_t format, uint64_t textlen, uint8_t* digest) {
     uint8_t key[16];
-    uint64_t total = 24 + 28 + dlen;
+    uint64_t total = 64 + 28 + dlen;
     uint8_t* blob = malloc(total);
     memcpy(blob, &dlen, 8);
     memcpy(blob + 8, &off, 8);
     memcpy(blob + 16, &format, 8);
+    memcpy(blob + 24, &textlen, 8);
+    memcpy(blob + 32, digest, 32);
     if (sgx_get_seal_key(0, key)) return;
-    sgx_read_rand(blob + 24, 12);
-    if (sgx_rijndael128GCM_encrypt(key, data, dlen, blob + 52, blob + 24, blob + 36)) return;
+    sgx_read_rand(blob + 64, 12);
+    if (sgx_rijndael128GCM_encrypt(key, data, dlen, blob + 92, blob + 64, blob + 76)) return;
     elide_write_file(blob, total);
 }
 
 /* elide_restore is the single ecall a developer adds (paper §3.4).
  * Returns 0 (restored via server), 1 (restored from sealed file), or an
- * error code >= 100. */
+ * error code >= 100. The acquisition strategies run in degradation order:
+ * sealed file first (no network), then the authentication server, and in
+ * hybrid deployments the encrypted local file when the remote data fetch
+ * fails mid-protocol. */
 uint64_t elide_restore(uint64_t flags) {
-    uint8_t mbuf[96];
+    uint8_t mbuf[160];
     uint64_t n;
     uint64_t dlen;
     uint64_t off;
     uint64_t format;
+    uint64_t textlen;
+    uint64_t got;
     uint8_t* data;
     uint64_t r;
     if (elide_restored) return 0;
     if (flags & 1) {
-        if (elide_try_sealed() == 0) {
+        r = elide_try_sealed();
+        if (r == 0) {
             elide_restored = 1;
             return 1;
+        }
+        if (r == 2) {
+            /* Corrupt sealed blob: tell the runtime (typed error), fall
+             * back to the network, and remember to re-seal a fresh blob. */
+            elide_report(1);
+            elide_sealed_corrupt = 1;
         }
     }
     r = elide_channel_setup();
     if (r) return r;
-    n = elide_channel_request(1, mbuf, 96);
-    if (n != 61) return 105;
+    n = elide_channel_request(1, mbuf, 160);
+    if (n != 101) return 105;
     memcpy(&dlen, mbuf, 8);
     memcpy(&off, mbuf + 8, 8);
+    memcpy(&textlen, mbuf + 61, 8);
     format = (mbuf[16] >> 1) & 1;
     data = malloc(dlen);
-    if (mbuf[16] & 1) {
-        /* Local data: read the encrypted file, decrypt with the key the
-         * server released over the attested channel. */
-        n = elide_read_file(0, data, dlen);
-        if (n != dlen) return 106;
-        if (sgx_rijndael128GCM_decrypt(mbuf + 17, data, dlen, data, mbuf + 33, mbuf + 45)) return 107;
-    } else {
-        /* Remote data: fetch the secret bytes over the channel. */
-        uint8_t* edata = malloc(dlen + 28);
-        n = elide_channel_request(2, edata, dlen + 28);
-        if (n != dlen) return 108;
-        memcpy(data, edata, dlen);
+    got = 0;
+    if (mbuf[16] & 4) {
+        /* Hybrid: the data lives both on the server and in the encrypted
+         * local file. Prefer the fresh remote copy; degrade to the local
+         * file when the pool cannot move the payload. */
+        uint8_t* hdata = malloc(dlen + 28);
+        n = elide_channel_request(2, hdata, dlen + 28);
+        if (n == dlen) {
+            memcpy(data, hdata, dlen);
+            got = 1;
+        }
+        if (got == 0) elide_report(3);
+    }
+    if (got == 0) {
+        if (mbuf[16] & 1) {
+            /* Local data: read the encrypted file, decrypt with the key the
+             * server released over the attested channel. */
+            n = elide_read_file(0, data, dlen);
+            if (n != dlen) return 106;
+            if (sgx_rijndael128GCM_decrypt(mbuf + 17, data, dlen, data, mbuf + 33, mbuf + 45)) return 107;
+        } else {
+            /* Remote data: fetch the secret bytes over the channel. */
+            uint8_t* edata = malloc(dlen + 28);
+            n = elide_channel_request(2, edata, dlen + 28);
+            if (n != dlen) return 108;
+            memcpy(data, edata, dlen);
+        }
     }
     elide_apply(data, dlen, off, format);
+    if (elide_verify_text(off, textlen, mbuf + 69)) {
+        /* Torn restore: never report success over a text that does not
+         * hash to the original. elide_restored stays clear so a retry
+         * re-runs the whole protocol. */
+        elide_report(2);
+        return 110;
+    }
     elide_restored = 1;
-    if (flags & 2) elide_seal(data, dlen, off, format);
+    if ((flags & 2) | elide_sealed_corrupt) {
+        elide_seal(data, dlen, off, format, textlen, mbuf + 69);
+        elide_sealed_corrupt = 0;
+    }
     return 0;
 }
 `
