@@ -1,19 +1,25 @@
 GO ?= go
 
-.PHONY: build verify test race chaos bench-server bench-multi bench-phases bench-chaos trace-demo clean
+.PHONY: build verify fmt-check test race chaos load-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-frames trace-demo clean
 
 build:
 	$(GO) build ./...
 
-# Tier-1 verification (see ROADMAP.md): build, vet, full tests, the race
-# detector over the transport-heavy packages and the tracer, and a
-# short-mode chaos smoke run against replicated servers.
-verify: build
+# Tier-1 verification (see ROADMAP.md): formatting, build, vet, full
+# tests, the race detector over the transport-heavy packages and the
+# tracer, and short-mode chaos and load smoke runs.
+verify: fmt-check build
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/elide/... ./internal/sdk/...
 	$(GO) test -race ./internal/obs/...
 	$(MAKE) chaos
+	$(MAKE) load-smoke
+
+# gofmt cleanliness: fails listing the offending files, fixes nothing.
+fmt-check:
+	@out="$$(gofmt -l cmd internal examples)"; \
+	if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -25,6 +31,11 @@ race:
 # scripted connection faults; every restore must succeed or fail typed.
 chaos:
 	$(GO) test -short -run TestChaosBenchSmoke -v ./internal/bench/
+
+# Scaled-down open-loop load smoke: a few dozen protocol-level restores,
+# pipelined and legacy, asserting 1 vs 3 wire flights per restore.
+load-smoke:
+	$(GO) test -short -run TestLoadBenchSmoke -v ./internal/bench/
 
 # Concurrent-restore transport benchmark; writes BENCH_server.json.
 bench-server:
@@ -45,9 +56,19 @@ bench-phases:
 bench-chaos:
 	$(GO) run ./cmd/elide-bench -chaos
 
+# Open-loop load test: 10k restores offered at a fixed arrival rate,
+# pipelined vs legacy protocol; writes BENCH_load.json.
+bench-load:
+	$(GO) run ./cmd/elide-bench -load
+
+# Frame read/write allocation microbenchmarks (the -benchmem numbers
+# EXPERIMENTS.md quotes).
+bench-frames:
+	$(GO) test -run '^$$' -bench 'Frame|WriteResponse|WriteErrorFrame' -benchmem ./internal/elide/
+
 # One traced local-data restore, span tree pretty-printed to stdout.
 trace-demo:
 	$(GO) run ./cmd/elide-bench -trace-demo
 
 clean:
-	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json
+	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json BENCH_load.json

@@ -12,6 +12,7 @@
 //	elide-bench -server -server-clients 16 -server-out BENCH_server.json
 //	elide-bench -multi -multi-enclaves 4 -multi-out BENCH_multi.json
 //	elide-bench -chaos -chaos-replicas 3 -chaos-out BENCH_chaos.json
+//	elide-bench -load -load-rate 500 -load-restores 10000 -load-out BENCH_load.json
 package main
 
 import (
@@ -50,6 +51,14 @@ func main() {
 		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent restore workers for -chaos")
 		chaosOut      = flag.String("chaos-out", "BENCH_chaos.json", "JSON output path for -chaos")
 
+		load         = flag.Bool("load", false, "open-loop load test: offered-rate restores against one server, pipelined vs legacy protocol")
+		loadProgram  = flag.String("load-program", "Sha1", "benchmark program for -load")
+		loadRate     = flag.Float64("load-rate", 500, "offered arrival rate for -load (restores/second)")
+		loadRestores = flag.Int("load-restores", 10000, "total restores offered per protocol for -load")
+		loadSessions = flag.Int("load-sessions", 1024, "server session cap for -load")
+		loadOnlyV1   = flag.Bool("load-skip-legacy", false, "measure only the pipelined protocol for -load")
+		loadOut      = flag.String("load-out", "BENCH_load.json", "JSON output path for -load")
+
 		phases    = flag.Bool("phases", false, "measure the per-phase restore latency breakdown")
 		phProgram = flag.String("phases-program", "Sha1", "benchmark program for -phases")
 		phOut     = flag.String("phases-out", "BENCH_restore_phases.json", "JSON output path for -phases")
@@ -59,7 +68,7 @@ func main() {
 	if *all {
 		*t1, *t2, *f3, *f4, *server, *multi, *chaos, *phases = true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*phases && !*traceDemo {
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*load && !*phases && !*traceDemo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -162,6 +171,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *chaosOut)
+	}
+	if *load {
+		fmt.Printf("(load-testing the authentication server: %d restores at %.0f rps...)\n",
+			*loadRestores, *loadRate)
+		res, err := bench.LoadBench(env, bench.LoadBenchConfig{
+			Program:     *loadProgram,
+			Rate:        *loadRate,
+			Restores:    *loadRestores,
+			MaxSessions: *loadSessions,
+			SkipLegacy:  *loadOnlyV1,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*loadOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *loadOut)
 	}
 	if *phases {
 		fmt.Printf("(measuring restore phase breakdown, %d iterations per mode...)\n", *iters)

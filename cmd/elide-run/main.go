@@ -56,9 +56,10 @@ func main() {
 		emitServer  = flag.String("emit-server", "", "write the server-side files to this directory and exit")
 		ecallName   = flag.String("ecall", "", "ecall to invoke after restoring")
 		flags       = flag.Uint64("flags", 0, "elide_restore flags (1 = try sealed, 2 = seal after)")
-		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "server connection timeout")
-		reqTimeout  = flag.Duration("request-timeout", 30*time.Second, "per-request timeout on the server channel")
-		retries     = flag.Int("retries", 3, "transient-failure retries before giving up")
+		dialTimeout = flag.Duration("dial-timeout", elide.DefaultDialTimeout, "server connection timeout")
+		reqTimeout  = flag.Duration("request-timeout", elide.DefaultRequestTimeout, "per-request timeout on the server channel")
+		retries     = flag.Int("retries", elide.DefaultRetryBudget, "transient-failure retries before giving up")
+		pipeline    = flag.Bool("pipeline", true, "offer the pipelined (ProtoV1) restore protocol: attest+meta+data in one flight (falls back automatically against legacy servers)")
 		timeout     = flag.Duration("timeout", 0, "overall deadline for the restore (0 = none)")
 		traceJSON   = flag.String("trace-json", "", "write the launch trace (one JSON span per line) to this file")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
@@ -124,7 +125,19 @@ func main() {
 		defer cancel()
 	}
 
-	var client elide.Client
+	proto := elide.ProtoLegacy
+	if *pipeline {
+		proto = elide.ProtoV1
+	}
+	clientOpts := []elide.ClientOption{
+		elide.WithDialTimeout(*dialTimeout),
+		elide.WithRequestTimeout(*reqTimeout),
+		elide.WithRetryBudget(*retries),
+		elide.WithProtocolVersion(proto),
+		elide.WithClientMetrics(metrics),
+		elide.WithClientTracer(tracer),
+	}
+	var client elide.SecretChannel
 	if *servers != "" {
 		addrs := strings.Split(*servers, ",")
 		for i := range addrs {
@@ -132,13 +145,7 @@ func main() {
 		}
 		fc, err := elide.NewFailoverClient(addrs,
 			elide.WithFailoverMetrics(metrics),
-			elide.WithEndpointClientOptions(
-				elide.WithDialTimeout(*dialTimeout),
-				elide.WithRequestTimeout(*reqTimeout),
-				elide.WithMaxRetries(*retries),
-				elide.WithClientMetrics(metrics),
-				elide.WithClientTracer(tracer),
-			),
+			elide.WithEndpointClientOptions(clientOpts...),
 		)
 		check(err)
 		defer fc.Close()
@@ -146,16 +153,10 @@ func main() {
 		fmt.Printf("elide-run: failover pool of %d authentication servers (restore-retries=%d)\n",
 			len(addrs), *restoreTrys)
 	} else if *connect != "" {
-		tc := elide.NewTCPClient(*connect,
-			elide.WithDialTimeout(*dialTimeout),
-			elide.WithRequestTimeout(*reqTimeout),
-			elide.WithMaxRetries(*retries),
-			elide.WithClientMetrics(metrics),
-			elide.WithClientTracer(tracer),
-		)
+		tc := elide.NewTCPClient(*connect, clientOpts...)
 		defer tc.Close()
 		client = tc
-		fmt.Printf("elide-run: authentication server at %s (retries=%d)\n", *connect, *retries)
+		fmt.Printf("elide-run: authentication server at %s (retries=%d, pipeline=%v)\n", *connect, *retries, *pipeline)
 	} else {
 		cfg := elide.ServerConfig{
 			CAPub:             ca.PublicKey(),

@@ -65,6 +65,10 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight sessions")
 		metricsJSON  = flag.String("metrics-json", "", "write the metrics snapshot to this file on shutdown (and periodically with -metrics-interval)")
 		metricsEvery = flag.Duration("metrics-interval", 0, "also rewrite -metrics-json at this interval while serving (0 = only on shutdown)")
+
+		enclaveRPS      = flag.Float64("enclave-rps", 0, "per-enclave fresh-attestation rate limit in attests/second (0 = unlimited); excess clients get a typed overload with a retry-after hint")
+		enclaveBurst    = flag.Int("enclave-burst", 0, "per-enclave attest burst allowance for -enclave-rps (0 = the rate rounded up)")
+		enclaveInflight = flag.Int("enclave-inflight", 0, "per-enclave cap on concurrently served channel requests (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -76,6 +80,12 @@ func main() {
 		elide.WithDrainTimeout(*drainTimeout),
 		elide.WithServerMetrics(metrics),
 		elide.WithServerTracer(tracer),
+	}
+	if *enclaveRPS > 0 {
+		opts = append(opts, elide.WithEnclaveRateLimit(*enclaveRPS, *enclaveBurst))
+	}
+	if *enclaveInflight > 0 {
+		opts = append(opts, elide.WithEnclaveInflightLimit(*enclaveInflight))
 	}
 	var srv *elide.Server
 	var err error

@@ -132,14 +132,14 @@ func (p *Protected) LocalFiles() *FileStore {
 // SgxElide untrusted runtime. The caller then invokes the single required
 // ecall: enclave.ECall("elide_restore", flags). It is the compatibility
 // wrapper around LaunchContext with a background context.
-func (p *Protected) Launch(h *sdk.Host, client Client, files *FileStore) (*sdk.Enclave, *Runtime, error) {
+func (p *Protected) Launch(h *sdk.Host, client SecretChannel, files *FileStore) (*sdk.Enclave, *Runtime, error) {
 	return p.LaunchContext(context.Background(), h, client, files)
 }
 
 // LaunchContext is Launch with an explicit context: every server call the
 // runtime makes on behalf of the enclave's ocalls (attestation, channel
 // requests during elide_restore) is bounded by ctx.
-func (p *Protected) LaunchContext(ctx context.Context, h *sdk.Host, client Client, files *FileStore) (*sdk.Enclave, *Runtime, error) {
+func (p *Protected) LaunchContext(ctx context.Context, h *sdk.Host, client SecretChannel, files *FileStore) (*sdk.Enclave, *Runtime, error) {
 	rt := &Runtime{Client: client, Files: files, Ctx: ctx, Metrics: h.Metrics}
 	rt.Install(h)
 	encl, err := h.CreateEnclave(p.SanitizedELF, p.SigStruct, p.EDL)

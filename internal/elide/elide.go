@@ -166,6 +166,20 @@ func sealEncrypt(key, plaintext []byte) ([]byte, error) {
 	return out, nil
 }
 
+// ChannelSeal encrypts one request or response for the attested channel:
+// AES-GCM under the session's derived key, framed iv || mac || ct. It is
+// what the trusted restorer does before every REQUEST_* — exported so
+// protocol-level tooling (conformance tests, the load generator) can
+// speak the channel without loading an enclave per session.
+func ChannelSeal(key, plaintext []byte) ([]byte, error) {
+	return sealEncrypt(key, plaintext)
+}
+
+// ChannelOpen reverses ChannelSeal.
+func ChannelOpen(key, blob []byte) ([]byte, error) {
+	return sealDecrypt(key, blob)
+}
+
 // sealDecrypt reverses sealEncrypt.
 func sealDecrypt(key, blob []byte) ([]byte, error) {
 	if len(blob) < sdk.GCMIVSize+sdk.GCMMACSize {

@@ -449,6 +449,8 @@ func (deadClient) Attest(context.Context, *sgx.Quote, []byte) ([]byte, error) {
 }
 func (deadClient) Request(context.Context, []byte) ([]byte, error) { return nil, errDead }
 
+func (deadClient) Close() error { return nil }
+
 var errDead = &net.OpError{Op: "dial", Err: &net.AddrError{Err: "server unreachable"}}
 
 func TestRangesFormat(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 )
 
 // Sentinel errors of the authentication-server transport. All errors the
@@ -56,6 +57,14 @@ var (
 	// Always carried by a *RestoreFailure with the enclave code and the
 	// last transport error.
 	ErrRestoreFailed = errors.New("elide: restore failed")
+
+	// ErrOverloaded: the server shed the operation under per-enclave
+	// backpressure (token-bucket rate limit or in-flight cap). Unlike
+	// ErrRefused this is not a verdict on the request — the server is
+	// healthy and the same request succeeds once pressure drops — and
+	// unlike ErrServerUnavailable the server answered. Always carried by
+	// an *OverloadedError with the server's retry-after hint.
+	ErrOverloaded = errors.New("elide: server overloaded")
 )
 
 // RefusedError carries the server's reason alongside the ErrRefused
@@ -73,6 +82,30 @@ func (e *RefusedError) Error() string {
 
 // Is makes errors.Is(err, ErrRefused) match.
 func (e *RefusedError) Is(target error) bool { return target == ErrRefused }
+
+// OverloadedError is the server's backpressure signal, carried in a
+// statusOverloaded frame: the enclave it throttled and how long the
+// client should wait before trying again. errors.Is(err, ErrOverloaded)
+// is true for every OverloadedError, including after wrapping by the
+// retry and failover layers.
+type OverloadedError struct {
+	RetryAfter time.Duration // server's hint; zero means "use your own backoff"
+	Msg        string        // server's reason ("attest rate limit for enclave ...")
+}
+
+func (e *OverloadedError) Error() string {
+	s := "elide: server overloaded"
+	if e.Msg != "" {
+		s += ": " + e.Msg
+	}
+	if e.RetryAfter > 0 {
+		s += fmt.Sprintf(" (retry after %v)", e.RetryAfter)
+	}
+	return s
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
 
 // unavailableError wraps the last transient failure once the retry budget
 // is spent, matching ErrServerUnavailable.
@@ -111,6 +144,13 @@ func isTransient(err error) bool {
 		return false
 	}
 	if errors.Is(err, ErrRefused) || errors.Is(err, ErrNotAttested) || errors.Is(err, ErrFrameTooLarge) {
+		return false
+	}
+	// Overload is not transient in the reconnect sense: the server answered,
+	// and hammering it again immediately is exactly what it asked us not to
+	// do. The retry and failover layers special-case it (honoring the
+	// retry-after hint, trying another replica) before consulting this.
+	if errors.Is(err, ErrOverloaded) {
 		return false
 	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {

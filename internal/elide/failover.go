@@ -3,6 +3,7 @@ package elide
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -57,54 +58,16 @@ func (e *Endpoint) Health() float64 {
 	return e.health
 }
 
-// poolOptions collects the failover policy knobs.
+// poolOptions collects the failover policy knobs. The With* constructors
+// live in options.go alongside the other families.
 type poolOptions struct {
 	failThreshold int           // consecutive failures that trip the breaker
 	cooldown      time.Duration // open → half-open delay
 	alpha         float64       // EWMA smoothing factor
 	metrics       *obs.Registry
 	clientOpts    []ClientOption
-	newClient     func(addr string) Client
+	newClient     func(addr string) SecretChannel
 	now           func() time.Time
-}
-
-// FailoverOption configures a FailoverClient and its endpoint pool.
-type FailoverOption func(*poolOptions)
-
-// WithBreakerThreshold sets how many consecutive failures trip an
-// endpoint's breaker open (default 3).
-func WithBreakerThreshold(n int) FailoverOption {
-	return func(o *poolOptions) { o.failThreshold = n }
-}
-
-// WithBreakerCooldown sets how long a tripped breaker stays open before a
-// half-open probe is allowed (default 5s).
-func WithBreakerCooldown(d time.Duration) FailoverOption {
-	return func(o *poolOptions) { o.cooldown = d }
-}
-
-// WithHealthAlpha sets the EWMA smoothing factor in (0, 1] (default 0.3;
-// larger = faster reaction to recent outcomes).
-func WithHealthAlpha(a float64) FailoverOption {
-	return func(o *poolOptions) { o.alpha = a }
-}
-
-// WithFailoverMetrics wires the pool into an obs registry: per-endpoint
-// outcome counters plus pool-level failover/breaker counters.
-func WithFailoverMetrics(r *obs.Registry) FailoverOption {
-	return func(o *poolOptions) { o.metrics = r }
-}
-
-// WithEndpointClientOptions passes options to every per-endpoint
-// TCPClient the pool builds (timeouts, retry budget, dialer, ...).
-func WithEndpointClientOptions(opts ...ClientOption) FailoverOption {
-	return func(o *poolOptions) { o.clientOpts = opts }
-}
-
-// WithClientFactory replaces the per-endpoint client constructor (tests
-// use this to wire in-process or fault-injecting clients).
-func WithClientFactory(f func(addr string) Client) FailoverOption {
-	return func(o *poolOptions) { o.newClient = f }
 }
 
 // EndpointPool tracks a replicated authentication-server set: which
@@ -119,16 +82,16 @@ type EndpointPool struct {
 // NewEndpointPool builds a pool over the given addresses.
 func NewEndpointPool(addrs []string, opts ...FailoverOption) *EndpointPool {
 	o := poolOptions{
-		failThreshold: 3,
-		cooldown:      5 * time.Second,
-		alpha:         0.3,
+		failThreshold: DefaultBreakerThreshold,
+		cooldown:      DefaultBreakerCooldown,
+		alpha:         DefaultHealthAlpha,
 		now:           time.Now,
 	}
 	for _, fn := range opts {
 		fn(&o)
 	}
 	if o.newClient == nil {
-		o.newClient = func(addr string) Client {
+		o.newClient = func(addr string) SecretChannel {
 			return NewTCPClient(addr, o.clientOpts...)
 		}
 	}
@@ -247,8 +210,8 @@ func (p *EndpointPool) record(e *Endpoint, ok bool, dur time.Duration) {
 // count bumps a pool metric (nil-registry safe).
 func (p *EndpointPool) count(name string) { p.opt.metrics.Counter(name).Inc() }
 
-// FailoverClient exposes the Client surface over an EndpointPool of
-// replicated authentication servers. Attest tries endpoints in health
+// FailoverClient exposes the SecretChannel surface over an EndpointPool
+// of replicated authentication servers. Attest tries endpoints in health
 // order until one accepts; Request runs on the endpoint that attested
 // and, when that endpoint dies mid-protocol, re-attests to a replica —
 // sessions are per-server, so the replayed handshake either resumes the
@@ -263,7 +226,7 @@ type FailoverClient struct {
 	pool *EndpointPool
 
 	mu        sync.Mutex
-	clients   map[string]Client // per-endpoint, lazily built, reused
+	clients   map[string]SecretChannel // per-endpoint, lazily built, reused
 	cur       *Endpoint
 	handshake *attestMsg // last successful handshake, replayed on switches
 	serverPub []byte     // the public key the enclave's channel key is bound to
@@ -277,7 +240,7 @@ func NewFailoverClient(addrs []string, opts ...FailoverOption) (*FailoverClient,
 	}
 	return &FailoverClient{
 		pool:    NewEndpointPool(addrs, opts...),
-		clients: make(map[string]Client),
+		clients: make(map[string]SecretChannel),
 	}, nil
 }
 
@@ -287,29 +250,27 @@ func NewFailoverClient(addrs []string, opts ...FailoverOption) (*FailoverClient,
 // client's connection is instantly suspect for every other client, and
 // breaker state reflects the fleet's view rather than one session's.
 func NewFailoverClientFromPool(pool *EndpointPool) *FailoverClient {
-	return &FailoverClient{pool: pool, clients: make(map[string]Client)}
+	return &FailoverClient{pool: pool, clients: make(map[string]SecretChannel)}
 }
 
 // Pool returns the underlying endpoint pool (for diagnostics and tests).
 func (fc *FailoverClient) Pool() *EndpointPool { return fc.pool }
 
-// Close closes every per-endpoint client that implements io.Closer.
+// Close implements SecretChannel: it closes every per-endpoint channel.
 func (fc *FailoverClient) Close() error {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	var first error
 	for _, c := range fc.clients {
-		if cl, ok := c.(interface{ Close() error }); ok {
-			if err := cl.Close(); err != nil && first == nil {
-				first = err
-			}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
 	return first
 }
 
-// clientFor returns (building if needed) the client for an endpoint.
-func (fc *FailoverClient) clientFor(e *Endpoint) Client {
+// clientFor returns (building if needed) the channel for an endpoint.
+func (fc *FailoverClient) clientFor(e *Endpoint) SecretChannel {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	c, ok := fc.clients[e.Addr]
@@ -358,6 +319,15 @@ func (fc *FailoverClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []
 		}
 		esp.SetError(err)
 		esp.End()
+		if errors.Is(err, ErrOverloaded) {
+			// The endpoint is alive but shedding this enclave's attests:
+			// healthy for breaker purposes, and a replica may have quota
+			// to spare — keep walking the pool.
+			fc.pool.record(e, true, time.Since(start))
+			fc.pool.count("failover.overloaded")
+			last = err
+			continue
+		}
 		if !isTransient(err) {
 			// The endpoint is alive and answered: healthy for breaker
 			// purposes, but its answer is final.
@@ -366,6 +336,12 @@ func (fc *FailoverClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []
 		}
 		fc.pool.record(e, false, time.Since(start))
 		last = err
+	}
+	if errors.Is(last, ErrOverloaded) {
+		// Every admitted replica shed the attest: surface the typed
+		// overload (with its retry-after hint), not unavailability — the
+		// fleet is up, it just wants us later.
+		return nil, last
 	}
 	fc.pool.count("failover.exhausted")
 	return nil, &unavailableError{attempts: len(tried), last: last}
@@ -420,6 +396,13 @@ func (fc *FailoverClient) Request(ctx context.Context, enc []byte) ([]byte, erro
 		if aerr != nil {
 			esp.SetError(aerr)
 			esp.End()
+			if errors.Is(aerr, ErrOverloaded) {
+				// Alive but shedding: healthy endpoint, try the next one.
+				fc.pool.record(e, true, time.Since(astart))
+				fc.pool.count("failover.overloaded")
+				last = aerr
+				continue
+			}
 			if !isTransient(aerr) {
 				fc.pool.record(e, true, time.Since(astart))
 				return nil, aerr
@@ -461,6 +444,9 @@ func (fc *FailoverClient) Request(ctx context.Context, enc []byte) ([]byte, erro
 		}
 		fc.pool.record(e, false, time.Since(astart))
 		last = rerr
+	}
+	if errors.Is(last, ErrOverloaded) {
+		return nil, last
 	}
 	fc.pool.count("failover.exhausted")
 	return nil, &unavailableError{attempts: len(tried), last: last}

@@ -46,6 +46,8 @@ func (f *fakeEndpoint) Request(_ context.Context, _ []byte) ([]byte, error) {
 	return []byte("ok"), nil
 }
 
+func (f *fakeEndpoint) Close() error { return nil }
+
 func (f *fakeEndpoint) setDown(d bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -67,7 +69,7 @@ func newFakePool(t *testing.T, eps []*fakeEndpoint, extra ...FailoverOption) (*F
 		WithFailoverMetrics(metrics),
 		WithBreakerThreshold(2),
 		WithBreakerCooldown(20 * time.Millisecond),
-		WithClientFactory(func(addr string) Client { return byAddr[addr] }),
+		WithClientFactory(func(addr string) SecretChannel { return byAddr[addr] }),
 	}, extra...)
 	fc, err := NewFailoverClient(addrs, opts...)
 	if err != nil {
@@ -172,7 +174,7 @@ func TestFailoverAttestRefusalTerminal(t *testing.T) {
 	}
 	replica := &fakeEndpoint{pub: []byte("pub1")}
 	fc, err := NewFailoverClient([]string{"r", "ok"},
-		WithClientFactory(func(addr string) Client {
+		WithClientFactory(func(addr string) SecretChannel {
 			if addr == "r" {
 				return refuser
 			}
@@ -199,6 +201,8 @@ type clientFunc struct {
 	attest  func() ([]byte, error)
 	request func() ([]byte, error)
 }
+
+func (c clientFunc) Close() error { return nil }
 
 func (c clientFunc) Attest(context.Context, *sgx.Quote, []byte) ([]byte, error) {
 	return c.attest()
@@ -316,14 +320,14 @@ func (ks *killableServer) kill() {
 // the first channel request — the exact window between Attest and
 // REQUEST_META that ad-hoc timing cannot hit deterministically.
 type killOnFirstRequest struct {
-	Client
+	SecretChannel
 	kill func()
 	once sync.Once
 }
 
 func (k *killOnFirstRequest) Request(ctx context.Context, enc []byte) ([]byte, error) {
 	k.once.Do(k.kill)
-	return k.Client.Request(ctx, enc)
+	return k.SecretChannel.Request(ctx, enc)
 }
 
 // TestReplicaTakeoverMidProtocol is the end-to-end survivability scenario:
@@ -345,10 +349,10 @@ func TestReplicaTakeoverMidProtocol(t *testing.T) {
 	fc, err := NewFailoverClient([]string{srv0.addr, srv1.addr},
 		WithFailoverMetrics(metrics),
 		WithBreakerCooldown(50*time.Millisecond),
-		WithClientFactory(func(addr string) Client {
+		WithClientFactory(func(addr string) SecretChannel {
 			c := NewTCPClient(addr, fastRetry(1)...)
 			if addr == srv0.addr {
-				return &killOnFirstRequest{Client: c, kill: srv0.kill}
+				return &killOnFirstRequest{SecretChannel: c, kill: srv0.kill}
 			}
 			return c
 		}),

@@ -77,6 +77,8 @@ func (garbageClient) Request(_ context.Context, enc []byte) ([]byte, error) {
 	return []byte("this is definitely not AES-GCM framed data"), nil
 }
 
+func (garbageClient) Close() error { return nil }
+
 // TestSealedFileCorruptionFallsBack: a tampered sealed file must fail its
 // MAC and fall back to the server path.
 func TestSealedFileCorruption(t *testing.T) {

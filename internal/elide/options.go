@@ -1,0 +1,230 @@
+package elide
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"sgxelide/internal/obs"
+)
+
+// This file is the single home of the package's functional options: the
+// three families (ClientOption, ServerOption, FailoverOption) share their
+// defaults and naming conventions here instead of drifting apart in three
+// files. Conventions: With*Timeout for deadlines, WithRetry* for retry
+// policy, With*Metrics / With*Tracer for observability wiring. Renamed
+// options keep thin deprecated aliases so existing callers compile.
+
+// Shared defaults of the transport and server policies. Exported so
+// operators tuning one knob can express the others relative to the
+// defaults instead of restating magic numbers.
+const (
+	// DefaultDialTimeout bounds one TCP connection attempt.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultRequestTimeout bounds one attest/request round trip.
+	DefaultRequestTimeout = 30 * time.Second
+	// DefaultRetryBudget is how many times a transient failure is retried
+	// after the first attempt.
+	DefaultRetryBudget = 3
+	// DefaultBackoffBase is the base of the jittered exponential backoff
+	// between retries.
+	DefaultBackoffBase = 50 * time.Millisecond
+	// DefaultBackoffCap clamps the exponential backoff.
+	DefaultBackoffCap = 2 * time.Second
+	// DefaultMaxSessions caps concurrent TCP sessions on the server.
+	DefaultMaxSessions = 256
+	// DefaultIOTimeout is the server's per-connection read/write deadline.
+	DefaultIOTimeout = 30 * time.Second
+	// DefaultDrainTimeout bounds the server's graceful-shutdown drain.
+	DefaultDrainTimeout = 10 * time.Second
+	// DefaultResumeCacheSize caps the server's session-resumption cache.
+	DefaultResumeCacheSize = 1024
+	// DefaultBreakerThreshold is how many consecutive failures trip an
+	// endpoint's circuit breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is the open → half-open delay.
+	DefaultBreakerCooldown = 5 * time.Second
+	// DefaultHealthAlpha is the endpoint health EWMA smoothing factor.
+	DefaultHealthAlpha = 0.3
+)
+
+// --- ClientOption (TCPClient) ---
+
+// ClientOption configures a TCPClient.
+type ClientOption func(*clientOptions)
+
+// WithDialTimeout bounds each connection attempt (default
+// DefaultDialTimeout).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.dialTimeout = d }
+}
+
+// WithRequestTimeout bounds each attest/request round trip, including the
+// reads and writes on the wire (default DefaultRequestTimeout).
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.requestTimeout = d }
+}
+
+// WithRetryBudget sets how many times a transient failure is retried after
+// the first attempt (default DefaultRetryBudget; 0 disables retries).
+func WithRetryBudget(n int) ClientOption {
+	return func(o *clientOptions) { o.maxRetries = n }
+}
+
+// WithMaxRetries sets the retry budget.
+//
+// Deprecated: use WithRetryBudget.
+func WithMaxRetries(n int) ClientOption { return WithRetryBudget(n) }
+
+// WithRetryBackoff sets the exponential backoff base and cap between
+// retries (default DefaultBackoffBase, DefaultBackoffCap). Each retry
+// sleeps a uniformly jittered duration in [base/2, base) * 2^attempt,
+// clamped to cap.
+func WithRetryBackoff(base, cap time.Duration) ClientOption {
+	return func(o *clientOptions) { o.backoffBase, o.backoffCap = base, cap }
+}
+
+// WithBackoff sets the retry backoff.
+//
+// Deprecated: use WithRetryBackoff.
+func WithBackoff(base, cap time.Duration) ClientOption { return WithRetryBackoff(base, cap) }
+
+// WithProtocolVersion sets the highest wire protocol version the client
+// offers in its attestation handshake (default ProtoLegacy).
+//
+// At ProtoV1 the client asks the server to bundle the encrypted meta and
+// data responses into the attestation reply, collapsing the restore's
+// three round trips into one flight, and pipelines the handshake replay
+// with the pending request on reconnects. Version negotiation is
+// backward compatible both ways: a legacy server ignores the offer and
+// the client falls back to per-request round trips; a legacy client
+// never offers, so a new server answers it exactly as before.
+func WithProtocolVersion(v uint8) ClientOption {
+	return func(o *clientOptions) { o.proto = v }
+}
+
+// WithClientMetrics wires the client into an obs registry.
+func WithClientMetrics(r *obs.Registry) ClientOption {
+	return func(o *clientOptions) { o.metrics = r }
+}
+
+// WithClientTracer wires the client into an obs tracer: each Attest or
+// Request becomes a span (with per-attempt children showing the retry
+// history). When the caller's context already carries a span — the
+// restore runtime passes its phase span down — the client parents to it
+// and the tracer option is unnecessary.
+func WithClientTracer(t *obs.Tracer) ClientOption {
+	return func(o *clientOptions) { o.tracer = t }
+}
+
+// WithDialer replaces the TCP dialer — tests use this to inject faulty
+// connections or in-memory pipes.
+func WithDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) ClientOption {
+	return func(o *clientOptions) { o.dial = dial }
+}
+
+// --- ServerOption (Server) ---
+
+// ServerOption configures a Server beyond its ServerConfig.
+type ServerOption func(*serverOptions)
+
+// WithMaxSessions caps concurrent TCP sessions; further accepts block until
+// a slot frees (default DefaultMaxSessions).
+func WithMaxSessions(n int) ServerOption {
+	return func(o *serverOptions) { o.maxSessions = n }
+}
+
+// WithIOTimeout sets the per-connection read/write deadline armed before
+// every wire interaction (default DefaultIOTimeout). A session idle longer
+// than this is dropped.
+func WithIOTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.ioTimeout = d }
+}
+
+// WithDrainTimeout bounds how long Serve waits for in-flight sessions
+// after its context is cancelled before force-closing their connections
+// (default DefaultDrainTimeout).
+func WithDrainTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.drain = d }
+}
+
+// WithResumeCacheSize caps the session-resumption cache (default
+// DefaultResumeCacheSize entries; 0 disables resumption).
+func WithResumeCacheSize(n int) ServerOption {
+	return func(o *serverOptions) { o.resumeCap = n }
+}
+
+// WithEnclaveRateLimit bounds fresh attestations per registered enclave
+// with a token bucket: rps tokens per second, holding at most burst
+// (default off; burst <= 0 defaults to one second's worth of rate). A client attesting past the bucket receives a typed
+// overload answer (ErrOverloaded) carrying a retry-after hint instead of
+// a refusal, so one noisy deployment's restore storm cannot starve the
+// other enclaves the store serves. Session resumptions are not charged —
+// a reconnecting client mid-protocol must not be pushed into a retry
+// loop by its own enclave's quota.
+func WithEnclaveRateLimit(rps float64, burst int) ServerOption {
+	return func(o *serverOptions) { o.attestRate, o.attestBurst = rps, burst }
+}
+
+// WithEnclaveInflightLimit caps concurrently served channel requests per
+// registered enclave (default off). Requests past the cap receive a typed
+// overload answer (ErrOverloaded); other enclaves' sessions are
+// unaffected. This bounds the serving work one enclave's fleet can pin,
+// not its connection count — WithMaxSessions bounds that globally.
+func WithEnclaveInflightLimit(n int) ServerOption {
+	return func(o *serverOptions) { o.maxInflight = n }
+}
+
+// WithServerMetrics wires the server into an obs registry.
+func WithServerMetrics(r *obs.Registry) ServerOption {
+	return func(o *serverOptions) { o.metrics = r }
+}
+
+// WithServerTracer wires the server into an obs tracer: each TCP session
+// becomes a trace (root span "session") with a child per protocol phase —
+// the server-side mirror of the client's restore pipeline.
+func WithServerTracer(t *obs.Tracer) ServerOption {
+	return func(o *serverOptions) { o.tracer = t }
+}
+
+// --- FailoverOption (FailoverClient / EndpointPool) ---
+
+// FailoverOption configures a FailoverClient and its endpoint pool.
+type FailoverOption func(*poolOptions)
+
+// WithBreakerThreshold sets how many consecutive failures trip an
+// endpoint's breaker open (default DefaultBreakerThreshold).
+func WithBreakerThreshold(n int) FailoverOption {
+	return func(o *poolOptions) { o.failThreshold = n }
+}
+
+// WithBreakerCooldown sets how long a tripped breaker stays open before a
+// half-open probe is allowed (default DefaultBreakerCooldown).
+func WithBreakerCooldown(d time.Duration) FailoverOption {
+	return func(o *poolOptions) { o.cooldown = d }
+}
+
+// WithHealthAlpha sets the EWMA smoothing factor in (0, 1] (default
+// DefaultHealthAlpha; larger = faster reaction to recent outcomes).
+func WithHealthAlpha(a float64) FailoverOption {
+	return func(o *poolOptions) { o.alpha = a }
+}
+
+// WithFailoverMetrics wires the pool into an obs registry: per-endpoint
+// outcome counters plus pool-level failover/breaker counters.
+func WithFailoverMetrics(r *obs.Registry) FailoverOption {
+	return func(o *poolOptions) { o.metrics = r }
+}
+
+// WithEndpointClientOptions passes options to every per-endpoint
+// TCPClient the pool builds (timeouts, retry budget, protocol version,
+// dialer, ...).
+func WithEndpointClientOptions(opts ...ClientOption) FailoverOption {
+	return func(o *poolOptions) { o.clientOpts = opts }
+}
+
+// WithClientFactory replaces the per-endpoint channel constructor (tests
+// use this to wire in-process or fault-injecting clients).
+func WithClientFactory(f func(addr string) SecretChannel) FailoverOption {
+	return func(o *poolOptions) { o.newClient = f }
+}

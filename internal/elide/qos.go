@@ -1,0 +1,99 @@
+package elide
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Per-enclave QoS: a token bucket over fresh attestations and a cap on
+// concurrently served channel requests, both keyed by the enclave
+// measurement. The point is isolation, not total throughput — one noisy
+// deployment's restore storm must not starve the other enclaves the
+// store serves. Shed work gets a typed overload answer (ErrOverloaded)
+// with a retry-after hint instead of a refusal, so clients back off
+// rather than give up.
+
+// qosState is one enclave measurement's throttle state.
+type qosState struct {
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// qosFor returns (lazily creating) the QoS state for a measurement.
+func (s *Server) qosFor(mr [32]byte) *qosState {
+	s.qosMu.Lock()
+	defer s.qosMu.Unlock()
+	q, ok := s.qos[mr]
+	if !ok {
+		q = &qosState{tokens: float64(s.opt.attestBurst), last: time.Now()}
+		s.qos[mr] = q
+	}
+	return q
+}
+
+// admitAttest takes one token from the enclave's attest bucket, returning
+// the overload answer (with the time until a token accrues) when the
+// bucket is dry. Nil when rate limiting is off.
+func (s *Server) admitAttest(e *SecretEntry) error {
+	if s.opt.attestRate <= 0 {
+		return nil
+	}
+	q := s.qosFor(e.MrEnclave)
+	q.mu.Lock()
+	now := time.Now()
+	q.tokens += now.Sub(q.last).Seconds() * s.opt.attestRate
+	q.last = now
+	if burst := float64(s.opt.attestBurst); q.tokens > burst {
+		q.tokens = burst
+	}
+	if q.tokens >= 1 {
+		q.tokens--
+		q.mu.Unlock()
+		return nil
+	}
+	wait := time.Duration((1 - q.tokens) / s.opt.attestRate * float64(time.Second))
+	q.mu.Unlock()
+	s.opt.metrics.Counter("server.overload.rate_limited").Inc()
+	s.opt.metrics.Counter("server.overload.rate_limited.mr_" + e.Label()).Inc()
+	return &OverloadedError{
+		RetryAfter: wait,
+		Msg:        fmt.Sprintf("attest rate limit for enclave %s", e.Label()),
+	}
+}
+
+// admitInflight reserves an in-flight serving slot for the enclave,
+// returning a release func, or the overload answer when the enclave is at
+// its cap. The release func is always safe to call (a no-op when limiting
+// is off).
+func (s *Server) admitInflight(e *SecretEntry) (func(), error) {
+	if s.opt.maxInflight <= 0 {
+		return func() {}, nil
+	}
+	q := s.qosFor(e.MrEnclave)
+	q.mu.Lock()
+	if q.inflight >= s.opt.maxInflight {
+		q.mu.Unlock()
+		s.opt.metrics.Counter("server.overload.inflight").Inc()
+		s.opt.metrics.Counter("server.overload.inflight.mr_" + e.Label()).Inc()
+		return nil, &OverloadedError{
+			// No principled wait estimate exists for a concurrency cap;
+			// one IO timeout's worth of spread keeps retries from
+			// synchronizing.
+			RetryAfter: s.opt.ioTimeout / 10,
+			Msg:        fmt.Sprintf("in-flight limit for enclave %s", e.Label()),
+		}
+	}
+	q.inflight++
+	s.opt.metrics.Gauge("server.inflight.mr_" + e.Label()).Inc()
+	q.mu.Unlock()
+	release := func() {
+		q.mu.Lock()
+		q.inflight--
+		q.mu.Unlock()
+		s.opt.metrics.Gauge("server.inflight.mr_" + e.Label()).Dec()
+	}
+	return release, nil
+}

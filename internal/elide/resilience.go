@@ -171,6 +171,12 @@ func restoreRetryable(code uint64, events []error) bool {
 		if errors.Is(e, ErrSessionLost) || errors.Is(e, ErrServerUnavailable) {
 			retryable = true
 		}
+		// An overload answer is explicitly an invitation to retry: the
+		// server shed this run under backpressure, and the between-attempt
+		// backoff is exactly the "come back later" it asked for.
+		if errors.Is(e, ErrOverloaded) {
+			retryable = true
+		}
 	}
 	return retryable
 }

@@ -13,7 +13,7 @@ import (
 // transient error (the protocol is strictly ordered, so request number
 // names the phase: 1 = REQUEST_META, 2 = REQUEST_DATA).
 type flakyDataClient struct {
-	Client
+	SecretChannel
 	failNth  int
 	requests int
 }
@@ -23,7 +23,7 @@ func (f *flakyDataClient) Request(ctx context.Context, enc []byte) ([]byte, erro
 	if f.requests == f.failNth {
 		return nil, &unavailableError{attempts: 1, last: errors.New("connection reset")}
 	}
-	return f.Client.Request(ctx, enc)
+	return f.SecretChannel.Request(ctx, enc)
 }
 
 // TestHybridDegradesToLocalFile: in a hybrid deployment, a failed
@@ -38,7 +38,7 @@ func TestHybridDegradesToLocalFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client := &flakyDataClient{Client: &DirectClient{Session: srv.NewSession()}, failNth: 2}
+	client := &flakyDataClient{SecretChannel: &DirectClient{Session: srv.NewSession()}, failNth: 2}
 	encl, rt, err := p.Launch(h, client, p.LocalFiles())
 	if err != nil {
 		t.Fatal(err)

@@ -26,7 +26,7 @@ const errRingCap = 16
 // trusted restorer makes (server requests, file I/O, QE target lookup).
 // Installing it and calling elide_restore is all a developer adds (§3.4).
 type Runtime struct {
-	Client Client
+	Client SecretChannel
 	Files  *FileStore
 
 	// Ctx, when set (LaunchContext sets it), is the context the runtime

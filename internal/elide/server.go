@@ -1,11 +1,13 @@
 package elide
 
 import (
+	"bufio"
 	"container/list"
 	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"crypto/subtle"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -40,12 +42,16 @@ type ServerConfig struct {
 	SecretPlain []byte
 }
 
-// serverOptions collects the functional options of NewServer.
+// serverOptions collects the functional options of NewServer. The With*
+// constructors live in options.go alongside the other families.
 type serverOptions struct {
 	maxSessions int
 	ioTimeout   time.Duration
 	drain       time.Duration
 	resumeCap   int
+	attestRate  float64 // per-enclave attest tokens per second (0 = off)
+	attestBurst int
+	maxInflight int // per-enclave concurrent channel requests (0 = off)
 	metrics     *obs.Registry
 	tracer      *obs.Tracer
 
@@ -53,47 +59,6 @@ type serverOptions struct {
 	// decoded handshake before attestation (robustness tests use it to
 	// simulate a session that panics).
 	onHandshake func(*attestMsg)
-}
-
-// ServerOption configures a Server beyond its ServerConfig.
-type ServerOption func(*serverOptions)
-
-// WithMaxSessions caps concurrent TCP sessions; further accepts block until
-// a slot frees (default 256).
-func WithMaxSessions(n int) ServerOption {
-	return func(o *serverOptions) { o.maxSessions = n }
-}
-
-// WithIOTimeout sets the per-connection read/write deadline armed before
-// every wire interaction (default 30s). A session idle longer than this is
-// dropped.
-func WithIOTimeout(d time.Duration) ServerOption {
-	return func(o *serverOptions) { o.ioTimeout = d }
-}
-
-// WithDrainTimeout bounds how long Serve waits for in-flight sessions
-// after its context is cancelled before force-closing their connections
-// (default 10s).
-func WithDrainTimeout(d time.Duration) ServerOption {
-	return func(o *serverOptions) { o.drain = d }
-}
-
-// WithResumeCacheSize caps the session-resumption cache (default 1024
-// entries; 0 disables resumption).
-func WithResumeCacheSize(n int) ServerOption {
-	return func(o *serverOptions) { o.resumeCap = n }
-}
-
-// WithServerMetrics wires the server into an obs registry.
-func WithServerMetrics(r *obs.Registry) ServerOption {
-	return func(o *serverOptions) { o.metrics = r }
-}
-
-// WithServerTracer wires the server into an obs tracer: each TCP session
-// becomes a trace (root span "session") with a child per protocol phase —
-// the server-side mirror of the client's restore pipeline.
-func WithServerTracer(t *obs.Tracer) ServerOption {
-	return func(o *serverOptions) { o.tracer = t }
 }
 
 // Server is the SgxElide authentication server: it verifies a quote,
@@ -116,6 +81,11 @@ type Server struct {
 	resumeMu   sync.Mutex
 	resume     map[[32]byte]*list.Element // value: *resumeEntry
 	resumeList *list.List                 // front = least recently used
+
+	// Per-enclave QoS state (token bucket + in-flight count), lazily
+	// created per measurement when rate or in-flight limits are set.
+	qosMu sync.Mutex
+	qos   map[[32]byte]*qosState
 }
 
 // resumeEntry is one cached attested channel.
@@ -146,13 +116,18 @@ func NewMultiServer(caPub *ecdsa.PublicKey, store *SecretStore, opts ...ServerOp
 		return nil, fmt.Errorf("elide: server needs a secret store")
 	}
 	o := serverOptions{
-		maxSessions: 256,
-		ioTimeout:   30 * time.Second,
-		drain:       10 * time.Second,
-		resumeCap:   1024,
+		maxSessions: DefaultMaxSessions,
+		ioTimeout:   DefaultIOTimeout,
+		drain:       DefaultDrainTimeout,
+		resumeCap:   DefaultResumeCacheSize,
 	}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.attestRate > 0 && o.attestBurst <= 0 {
+		// A bucket that can never hold a whole token admits nothing; give
+		// an unset burst one second's worth of rate (at least 1).
+		o.attestBurst = int(o.attestRate + 1)
 	}
 	return &Server{
 		caPub:      caPub,
@@ -160,6 +135,7 @@ func NewMultiServer(caPub *ecdsa.PublicKey, store *SecretStore, opts ...ServerOp
 		opt:        o,
 		resume:     make(map[[32]byte]*list.Element),
 		resumeList: list.New(),
+		qos:        make(map[[32]byte]*qosState),
 	}, nil
 }
 
@@ -230,6 +206,13 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 		span.SetBool("resumed", true)
 		return pub, nil
 	}
+	// Rate limiting charges only fresh attestations: a resumed handshake is
+	// a reconnecting client mid-protocol, and throttling it would turn one
+	// network blip into a retry storm.
+	if oerr := s.admitAttest(entry); oerr != nil {
+		span.SetBool("overloaded", true)
+		return nil, oerr
+	}
 	priv, pub, err := sdk.GenerateECDHKeypair()
 	if err != nil {
 		return nil, err
@@ -292,12 +275,19 @@ func (s *Server) resumeLen() int {
 }
 
 // Request answers one encrypted request on the attested channel, serving
-// only the secret entry resolved by this session's attestation.
+// only the secret entry resolved by this session's attestation. Requests
+// past the enclave's in-flight cap (WithEnclaveInflightLimit) are shed
+// with a typed overload answer instead of being served.
 func (ss *Session) Request(enc []byte) (out []byte, err error) {
 	s := ss.srv
 	if ss.channelKey == nil {
 		return nil, ErrNotAttested
 	}
+	release, oerr := s.admitInflight(ss.entry)
+	if oerr != nil {
+		return nil, oerr
+	}
+	defer release()
 	defer s.opt.metrics.Observe("server.request_ns", time.Now())
 	s.opt.metrics.Counter("server.requests").Inc()
 	span := ss.span.Child("request")
@@ -319,19 +309,15 @@ func (ss *Session) Request(enc []byte) (out []byte, err error) {
 	switch req[0] {
 	case RequestMeta:
 		span.SetStr("kind", "meta")
-		resp = ss.entry.Meta.Marshal()
-		ss.entry.metaServed.Add(1)
-		s.opt.metrics.Counter("server.meta_served.mr_" + ss.entry.Label()).Inc()
+		resp = ss.serveMeta()
 	case RequestData:
 		span.SetStr("kind", "data")
-		if ss.entry.SecretPlain == nil {
+		resp, err = ss.serveData()
+		if err != nil {
 			s.opt.metrics.Counter("server.request_errors").Inc()
-			return nil, fmt.Errorf("elide server: no remote data (local-data deployment)")
+			return nil, err
 		}
-		resp = ss.entry.SecretPlain
 		span.SetInt("bytes", int64(len(resp)))
-		ss.entry.dataServed.Add(1)
-		s.opt.metrics.Counter("server.data_served.mr_" + ss.entry.Label()).Inc()
 	default:
 		s.opt.metrics.Counter("server.request_errors").Inc()
 		return nil, fmt.Errorf("elide server: unknown request %d", req[0])
@@ -339,12 +325,112 @@ func (ss *Session) Request(enc []byte) (out []byte, err error) {
 	return sealEncrypt(ss.channelKey, resp)
 }
 
+// serveMeta produces the REQUEST_META payload and accounts the release.
+func (ss *Session) serveMeta() []byte {
+	ss.entry.metaServed.Add(1)
+	ss.srv.opt.metrics.Counter("server.meta_served.mr_" + ss.entry.Label()).Inc()
+	return ss.entry.Meta.Marshal()
+}
+
+// serveData produces the REQUEST_DATA payload and accounts the release.
+func (ss *Session) serveData() ([]byte, error) {
+	if ss.entry.SecretPlain == nil {
+		return nil, fmt.Errorf("elide server: no remote data (local-data deployment)")
+	}
+	ss.entry.dataServed.Add(1)
+	ss.srv.opt.metrics.Counter("server.data_served.mr_" + ss.entry.Label()).Inc()
+	return ss.entry.SecretPlain, nil
+}
+
+// bundleReply assembles a ProtoV1 attestation reply: the channel public
+// key followed by the encrypted channel responses the client asked for
+// (see parseAttestReply for the layout). The responses are the exact
+// bytes a sequential REQUEST_META / REQUEST_DATA exchange would have
+// produced — GCM framing on this channel does not depend on the request's
+// IV, so precomputing them at attest time is sound, and the enclave
+// cannot tell the difference. Serving work is charged against the
+// enclave's in-flight cap like any channel request.
+func (ss *Session) bundleReply(pub []byte, want byte) (out []byte, err error) {
+	s := ss.srv
+	release, oerr := s.admitInflight(ss.entry)
+	if oerr != nil {
+		return nil, oerr
+	}
+	defer release()
+	defer s.opt.metrics.Observe("server.bundle_ns", time.Now())
+	span := ss.span.Child("bundle")
+	defer func() {
+		span.SetError(err)
+		span.End()
+	}()
+	span.SetStr("mrenclave", ss.entry.Label())
+
+	var encMeta, encData []byte
+	if want&bundleMeta != 0 {
+		msp := span.Child("request_meta")
+		msp.SetStr("source", "bundle")
+		encMeta, err = sealEncrypt(ss.channelKey, ss.serveMeta())
+		msp.SetError(err)
+		msp.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Data is bundled only when this deployment serves remote data; a
+	// local-data deployment's client falls back to its encrypted file, so
+	// an empty slot is the correct answer, not an error.
+	if want&bundleData != 0 && ss.entry.SecretPlain != nil {
+		dsp := span.Child("request_data")
+		dsp.SetStr("source", "bundle")
+		var plain []byte
+		plain, err = ss.serveData()
+		if err == nil {
+			dsp.SetInt("bytes", int64(len(plain)))
+			encData, err = sealEncrypt(ss.channelKey, plain)
+		}
+		dsp.SetError(err)
+		dsp.End()
+		if err != nil {
+			return nil, err
+		}
+	}
+	ss.entry.bundles.Add(1)
+	s.opt.metrics.Counter("server.bundles_served").Inc()
+	s.opt.metrics.Counter("server.bundles_served.mr_" + ss.entry.Label()).Inc()
+
+	out = make([]byte, 0, 1+32+8+len(encMeta)+len(encData))
+	out = append(out, ProtoV1)
+	out = append(out, pub...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(encMeta)))
+	out = append(out, encMeta...)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(encData)))
+	out = append(out, encData...)
+	return out, nil
+}
+
 // --- transport ---
 
-// Client is how the untrusted runtime reaches the authentication server:
-// either in-process (DirectClient) or over TCP (TCPClient / Serve). Both
-// calls respect context cancellation; the TCP implementation also applies
-// its configured timeouts and retry policy.
+// SecretChannel is how the untrusted runtime reaches the authentication
+// server: either in-process (DirectClient) or over the wire (TCPClient,
+// FailoverClient). It is the one interface the restore pipeline, the
+// failover layer, and the bench harnesses program against, so pipelined
+// (ProtoV1) and legacy clients are drop-in interchangeable.
+//
+// Attest runs the attestation handshake and returns the server's channel
+// public key; Request performs one encrypted exchange on the attested
+// channel; Close releases any transport resources (a no-op for
+// in-process channels). Both calls respect context cancellation; wire
+// implementations also apply their configured timeouts and retry policy.
+type SecretChannel interface {
+	Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error)
+	Request(ctx context.Context, enc []byte) ([]byte, error)
+	Close() error
+}
+
+// Client is the pre-SecretChannel client surface.
+//
+// Deprecated: use SecretChannel. Kept so older integrations that only
+// implement Attest/Request still typecheck where a bare client is enough.
 type Client interface {
 	Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error)
 	Request(ctx context.Context, enc []byte) ([]byte, error)
@@ -357,7 +443,7 @@ type DirectClient struct {
 	Session *Session
 }
 
-// Attest implements Client.
+// Attest implements SecretChannel.
 func (c *DirectClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -365,7 +451,7 @@ func (c *DirectClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byt
 	return c.Session.Attest(q, clientPub)
 }
 
-// Request implements Client.
+// Request implements SecretChannel.
 func (c *DirectClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -373,10 +459,18 @@ func (c *DirectClient) Request(ctx context.Context, enc []byte) ([]byte, error) 
 	return c.Session.Request(enc)
 }
 
-// attestMsg is the wire form of the attestation handshake.
+// Close implements SecretChannel; an in-process channel holds nothing.
+func (c *DirectClient) Close() error { return nil }
+
+// attestMsg is the wire form of the attestation handshake. Proto and
+// Bundle are the ProtoV1 negotiation fields; gob drops fields the peer's
+// struct lacks, so a legacy server simply never sees the offer and a
+// legacy client's handshake decodes here with both zero.
 type attestMsg struct {
 	Quote     *sgx.Quote
 	ClientPub []byte
+	Proto     uint8 // highest wire version the client speaks (0 = legacy)
+	Bundle    byte  // bundleMeta|bundleData: responses to pipeline into the reply
 }
 
 // Serve accepts connections until ctx is cancelled or the listener fails.
@@ -462,9 +556,13 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 	}
 }
 
-// handleConn speaks the TCP protocol for one session: handshake, then a
-// request loop. Errors are reported to the peer as status frames; an
-// attestation failure closes the session, a bad request does not.
+// handleConn speaks the TCP protocol for one session: handshake (with a
+// bundled reply when a ProtoV1 client asked for one), then a request
+// loop. Errors are reported to the peer as status frames; an attestation
+// failure closes the session, a bad request or an overload answer does
+// not. All reads go through one buffered reader: a pipelined client may
+// put its next frame on the wire behind the handshake, and the gob
+// decoder's internal buffering must not swallow it.
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 	ss := s.NewSession()
 	ss.span = s.opt.tracer.Start("session")
@@ -473,9 +571,10 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 		ss.span.SetError(err)
 		ss.span.End()
 	}()
+	br := bufio.NewReader(conn)
 	s.armDeadline(conn)
 	var msg attestMsg
-	if err := gob.NewDecoder(conn).Decode(&msg); err != nil {
+	if err := gob.NewDecoder(br).Decode(&msg); err != nil {
 		return err
 	}
 	if s.opt.onHandshake != nil {
@@ -484,28 +583,39 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 	pub, err := ss.Attest(msg.Quote, msg.ClientPub)
 	if err != nil {
 		s.armDeadline(conn)
-		writeErrorFrame(conn, err.Error())
+		writeServerError(conn, err)
 		return err
+	}
+	reply := pub
+	if msg.Proto >= ProtoV1 && msg.Bundle != 0 {
+		reply, err = ss.bundleReply(pub, msg.Bundle)
+		if err != nil {
+			s.armDeadline(conn)
+			writeServerError(conn, err)
+			return err
+		}
 	}
 	s.armDeadline(conn)
-	if err := writeResponse(conn, pub); err != nil {
+	if err := writeResponse(conn, reply); err != nil {
 		return err
 	}
+	var scratch []byte // request-frame buffer, reused across the loop
 	for {
 		s.armDeadline(conn)
-		req, err := readFrame(conn)
+		req, err := readFrameInto(br, scratch)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
+		scratch = req
 		resp, err := ss.Request(req)
 		s.armDeadline(conn)
 		if err != nil {
-			// A refusal is an answer, not a transport failure: report it
-			// and keep the session open for further requests.
-			if werr := writeErrorFrame(conn, err.Error()); werr != nil {
+			// A refusal (or overload answer) is an answer, not a transport
+			// failure: report it and keep the session open.
+			if werr := writeServerError(conn, err); werr != nil {
 				return werr
 			}
 			continue
@@ -518,6 +628,17 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 		// closed listener means it could not reconnect. Stragglers are
 		// bounded by Serve's drain window, which force-closes connections.
 	}
+}
+
+// writeServerError reports err to the peer with the right frame type: an
+// overload answer carries its retry-after hint, anything else is a plain
+// refusal.
+func writeServerError(w io.Writer, err error) error {
+	var oe *OverloadedError
+	if errors.As(err, &oe) {
+		return writeOverloadFrame(w, oe.RetryAfter, oe.Msg)
+	}
+	return writeErrorFrame(w, err.Error())
 }
 
 // armDeadline (re)sets the per-connection I/O deadline.

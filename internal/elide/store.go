@@ -32,6 +32,7 @@ type SecretEntry struct {
 	attests    atomic.Uint64
 	metaServed atomic.Uint64
 	dataServed atomic.Uint64
+	bundles    atomic.Uint64 // ProtoV1 bundled attest replies served
 }
 
 // Label returns the short hex measurement prefix identifying this entry in
@@ -43,6 +44,7 @@ type EntryStats struct {
 	Attests    uint64 `json:"attests"`
 	MetaServed uint64 `json:"meta_served"`
 	DataServed uint64 `json:"data_served"`
+	Bundles    uint64 `json:"bundles"` // pipelined (single-flight) restores served
 }
 
 // Stats snapshots the entry's counters.
@@ -51,6 +53,7 @@ func (e *SecretEntry) Stats() EntryStats {
 		Attests:    e.attests.Load(),
 		MetaServed: e.metaServed.Load(),
 		DataServed: e.dataServed.Load(),
+		Bundles:    e.bundles.Load(),
 	}
 }
 
@@ -136,6 +139,7 @@ func (st *SecretStore) register(mr [32]byte, meta *SecretMeta, plain []byte, nam
 		e.attests.Store(old.attests.Load())
 		e.metaServed.Store(old.metaServed.Load())
 		e.dataServed.Store(old.dataServed.Load())
+		e.bundles.Store(old.bundles.Load())
 	}
 	sh.entries[mr] = e
 	sh.mu.Unlock()

@@ -148,6 +148,8 @@ func (downClient) Request(context.Context, []byte) ([]byte, error) {
 	return nil, errors.New("server unreachable")
 }
 
+func (downClient) Close() error { return nil }
+
 // TestRestoreTraceFailureNoRestoreSpan: a failed restore must not
 // synthesize a phantom "restore" phase — the memcpy never ran.
 func TestRestoreTraceFailureNoRestoreSpan(t *testing.T) {

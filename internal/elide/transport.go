@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand/v2"
@@ -20,29 +21,125 @@ import (
 // allocate unboundedly or stream garbage.
 const MaxFrame = 64 << 20
 
+// Wire protocol versions, offered by the client in its attestation
+// handshake (attestMsg.Proto) and confirmed by the shape of the server's
+// reply. Negotiation degrades to ProtoLegacy in both directions: a legacy
+// server ignores the unknown handshake fields and answers with a bare
+// 32-byte key, and a legacy client never offers, so a new server answers
+// it exactly as before.
+const (
+	// ProtoLegacy: one flight per protocol step (attest, then each
+	// channel request) — the wire behavior of every release so far.
+	ProtoLegacy uint8 = 0
+	// ProtoV1: the attest reply bundles the encrypted channel responses
+	// the client asked for (attestMsg.Bundle), collapsing a restore into
+	// one network flight; reconnects pipeline the handshake replay with
+	// the pending request into one flight.
+	ProtoV1 uint8 = 1
+)
+
+// Bundle request bits (attestMsg.Bundle): which encrypted channel
+// responses a ProtoV1 client wants pipelined into the attest reply, in
+// protocol order.
+const (
+	bundleMeta byte = 1 << 0 // REQUEST_META reply
+	bundleData byte = 1 << 1 // REQUEST_DATA reply
+)
+
 // Response frames carry a one-byte status prefix so a refusal is a
 // first-class protocol event, distinct from any payload (including a
 // legitimate zero-length response).
 const (
-	statusOK  = 0 // rest of the frame is the response payload
-	statusErr = 1 // rest of the frame is a UTF-8 error message
+	statusOK         = 0 // rest of the frame is the response payload
+	statusErr        = 1 // rest of the frame is a UTF-8 error message
+	statusOverloaded = 2 // u32 retry-after millis + UTF-8 reason (backpressure)
 )
 
-// writeFrame writes one length-prefixed frame.
-func writeFrame(w io.Writer, b []byte) error {
-	if len(b) > MaxFrame {
-		return fmt.Errorf("%w (%d bytes on write)", ErrFrameTooLarge, len(b))
+// framePool recycles the scratch buffers the frame writers assemble small
+// frames in. Capacity is capped at pooledFrame so a one-off huge frame
+// does not pin megabytes in the pool; typical protocol frames (handshake
+// replies, channel requests, meta) are well under it.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	},
+}
+
+// pooledFrame is the largest total frame (header included) assembled in a
+// pooled buffer and written in one syscall; larger payloads are written
+// directly after a pooled header so the pool never holds huge buffers.
+const pooledFrame = 64 << 10
+
+// writeWireFrame writes one length-prefixed frame: an optional status
+// byte (status < 0 omits it) followed by body. Small frames are assembled
+// in a pooled buffer and hit the socket in a single write with zero
+// allocations; large bodies get a pooled header write followed by the
+// body itself, so the secret payload is never copied.
+func writeWireFrame(w io.Writer, status int, body []byte) error {
+	plen := len(body)
+	if status >= 0 {
+		plen++
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	if plen > MaxFrame {
+		return fmt.Errorf("%w (%d bytes on write)", ErrFrameTooLarge, plen)
 	}
-	_, err := w.Write(b)
+	bp := framePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(plen))
+	if status >= 0 {
+		buf = append(buf, byte(status))
+	}
+	var err error
+	if 4+plen <= pooledFrame {
+		buf = append(buf, body...)
+		_, err = w.Write(buf)
+	} else {
+		if _, err = w.Write(buf); err == nil {
+			_, err = w.Write(body)
+		}
+	}
+	if cap(buf) <= pooledFrame {
+		*bp = buf[:0]
+		framePool.Put(bp)
+	}
 	return err
 }
 
-// readFrame reads one length-prefixed frame.
+// writeFrame writes one length-prefixed frame (no status byte — the
+// request direction).
+func writeFrame(w io.Writer, b []byte) error {
+	return writeWireFrame(w, -1, b)
+}
+
+// readFrameInto reads one length-prefixed frame into buf (grown as
+// needed), returning the payload slice aliasing buf. Feeding each call's
+// return value back in amortizes the allocation to zero across a
+// session's request loop; pass nil when the payload must be retained
+// beyond the next read.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	if cap(buf) < 4 {
+		buf = make([]byte, 256)
+	}
+	hdr := buf[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n > MaxFrame {
+		return nil, fmt.Errorf("%w (%d bytes on read)", ErrFrameTooLarge, n)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// readFrame reads one length-prefixed frame into fresh memory.
 func readFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -61,10 +158,7 @@ func readFrame(r io.Reader) ([]byte, error) {
 
 // writeResponse writes an OK response frame (status prefix + payload).
 func writeResponse(w io.Writer, b []byte) error {
-	out := make([]byte, 1+len(b))
-	out[0] = statusOK
-	copy(out[1:], b)
-	return writeFrame(w, out)
+	return writeWireFrame(w, statusOK, b)
 }
 
 // writeErrorFrame writes a refusal frame carrying the reason.
@@ -73,14 +167,56 @@ func writeErrorFrame(w io.Writer, msg string) error {
 	if len(msg) > maxMsg {
 		msg = msg[:maxMsg]
 	}
-	out := make([]byte, 1+len(msg))
-	out[0] = statusErr
-	copy(out[1:], msg)
-	return writeFrame(w, out)
+	return writeStringFrame(w, statusErr, nil, msg)
+}
+
+// writeOverloadFrame writes a backpressure frame: the retry-after hint in
+// millis followed by the reason. The client surfaces it as an
+// *OverloadedError.
+func writeOverloadFrame(w io.Writer, retryAfter time.Duration, msg string) error {
+	const maxMsg = 1024
+	if len(msg) > maxMsg {
+		msg = msg[:maxMsg]
+	}
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	var hint [4]byte
+	binary.LittleEndian.PutUint32(hint[:], uint32(min64(ms, int64(^uint32(0)))))
+	return writeStringFrame(w, statusOverloaded, hint[:], msg)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// writeStringFrame assembles status || extra || msg in a pooled buffer —
+// the error-direction twin of writeWireFrame that avoids a []byte(msg)
+// conversion allocation.
+func writeStringFrame(w io.Writer, status byte, extra []byte, msg string) error {
+	bp := framePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(1+len(extra)+len(msg)))
+	buf = append(buf, status)
+	buf = append(buf, extra...)
+	buf = append(buf, msg...)
+	_, err := w.Write(buf)
+	if cap(buf) <= pooledFrame {
+		*bp = buf[:0]
+		framePool.Put(bp)
+	}
+	return err
 }
 
 // readResponse reads a status-prefixed response frame. A statusErr frame
-// becomes a *RefusedError (matching ErrRefused).
+// becomes a *RefusedError (matching ErrRefused); a statusOverloaded frame
+// becomes an *OverloadedError (matching ErrOverloaded) carrying the
+// server's retry-after hint. The returned payload is freshly allocated —
+// ownership transfers to the caller.
 func readResponse(r io.Reader) ([]byte, error) {
 	frame, err := readFrame(r)
 	if err != nil {
@@ -94,73 +230,35 @@ func readResponse(r io.Reader) ([]byte, error) {
 		return frame[1:], nil
 	case statusErr:
 		return nil, &RefusedError{Msg: string(frame[1:])}
+	case statusOverloaded:
+		if len(frame) < 5 {
+			return nil, fmt.Errorf("elide: malformed overload frame (%d bytes)", len(frame))
+		}
+		ms := binary.LittleEndian.Uint32(frame[1:5])
+		return nil, &OverloadedError{
+			RetryAfter: time.Duration(ms) * time.Millisecond,
+			Msg:        string(frame[5:]),
+		}
 	default:
 		return nil, fmt.Errorf("elide: unknown response status %d", frame[0])
 	}
 }
 
-// --- client options ---
+// --- TCPClient ---
 
-// clientOptions collects the functional options of NewTCPClient.
+// clientOptions collects the functional options of NewTCPClient. The
+// With* constructors live in options.go alongside the other families.
 type clientOptions struct {
 	dialTimeout    time.Duration
 	requestTimeout time.Duration
 	maxRetries     int
 	backoffBase    time.Duration
 	backoffCap     time.Duration
+	proto          uint8
 	metrics        *obs.Registry
 	tracer         *obs.Tracer
 	dial           func(ctx context.Context, addr string) (net.Conn, error)
 }
-
-// ClientOption configures a TCPClient.
-type ClientOption func(*clientOptions)
-
-// WithDialTimeout bounds each connection attempt (default 5s).
-func WithDialTimeout(d time.Duration) ClientOption {
-	return func(o *clientOptions) { o.dialTimeout = d }
-}
-
-// WithRequestTimeout bounds each attest/request round trip, including the
-// reads and writes on the wire (default 30s).
-func WithRequestTimeout(d time.Duration) ClientOption {
-	return func(o *clientOptions) { o.requestTimeout = d }
-}
-
-// WithMaxRetries sets how many times a transient failure is retried after
-// the first attempt (default 3; 0 disables retries).
-func WithMaxRetries(n int) ClientOption {
-	return func(o *clientOptions) { o.maxRetries = n }
-}
-
-// WithBackoff sets the exponential backoff base and cap between retries
-// (default 50ms base, 2s cap). Each retry sleeps a uniformly jittered
-// duration in [base/2, base) * 2^attempt, clamped to cap.
-func WithBackoff(base, cap time.Duration) ClientOption {
-	return func(o *clientOptions) { o.backoffBase, o.backoffCap = base, cap }
-}
-
-// WithClientMetrics wires the client into an obs registry.
-func WithClientMetrics(r *obs.Registry) ClientOption {
-	return func(o *clientOptions) { o.metrics = r }
-}
-
-// WithClientTracer wires the client into an obs tracer: each Attest or
-// Request becomes a span (with per-attempt children showing the retry
-// history). When the caller's context already carries a span — the
-// restore runtime passes its phase span down — the client parents to it
-// and the tracer option is unnecessary.
-func WithClientTracer(t *obs.Tracer) ClientOption {
-	return func(o *clientOptions) { o.tracer = t }
-}
-
-// WithDialer replaces the TCP dialer — tests use this to inject faulty
-// connections or in-memory pipes.
-func WithDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) ClientOption {
-	return func(o *clientOptions) { o.dial = dial }
-}
-
-// --- TCPClient ---
 
 // TCPClient reaches the authentication server over TCP. It dials lazily,
 // applies per-operation deadlines, and retries transient connection
@@ -168,6 +266,15 @@ func WithDialer(dial func(ctx context.Context, addr string) (net.Conn, error)) C
 // the attestation handshake on a fresh connection (the server resumes the
 // session keyed by the client's quote-bound ephemeral key, so the channel
 // key survives a reconnect).
+//
+// With WithProtocolVersion(ProtoV1) the client offers the pipelined
+// protocol: Attest asks the server to bundle the encrypted meta and data
+// responses into its reply, and Request serves them from the local cache
+// in protocol order without touching the wire — a whole restore in one
+// network flight. The protocol's strict ordering makes the positional
+// cache sound: the first channel request after an attest is always
+// REQUEST_META, the second REQUEST_DATA (the same invariant the runtime's
+// phase naming relies on).
 //
 // Build it with NewTCPClient; the zero value is not usable. A TCPClient is
 // safe for concurrent use, though the restore protocol is sequential.
@@ -182,17 +289,25 @@ type TCPClient struct {
 	// successfully, resent on a fresh connection before retrying a
 	// request.
 	handshake *attestMsg
+	// serverProto is the wire version the server's attest reply confirmed;
+	// it gates the pipelined reconnect replay (a legacy server decodes the
+	// handshake straight off the socket and must see nothing behind it).
+	serverProto uint8
+	// pending holds the encrypted channel responses a ProtoV1 attest
+	// pre-fetched, served FIFO by Request. Cleared on every (re)attest.
+	pending [][]byte
 }
 
 // NewTCPClient builds a client for the server at addr. No connection is
 // made until the first Attest.
 func NewTCPClient(addr string, opts ...ClientOption) *TCPClient {
 	o := clientOptions{
-		dialTimeout:    5 * time.Second,
-		requestTimeout: 30 * time.Second,
-		maxRetries:     3,
-		backoffBase:    50 * time.Millisecond,
-		backoffCap:     2 * time.Second,
+		dialTimeout:    DefaultDialTimeout,
+		requestTimeout: DefaultRequestTimeout,
+		maxRetries:     DefaultRetryBudget,
+		backoffBase:    DefaultBackoffBase,
+		backoffCap:     DefaultBackoffCap,
+		proto:          ProtoLegacy,
 	}
 	for _, fn := range opts {
 		fn(&o)
@@ -243,27 +358,80 @@ func (c *TCPClient) sendHandshakeLocked(msg *attestMsg) ([]byte, error) {
 	if err := gob.NewEncoder(c.conn).Encode(msg); err != nil {
 		return nil, err
 	}
+	c.opt.metrics.Counter("client.flights").Inc()
 	return readResponse(c.conn)
 }
 
-// Attest implements Client: it performs the attestation handshake,
-// retrying transient failures on fresh connections.
+// parseAttestReply splits the server's attestation reply into the channel
+// public key and any bundled channel responses. A legacy reply is the bare
+// 32-byte key; a ProtoV1 reply is
+//
+//	version(1) || pub(32) || u32 metaLen || encMeta || u32 dataLen || encData
+//
+// where a zero length means that part was not bundled. The shapes cannot
+// collide: a v1 reply is at least 41 bytes and never exactly 32.
+func parseAttestReply(payload []byte) (pub []byte, bundled [][]byte, proto uint8, err error) {
+	if len(payload) == 32 {
+		return payload, nil, ProtoLegacy, nil
+	}
+	if len(payload) < 1+32+8 || payload[0] != ProtoV1 {
+		return nil, nil, 0, fmt.Errorf("elide: malformed attest reply (%d bytes)", len(payload))
+	}
+	pub = payload[1:33]
+	rest := payload[33:]
+	for part := 0; part < 2; part++ {
+		if len(rest) < 4 {
+			return nil, nil, 0, fmt.Errorf("elide: truncated attest bundle")
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint32(len(rest)) < n {
+			return nil, nil, 0, fmt.Errorf("elide: truncated attest bundle part (%d of %d bytes)", len(rest), n)
+		}
+		if n > 0 {
+			bundled = append(bundled, rest[:n])
+		}
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, nil, 0, fmt.Errorf("elide: %d trailing bytes after attest bundle", len(rest))
+	}
+	return pub, bundled, ProtoV1, nil
+}
+
+// Attest implements SecretChannel: it performs the attestation handshake,
+// retrying transient failures on fresh connections. At ProtoV1 the
+// handshake asks the server to bundle the meta and data responses into
+// its reply, pre-filling the cache later Requests drain.
 func (c *TCPClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
-	msg := &attestMsg{Quote: q, ClientPub: append([]byte(nil), clientPub...)}
+	msg := &attestMsg{Quote: q, ClientPub: append([]byte(nil), clientPub...), Proto: c.opt.proto}
+	if c.opt.proto >= ProtoV1 {
+		msg.Bundle = bundleMeta | bundleData
+	}
 	defer c.opt.metrics.Observe("client.attest_ns", time.Now())
 	pub, err := c.withRetry(ctx, "client.attest", func() ([]byte, error) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
+		c.pending = nil // a (re)attestation restarts the protocol sequence
 		if err := c.ensureConnLocked(ctx); err != nil {
 			return nil, err
 		}
 		c.setDeadlineLocked()
-		pub, err := c.sendHandshakeLocked(msg)
+		payload, err := c.sendHandshakeLocked(msg)
+		if err != nil {
+			return nil, err
+		}
+		pub, bundled, proto, err := parseAttestReply(payload)
 		if err != nil {
 			return nil, err
 		}
 		c.attested = true
 		c.handshake = msg
+		c.serverProto = proto
+		c.pending = bundled
+		if len(bundled) > 0 {
+			c.opt.metrics.Counter("client.bundled_attests").Inc()
+		}
 		return pub, nil
 	})
 	if err != nil {
@@ -272,17 +440,28 @@ func (c *TCPClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) 
 	return pub, nil
 }
 
-// Request implements Client: one encrypted round trip on the attested
-// channel. On a transient failure it reconnects, replays the attestation
-// handshake (resuming the server-side session and channel key), and
-// resends the request.
+// Request implements SecretChannel: one encrypted exchange on the
+// attested channel. When a ProtoV1 attest pre-fetched the response it is
+// served from the cache without touching the wire; otherwise it is one
+// round trip. On a transient failure it reconnects, replays the
+// attestation handshake (resuming the server-side session and channel
+// key), and resends the request — against a ProtoV1 server the replay and
+// the request are pipelined into a single flight.
 func (c *TCPClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
 	c.mu.Lock()
-	attested := c.attested
-	c.mu.Unlock()
-	if !attested {
+	if !c.attested {
+		c.mu.Unlock()
 		return nil, ErrNotAttested
 	}
+	if len(c.pending) > 0 {
+		resp := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		c.opt.metrics.Counter("client.bundle_hits").Inc()
+		obs.SpanFromContext(ctx).SetStr("transport", "bundled")
+		return resp, nil
+	}
+	c.mu.Unlock()
 	defer c.opt.metrics.Observe("client.request_ns", time.Now())
 	return c.withRetry(ctx, "client.request", func() ([]byte, error) {
 		c.mu.Lock()
@@ -292,15 +471,41 @@ func (c *TCPClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
 			return nil, err
 		}
 		c.setDeadlineLocked()
-		if fresh {
-			// New connection: resume the session before the request.
-			if _, err := c.sendHandshakeLocked(c.handshake); err != nil {
+		switch {
+		case fresh && c.serverProto >= ProtoV1:
+			// Pipelined resume: the handshake replay and the pending request
+			// go out back to back, then both replies are read — one flight
+			// instead of two. The replay must not re-request a bundle: the
+			// enclave is mid-protocol, and pre-fetched responses would land
+			// at the wrong positions.
+			replay := *c.handshake
+			replay.Bundle = 0
+			if err := gob.NewEncoder(c.conn).Encode(&replay); err != nil {
+				return nil, err
+			}
+			if err := writeFrame(c.conn, enc); err != nil {
+				return nil, err
+			}
+			c.opt.metrics.Counter("client.flights").Inc()
+			c.opt.metrics.Counter("client.pipelined_resumes").Inc()
+			if _, err := readResponse(c.conn); err != nil {
+				return nil, err
+			}
+			return readResponse(c.conn)
+		case fresh:
+			// Legacy server: resume the session before the request. The
+			// sequential order matters — a legacy server decodes the
+			// handshake straight off the socket and may buffer past it.
+			replay := *c.handshake
+			replay.Bundle = 0
+			if _, err := c.sendHandshakeLocked(&replay); err != nil {
 				return nil, err
 			}
 		}
 		if err := writeFrame(c.conn, enc); err != nil {
 			return nil, err
 		}
+		c.opt.metrics.Counter("client.flights").Inc()
 		return readResponse(c.conn)
 	})
 }
@@ -314,9 +519,13 @@ func (c *TCPClient) setDeadlineLocked() {
 
 // withRetry runs op, retrying transient failures with exponential backoff
 // and jitter until the budget is spent, then reports ErrServerUnavailable.
-// The whole operation is one span (parented to the context's span when
-// present), with an "attempt" child per try so a trace shows the retry
-// history, not just the final outcome.
+// A server overload answer is also retried — honoring the server's
+// retry-after hint when it exceeds the backoff — but when the budget runs
+// out it surfaces as the typed *OverloadedError, not as unavailability:
+// the server is alive, it just said "not now". The whole operation is one
+// span (parented to the context's span when present), with an "attempt"
+// child per try so a trace shows the retry history, not just the final
+// outcome.
 func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]byte, error)) (out []byte, err error) {
 	span := obs.SpanFromContext(ctx).Child(metric)
 	if span == nil {
@@ -329,6 +538,7 @@ func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]b
 		span.End()
 	}()
 	var last error
+	var overloadDelay time.Duration
 	attempts := c.opt.maxRetries + 1
 	for attempt := 0; attempt < attempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -336,7 +546,12 @@ func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]b
 		}
 		if attempt > 0 {
 			c.opt.metrics.Counter(metric + "_retries").Inc()
-			if err := sleepCtx(ctx, c.backoff(attempt-1)); err != nil {
+			delay := c.backoff(attempt - 1)
+			if overloadDelay > delay {
+				delay = overloadDelay
+			}
+			overloadDelay = 0
+			if err := sleepCtx(ctx, delay); err != nil {
 				return nil, err
 			}
 		}
@@ -354,10 +569,24 @@ func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]b
 		c.mu.Lock()
 		c.closeConnLocked()
 		c.mu.Unlock()
+		var oe *OverloadedError
+		if errors.As(err, &oe) {
+			c.opt.metrics.Counter(metric + "_overloaded").Inc()
+			overloadDelay = oe.RetryAfter
+			if overloadDelay > c.opt.backoffCap {
+				overloadDelay = c.opt.backoffCap
+			}
+			last = err
+			continue
+		}
 		if !isTransient(err) {
 			return nil, err
 		}
 		last = err
+	}
+	var oe *OverloadedError
+	if errors.As(last, &oe) {
+		return nil, last
 	}
 	c.opt.metrics.Counter(metric + "_unavailable").Inc()
 	return nil, &unavailableError{attempts: attempts, last: last}

@@ -432,13 +432,13 @@ func TestRestoreGivesUpWhenServerGone(t *testing.T) {
 // gateClient wraps a Client and pauses the first Request until released,
 // so tests can hold a real attested session in flight deterministically.
 type gateClient struct {
-	inner   Client
+	inner   SecretChannel
 	entered chan struct{}
 	release chan struct{}
 	once    sync.Once
 }
 
-func newGateClient(inner Client) *gateClient {
+func newGateClient(inner SecretChannel) *gateClient {
 	return &gateClient{inner: inner, entered: make(chan struct{}), release: make(chan struct{})}
 }
 
@@ -451,6 +451,8 @@ func (g *gateClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
 	<-g.release
 	return g.inner.Request(ctx, enc)
 }
+
+func (g *gateClient) Close() error { return g.inner.Close() }
 
 // TestGracefulShutdownDrainsInFlight: cancelling Serve's context while a
 // restore is mid-protocol lets that session finish; only then does Serve

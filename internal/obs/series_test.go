@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeriesBucketing(t *testing.T) {
+	origin := time.Unix(1000, 0)
+	s := NewSeries(origin, 4, time.Second)
+	s.ObserveAt(origin)                              // bucket 0
+	s.ObserveAt(origin.Add(999 * time.Millisecond))  // bucket 0
+	s.ObserveAt(origin.Add(time.Second))             // bucket 1
+	s.ObserveAt(origin.Add(3500 * time.Millisecond)) // bucket 3
+	s.ObserveAt(origin.Add(-time.Minute))            // before origin -> bucket 0
+	s.ObserveAt(origin.Add(time.Hour))               // past the window -> last bucket
+	want := []uint64{3, 1, 0, 2}
+	got := s.Counts()
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+	if s.Total() != 6 {
+		t.Errorf("total: got %d, want 6", s.Total())
+	}
+}
+
+func TestSeriesRates(t *testing.T) {
+	origin := time.Unix(0, 0)
+	s := NewSeries(origin, 2, 500*time.Millisecond)
+	for i := 0; i < 10; i++ {
+		s.ObserveAt(origin.Add(100 * time.Millisecond))
+	}
+	rates := s.Rates()
+	if rates[0] != 20 { // 10 events in a half-second bucket = 20/s
+		t.Errorf("rate[0]: got %v, want 20", rates[0])
+	}
+	if rates[1] != 0 {
+		t.Errorf("rate[1]: got %v, want 0", rates[1])
+	}
+}
+
+func TestSeriesDegenerateConfig(t *testing.T) {
+	s := NewSeries(time.Unix(0, 0), 0, 0)
+	s.Observe()
+	if s.Total() != 1 || len(s.Counts()) != 1 {
+		t.Errorf("degenerate series should act as one counter: total=%d buckets=%d",
+			s.Total(), len(s.Counts()))
+	}
+}
+
+func TestSeriesConcurrent(t *testing.T) {
+	origin := time.Now()
+	s := NewSeries(origin, 8, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Total() != 8000 {
+		t.Errorf("concurrent total: got %d, want 8000", s.Total())
+	}
+}
