@@ -1,20 +1,35 @@
 GO ?= go
 
-.PHONY: build verify fmt-check test race chaos load-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-frames trace-demo clean
+.PHONY: build build-vet verify vet-security fmt-check test race chaos load-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-frames trace-demo clean
 
 build:
 	$(GO) build ./...
 
-# Tier-1 verification (see ROADMAP.md): formatting, build, vet, full
-# tests, the race detector over the transport-heavy packages and the
-# tracer, and short-mode chaos and load smoke runs.
+# Tier-1 verification (see ROADMAP.md): formatting, build, vet (stdlib
+# analyzers plus the elide-vet secrecy suite), full tests, the race
+# detector over the transport-heavy packages and the tracer, and
+# short-mode chaos and load smoke runs.
 verify: fmt-check build
 	$(GO) vet ./...
+	$(MAKE) vet-security
 	$(GO) test ./...
 	$(GO) test -race ./internal/elide/... ./internal/sdk/...
 	$(GO) test -race ./internal/obs/...
 	$(MAKE) chaos
 	$(MAKE) load-smoke
+
+# The elide-vet vettool: four analyzers (constanttime, secretflow,
+# padleak, wipe) that mechanically enforce the enclave secrecy
+# invariants. See DESIGN.md §12.
+build-vet:
+	$(GO) build -o bin/elide-vet ./cmd/elide-vet
+
+# Run the secrecy-lint suite over the whole repo. Fails (exit 2) on any
+# unsuppressed finding; audited false positives carry an
+# //elide:vet-ignore <analyzer> <reason> directive at the finding site.
+vet-security: build-vet
+	$(GO) vet -vettool=bin/elide-vet ./...
+	@echo "vet-security: constanttime secretflow padleak wipe — no unsuppressed findings"
 
 # gofmt cleanliness: fails listing the offending files, fixes nothing.
 fmt-check:

@@ -84,7 +84,7 @@ func main() {
 	check(err)
 	var ss sgx.SigStruct
 	check(gob.NewDecoder(ssFile).Decode(&ss))
-	ssFile.Close()
+	_ = ssFile.Close() // read-only; the decode above already succeeded
 
 	if *emitServer != "" {
 		prot := &elide.Protected{

@@ -69,8 +69,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 	if err := gob.NewEncoder(f).Encode(ss); err != nil {
+		fatal(err)
+	}
+	// Close errors after a write can mean lost data; a signature file that
+	// did not durably land is a fatal outcome for a signing tool.
+	if err := f.Close(); err != nil {
 		fatal(err)
 	}
 	signer := ss.MrSignerValue()

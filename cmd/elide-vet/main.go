@@ -1,0 +1,40 @@
+// Command elide-vet is the SGXElide security vet suite: four analyzers
+// that mechanically enforce the enclave secrecy invariants the rest of
+// the codebase upholds by convention.
+//
+//	constanttime  secret comparisons must use crypto/subtle (the PR 3
+//	              channel-binding timing bug, as a class)
+//	secretflow    key material and secret plaintext must not reach
+//	              logs, errors, or the observability name space
+//	padleak       boundary-crossing structs must have no implicit
+//	              padding (uninitialized-memory leak, Lee & Kim)
+//	wipe          decrypted/derived secret buffers must be zeroized
+//	              on every exit path unless ownership is handed off
+//
+// Build it once and hand it to go vet:
+//
+//	go build -o bin/elide-vet ./cmd/elide-vet
+//	go vet -vettool=$(pwd)/bin/elide-vet ./...
+//
+// or just run "make vet-security". Audited false positives are
+// suppressed in place with a mandatory reason:
+//
+//	//elide:vet-ignore constanttime EINIT-time check; measurement is public
+package main
+
+import (
+	"sgxelide/internal/analysis/constanttime"
+	"sgxelide/internal/analysis/padleak"
+	"sgxelide/internal/analysis/secretflow"
+	"sgxelide/internal/analysis/unitchecker"
+	"sgxelide/internal/analysis/wipe"
+)
+
+func main() {
+	unitchecker.Main(
+		constanttime.Analyzer,
+		secretflow.Analyzer,
+		padleak.Analyzer,
+		wipe.Analyzer,
+	)
+}

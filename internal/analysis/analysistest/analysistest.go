@@ -1,0 +1,163 @@
+// Package analysistest is the golden-test harness for the elide-vet
+// analyzers, a stdlib-only reimplementation of the x/tools package of
+// the same name. A test points it at a testdata package; the harness
+// parses and typechecks it with the source importer (testdata imports
+// the standard library only), runs one analyzer through the same
+// framework.Run engine the production driver uses — including
+// //elide:vet-ignore filtering, so suppression behavior is testable —
+// and matches the diagnostics against "// want" expectations:
+//
+//	bad := bytes.Equal(a, b) // want "not constant time"
+//
+// Each quoted string is a regexp that must match a diagnostic reported
+// on that line; diagnostics with no matching want, and wants with no
+// matching diagnostic, fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sgxelide/internal/analysis/framework"
+)
+
+// want is one expectation: a regexp anchored to a file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	text string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`(?:"((?:[^"\\]|\\.)*)"|` + "`([^`]*)`" + `)`)
+
+// Run typechecks the single package in dir, applies the analyzer, and
+// checks its (ignore-filtered) diagnostics against the // want comments.
+func Run(t *testing.T, a *framework.Analyzer, dir string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	sizes := types.SizesFor("gc", build.Default.GOARCH)
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    sizes,
+	}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	diags, err := framework.Run([]*framework.Analyzer{a}, fset, files, pkg, info, sizes)
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+	diags = framework.ParseIgnores(fset, files).Filter(diags)
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !match(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(w.file), w.line, w.text)
+		}
+	}
+}
+
+// parseDir parses every .go file directly in dir, sorted by name.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// collectWants extracts the // want expectations from every comment.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if !strings.HasPrefix(c.Text, "//") || idx < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx+len("want "):], -1) {
+					text := m[2]
+					if m[1] != "" {
+						unq, err := strconv.Unquote(`"` + m[1] + `"`)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %q: %v", pos.Filename, pos.Line, m[1], err)
+						}
+						text = unq
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, text, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, text: text})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// match consumes the first unhit want on file:line whose regexp matches.
+func match(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == file && w.line == line && w.re.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,148 @@
+// Package constanttime implements the elide-vet analyzer that requires
+// secret-sensitive byte comparisons to go through
+// crypto/subtle.ConstantTimeCompare (or crypto/hmac.Equal).
+//
+// The attestation server's channel-binding check is the canonical case
+// (fixed by hand in PR 3): bytes.Equal between the quote's report data
+// and the expected binding early-exits on the first mismatching byte,
+// leaking through timing how much of a guessed binding matched — a
+// remote oracle on the value that gates secret release. This analyzer
+// makes the whole bug class mechanical: any ==/!=, bytes.Equal/Compare,
+// reflect.DeepEqual or slices.Equal whose operand carries compare taint
+// (keys, MACs, bindings, measurements, secret plaintext — see
+// secrets.Default) is a finding.
+package constanttime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sgxelide/internal/analysis/framework"
+	"sgxelide/internal/analysis/secrets"
+)
+
+// New builds the analyzer over a secrecy config.
+func New(cfg *secrets.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "constanttime",
+		Doc:  "flags variable-time comparisons (==, bytes.Equal, reflect.DeepEqual, ...) of secret-tainted values; use crypto/subtle.ConstantTimeCompare",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		run(pass, cfg)
+		return nil
+	}
+	return a
+}
+
+// Analyzer is the constanttime analyzer under the default SGXElide
+// secrecy model.
+var Analyzer = New(secrets.Default())
+
+// comparisonFuncs are the variable-time comparison helpers. hmac.Equal
+// and subtle.ConstantTimeCompare are the sanctioned replacements and are
+// never flagged.
+var comparisonFuncs = map[string][]int{
+	"bytes.Equal":       {0, 1},
+	"bytes.Compare":     {0, 1},
+	"bytes.HasPrefix":   {0, 1},
+	"bytes.HasSuffix":   {0, 1},
+	"reflect.DeepEqual": {0, 1},
+	"slices.Equal":      {0, 1},
+	"strings.EqualFold": {0, 1},
+	"strings.Compare":   {0, 1},
+	"strings.HasPrefix": {0, 1},
+	"bytes.Contains":    {0, 1},
+	"strings.Contains":  {0, 1},
+	"maps.Equal":        {0, 1},
+	"bytes.IndexByte":   {0},
+	"bytes.Index":       {0, 1},
+}
+
+func run(pass *framework.Pass, cfg *secrets.Config) {
+	pass.FuncBodies(func(name string, decl ast.Node, body *ast.BlockStmt) {
+		tr := secrets.NewTracker(pass.TypesInfo, cfg, secrets.Compare, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.BinaryExpr:
+				if v.Op != token.EQL && v.Op != token.NEQ {
+					return true
+				}
+				// Nil checks test presence, not content; they are constant
+				// time and idiomatic.
+				if isNil(pass.TypesInfo, v.X) || isNil(pass.TypesInfo, v.Y) {
+					return true
+				}
+				if !bytesLike(pass.TypesInfo, v.X) && !bytesLike(pass.TypesInfo, v.Y) {
+					return true
+				}
+				if side, e := taintedSide(tr, v.X, v.Y); side != "" {
+					pass.Reportf(v.OpPos,
+						"%s comparison of secret-tainted %s is not constant time; use crypto/subtle.ConstantTimeCompare (constanttime)",
+						v.Op, render(e))
+				}
+			case *ast.CallExpr:
+				callee := secrets.CalleeName(pass.TypesInfo, v)
+				argIdx, ok := comparisonFuncs[callee]
+				if !ok {
+					return true
+				}
+				for _, i := range argIdx {
+					if i < len(v.Args) && tr.Tainted(v.Args[i]) {
+						pass.Reportf(v.Pos(),
+							"%s on secret-tainted %s is not constant time; use crypto/subtle.ConstantTimeCompare (constanttime)",
+							callee, render(v.Args[i]))
+						break
+					}
+				}
+			}
+			return true
+		})
+	})
+}
+
+// taintedSide returns the first tainted operand of a comparison.
+func taintedSide(tr *secrets.Tracker, x, y ast.Expr) (string, ast.Expr) {
+	if tr.Tainted(x) {
+		return "x", x
+	}
+	if tr.Tainted(y) {
+		return "y", y
+	}
+	return "", nil
+}
+
+// bytesLike reports whether e has a byte-sequence type whose comparison
+// is data-dependent: string, []byte, or [N]byte (timing depends on where
+// the first difference falls). Fixed-width scalars compare in constant
+// time and are not flagged.
+func bytesLike(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type.Underlying()
+	switch v := t.(type) {
+	case *types.Basic:
+		return v.Info()&types.IsString != 0
+	case *types.Slice:
+		return isByte(v.Elem())
+	case *types.Array:
+		return isByte(v.Elem())
+	}
+	return false
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.IsNil()
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// render pretty-prints an expression for a diagnostic.
+func render(e ast.Expr) string { return types.ExprString(e) }

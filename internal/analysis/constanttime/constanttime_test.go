@@ -1,0 +1,12 @@
+package constanttime_test
+
+import (
+	"testing"
+
+	"sgxelide/internal/analysis/analysistest"
+	"sgxelide/internal/analysis/constanttime"
+)
+
+func TestConstantTime(t *testing.T) {
+	analysistest.Run(t, constanttime.Analyzer, "testdata/src/a")
+}

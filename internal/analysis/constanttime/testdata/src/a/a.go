@@ -1,0 +1,51 @@
+// Package a is constanttime golden testdata: miniature lookalikes of
+// the SGXElide secret-bearing shapes, with the PR 3 timing-compare bug
+// pattern seeded as a positive case.
+package a
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/subtle"
+	"reflect"
+)
+
+// Quote mirrors sgx.Quote's secret-relevant fields.
+type Quote struct {
+	Data [64]byte
+	MAC  [16]byte
+}
+
+// attest reproduces the PR 3 channel-binding timing bug: bytes.Equal
+// between quote report data and the expected binding early-exits on the
+// first mismatching byte.
+func attest(q *Quote, binding [32]byte) bool {
+	return bytes.Equal(q.Data[:32], binding[:]) // want "bytes.Equal on secret-tainted"
+}
+
+// attestFixed is the sanctioned form and must not be flagged.
+func attestFixed(q *Quote, binding [32]byte) bool {
+	return subtle.ConstantTimeCompare(q.Data[:32], binding[:]) == 1
+}
+
+// macEqual compares MAC arrays with ==.
+func macEqual(q *Quote, mac [16]byte) bool {
+	return q.MAC == mac // want "comparison of secret-tainted"
+}
+
+// macHMAC is the sanctioned MAC check and must not be flagged.
+func macHMAC(q *Quote, mac []byte) bool {
+	return hmac.Equal(q.MAC[:], mac)
+}
+
+// derived shows taint surviving assignment and re-slicing.
+func derived(q *Quote) bool {
+	d := q.Data[:]
+	sum := d[:8]
+	return reflect.DeepEqual(sum, make([]byte, 8)) // want "reflect.DeepEqual on secret-tainted"
+}
+
+// channelKeyCompare seeds taint from a configured variable name.
+func channelKeyCompare(channelKey, other []byte) bool {
+	return bytes.Equal(channelKey, other) // want "bytes.Equal on secret-tainted"
+}

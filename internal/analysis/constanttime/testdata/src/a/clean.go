@@ -1,0 +1,21 @@
+package a
+
+import "bytes"
+
+// Public, non-secret comparisons must not be flagged.
+
+func versionOK(v string) bool {
+	return v == "v1"
+}
+
+func frameOK(hdr, magic []byte) bool {
+	return bytes.Equal(hdr, magic)
+}
+
+func lengthOK(n, m int) bool {
+	return n == m
+}
+
+func nilCheckOK(channelKey []byte) bool {
+	return channelKey == nil
+}

@@ -1,0 +1,21 @@
+package a
+
+import "bytes"
+
+// audited carries a vet-ignore directive: the finding on the next line
+// is suppressed and must not surface.
+func audited(q *Quote) bool {
+	//elide:vet-ignore constanttime audited: value is public in this context
+	return bytes.Equal(q.Data[:8], nil)
+}
+
+// trailing uses the same-line suppression style.
+func trailing(q *Quote, mac [16]byte) bool {
+	return q.MAC == mac //elide:vet-ignore constanttime audited: test fixture comparison
+}
+
+// wrongAnalyzer names a different analyzer, so the finding still fires.
+func wrongAnalyzer(q *Quote) bool {
+	//elide:vet-ignore padleak wrong analyzer named
+	return bytes.Equal(q.Data[:8], nil) // want "bytes.Equal on secret-tainted"
+}

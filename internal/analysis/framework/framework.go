@@ -1,0 +1,114 @@
+// Package framework is a dependency-free core for writing static
+// analyzers over go/ast + go/types, mirroring the shape of
+// golang.org/x/tools/go/analysis closely enough that the elide-vet
+// analyzers could be ported to the real framework mechanically. The repo
+// builds with the standard library only, so the few pieces of the
+// x/tools surface the security suite needs are reimplemented here:
+// an Analyzer descriptor, a per-package Pass, diagnostics, a preorder
+// walk, and the //elide:vet-ignore suppression directives (ignore.go).
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis: a name (used in diagnostics and in
+// //elide:vet-ignore directives), one-line documentation, and the Run
+// function executed once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored at a position. The driver fills
+// Analyzer before printing so the output names the check that fired —
+// both for the operator and for the vet-ignore machinery.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass carries one package's worth of inputs to an Analyzer.Run: the
+// parsed files, the type information, and the Report callback that
+// collects diagnostics. It is the single-package subset of
+// analysis.Pass.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+	Report     func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// Preorder walks every file in the pass in depth-first preorder, calling
+// fn for each node. Returning false from fn prunes the subtree.
+func (p *Pass) Preorder(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// FuncBodies visits every top-level function body in the pass: declared
+// functions and methods, plus function literals in package-level var
+// initializers (the SDK's intrinsic tables live there). Literals nested
+// inside another visited body are not visited separately — the outer
+// walk already covers them, and closures must be analyzed with their
+// captured scope.
+func (p *Pass) FuncBodies(fn func(name string, decl ast.Node, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			switch dd := d.(type) {
+			case *ast.FuncDecl:
+				if dd.Body != nil {
+					fn(dd.Name.Name, dd, dd.Body)
+				}
+			case *ast.GenDecl:
+				ast.Inspect(dd, func(n ast.Node) bool {
+					if fl, ok := n.(*ast.FuncLit); ok {
+						fn("func literal", fl, fl.Body)
+						return false
+					}
+					return true
+				})
+			}
+		}
+	}
+}
+
+// Run executes each analyzer over the package described by the inputs,
+// returning the collected diagnostics (analyzer name filled in). It is
+// the common engine behind the unitchecker driver and the analysistest
+// harness.
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, sizes types.Sizes) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: sizes,
+			Report: func(d Diagnostic) {
+				d.Analyzer = a.Name
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,137 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// IgnorePrefix is the suppression directive recognized by the elide-vet
+// driver:
+//
+//	//elide:vet-ignore <analyzer>[,<analyzer>...] <reason>
+//
+// The directive suppresses findings from the named analyzers (or every
+// analyzer, with "*") on the directive's own line and on the line
+// immediately below it, so both trailing-comment and comment-above styles
+// work. The reason is mandatory: an audited false positive must say what
+// was audited, and a directive without one is itself reported.
+const IgnorePrefix = "//elide:vet-ignore"
+
+// ignoreDirective is one parsed //elide:vet-ignore comment.
+type ignoreDirective struct {
+	analyzers map[string]bool // nil after a parse error
+	reason    string
+	pos       token.Pos
+	used      bool
+}
+
+// Ignores indexes every vet-ignore directive in a set of files, keyed by
+// filename and the lines each directive covers.
+type Ignores struct {
+	fset  *token.FileSet
+	byLoc map[string]map[int]*ignoreDirective // filename -> line -> directive
+	all   []*ignoreDirective
+}
+
+// ParseIgnores scans the comments of files for vet-ignore directives.
+func ParseIgnores(fset *token.FileSet, files []*ast.File) *Ignores {
+	ig := &Ignores{fset: fset, byLoc: make(map[string]map[int]*ignoreDirective)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				d := parseIgnore(c.Text, c.Pos())
+				ig.all = append(ig.all, d)
+				pos := fset.Position(c.Pos())
+				lines := ig.byLoc[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]*ignoreDirective)
+					ig.byLoc[pos.Filename] = lines
+				}
+				// Cover the directive's line (trailing style) and the next
+				// line (comment-above style).
+				lines[pos.Line] = d
+				if _, taken := lines[pos.Line+1]; !taken {
+					lines[pos.Line+1] = d
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// parseIgnore splits "//elide:vet-ignore a,b reason..." into its parts.
+// A directive with no analyzer list or no reason gets a nil analyzer set,
+// which Problems reports as malformed.
+func parseIgnore(text string, pos token.Pos) *ignoreDirective {
+	rest := strings.TrimPrefix(text, IgnorePrefix)
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return &ignoreDirective{pos: pos}
+	}
+	names := make(map[string]bool)
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names[n] = true
+		}
+	}
+	if len(names) == 0 {
+		return &ignoreDirective{pos: pos}
+	}
+	return &ignoreDirective{
+		analyzers: names,
+		reason:    strings.Join(fields[1:], " "),
+		pos:       pos,
+	}
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at pos
+// is covered by a well-formed directive, marking the directive used.
+func (ig *Ignores) Suppressed(analyzer string, pos token.Pos) bool {
+	if ig == nil || !pos.IsValid() {
+		return false
+	}
+	p := ig.fset.Position(pos)
+	d := ig.byLoc[p.Filename][p.Line]
+	if d == nil || d.analyzers == nil {
+		return false
+	}
+	if !d.analyzers[analyzer] && !d.analyzers["*"] {
+		return false
+	}
+	d.used = true
+	return true
+}
+
+// Problems returns driver diagnostics for directives that are malformed
+// (missing the analyzer list or the mandatory reason). A suppression
+// that cannot say what it suppresses or why is a hole in the audit
+// trail, not a suppression.
+func (ig *Ignores) Problems() []Diagnostic {
+	var out []Diagnostic
+	for _, d := range ig.all {
+		if d.analyzers == nil {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "vet-ignore",
+				Message:  "malformed " + IgnorePrefix + " directive: want \"" + IgnorePrefix + " <analyzer>[,<analyzer>] <reason>\"",
+			})
+		}
+	}
+	return out
+}
+
+// Filter drops the diagnostics suppressed by directives and appends any
+// directive problems, returning the list a driver should report.
+func (ig *Ignores) Filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !ig.Suppressed(d.Analyzer, d.Pos) {
+			out = append(out, d)
+		}
+	}
+	return append(out, ig.Problems()...)
+}

@@ -1,0 +1,112 @@
+package framework
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+// lineStart returns the Pos of the first character of line n in the
+// single parsed file.
+func lineStart(fset *token.FileSet, n int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(n)
+		return false
+	})
+	return pos
+}
+
+func TestIgnoreCoversOwnAndNextLine(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//elide:vet-ignore wipe audited: aliases caller storage
+var x = 1
+var y = 2
+`)
+	ig := ParseIgnores(fset, files)
+	if !ig.Suppressed("wipe", lineStart(fset, 3)) {
+		t.Errorf("directive line itself not covered")
+	}
+	if !ig.Suppressed("wipe", lineStart(fset, 4)) {
+		t.Errorf("line below directive not covered")
+	}
+	if ig.Suppressed("wipe", lineStart(fset, 5)) {
+		t.Errorf("two lines below directive must not be covered")
+	}
+	if ig.Suppressed("constanttime", lineStart(fset, 4)) {
+		t.Errorf("unlisted analyzer must not be suppressed")
+	}
+}
+
+func TestIgnoreWildcard(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//elide:vet-ignore * audited: generated fixture
+var x = 1
+`)
+	ig := ParseIgnores(fset, files)
+	for _, a := range []string{"wipe", "padleak", "constanttime", "secretflow"} {
+		if !ig.Suppressed(a, lineStart(fset, 4)) {
+			t.Errorf("wildcard did not suppress %s", a)
+		}
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\n//elide:vet-ignore\nvar x = 1\n",
+		"package p\n\n//elide:vet-ignore wipe\nvar x = 1\n", // missing reason
+	} {
+		fset, files := parseOne(t, src)
+		ig := ParseIgnores(fset, files)
+		if ig.Suppressed("wipe", lineStart(fset, 4)) {
+			t.Errorf("malformed directive must not suppress anything (src %q)", src)
+		}
+		probs := ig.Problems()
+		if len(probs) != 1 {
+			t.Fatalf("want 1 problem, got %d (src %q)", len(probs), src)
+		}
+		if probs[0].Analyzer != "vet-ignore" || !strings.Contains(probs[0].Message, "malformed") {
+			t.Errorf("unexpected problem diagnostic: %+v", probs[0])
+		}
+	}
+}
+
+func TestFilterDropsSuppressedAndAppendsProblems(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//elide:vet-ignore wipe audited: ok
+var x = 1
+
+//elide:vet-ignore
+var y = 2
+`)
+	ig := ParseIgnores(fset, files)
+	diags := []Diagnostic{
+		{Pos: lineStart(fset, 4), Analyzer: "wipe", Message: "suppressed finding"},
+		{Pos: lineStart(fset, 7), Analyzer: "wipe", Message: "surviving finding"},
+	}
+	out := ig.Filter(diags)
+	if len(out) != 2 {
+		t.Fatalf("want 2 diagnostics after filter (1 surviving + 1 problem), got %d: %+v", len(out), out)
+	}
+	if out[0].Message != "surviving finding" {
+		t.Errorf("surviving finding lost: %+v", out[0])
+	}
+	if out[1].Analyzer != "vet-ignore" {
+		t.Errorf("problem diagnostic not appended: %+v", out[1])
+	}
+}

@@ -1,0 +1,189 @@
+// Package padleak implements the elide-vet analyzer that rejects
+// implicit padding in structs whose layout crosses a trust boundary —
+// the exact leak of Lee & Kim's "Leaking Uninitialized Secure Enclave
+// Memory via Structure Padding": the compiler inserts alignment holes
+// the program never initializes, and any copy of the struct's memory
+// image out of the enclave (or onto the wire) carries whatever secret
+// bytes previously occupied that heap or stack slot.
+//
+// A struct is boundary-crossing when it is gob-encoded or decoded,
+// passed to encoding/binary Read/Write, or named by the secrecy
+// config's BoundaryTypes (the attestation evidence and secret-metadata
+// structs with fixed marshaled images in internal/sgx and
+// internal/elide). Such structs must make every alignment hole explicit
+// with a named "_ [N]byte" field — explicit padding is part of the
+// declared layout, is zeroed by construction, and makes the next layout
+// change a reviewed decision instead of a silent leak.
+package padleak
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sgxelide/internal/analysis/framework"
+	"sgxelide/internal/analysis/secrets"
+)
+
+// New builds the analyzer over a secrecy config.
+func New(cfg *secrets.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "padleak",
+		Doc:  "flags implicit padding bytes in structs that cross the enclave or wire boundary (gob, encoding/binary, configured boundary types)",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		run(pass, cfg)
+		return nil
+	}
+	return a
+}
+
+// Analyzer is the padleak analyzer under the default SGXElide secrecy
+// model.
+var Analyzer = New(secrets.Default())
+
+// serializers maps serializing callees to the argument index holding the
+// struct whose layout goes to the boundary.
+var serializers = map[string]int{
+	"gob.Encoder.Encode": 0,
+	"gob.Decoder.Decode": 0,
+	"binary.Write":       2,
+	"binary.Read":        2,
+}
+
+func run(pass *framework.Pass, cfg *secrets.Config) {
+	seen := make(map[string]bool) // one report per struct type per package
+
+	check := func(pos token.Pos, t types.Type, how string) {
+		name := typeName(t)
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok || seen[name] {
+			return
+		}
+		seen[name] = true
+		if hole := findPadding(pass.TypesSizes, st, nil); hole != nil {
+			pass.Reportf(pos,
+				"struct %s %s but carries %d byte(s) of implicit padding after field %s; uninitialized padding leaks enclave memory across the boundary — declare it as a named \"_ [%d]byte\" field or pack the layout (padleak)",
+				name, how, hole.n, hole.after, hole.n)
+		}
+	}
+
+	// Call sites: gob / encoding-binary serialization of a struct value.
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		argIdx, ok := serializers[secrets.CalleeName(pass.TypesInfo, call)]
+		if !ok || argIdx >= len(call.Args) {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[argIdx]]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		t := derefAll(tv.Type)
+		if _, isStruct := t.Underlying().(*types.Struct); isStruct {
+			check(call.Args[argIdx].Pos(), t, "is serialized to the boundary")
+		}
+		return true
+	})
+
+	// Declarations: configured boundary types defined in this package.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(ts.Name)
+				if obj == nil {
+					continue
+				}
+				name := typeName(obj.Type())
+				if cfg.BoundaryTypes != nil && cfg.BoundaryTypes.MatchString(name) {
+					check(ts.Pos(), obj.Type(), "crosses the enclave boundary")
+				}
+			}
+		}
+	}
+}
+
+// hole describes one run of implicit padding.
+type hole struct {
+	after string // preceding field name (path through nested structs)
+	n     int64
+}
+
+// findPadding returns the first alignment hole in st, recursing into
+// struct-typed fields and arrays of structs. Blank "_ [N]byte" fields
+// count as fields, so explicit padding closes the hole it covers.
+func findPadding(sizes types.Sizes, st *types.Struct, visiting []*types.Struct) *hole {
+	for _, v := range visiting {
+		if v == st {
+			return nil
+		}
+	}
+	visiting = append(visiting, st)
+	n := st.NumFields()
+	if n == 0 {
+		return nil
+	}
+	fields := make([]*types.Var, n)
+	for i := range n {
+		fields[i] = st.Field(i)
+	}
+	offsets := sizes.Offsetsof(fields)
+	total := sizes.Sizeof(st)
+	for i := range n {
+		end := offsets[i] + sizes.Sizeof(fields[i].Type())
+		next := total
+		if i+1 < n {
+			next = offsets[i+1]
+		}
+		if gap := next - end; gap > 0 {
+			return &hole{after: fields[i].Name(), n: gap}
+		}
+		// Recurse: a nested struct's internal padding is just as much a
+		// part of the outer memory image.
+		ft := fields[i].Type()
+		if arr, ok := ft.Underlying().(*types.Array); ok {
+			ft = arr.Elem()
+		}
+		if inner, ok := ft.Underlying().(*types.Struct); ok {
+			if h := findPadding(sizes, inner, visiting); h != nil {
+				return &hole{after: fields[i].Name() + "." + h.after, n: h.n}
+			}
+		}
+	}
+	return nil
+}
+
+// derefAll strips pointers.
+func derefAll(t types.Type) types.Type {
+	for {
+		p, ok := t.Underlying().(*types.Pointer)
+		if !ok {
+			return t
+		}
+		t = p.Elem()
+	}
+}
+
+// typeName renders a (possibly unnamed) type for matching and messages.
+func typeName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj.Name()
+	}
+	return fmt.Sprintf("%s", t)
+}

@@ -1,0 +1,12 @@
+package padleak_test
+
+import (
+	"testing"
+
+	"sgxelide/internal/analysis/analysistest"
+	"sgxelide/internal/analysis/padleak"
+)
+
+func TestPadLeak(t *testing.T) {
+	analysistest.Run(t, padleak.Analyzer, "testdata/src/a")
+}

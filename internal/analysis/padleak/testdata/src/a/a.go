@@ -1,0 +1,51 @@
+// Package a is padleak golden testdata: structs serialized to the
+// boundary (gob, encoding/binary) or named as boundary types must carry
+// no implicit padding.
+package a
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+)
+
+// padded has a 7-byte hole after A.
+type padded struct {
+	A uint8
+	B uint64
+}
+
+func encodeGob(w *bytes.Buffer, m padded) error {
+	return gob.NewEncoder(w).Encode(m) // want "implicit padding after field A"
+}
+
+// wire has a 4-byte hole after N.
+type wire struct {
+	N uint32
+	V uint64
+}
+
+func putBinary(w *bytes.Buffer, v wire) error {
+	return binary.Write(w, binary.LittleEndian, v) // want "implicit padding after field N"
+}
+
+// inner hides its hole one level down; the check recurses.
+type inner struct {
+	C uint16
+	D uint64
+}
+
+type outer struct {
+	I inner
+}
+
+func decodeNested(r *bytes.Buffer, o *outer) error {
+	return gob.NewDecoder(r).Decode(o) // want "implicit padding after field I.C"
+}
+
+// SecretMeta matches the configured boundary types, so its declaration
+// is checked even with no serialization call in sight.
+type SecretMeta struct { // want "implicit padding after field Version"
+	Version uint8
+	TextLen uint64
+}

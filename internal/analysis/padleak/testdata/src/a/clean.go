@@ -1,0 +1,31 @@
+package a
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+)
+
+// Quote is a boundary type whose alignment hole is explicit: the named
+// blank field is part of the declared layout and zeroed by construction.
+type Quote struct {
+	Data [2]byte
+	_    [6]byte
+	Sig  uint64
+}
+
+// packed has no holes at all.
+type packed struct {
+	A uint64
+	B uint32
+	C uint32
+}
+
+func encodePacked(w *bytes.Buffer, p packed) error {
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// scalars are not structs; binary.Write on them is fine.
+func putScalar(w *bytes.Buffer, v uint64) error {
+	return binary.Write(w, binary.LittleEndian, v)
+}

@@ -1,0 +1,18 @@
+package a
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// legacy keeps its implicit padding for wire compatibility; the
+// directive records the audit.
+type legacy struct {
+	Tag uint8
+	Len uint64
+}
+
+func encodeLegacy(w *bytes.Buffer, l legacy) error {
+	//elide:vet-ignore padleak audited: gob field-encodes, memory image never copied raw
+	return gob.NewEncoder(w).Encode(l)
+}

@@ -1,0 +1,76 @@
+// Package secretflow implements the elide-vet analyzer that keeps secret
+// bytes out of operator-visible text: log and fmt output, error strings,
+// and the observability name space (metric names, span string
+// attributes) that internal/obs exports in plaintext to /metrics and
+// trace files.
+//
+// It runs the shared intraprocedural taint tracker with the Flow source
+// set — key material and secret plaintext, per secrets.Default — and
+// reports any tainted argument reaching a configured sink. Measurements
+// (MRENCLAVE) are deliberately not flow-secret: the per-enclave metric
+// labels are derived from them by design, and an enclave's measurement
+// is computable from its public binary.
+package secretflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"sgxelide/internal/analysis/framework"
+	"sgxelide/internal/analysis/secrets"
+)
+
+// New builds the analyzer over a secrecy config.
+func New(cfg *secrets.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "secretflow",
+		Doc:  "flags secret key material or plaintext flowing into logs, formatted errors, metric names, or span attributes",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		run(pass, cfg)
+		return nil
+	}
+	return a
+}
+
+// Analyzer is the secretflow analyzer under the default SGXElide
+// secrecy model.
+var Analyzer = New(secrets.Default())
+
+func run(pass *framework.Pass, cfg *secrets.Config) {
+	pass.FuncBodies(func(name string, decl ast.Node, body *ast.BlockStmt) {
+		tr := secrets.NewTracker(pass.TypesInfo, cfg, secrets.Flow, body)
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := secrets.CalleeName(pass.TypesInfo, call)
+			if callee == "" {
+				return true
+			}
+			for _, sink := range cfg.Sinks {
+				if !sink.Func.MatchString(callee) {
+					continue
+				}
+				for _, arg := range call.Args {
+					if !tr.Tainted(arg) {
+						continue
+					}
+					switch sink.Kind {
+					case secrets.SinkName:
+						pass.Reportf(arg.Pos(),
+							"secret-tainted %s flows into the observability name space via %s; metric names and span attributes are exported in plaintext (secretflow)",
+							types.ExprString(arg), callee)
+					default:
+						pass.Reportf(arg.Pos(),
+							"secret-tainted %s flows into %s; secrets must never reach logs, errors, or formatted output (secretflow)",
+							types.ExprString(arg), callee)
+					}
+				}
+				break
+			}
+			return true
+		})
+	})
+}

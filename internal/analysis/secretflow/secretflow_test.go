@@ -1,0 +1,12 @@
+package secretflow_test
+
+import (
+	"testing"
+
+	"sgxelide/internal/analysis/analysistest"
+	"sgxelide/internal/analysis/secretflow"
+)
+
+func TestSecretFlow(t *testing.T) {
+	analysistest.Run(t, secretflow.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,54 @@
+// Package a is secretflow golden testdata: secret key material and
+// plaintext must not reach logs, formatted errors, or the observability
+// name space.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"log"
+)
+
+// Session mirrors elide.Session's secret-relevant field.
+type Session struct {
+	channelKey [16]byte
+}
+
+// Registry and Span mirror the internal/obs surface the sinks match.
+type Registry struct{}
+
+func (r *Registry) Counter(name string) int { return 0 }
+
+type Span struct{}
+
+func (s *Span) SetStr(k, v string) {}
+
+func sealDecrypt(key, blob []byte) ([]byte, error) { return blob, nil }
+
+func leakPrintf(s *Session) {
+	fmt.Printf("session key=%x\n", s.channelKey) // want "flows into fmt.Printf"
+}
+
+func leakLog(s *Session) {
+	log.Printf("resume with key %v", s.channelKey) // want "flows into log.Printf"
+}
+
+func leakError(key, blob []byte) error {
+	pt, err := sealDecrypt(key, blob)
+	if err != nil {
+		return err
+	}
+	return errors.New(string(pt)) // want "flows into errors.New"
+}
+
+func leakErrorf(channelKey []byte) error {
+	return fmt.Errorf("handshake failed for key %x", channelKey) // want "flows into fmt.Errorf"
+}
+
+func leakMetricName(r *Registry, channelKey []byte) {
+	r.Counter("restores_" + string(channelKey)) // want "observability name space"
+}
+
+func leakSpanAttr(sp *Span, s *Session) {
+	sp.SetStr("key", string(s.channelKey[:])) // want "observability name space"
+}

@@ -1,0 +1,23 @@
+package a
+
+import (
+	"fmt"
+	"log"
+)
+
+// Non-secret logging and by-design measurement-derived metric labels
+// must not be flagged.
+
+func okLog(addr string, n int) {
+	log.Printf("served %s frames=%d", addr, n)
+}
+
+func okLen(s *Session) {
+	fmt.Printf("key length %d\n", len(s.channelKey))
+}
+
+func okMetric(r *Registry, mr [32]byte) {
+	// Per-enclave metric labels derive from the (public) measurement by
+	// design; measurements are compare-sensitive, not flow-secret.
+	r.Counter(fmt.Sprintf("restore_total_%x", mr[:4]))
+}

@@ -1,0 +1,10 @@
+package a
+
+import "fmt"
+
+// audited carries a vet-ignore directive: the finding below it must not
+// surface.
+func audited(s *Session) {
+	//elide:vet-ignore secretflow audited: debug build only, key is a fixture
+	fmt.Printf("key=%x\n", s.channelKey)
+}

@@ -1,0 +1,327 @@
+package secrets
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// Kind selects which source set seeds a Tracker.
+type Kind int
+
+const (
+	// Compare taint feeds the constanttime analyzer: everything whose
+	// comparison outcome is secret-sensitive (keys, MACs, bindings,
+	// measurements, secret plaintext).
+	Compare Kind = iota
+	// Flow taint feeds the secretflow analyzer: byte-level secrets only.
+	Flow
+)
+
+// Tracker is an intraprocedural taint tracker: seeded by the Config's
+// source patterns, it propagates through assignments, slicing, indexing,
+// conversions, append/copy and concatenation inside one function body.
+// Calls to functions outside the source set deliberately launder taint —
+// the suite is per-function by design (the same trade Guardian makes for
+// its enclave-boundary checks), and cross-function flows are covered by
+// marking the shared helpers (sealDecrypt, DeriveChannelKey, ...) as
+// sources themselves.
+type Tracker struct {
+	Info    *types.Info
+	Cfg     *Config
+	Kind    Kind
+	tainted map[types.Object]bool
+}
+
+// NewTracker builds a tracker and runs taint propagation over body.
+func NewTracker(info *types.Info, cfg *Config, kind Kind, body ast.Node) *Tracker {
+	t := &Tracker{Info: info, Cfg: cfg, Kind: kind, tainted: make(map[types.Object]bool)}
+	t.propagate(body)
+	return t
+}
+
+// fields/funcs/vars select the source set for the tracker's kind.
+func (t *Tracker) fields() []FieldPattern {
+	if t.Kind == Flow {
+		return t.Cfg.FlowFields
+	}
+	// Compare-sensitivity is a superset: anything that must not flow to a
+	// log is also something whose comparison must not early-exit.
+	return append(append([]FieldPattern(nil), t.Cfg.CompareFields...), t.Cfg.FlowFields...)
+}
+
+func (t *Tracker) funcs() []FuncPattern {
+	if t.Kind == Flow {
+		return t.Cfg.FlowFuncs
+	}
+	return append(append([]FuncPattern(nil), t.Cfg.CompareFuncs...), t.Cfg.FlowFuncs...)
+}
+
+// propagate runs assignments to a fixpoint: each pass marks LHS objects
+// whose RHS is tainted; passes repeat until stable (bounded — taint only
+// grows, and the object set is finite).
+func (t *Tracker) propagate(body ast.Node) {
+	if body == nil {
+		return
+	}
+	for range 32 {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) > 1 && len(s.Rhs) == 1 {
+					// Tuple assignment from one call: taint the result the
+					// source pattern names (or all of them).
+					for i, lhs := range s.Lhs {
+						if t.callResultTainted(s.Rhs[0], i) {
+							changed = t.markLHS(lhs) || changed
+						}
+					}
+					return true
+				}
+				for i, lhs := range s.Lhs {
+					if i < len(s.Rhs) && t.Tainted(s.Rhs[i]) {
+						changed = t.markLHS(lhs) || changed
+					}
+				}
+			case *ast.ValueSpec:
+				if len(s.Names) > 1 && len(s.Values) == 1 {
+					for i, name := range s.Names {
+						if t.callResultTainted(s.Values[0], i) {
+							changed = t.markIdent(name) || changed
+						}
+					}
+					return true
+				}
+				for i, name := range s.Names {
+					if i < len(s.Values) && t.Tainted(s.Values[i]) {
+						changed = t.markIdent(name) || changed
+					}
+				}
+			case *ast.RangeStmt:
+				if t.Tainted(s.X) {
+					if id, ok := s.Value.(*ast.Ident); ok {
+						changed = t.markIdent(id) || changed
+					}
+				}
+			case *ast.CallExpr:
+				// copy(dst, secret) taints dst.
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "copy" && len(s.Args) == 2 {
+					if t.Tainted(s.Args[1]) {
+						changed = t.markLHS(s.Args[0]) || changed
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// markLHS marks the object behind an assignable expression, looking
+// through slicing and indexing (copy(dst[4:], secret) taints dst).
+func (t *Tracker) markLHS(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return t.markIdent(v)
+	case *ast.SliceExpr:
+		return t.markLHS(v.X)
+	case *ast.IndexExpr:
+		return t.markLHS(v.X)
+	case *ast.ParenExpr:
+		return t.markLHS(v.X)
+	case *ast.StarExpr:
+		return t.markLHS(v.X)
+	}
+	return false
+}
+
+func (t *Tracker) markIdent(id *ast.Ident) bool {
+	if id.Name == "_" {
+		return false
+	}
+	obj := t.Info.ObjectOf(id)
+	if obj == nil || t.tainted[obj] {
+		return false
+	}
+	t.tainted[obj] = true
+	return true
+}
+
+// Tainted reports whether e carries secret taint.
+func (t *Tracker) Tainted(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := t.Info.ObjectOf(v)
+		if obj == nil {
+			return false
+		}
+		if t.tainted[obj] {
+			return true
+		}
+		if _, isVar := obj.(*types.Var); isVar {
+			for _, p := range t.varPatterns() {
+				if p.MatchString(v.Name) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.SelectorExpr:
+		if t.fieldIsSource(v) {
+			return true
+		}
+		return t.Tainted(v.X)
+	case *ast.CallExpr:
+		return t.callResultTainted(v, -1)
+	case *ast.IndexExpr:
+		return t.Tainted(v.X)
+	case *ast.SliceExpr:
+		return t.Tainted(v.X)
+	case *ast.ParenExpr:
+		return t.Tainted(v.X)
+	case *ast.StarExpr:
+		return t.Tainted(v.X)
+	case *ast.UnaryExpr:
+		return t.Tainted(v.X)
+	case *ast.BinaryExpr:
+		return t.Tainted(v.X) || t.Tainted(v.Y)
+	case *ast.CompositeLit:
+		for _, el := range v.Elts {
+			if t.Tainted(el) {
+				return true
+			}
+		}
+	case *ast.KeyValueExpr:
+		return t.Tainted(v.Value)
+	}
+	return false
+}
+
+// callResultTainted reports whether result #res of a call (or any
+// result, res == -1) is secret: type conversions and append/min/max pass
+// taint through; configured source functions introduce it.
+func (t *Tracker) callResultTainted(e ast.Expr, res int) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	// A conversion like []byte(secret) or string(secret) keeps the taint.
+	if tv, ok := t.Info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && t.Tainted(call.Args[0])
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := t.Info.ObjectOf(id).(*types.Builtin); ok {
+			switch b.Name() {
+			case "append", "min", "max":
+				for _, a := range call.Args {
+					if t.Tainted(a) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+	}
+	name := CalleeName(t.Info, call)
+	if name == "" {
+		return false
+	}
+	for _, p := range t.funcs() {
+		if p.Func.MatchString(name) && (p.Result < 0 || res < 0 || p.Result == res) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldIsSource matches x.f against the field source patterns.
+func (t *Tracker) fieldIsSource(sel *ast.SelectorExpr) bool {
+	obj := t.Info.ObjectOf(sel.Sel)
+	field, ok := obj.(*types.Var)
+	if !ok || !field.IsField() {
+		return false
+	}
+	owner := ownerTypeName(t.Info, sel)
+	if owner == "" {
+		return false
+	}
+	for _, p := range t.fields() {
+		if p.Type.MatchString(owner) && p.Field.MatchString(field.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// ownerTypeName names the receiver type of a field selection as
+// "pkg.Type" (or bare "Type" for the package being analyzed).
+func ownerTypeName(info *types.Info, sel *ast.SelectorExpr) string {
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	return namedName(tv.Type)
+}
+
+// namedName renders the named type behind t (through pointers) as
+// "pkg.Name".
+func namedName(t types.Type) string {
+	for {
+		switch v := t.(type) {
+		case *types.Pointer:
+			t = v.Elem()
+			continue
+		case *types.Named:
+			obj := v.Obj()
+			if obj.Pkg() != nil {
+				return obj.Pkg().Name() + "." + obj.Name()
+			}
+			return obj.Name()
+		case *types.Alias:
+			t = types.Unalias(t)
+			continue
+		default:
+			return ""
+		}
+	}
+}
+
+// CalleeName renders a call's target as a dotted name the Config
+// patterns match: "pkg.Func", "pkg.Recv.Method" (receiver pointer
+// stripped), or the bare "Func" for calls within the analyzed package.
+func CalleeName(info *types.Info, call *ast.CallExpr) string {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		obj = info.ObjectOf(fun.Sel)
+	default:
+		return ""
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if recv := namedName(sig.Recv().Type()); recv != "" {
+			return recv + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// varPatterns selects the identifier-name source patterns for the kind.
+func (t *Tracker) varPatterns() []*regexp.Regexp {
+	if t.Kind == Flow {
+		return t.Cfg.FlowVars
+	}
+	return append(append([]*regexp.Regexp(nil), t.Cfg.CompareVars...), t.Cfg.FlowVars...)
+}

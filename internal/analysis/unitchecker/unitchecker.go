@@ -1,0 +1,302 @@
+// Package unitchecker makes the elide-vet analyzers runnable under
+// "go vet -vettool=": a stdlib-only reimplementation of the
+// golang.org/x/tools unitchecker protocol.
+//
+// The go command drives a vettool through three entry points:
+//
+//   - "tool -V=full" must print a versioned build ID line (the content
+//     hash of the tool binary), which go uses as the cache key so edits
+//     to the analyzers invalidate cached vet results;
+//   - "tool -flags" must print the tool's flags as JSON so the go
+//     command can validate pass-through flags;
+//   - "tool <file>.cfg" runs the analysis unit described by the JSON
+//     config: parse cfg.GoFiles, typecheck against the compiler export
+//     data in cfg.PackageFile (resolving imports through cfg.ImportMap),
+//     run the analyzers, and print diagnostics to stderr — exiting
+//     nonzero if there are any.
+//
+// Dependencies of the vetted packages arrive with VetxOnly set: the go
+// command only wants the fact file (cfg.VetxOutput) for them. The
+// elide-vet analyzers exchange no facts, so that path writes an empty
+// facts file and returns without even parsing — which also means the
+// standard library is never analyzed, only this module's packages.
+//
+// Two policy choices live here rather than in the analyzers:
+// diagnostics in _test.go files are dropped (the secrecy invariants
+// target production code; tests legitimately print and compare
+// fixtures), and //elide:vet-ignore suppressions are applied, with
+// malformed directives surfaced as findings of their own.
+package unitchecker
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sgxelide/internal/analysis/framework"
+)
+
+// Config is the JSON unit description the go command writes next to the
+// build artifacts (the schema of x/tools unitchecker.Config; field
+// names must match the go command's encoder).
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vettool built from framework analyzers.
+// Each analyzer gets an enable flag of its name; with none set, all run.
+func Main(analyzers ...*framework.Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	versionFlag := fs.String("V", "", "print version and exit (the go command passes -V=full)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit")
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, "enable only the "+a.Name+" analyzer (default: all)")
+	}
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "%s: the SGXElide security vet suite; run via go vet -vettool=$(command -v %s) ./...\n", progname, progname)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if *versionFlag != "" {
+		printVersion(progname, *versionFlag)
+		return
+	}
+	if *flagsFlag {
+		printFlags(fs)
+		return
+	}
+
+	args := fs.Args()
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	selected := analyzers[:0:0]
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	if len(selected) == 0 {
+		selected = analyzers
+	}
+	os.Exit(runUnit(args[0], selected))
+}
+
+// printVersion implements -V. For -V=full the go command requires a
+// line naming a build ID that changes whenever the tool changes; the
+// content hash of the executable is exactly that.
+func printVersion(progname, mode string) {
+	if mode != "full" {
+		fmt.Printf("%s version devel\n", progname)
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		_, _ = io.Copy(h, f)
+		_ = f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, string(h.Sum(nil)))
+}
+
+// printFlags implements -flags: the JSON flag dump the go command uses
+// to validate flags passed through "go vet -vettool=... -<flag>".
+func printFlags(fs *flag.FlagSet) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var out []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		isBool := false
+		if b, ok := f.Value.(interface{ IsBoolFlag() bool }); ok {
+			isBool = b.IsBoolFlag()
+		}
+		out = append(out, jsonFlag{Name: f.Name, Bool: isBool, Usage: f.Usage})
+	})
+	data, err := json.Marshal(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "flags: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// runUnit executes one vet unit and returns the process exit code.
+func runUnit(cfgPath string, analyzers []*framework.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elide-vet: %v\n", err)
+		return 1
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "elide-vet: bad config %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// The analyzers exchange no facts, so a dependency-only visit needs
+	// nothing but the (empty) facts file the go command will cache.
+	if err := writeVetx(&cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "elide-vet: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	diags, err := analyze(&cfg, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "elide-vet: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%v: %s\n", d.Position, d.Message)
+	}
+	return 2
+}
+
+// positioned is a diagnostic resolved to a file position.
+type positioned struct {
+	Position token.Position
+	Message  string
+}
+
+// analyze parses and typechecks the unit, runs the analyzers, applies
+// the _test.go and vet-ignore filters, and resolves positions.
+func analyze(cfg *Config, analyzers []*framework.Analyzer) ([]positioned, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	sizes := types.SizesFor(cfg.Compiler, build.Default.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", build.Default.GOARCH)
+	}
+	tc := &types.Config{Importer: imp, Sizes: sizes}
+	if cfg.GoVersion != "" {
+		tc.GoVersion = cfg.GoVersion
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	diags, err := framework.Run(analyzers, fset, files, pkg, info, sizes)
+	if err != nil {
+		return nil, err
+	}
+	diags = framework.ParseIgnores(fset, files).Filter(diags)
+
+	var out []positioned
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		// The secrecy invariants are production-code invariants: tests
+		// print fixtures and compare secrets on purpose.
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		out = append(out, positioned{Position: pos, Message: d.Message})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// writeVetx writes the (empty) facts file the go command caches.
+func writeVetx(cfg *Config) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, nil, 0o666)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

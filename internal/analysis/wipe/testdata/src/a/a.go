@@ -1,0 +1,99 @@
+// Package a is wipe golden testdata: buffers returned by decrypt/derive
+// helpers must be zeroized on the way out unless ownership is handed
+// off.
+package a
+
+func AESGCMOpen(key, nonce, ct []byte) ([]byte, error) { return ct, nil }
+
+func DeriveChannelKey(secret, salt []byte) []byte { return secret }
+
+// Wipe zeroizes b; it matches the configured wiper patterns.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func use(b []byte) {}
+
+// dropped decrypts and simply drops the plaintext for the GC.
+func dropped(key, blob []byte) error {
+	pt, err := AESGCMOpen(key, nil, blob) // want "never zeroized"
+	if err != nil {
+		return err
+	}
+	use(pt)
+	return nil
+}
+
+// droppedDerive drops a derived key the same way.
+func droppedDerive(secret, salt []byte) {
+	k := DeriveChannelKey(secret, salt) // want "never zeroized"
+	use(k)
+}
+
+// deferred is the recommended shape: covers every exit path.
+func deferred(key, blob []byte) error {
+	pt, err := AESGCMOpen(key, nil, blob)
+	if err != nil {
+		return err
+	}
+	defer Wipe(pt)
+	use(pt)
+	return nil
+}
+
+// cleared uses the clear builtin.
+func cleared(key, blob []byte) {
+	pt, _ := AESGCMOpen(key, nil, blob)
+	use(pt)
+	clear(pt)
+}
+
+// manual zeroizes with an explicit range loop.
+func manual(key, blob []byte) {
+	pt, _ := AESGCMOpen(key, nil, blob)
+	use(pt)
+	for i := range pt {
+		pt[i] = 0
+	}
+}
+
+// handlers seeds a finding inside a package-level function literal, the
+// shape of the SDK intrinsic tables.
+var handlers = map[int]func(key, blob []byte){
+	1: func(key, blob []byte) {
+		pt, _ := AESGCMOpen(key, nil, blob) // want "never zeroized"
+		use(pt)
+	},
+	2: func(key, blob []byte) {
+		pt, _ := AESGCMOpen(key, nil, blob)
+		defer Wipe(pt)
+		use(pt)
+	},
+}
+
+// install mirrors the SDK intrinsic installer: a table of closures built
+// inside a function. A closure's own locals do not escape through the
+// composite literal that holds the closure, so the dropped buffer is
+// still a finding.
+func install() map[int]func(key, blob []byte) {
+	return map[int]func(key, blob []byte){
+		1: func(key, blob []byte) {
+			pt, _ := AESGCMOpen(key, nil, blob) // want "never zeroized"
+			use(pt)
+		},
+		2: func(key, blob []byte) {
+			pt, _ := AESGCMOpen(key, nil, blob)
+			defer Wipe(pt)
+			use(pt)
+		},
+	}
+}
+
+// wipedSlice wipes through a re-slice, which also counts.
+func wipedSlice(key, blob []byte) {
+	pt, _ := AESGCMOpen(key, nil, blob)
+	use(pt)
+	Wipe(pt[:len(pt)])
+}

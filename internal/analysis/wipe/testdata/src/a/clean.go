@@ -1,0 +1,44 @@
+package a
+
+// Ownership handoffs: the buffer escapes the function, so the new owner
+// is responsible for wiping it.
+
+type holder struct {
+	buf []byte
+}
+
+var global []byte
+
+// returned hands the plaintext to the caller.
+func returned(key, blob []byte) ([]byte, error) {
+	pt, err := AESGCMOpen(key, nil, blob)
+	if err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// stored parks the buffer in a longer-lived struct.
+func stored(h *holder, key, blob []byte) {
+	pt, _ := AESGCMOpen(key, nil, blob)
+	h.buf = pt
+}
+
+// appended hands the bytes to a longer-lived collection.
+func appended(dst [][]byte, key, blob []byte) [][]byte {
+	pt, _ := AESGCMOpen(key, nil, blob)
+	dst = append(dst, pt)
+	return dst
+}
+
+// published stores into a package-level variable.
+func published(key, blob []byte) {
+	pt, _ := AESGCMOpen(key, nil, blob)
+	global = pt
+}
+
+// sent transfers ownership over a channel.
+func sent(ch chan []byte, key, blob []byte) {
+	pt, _ := AESGCMOpen(key, nil, blob)
+	ch <- pt
+}

@@ -1,0 +1,9 @@
+package a
+
+// audited carries a vet-ignore directive: the finding below it must not
+// surface.
+func audited(key, blob []byte) {
+	//elide:vet-ignore wipe audited: buffer aliases caller storage, wiped upstream
+	pt, _ := AESGCMOpen(key, nil, blob)
+	use(pt)
+}

@@ -1,0 +1,304 @@
+// Package wipe implements the elide-vet analyzer that requires
+// caller-owned secret buffers to be zeroized before the function
+// returns. SGXElide's whole premise is that the secret binary payload
+// and the keys protecting it exist in cleartext only transiently;
+// a decrypted buffer that is simply dropped for the GC keeps those
+// bytes live in heap pages indefinitely, where a memory-disclosure bug
+// or a core dump recovers them.
+//
+// The check is ownership-based and intraprocedural: a local variable
+// bound to the result of a configured wipe source (AESGCMOpen,
+// sealDecrypt, DeriveChannelKey, ...) must either escape the function —
+// be returned or stored into a field, map, global, or appended
+// collection, transferring ownership — or be zeroized on the way out
+// via a configured wiper (wipe/Wipe/zeroize...), the clear() builtin,
+// or an explicit for-range zeroing loop. "defer wipe(buf)" is the
+// recommended shape because it covers every exit path including
+// panics; the analyzer accepts a non-deferred wipe too, but only a
+// defer is robust to early returns added later.
+package wipe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sgxelide/internal/analysis/framework"
+	"sgxelide/internal/analysis/secrets"
+)
+
+// New builds the analyzer over a secrecy config.
+func New(cfg *secrets.Config) *framework.Analyzer {
+	a := &framework.Analyzer{
+		Name: "wipe",
+		Doc:  "flags decrypted/derived secret buffers that are neither zeroized (defer wipe(...)) nor handed off before the function returns",
+	}
+	a.Run = func(pass *framework.Pass) error {
+		run(pass, cfg)
+		return nil
+	}
+	return a
+}
+
+// Analyzer is the wipe analyzer under the default SGXElide secrecy
+// model.
+var Analyzer = New(secrets.Default())
+
+// secretLocal is one buffer the enclosing function owns.
+type secretLocal struct {
+	obj    types.Object
+	pos    token.Pos
+	name   string
+	source string // callee that produced it, for the message
+	wiped  bool
+	escape bool
+}
+
+func run(pass *framework.Pass, cfg *secrets.Config) {
+	pass.FuncBodies(func(fname string, decl ast.Node, body *ast.BlockStmt) {
+		locals := collectLocals(pass, cfg, body)
+		if len(locals) == 0 {
+			return
+		}
+		classify(pass, cfg, body, locals)
+		for _, l := range locals {
+			if l.wiped || l.escape {
+				continue
+			}
+			pass.Reportf(l.pos,
+				"secret buffer %s from %s is never zeroized in %s; its plaintext stays live on the heap — add defer on a wipe helper (e.g. defer sdk.Wipe(%s)) covering every exit path (wipe)",
+				l.name, l.source, fname, l.name)
+		}
+	})
+}
+
+// collectLocals finds := / var bindings of wipe-source results to plain
+// local identifiers.
+func collectLocals(pass *framework.Pass, cfg *secrets.Config, body *ast.BlockStmt) []*secretLocal {
+	var out []*secretLocal
+	seen := make(map[types.Object]bool)
+	bind := func(id *ast.Ident, call *ast.CallExpr, res int) {
+		if id == nil || id.Name == "_" {
+			return
+		}
+		callee := secrets.CalleeName(pass.TypesInfo, call)
+		if callee == "" || !isSource(cfg, callee, res) {
+			return
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || seen[obj] || !byteSlice(obj.Type()) {
+			return
+		}
+		seen[obj] = true
+		out = append(out, &secretLocal{obj: obj, pos: id.Pos(), name: id.Name, source: callee})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				id, _ := lhs.(*ast.Ident)
+				res := i
+				if len(s.Lhs) == 1 {
+					res = 0
+				}
+				bind(id, call, res)
+			}
+		case *ast.ValueSpec:
+			if len(s.Values) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(s.Values[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for i, name := range s.Names {
+				res := i
+				if len(s.Names) == 1 {
+					res = 0
+				}
+				bind(name, call, res)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// classify walks the body once, marking each local wiped or escaped.
+func classify(pass *framework.Pass, cfg *secrets.Config, body *ast.BlockStmt, locals []*secretLocal) {
+	byObj := make(map[types.Object]*secretLocal, len(locals))
+	for _, l := range locals {
+		byObj[l.obj] = l
+	}
+	lookup := func(e ast.Expr) *secretLocal {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return byObj[pass.TypesInfo.ObjectOf(id)]
+	}
+	mentions := func(e ast.Expr) []*secretLocal {
+		var hits []*secretLocal
+		ast.Inspect(e, func(n ast.Node) bool {
+			// A local declared inside a nested closure does not escape via
+			// an expression that merely contains the closure.
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if l := byObj[pass.TypesInfo.ObjectOf(id)]; l != nil {
+					hits = append(hits, l)
+				}
+			}
+			return true
+		})
+		return hits
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			// Returning the buffer (or anything computed from it inline)
+			// transfers ownership to the caller.
+			for _, r := range s.Results {
+				for _, l := range mentions(r) {
+					l.escape = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				l := lookup(rhs)
+				if l == nil {
+					// x = append(x, buf...) and friends hand the bytes to a
+					// longer-lived collection.
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+							for _, a := range call.Args {
+								if al := lookup(a); al != nil {
+									al.escape = true
+								}
+							}
+						}
+					}
+					continue
+				}
+				// Storing into anything that is not a plain local — a field,
+				// an index, a dereference, a package-level var — escapes.
+				if i < len(s.Lhs) && escapingLHS(pass, s.Lhs[i]) {
+					l.escape = true
+				}
+			}
+		case *ast.CallExpr:
+			classifyCall(pass, cfg, s, lookup)
+		case *ast.DeferStmt:
+			classifyCall(pass, cfg, s.Call, lookup)
+		case *ast.CompositeLit:
+			for _, el := range s.Elts {
+				for _, l := range mentions(el) {
+					l.escape = true
+				}
+			}
+		case *ast.GoStmt:
+			for _, a := range s.Call.Args {
+				for _, l := range mentions(a) {
+					l.escape = true
+				}
+			}
+		case *ast.SendStmt:
+			for _, l := range mentions(s.Value) {
+				l.escape = true
+			}
+		case *ast.RangeStmt:
+			// for i := range buf { buf[i] = 0 } is an accepted manual wipe.
+			if l := lookup(s.X); l != nil && zeroLoop(s) {
+				l.wiped = true
+			}
+		}
+		return true
+	})
+}
+
+// classifyCall marks wipes (wiper call or clear builtin on the buffer).
+func classifyCall(pass *framework.Pass, cfg *secrets.Config, call *ast.CallExpr, lookup func(ast.Expr) *secretLocal) {
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "clear" && len(call.Args) == 1 {
+		if l := lookup(call.Args[0]); l != nil {
+			l.wiped = true
+		}
+		return
+	}
+	callee := secrets.CalleeName(pass.TypesInfo, call)
+	if callee == "" || cfg.Wipers == nil || !cfg.Wipers.MatchString(callee) {
+		return
+	}
+	for _, a := range call.Args {
+		if l := lookup(a); l != nil {
+			l.wiped = true
+		}
+		// wipe(buf[:n]) also counts.
+		if sl, ok := ast.Unparen(a).(*ast.SliceExpr); ok {
+			if l := lookup(sl.X); l != nil {
+				l.wiped = true
+			}
+		}
+	}
+}
+
+// escapingLHS reports whether assigning into lhs moves the value out of
+// function-local ownership.
+func escapingLHS(pass *framework.Pass, lhs ast.Expr) bool {
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.ObjectOf(v)
+		if obj == nil || obj.Parent() == nil {
+			return true
+		}
+		// Package-scope var: escapes. Function-local: ownership stays here.
+		return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return true
+}
+
+// zeroLoop recognizes "for i := range buf { buf[i] = 0 }".
+func zeroLoop(r *ast.RangeStmt) bool {
+	if r.Body == nil || len(r.Body.List) != 1 {
+		return false
+	}
+	as, ok := r.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	if _, ok := as.Lhs[0].(*ast.IndexExpr); !ok {
+		return false
+	}
+	lit, ok := as.Rhs[0].(*ast.BasicLit)
+	return ok && lit.Value == "0"
+}
+
+// isSource matches callee/result against the configured wipe sources.
+func isSource(cfg *secrets.Config, callee string, res int) bool {
+	for _, p := range cfg.WipeSources {
+		if p.Func.MatchString(callee) && (p.Result < 0 || p.Result == res) {
+			return true
+		}
+	}
+	return false
+}
+
+// byteSlice reports whether t is []byte-shaped.
+func byteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}

@@ -1,0 +1,12 @@
+package wipe_test
+
+import (
+	"testing"
+
+	"sgxelide/internal/analysis/analysistest"
+	"sgxelide/internal/analysis/wipe"
+)
+
+func TestWipe(t *testing.T) {
+	analysistest.Run(t, wipe.Analyzer, "testdata/src/a")
+}

@@ -122,7 +122,7 @@ func (r *replica) start() error {
 		elide.WithDrainTimeout(100*time.Millisecond),
 	)
 	if err != nil {
-		l.Close()
+		_ = l.Close() // listener never served; nothing depends on the close
 		return err
 	}
 	ctx, cancel := context.WithCancel(context.Background())

@@ -329,7 +329,7 @@ func oneProtocolRestore(env *Env, quoter *quoteFactory, addr string, metrics *ob
 		elide.WithRequestTimeout(timeout),
 		elide.WithRetryBudget(1), // open loop: a failed arrival is a data point, not a retry loop
 	)
-	defer client.Close()
+	defer func() { _ = client.Close() }()
 	spub, err := client.Attest(ctx, quote, pub)
 	if err != nil {
 		return err

@@ -144,7 +144,7 @@ func MultiBench(env *Env, cfg MultiBenchConfig) (*MultiBenchResult, error) {
 						elide.WithDialTimeout(30*time.Second),
 						elide.WithRequestTimeout(time.Minute),
 					)
-					defer client.Close()
+					defer func() { _ = client.Close() }()
 					encl, rt, err := d.prot.Launch(host, client, d.prot.LocalFiles())
 					if err != nil {
 						return err

@@ -143,7 +143,7 @@ func ServerBench(env *Env, cfg ServerBenchConfig) (*ServerBenchResult, error) {
 					elide.WithDialTimeout(30*time.Second),
 					elide.WithRequestTimeout(time.Minute),
 				)
-				defer client.Close()
+				defer func() { _ = client.Close() }()
 				encl, rt, err := prot.Launch(host, client, prot.LocalFiles())
 				if err != nil {
 					return err

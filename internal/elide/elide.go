@@ -90,6 +90,7 @@ type SecretMeta struct {
 	Key           [16]byte
 	IV            [12]byte
 	MAC           [16]byte
+	_             [1]byte // explicit padding: boundary structs carry no implicit holes
 
 	// TextLen/TextDigest pin the expected post-restore text: the restorer
 	// hashes the whole text section after the apply and refuses to report

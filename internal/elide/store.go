@@ -3,6 +3,7 @@ package elide
 import (
 	"context"
 	"crypto/ecdsa"
+	"crypto/subtle"
 	"encoding/hex"
 	"fmt"
 	"os"
@@ -283,6 +284,7 @@ func (st *SecretStore) LoadDir(dir string) (DirReport, error) {
 		if e.dir == "" {
 			continue
 		}
+		//elide:vet-ignore constanttime rescan compares two store-owned public measurements, no attacker-supplied guess
 		if mr, ok := seen[e.dir]; !ok || mr != e.MrEnclave {
 			if st.Remove(e.MrEnclave) {
 				rep.Removed++
@@ -308,9 +310,10 @@ func (st *SecretStore) pinCA(pub *ecdsa.PublicKey) error {
 
 // sameSecrets reports whether a loaded config matches the registered entry
 // byte for byte (so an unchanged deployment is not churned on every scan).
+// Both blobs carry key material, so the comparison is constant time.
 func sameSecrets(e *SecretEntry, cfg ServerConfig) bool {
-	return string(e.Meta.Marshal()) == string(cfg.Meta.Marshal()) &&
-		string(e.SecretPlain) == string(cfg.SecretPlain)
+	return subtle.ConstantTimeCompare(e.Meta.Marshal(), cfg.Meta.Marshal()) == 1 &&
+		subtle.ConstantTimeCompare(e.SecretPlain, cfg.SecretPlain) == 1
 }
 
 // Watch rescans dir every interval until ctx ends, so deployments added,

@@ -510,10 +510,12 @@ func (c *TCPClient) Request(ctx context.Context, enc []byte) ([]byte, error) {
 	})
 }
 
-// setDeadlineLocked arms the per-operation I/O deadline.
+// setDeadlineLocked arms the per-operation I/O deadline. A SetDeadline
+// failure means the connection is already dead; the next read or write
+// reports that with a more useful error than the deadline call would.
 func (c *TCPClient) setDeadlineLocked() {
 	if c.opt.requestTimeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.opt.requestTimeout))
+		_ = c.conn.SetDeadline(time.Now().Add(c.opt.requestTimeout))
 	}
 }
 
@@ -565,9 +567,10 @@ func (c *TCPClient) withRetry(ctx context.Context, metric string, op func() ([]b
 		asp.SetError(err)
 		asp.End()
 		// A dead connection must not be reused by the next attempt (or a
-		// later Request); drop it before classifying the error.
+		// later Request); drop it before classifying the error. The close
+		// error is irrelevant next to the op error being handled.
 		c.mu.Lock()
-		c.closeConnLocked()
+		_ = c.closeConnLocked()
 		c.mu.Unlock()
 		var oe *OverloadedError
 		if errors.As(err, &oe) {

@@ -57,10 +57,20 @@ uint8_t elide_channel_key[16];
 uint64_t elide_restored;
 uint64_t elide_sealed_corrupt;
 
+/* elide_wipe zeroizes secret-bearing memory before it is released or a
+ * function returns: decrypted plaintext, seal/channel keys, and the ECDH
+ * private key must not outlive their use inside the enclave heap/stack
+ * (a later memory-disclosure bug or a dump would recover them). */
+void elide_wipe(uint8_t* p, uint64_t n) {
+    for (uint64_t i = 0; i < n; i++) p[i] = 0;
+}
+
 /* elide_channel_setup attests to the server and derives the channel key:
  * a fresh ECDH keypair is bound into the report data (sha256 of the public
  * key), the report is quoted by the QE (via the untrusted runtime), and the
- * server replies with its own public key only if the quote checks out. */
+ * server replies with its own public key only if the quote checks out.
+ * Single exit after key generation so the private key is wiped on every
+ * path, including the error returns. */
 uint64_t elide_channel_setup(void) {
     uint8_t priv[32];
     uint8_t pub[32];
@@ -69,16 +79,23 @@ uint64_t elide_channel_setup(void) {
     uint8_t msg[232];
     uint8_t spub[32];
     uint64_t n;
+    uint64_t rc;
     if (sgx_ecdh_keypair(priv, pub)) return 101;
+    rc = 0;
     elide_qe_target(ti);
     for (int i = 0; i < 64; i++) rdata[i] = 0;
     sgx_sha256_msg(pub, 32, rdata);
-    if (sgx_create_report(ti, rdata, msg)) return 102;
-    memcpy(msg + 200, pub, 32);
-    n = elide_server_request(0, msg, 232, spub, 32);
-    if (n != 32) return 103;
-    if (sgx_ecdh_shared(priv, spub, elide_channel_key)) return 104;
-    return 0;
+    if (sgx_create_report(ti, rdata, msg)) rc = 102;
+    if (rc == 0) {
+        memcpy(msg + 200, pub, 32);
+        n = elide_server_request(0, msg, 232, spub, 32);
+        if (n != 32) rc = 103;
+    }
+    if (rc == 0) {
+        if (sgx_ecdh_shared(priv, spub, elide_channel_key)) rc = 104;
+    }
+    elide_wipe(priv, 32);
+    return rc;
 }
 
 /* elide_channel_request sends one encrypted request byte (REQUEST_META or
@@ -166,10 +183,17 @@ uint64_t elide_try_sealed(void) {
     if (n != total) return 2;
     if (sgx_get_seal_key(0, key)) return 2;
     uint8_t* plain = malloc(dlen);
-    if (sgx_rijndael128GCM_decrypt(key, blob + 92, dlen, plain, blob + 64, blob + 76)) return 2;
-    elide_apply(plain, dlen, off, format);
-    if (elide_verify_text(off, textlen, blob + 32)) return 2;
-    return 0;
+    uint64_t rc = 0;
+    if (sgx_rijndael128GCM_decrypt(key, blob + 92, dlen, plain, blob + 64, blob + 76)) rc = 2;
+    if (rc == 0) {
+        elide_apply(plain, dlen, off, format);
+        if (elide_verify_text(off, textlen, blob + 32)) rc = 2;
+    }
+    /* The seal key and the decrypted text must not linger on the stack or
+     * heap once the apply has consumed them (or failed). */
+    elide_wipe(key, 16);
+    elide_wipe(plain, dlen);
+    return rc;
 }
 
 void elide_seal(uint8_t* data, uint64_t dlen, uint64_t off, uint64_t format, uint64_t textlen, uint8_t* digest) {
@@ -183,8 +207,10 @@ void elide_seal(uint8_t* data, uint64_t dlen, uint64_t off, uint64_t format, uin
     memcpy(blob + 32, digest, 32);
     if (sgx_get_seal_key(0, key)) return;
     sgx_read_rand(blob + 64, 12);
-    if (sgx_rijndael128GCM_encrypt(key, data, dlen, blob + 92, blob + 64, blob + 76)) return;
-    elide_write_file(blob, total);
+    uint64_t ok = 1;
+    if (sgx_rijndael128GCM_encrypt(key, data, dlen, blob + 92, blob + 64, blob + 76)) ok = 0;
+    elide_wipe(key, 16);
+    if (ok) elide_write_file(blob, total);
 }
 
 /* elide_restore is the single ecall a developer adds (paper §3.4).
@@ -220,13 +246,18 @@ uint64_t elide_restore(uint64_t flags) {
     r = elide_channel_setup();
     if (r) return r;
     n = elide_channel_request(1, mbuf, 160);
-    if (n != 101) return 105;
+    if (n != 101) {
+        elide_wipe(mbuf, 160);
+        elide_wipe(elide_channel_key, 16);
+        return 105;
+    }
     memcpy(&dlen, mbuf, 8);
     memcpy(&off, mbuf + 8, 8);
     memcpy(&textlen, mbuf + 61, 8);
     format = (mbuf[16] >> 1) & 1;
     data = malloc(dlen);
     got = 0;
+    r = 0;
     if (mbuf[16] & 4) {
         /* Hybrid: the data lives both on the server and in the encrypted
          * local file. Prefer the fresh remote copy; degrade to the local
@@ -237,37 +268,51 @@ uint64_t elide_restore(uint64_t flags) {
             memcpy(data, hdata, dlen);
             got = 1;
         }
+        elide_wipe(hdata, dlen + 28);
         if (got == 0) elide_report(3);
     }
     if (got == 0) {
         if (mbuf[16] & 1) {
             /* Local data: read the encrypted file, decrypt with the key the
-             * server released over the attested channel. */
+             * server released over the attested channel (key at mbuf+17). */
             n = elide_read_file(0, data, dlen);
-            if (n != dlen) return 106;
-            if (sgx_rijndael128GCM_decrypt(mbuf + 17, data, dlen, data, mbuf + 33, mbuf + 45)) return 107;
+            if (n != dlen) r = 106;
+            if (r == 0) {
+                if (sgx_rijndael128GCM_decrypt(mbuf + 17, data, dlen, data, mbuf + 33, mbuf + 45)) r = 107;
+            }
         } else {
             /* Remote data: fetch the secret bytes over the channel. */
             uint8_t* edata = malloc(dlen + 28);
             n = elide_channel_request(2, edata, dlen + 28);
-            if (n != dlen) return 108;
-            memcpy(data, edata, dlen);
+            if (n != dlen) r = 108;
+            if (r == 0) memcpy(data, edata, dlen);
+            elide_wipe(edata, dlen + 28);
         }
     }
-    elide_apply(data, dlen, off, format);
-    if (elide_verify_text(off, textlen, mbuf + 69)) {
-        /* Torn restore: never report success over a text that does not
-         * hash to the original. elide_restored stays clear so a retry
-         * re-runs the whole protocol. */
-        elide_report(2);
-        return 110;
+    if (r == 0) {
+        elide_apply(data, dlen, off, format);
+        if (elide_verify_text(off, textlen, mbuf + 69)) {
+            /* Torn restore: never report success over a text that does not
+             * hash to the original. elide_restored stays clear so a retry
+             * re-runs the whole protocol. */
+            elide_report(2);
+            r = 110;
+        }
     }
-    elide_restored = 1;
-    if ((flags & 2) | elide_sealed_corrupt) {
-        elide_seal(data, dlen, off, format, textlen, mbuf + 69);
-        elide_sealed_corrupt = 0;
+    if (r == 0) {
+        elide_restored = 1;
+        if ((flags & 2) | elide_sealed_corrupt) {
+            elide_seal(data, dlen, off, format, textlen, mbuf + 69);
+            elide_sealed_corrupt = 0;
+        }
     }
-    return 0;
+    /* Single cleanup for every outcome: the restored text now lives only
+     * in the text section, so the staging copy, the metadata blob (which
+     * carries the local-data key/IV/MAC), and the channel key are wiped. */
+    elide_wipe(data, dlen);
+    elide_wipe(mbuf, 160);
+    elide_wipe(elide_channel_key, 16);
+    return r;
 }
 `
 

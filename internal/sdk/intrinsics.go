@@ -123,6 +123,8 @@ func installIntrinsics(e *Enclave) {
 			if err != nil {
 				return fail("aes-gcm: " + err.Error())
 			}
+			defer Wipe(key)
+			defer Wipe(src)
 			if f := m.WriteBytes(arg(3), ct); f != nil {
 				return f
 			}
@@ -156,6 +158,8 @@ func installIntrinsics(e *Enclave) {
 				setRet(1) // SGX_ERROR_MAC_MISMATCH
 				return nil
 			}
+			defer Wipe(pt)
+			defer Wipe(key)
 			if f := m.WriteBytes(arg(3), pt); f != nil {
 				return f
 			}
@@ -256,6 +260,8 @@ func installIntrinsics(e *Enclave) {
 				setRet(1)
 				return nil
 			}
+			defer Wipe(key)
+			defer Wipe(privB)
 			if f := m.WriteBytes(arg(2), key); f != nil {
 				return f
 			}

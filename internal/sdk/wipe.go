@@ -1,0 +1,16 @@
+package sdk
+
+// Wipe zeroizes b in place. Decrypted plaintext and derived key
+// material exist in cleartext only transiently (the SGXElide premise);
+// every owner of such a buffer wipes it on the way out — typically
+// "defer Wipe(buf)" so the zeroization covers every exit path. The
+// elide-vet wipe analyzer enforces the convention.
+//
+// The loop is the idiomatic Go zeroization pattern (compiled to a
+// memclr); a separate helper rather than inline clear() so call sites
+// read as a security action and the vet suite can recognize it by name.
+func Wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

@@ -117,6 +117,7 @@ type Quote struct {
 	MrSigner  [32]byte
 	ProdID    uint16
 	Data      [ReportDataSize]byte
+	_         [6]byte // explicit padding: boundary structs carry no implicit holes
 
 	Signature []byte // device-key signature over the quote body
 	QEPubX    []byte // device public key

@@ -17,7 +17,8 @@ import (
 type SigStruct struct {
 	MrEnclave [32]byte
 	ProdID    uint16
-	SVN       uint16 // security version number
+	SVN       uint16  // security version number
+	_         [4]byte // explicit padding: boundary structs carry no implicit holes
 
 	Modulus   []byte // signer public key modulus (big-endian)
 	Exponent  int
