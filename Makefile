@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-vet verify vet-security fmt-check test race chaos load-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-frames trace-demo clean
+.PHONY: build build-vet verify vet-security fmt-check test race chaos load-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-frames bench-obs obs-demo trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,7 @@ verify: fmt-check build
 	$(GO) test ./...
 	$(GO) test -race ./internal/elide/... ./internal/sdk/...
 	$(GO) test -race ./internal/obs/...
+	$(MAKE) bench-obs
 	$(MAKE) chaos
 	$(MAKE) load-smoke
 
@@ -81,9 +82,23 @@ bench-load:
 bench-frames:
 	$(GO) test -run '^$$' -bench 'Frame|WriteResponse|WriteErrorFrame' -benchmem ./internal/elide/
 
+# Observability hot-path budget gate: span start/finish and audit emit
+# must stay within 1 alloc/op at ring steady state (the AllocsPerRun
+# tests fail otherwise), with -benchmem numbers alongside for the
+# EXPERIMENTS.md table. Part of verify.
+bench-obs:
+	$(GO) test -run 'Allocs' -bench 'BenchmarkSpan|BenchmarkAudit' -benchtime=1000x -benchmem ./internal/obs/
+
 # One traced local-data restore, span tree pretty-printed to stdout.
 trace-demo:
 	$(GO) run ./cmd/elide-bench -trace-demo
 
+# Cross-process tracing + audit demo: runs a traced, audited restore,
+# prints the merged client+server span tree, and writes
+# BENCH_trace.jsonl / BENCH_audit.jsonl (schema-validated on the way
+# out). CI uploads both as artifacts.
+obs-demo:
+	$(GO) run ./cmd/elide-bench -obs-demo
+
 clean:
-	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json BENCH_load.json
+	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json BENCH_load.json BENCH_trace.jsonl BENCH_audit.jsonl

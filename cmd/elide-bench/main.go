@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"sgxelide/internal/bench"
+	"sgxelide/internal/obs"
 )
 
 func main() {
@@ -63,12 +64,31 @@ func main() {
 		phProgram = flag.String("phases-program", "Sha1", "benchmark program for -phases")
 		phOut     = flag.String("phases-out", "BENCH_restore_phases.json", "JSON output path for -phases")
 		traceDemo = flag.Bool("trace-demo", false, "run one traced local-data restore and print the span tree")
+
+		obsDemo     = flag.Bool("obs-demo", false, "run one traced+audited restore; write the merged cross-process trace and the audit log as JSONL artifacts and print the span tree")
+		obsTraceOut = flag.String("obs-trace-out", "BENCH_trace.jsonl", "merged trace JSONL output path for -obs-demo")
+		obsAuditOut = flag.String("obs-audit-out", "BENCH_audit.jsonl", "audit JSONL output path for -obs-demo")
+
+		validateAudit = flag.String("validate-audit", "", "validate an audit JSONL file against the current schema and exit")
 	)
 	flag.Parse()
 	if *all {
 		*t1, *t2, *f3, *f4, *server, *multi, *chaos, *phases = true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*load && !*phases && !*traceDemo {
+	if *validateAudit != "" {
+		f, err := os.Open(*validateAudit)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := obs.ValidateAuditJSONL(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w (%d events valid before the failure)", *validateAudit, err, n))
+		}
+		fmt.Printf("%s: %d audit events, schema %d, all valid\n", *validateAudit, n, obs.AuditSchema)
+		return
+	}
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*load && !*phases && !*traceDemo && !*obsDemo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -221,6 +241,53 @@ func main() {
 		}
 		fmt.Println(tree)
 	}
+	if *obsDemo {
+		demo, err := bench.ObsDemo(env)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(demo.Tree)
+		if err := writeJSONL(*obsTraceOut, func(f *os.File) error {
+			enc := json.NewEncoder(f)
+			for _, rec := range demo.Spans {
+				if err := enc.Encode(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			fatal(err)
+		}
+		if err := writeJSONL(*obsAuditOut, func(f *os.File) error { return demo.Audit.WriteJSONL(f) }); err != nil {
+			fatal(err)
+		}
+		// Self-check: the artifact this run just wrote must pass the same
+		// schema gate CI applies to it.
+		f, err := os.Open(*obsAuditOut)
+		if err != nil {
+			fatal(err)
+		}
+		n, verr := obs.ValidateAuditJSONL(f)
+		f.Close()
+		if verr != nil {
+			fatal(fmt.Errorf("%s failed schema validation: %w", *obsAuditOut, verr))
+		}
+		fmt.Printf("wrote %s (%d spans) and %s (%d audit events, schema-valid)\n",
+			*obsTraceOut, len(demo.Spans), *obsAuditOut, n)
+	}
+}
+
+// writeJSONL creates path and streams JSONL into it via write.
+func writeJSONL(path string, write func(f *os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

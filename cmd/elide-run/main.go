@@ -63,6 +63,8 @@ func main() {
 		timeout     = flag.Duration("timeout", 0, "overall deadline for the restore (0 = none)")
 		traceJSON   = flag.String("trace-json", "", "write the launch trace (one JSON span per line) to this file")
 		metricsJSON = flag.String("metrics-json", "", "write the final metrics snapshot to this file")
+		auditJSON   = flag.String("audit-json", "", "write the security audit events (one JSON event per line) to this file")
+		diagDir     = flag.String("diag-dir", "", "flight recorder: on a terminal restore failure, write a diagnostics bundle (span tree + recent audit events for the failed trace) under this directory")
 	)
 	var args argList
 	flag.Var(&args, "arg", "ecall argument (repeatable)")
@@ -115,6 +117,8 @@ func main() {
 	host := sdk.NewHost(platform)
 	metrics := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
+	audit := obs.NewAuditLog(0)
+	audit.SetRegistry(metrics)
 	host.Metrics = metrics
 	host.Tracer = tracer
 
@@ -138,13 +142,16 @@ func main() {
 		elide.WithClientTracer(tracer),
 	}
 	var client elide.SecretChannel
+	var direct *elide.DirectClient
 	if *servers != "" {
+		tracer.SetService("client")
 		addrs := strings.Split(*servers, ",")
 		for i := range addrs {
 			addrs[i] = strings.TrimSpace(addrs[i])
 		}
 		fc, err := elide.NewFailoverClient(addrs,
 			elide.WithFailoverMetrics(metrics),
+			elide.WithFailoverAudit(audit),
 			elide.WithEndpointClientOptions(clientOpts...),
 		)
 		check(err)
@@ -153,6 +160,7 @@ func main() {
 		fmt.Printf("elide-run: failover pool of %d authentication servers (restore-retries=%d)\n",
 			len(addrs), *restoreTrys)
 	} else if *connect != "" {
+		tracer.SetService("client")
 		tc := elide.NewTCPClient(*connect, clientOpts...)
 		defer tc.Close()
 		client = tc
@@ -166,9 +174,16 @@ func main() {
 		if !meta.Encrypted {
 			cfg.SecretPlain = secretData
 		}
-		srv, err := elide.NewServer(cfg)
+		// In-process mode shares one tracer and audit log across both
+		// hops, so the exported trace shows the server's session spans
+		// joined into the launch trace.
+		srv, err := elide.NewServer(cfg,
+			elide.WithServerTracer(tracer),
+			elide.WithServerAudit(audit),
+		)
 		check(err)
-		client = &elide.DirectClient{Session: srv.NewSession()}
+		direct = &elide.DirectClient{Session: srv.NewSession()}
+		client = direct
 		fmt.Println("elide-run: using in-process authentication server")
 	}
 
@@ -176,35 +191,39 @@ func main() {
 	if meta.Encrypted {
 		files.SecretData = secretData
 	}
-	rt := &elide.Runtime{Client: client, Files: files, Ctx: ctx}
+	rt := &elide.Runtime{Client: client, Files: files, Ctx: ctx, Metrics: metrics, Audit: audit}
 	rt.Install(host)
 	encl, err := host.CreateEnclave(sanitized, &ss, iface)
 	check(err)
 	fmt.Printf("elide-run: enclave initialized, MRENCLAVE %x...\n", encl.Encl.MrEnclave[:8])
 
-	var code uint64
-	var source string
+	// Every mode runs through the resilient driver so each protocol run has
+	// a trace ID the flight recorder can dump; only -servers retries whole
+	// protocol runs (the transport's own retry budget covers the rest).
+	attempts := 1
 	if *servers != "" {
-		out, oerr := elide.RestoreResilient(ctx, encl, rt, elide.RestoreOptions{
-			Flags:       *flags,
-			MaxAttempts: *restoreTrys,
-		})
-		err = oerr
-		code = out.Code
-		source = out.Source
-		for _, ev := range out.Events {
-			fmt.Fprintf(os.Stderr, "elide-run: restore event: %v\n", ev)
-		}
-		if err == nil && out.Attempts > 1 {
-			fmt.Fprintf(os.Stderr, "elide-run: restore needed %d protocol runs\n", out.Attempts)
-		}
-	} else {
-		code, err = elide.Restore(encl, *flags)
+		attempts = *restoreTrys
 	}
-	writeObsFiles(tracer, metrics, *traceJSON, *metricsJSON)
+	out, err := elide.RestoreResilient(ctx, encl, rt, elide.RestoreOptions{
+		Flags:       *flags,
+		MaxAttempts: attempts,
+	})
+	code := out.Code
+	source := out.Source
+	for _, ev := range out.Events {
+		fmt.Fprintf(os.Stderr, "elide-run: restore event: %v\n", ev)
+	}
+	if err == nil && out.Attempts > 1 {
+		fmt.Fprintf(os.Stderr, "elide-run: restore needed %d protocol runs\n", out.Attempts)
+	}
+	if direct != nil {
+		_ = direct.Close() // completes the in-process server's session span
+	}
+	writeObsFiles(tracer, metrics, audit, *traceJSON, *metricsJSON, *auditJSON)
 	phaseSummary(tracer)
 	if err != nil {
 		dumpRuntimeErrs(rt)
+		writeDiag(*diagDir, tracer, audit, out.LastTraceID(), err.Error())
 		fatal(fmt.Errorf("elide_restore: %w (runtime: %v)", err, rt.LastErr()))
 	}
 	switch {
@@ -216,6 +235,7 @@ func main() {
 		fmt.Println("elide-run: restored from the sealed file")
 	default:
 		dumpRuntimeErrs(rt)
+		writeDiag(*diagDir, tracer, audit, out.LastTraceID(), fmt.Sprintf("restore code %d", code))
 		fatal(fmt.Errorf("elide_restore failed with code %d (runtime: %v)", code, rt.LastErr()))
 	}
 
@@ -250,23 +270,29 @@ func phaseSummary(tr *obs.Tracer) {
 	}
 }
 
-// writeObsFiles writes the trace JSONL and metrics snapshot files when the
-// corresponding flags are set. Failures are reported, not fatal: the
-// restore outcome matters more than the telemetry files.
-func writeObsFiles(tr *obs.Tracer, reg *obs.Registry, tracePath, metricsPath string) {
-	if tracePath != "" {
-		f, err := os.Create(tracePath)
+// writeObsFiles writes the trace JSONL, metrics snapshot, and audit JSONL
+// files when the corresponding flags are set. Failures are reported, not
+// fatal: the restore outcome matters more than the telemetry files.
+func writeObsFiles(tr *obs.Tracer, reg *obs.Registry, audit *obs.AuditLog, tracePath, metricsPath, auditPath string) {
+	writeJSONL := func(path, what string, write func(f *os.File) error) {
+		f, err := os.Create(path)
 		if err == nil {
-			err = tr.WriteJSONL(f)
+			err = write(f)
 			if cerr := f.Close(); err == nil {
 				err = cerr
 			}
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "elide-run: writing %s: %v\n", tracePath, err)
+			fmt.Fprintf(os.Stderr, "elide-run: writing %s: %v\n", path, err)
 		} else {
-			fmt.Fprintf(os.Stderr, "elide-run: trace written to %s\n", tracePath)
+			fmt.Fprintf(os.Stderr, "elide-run: %s written to %s\n", what, path)
 		}
+	}
+	if tracePath != "" {
+		writeJSONL(tracePath, "trace", func(f *os.File) error { return tr.WriteJSONL(f) })
+	}
+	if auditPath != "" {
+		writeJSONL(auditPath, "audit log", func(f *os.File) error { return audit.WriteJSONL(f) })
 	}
 	if metricsPath != "" {
 		blob, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
@@ -277,6 +303,21 @@ func writeObsFiles(tr *obs.Tracer, reg *obs.Registry, tracePath, metricsPath str
 			fmt.Fprintf(os.Stderr, "elide-run: writing %s: %v\n", metricsPath, err)
 		}
 	}
+}
+
+// writeDiag dumps the flight-recorder bundle for a failed restore: the
+// failed trace's span tree plus the most recent audit events, under dir.
+// A no-op when -diag-dir is unset.
+func writeDiag(dir string, tr *obs.Tracer, audit *obs.AuditLog, traceID uint64, reason string) {
+	if dir == "" {
+		return
+	}
+	path, err := obs.WriteDiagBundle(dir, obs.CaptureDiag(tr, audit, traceID, reason, 256))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elide-run: writing diagnostics bundle: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "elide-run: diagnostics bundle written to %s\n", path)
 }
 
 // argList collects repeated -arg values.

@@ -69,17 +69,32 @@ func main() {
 		enclaveRPS      = flag.Float64("enclave-rps", 0, "per-enclave fresh-attestation rate limit in attests/second (0 = unlimited); excess clients get a typed overload with a retry-after hint")
 		enclaveBurst    = flag.Int("enclave-burst", 0, "per-enclave attest burst allowance for -enclave-rps (0 = the rate rounded up)")
 		enclaveInflight = flag.Int("enclave-inflight", 0, "per-enclave cap on concurrently served channel requests (0 = unlimited)")
+
+		auditFile  = flag.String("audit-file", "", "append security audit events (one JSON event per line) to this file, rotated at -audit-max-bytes")
+		auditBytes = flag.Int64("audit-max-bytes", 8<<20, "rotate -audit-file (to <file>.1) when it exceeds this size")
+		diagDir    = flag.String("diag-dir", "", "flight recorder: on shutdown after security-relevant audit events (refusals, torn restores, corrupt seals), write a diagnostics bundle under this directory")
 	)
 	flag.Parse()
 
 	metrics := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
+	tracer.SetService("server")
+	audit := obs.NewAuditLog(0)
+	audit.SetRegistry(metrics)
+	if *auditFile != "" {
+		if err := audit.SetFileSink(*auditFile, *auditBytes); err != nil {
+			fatal(err)
+		}
+		defer audit.CloseSink()
+		fmt.Printf("elide-server: audit events appended to %s\n", *auditFile)
+	}
 	opts := []elide.ServerOption{
 		elide.WithMaxSessions(*maxSessions),
 		elide.WithIOTimeout(*ioTimeout),
 		elide.WithDrainTimeout(*drainTimeout),
 		elide.WithServerMetrics(metrics),
 		elide.WithServerTracer(tracer),
+		elide.WithServerAudit(audit),
 	}
 	if *enclaveRPS > 0 {
 		opts = append(opts, elide.WithEnclaveRateLimit(*enclaveRPS, *enclaveBurst))
@@ -91,6 +106,7 @@ func main() {
 	var err error
 	if *secretsDir != "" {
 		store := elide.NewSecretStore()
+		store.SetAuditLog(audit)
 		rep, err := store.LoadDir(*secretsDir)
 		if err != nil {
 			fatal(err)
@@ -152,7 +168,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		admin := &http.Server{Handler: obs.AdminHandler(metrics, tracer, "sgxelide")}
+		admin := &http.Server{Handler: obs.AdminHandler(metrics, tracer, "sgxelide",
+			obs.WithAuditLog(audit),
+			obs.WithHealthCheck("store", srv.Store().HealthCheck),
+		)}
 		go func() {
 			if err := admin.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				fmt.Fprintf(os.Stderr, "elide-server: admin listener: %v\n", err)
@@ -187,6 +206,7 @@ func main() {
 	if *metricsJSON != "" {
 		writeSnapshot(*metricsJSON, snap)
 	}
+	writeShutdownDiag(*diagDir, tracer, audit)
 	if errors.Is(err, elide.ErrServerClosed) {
 		fmt.Printf("elide-server: shut down cleanly\n%s", snap)
 		return
@@ -213,6 +233,35 @@ func writeSnapshot(path string, snap obs.Snapshot) {
 	if err := os.Rename(tmp, path); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 	}
+}
+
+// writeShutdownDiag is the server side of the flight recorder: if the run
+// recorded security-relevant audit events — attestation refusals, torn
+// restores, corrupt sealed blobs, rescan failures — the whole span ring and
+// the recent audit tail are bundled under dir for postmortem. A clean run
+// (or an unset -diag-dir) writes nothing.
+func writeShutdownDiag(dir string, tracer *obs.Tracer, audit *obs.AuditLog) {
+	if dir == "" {
+		return
+	}
+	counts := audit.Counts()
+	var suspect uint64
+	for _, typ := range []string{
+		obs.AuditAttestRefused, obs.AuditTornRestore,
+		obs.AuditSealedCorrupt, obs.AuditStoreRescanFailed,
+	} {
+		suspect += counts[typ]
+	}
+	if suspect == 0 {
+		return
+	}
+	reason := fmt.Sprintf("shutdown after %d security-relevant audit events", suspect)
+	path, err := obs.WriteDiagBundle(dir, obs.CaptureDiag(tracer, audit, 0, reason, 512))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elide-server: writing diagnostics bundle: %v\n", err)
+		return
+	}
+	fmt.Printf("elide-server: diagnostics bundle written to %s\n", path)
 }
 
 // printEntry lists one registered deployment.

@@ -1,8 +1,9 @@
 // Package secretflow implements the elide-vet analyzer that keeps secret
 // bytes out of operator-visible text: log and fmt output, error strings,
-// and the observability name space (metric names, span string
-// attributes) that internal/obs exports in plaintext to /metrics and
-// trace files.
+// the observability name space (metric names, span string attributes)
+// that internal/obs exports in plaintext to /metrics and trace files,
+// and the security audit event stream (AuditEvent fields reach /audit,
+// file sinks, and flight-recorder diagnostic bundles verbatim).
 //
 // It runs the shared intraprocedural taint tracker with the Flow source
 // set — key material and secret plaintext, per secrets.Default — and
@@ -24,7 +25,7 @@ import (
 func New(cfg *secrets.Config) *framework.Analyzer {
 	a := &framework.Analyzer{
 		Name: "secretflow",
-		Doc:  "flags secret key material or plaintext flowing into logs, formatted errors, metric names, or span attributes",
+		Doc:  "flags secret key material or plaintext flowing into logs, formatted errors, metric names, span attributes, or audit events",
 	}
 	a.Run = func(pass *framework.Pass) error {
 		run(pass, cfg)
@@ -61,6 +62,10 @@ func run(pass *framework.Pass, cfg *secrets.Config) {
 					case secrets.SinkName:
 						pass.Reportf(arg.Pos(),
 							"secret-tainted %s flows into the observability name space via %s; metric names and span attributes are exported in plaintext (secretflow)",
+							types.ExprString(arg), callee)
+					case secrets.SinkAudit:
+						pass.Reportf(arg.Pos(),
+							"secret-tainted %s flows into the audit event stream via %s; audit events are exported verbatim to /audit, file sinks, and diagnostic bundles (secretflow)",
 							types.ExprString(arg), callee)
 					default:
 						pass.Reportf(arg.Pos(),

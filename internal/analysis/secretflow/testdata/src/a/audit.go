@@ -1,0 +1,41 @@
+package a
+
+// AuditLog and AuditEvent mirror the internal/obs audit pipeline: every
+// event field is serialized verbatim to /audit, the -audit-file JSONL
+// sink, and flight-recorder diagnostic bundles, so Emit is a sink.
+
+type AuditEvent struct {
+	Type    string
+	Detail  string
+	Enclave string
+}
+
+type AuditLog struct{}
+
+func (a *AuditLog) Emit(ev AuditEvent) {}
+
+func leakAuditDetail(a *AuditLog, s *Session) {
+	a.Emit(AuditEvent{ // want "flows into the audit event stream"
+		Type:   "attest_refused",
+		Detail: "key was " + string(s.channelKey[:]),
+	})
+}
+
+func leakAuditPlaintext(a *AuditLog, key, blob []byte) {
+	pt, err := sealDecrypt(key, blob)
+	if err != nil {
+		return
+	}
+	a.Emit(AuditEvent{Type: "sealed_corrupt", Detail: string(pt)}) // want "flows into the audit event stream"
+}
+
+func okAuditEvent(a *AuditLog, endpoint string, mr [32]byte) {
+	// Endpoints, event types, and measurement-derived enclave labels are
+	// the audit schema's intended content — not flow-secret.
+	a.Emit(AuditEvent{Type: "failover_switch", Detail: endpoint, Enclave: string(mr[:4])})
+}
+
+func okAuditLength(a *AuditLog, s *Session) {
+	a.Emit(AuditEvent{Type: "torn_restore", Detail: "short key"})
+	_ = len(s.channelKey)
+}

@@ -40,6 +40,10 @@ const (
 	// metric names, span attribute string values — which is exported in
 	// plaintext to /metrics and trace files.
 	SinkName
+	// SinkAudit: the secret leaks into the security audit event stream —
+	// AuditEvent fields are serialized verbatim to the /audit endpoint,
+	// the -audit-file JSONL sink, and flight-recorder diagnostic bundles.
+	SinkAudit
 )
 
 // SinkPattern marks a call as a secretflow sink.
@@ -132,6 +136,10 @@ func Default() *Config {
 			{Func: re(`(^|\.)Registry\.(Counter|Gauge|Observe)$`), Kind: SinkName},
 			{Func: re(`(^|\.)Span\.(SetStr|SetAttr)$`), Kind: SinkName},
 			{Func: re(`(^|\.)Tracer\.Start$`), Kind: SinkName},
+			// Audit pipeline: events are serialized verbatim to /audit, the
+			// -audit-file sink, and flight-recorder bundles — operator-visible
+			// surfaces a secret must never reach.
+			{Func: re(`(^|\.)AuditLog\.Emit$`), Kind: SinkAudit},
 		},
 
 		WipeSources: []FuncPattern{

@@ -15,7 +15,7 @@ var (
 
 // sharedEnv reuses one platform across package tests (EPC is large enough;
 // enclaves are destroyed after use where it matters).
-func sharedEnv(t *testing.T) *Env {
+func sharedEnv(t testing.TB) *Env {
 	t.Helper()
 	envOnce.Do(func() { envVal, envErr = NewEnv() })
 	if envErr != nil {

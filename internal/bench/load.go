@@ -63,6 +63,12 @@ type LoadRunResult struct {
 	Overloaded     uint64            `json:"overloaded"` // runs shed by server backpressure
 	ClientCounters map[string]uint64 `json:"client_counters"`
 	ServerCounters map[string]uint64 `json:"server_counters"`
+
+	// PhaseLatency attributes latency per protocol phase per hop
+	// ("client" and "server"), from the span records both sides' tracers
+	// retained. At high restore counts this is a recent-window sample:
+	// each hop's ring holds the last obs.DefaultSpanRing completed spans.
+	PhaseLatency map[string]map[string]LatencySummary `json:"phase_latency,omitempty"`
 }
 
 // LoadLatency is the end-to-end restore latency distribution, in
@@ -203,9 +209,14 @@ func (q *quoteFactory) quoteFor(pub []byte) (*sgx.Quote, error) {
 func loadRun(env *Env, prot *elide.Protected, quoter *quoteFactory, cfg LoadBenchConfig, proto uint8) (*LoadRunResult, error) {
 	serverMetrics := obs.NewRegistry()
 	clientMetrics := obs.NewRegistry()
+	clientTracer := obs.NewTracer(0)
+	clientTracer.SetService("client")
+	serverTracer := obs.NewTracer(0)
+	serverTracer.SetService("server")
 	srv, err := prot.NewServerFor(env.CA,
 		elide.WithMaxSessions(cfg.MaxSessions),
 		elide.WithServerMetrics(serverMetrics),
+		elide.WithServerTracer(serverTracer),
 	)
 	if err != nil {
 		return nil, err
@@ -250,7 +261,7 @@ func loadRun(env *Env, prot *elide.Protected, quoter *quoteFactory, cfg LoadBenc
 		go func() {
 			defer wg.Done()
 			arrived := time.Now()
-			err := oneProtocolRestore(env, quoter, l.Addr().String(), clientMetrics, cfg.Timeout, proto, wantMeta)
+			err := oneProtocolRestore(env, quoter, l.Addr().String(), clientMetrics, clientTracer, cfg.Timeout, proto, wantMeta)
 			mu.Lock()
 			defer mu.Unlock()
 			if err == nil {
@@ -305,15 +316,54 @@ func loadRun(env *Env, prot *elide.Protected, quoter *quoteFactory, cfg LoadBenc
 	run.ThroughputRPS = rates
 	run.ClientCounters = csnap.Counters
 	run.ServerCounters = ssnap.Counters
+	run.PhaseLatency = phaseLatency(append(clientTracer.Completed(), serverTracer.Completed()...))
 	return run, nil
+}
+
+// phaseLatency summarizes span durations per name per hop from merged
+// trace records. Untagged records count as the client hop.
+func phaseLatency(recs []obs.SpanRecord) map[string]map[string]LatencySummary {
+	hists := make(map[string]map[string]*obs.Histogram)
+	for _, r := range recs {
+		svc := r.Svc
+		if svc == "" {
+			svc = "client"
+		}
+		m := hists[svc]
+		if m == nil {
+			m = make(map[string]*obs.Histogram)
+			hists[svc] = m
+		}
+		h := m[r.Name]
+		if h == nil {
+			h = obs.NewHistogram()
+			m[r.Name] = h
+		}
+		h.Observe(r.Duration())
+	}
+	out := make(map[string]map[string]LatencySummary, len(hists))
+	for svc, m := range hists {
+		sm := make(map[string]LatencySummary, len(m))
+		for name, h := range m {
+			sm[name] = summarize(h.Snapshot())
+		}
+		out[svc] = sm
+	}
+	return out
 }
 
 // oneProtocolRestore is one simulated user machine's restore: fresh ECDH
 // keypair, fresh quote, own TCP connection, full protocol, results
 // verified against the deployment's real metadata.
-func oneProtocolRestore(env *Env, quoter *quoteFactory, addr string, metrics *obs.Registry, timeout time.Duration, proto uint8, wantMeta []byte) error {
+func oneProtocolRestore(env *Env, quoter *quoteFactory, addr string, metrics *obs.Registry, tracer *obs.Tracer, timeout time.Duration, proto uint8, wantMeta []byte) error {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
+	// One root span per simulated machine: the transport's attest/request
+	// spans parent into it, and the v1 handshake carries its trace to the
+	// server, so both hops' rings attribute this restore to one trace.
+	root := tracer.Start("restore")
+	defer root.End()
+	ctx = obs.ContextWithSpan(ctx, root)
 	priv, pub, err := sdk.GenerateECDHKeypair()
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sgxelide/internal/elide"
 	"sgxelide/internal/obs"
@@ -21,11 +22,15 @@ type PhasesBenchConfig struct {
 
 // PhaseModeResult is one data mode's breakdown: a latency summary per
 // pipeline phase (attest, request_meta, request_data, decrypt, restore,
-// seal) plus the end-to-end elide_restore ecall.
+// seal) plus the end-to-end elide_restore ecall. Phases is the client
+// hop's view (where the user-machine runtime spends the restore);
+// ServerPhases is the same launches seen from the authentication server's
+// session spans, so one run attributes every phase to its hop.
 type PhaseModeResult struct {
-	Mode   string                    `json:"mode"` // "remote-data" or "local-data"
-	Phases map[string]LatencySummary `json:"phases"`
-	Total  LatencySummary            `json:"total_restore"`
+	Mode         string                    `json:"mode"` // "remote-data" or "local-data"
+	Phases       map[string]LatencySummary `json:"phases"`
+	ServerPhases map[string]LatencySummary `json:"server_phases,omitempty"`
+	Total        LatencySummary            `json:"total_restore"`
 }
 
 // PhasesBenchResult is the JSON document elide-bench writes to
@@ -66,38 +71,77 @@ func (r *PhasesBenchResult) String() string {
 			fmt.Fprintf(&b, "    %-14s p50 %8.0fµs  p90 %8.0fµs  mean %8.0fµs (n=%d)\n",
 				name, s.P50Us, s.P90Us, s.MeanUs, s.Count)
 		}
+		if len(m.ServerPhases) > 0 {
+			fmt.Fprintf(&b, "    server hop:\n")
+			snames := make([]string, 0, len(m.ServerPhases))
+			for name := range m.ServerPhases {
+				snames = append(snames, name)
+			}
+			sort.Strings(snames)
+			for _, name := range snames {
+				s := m.ServerPhases[name]
+				fmt.Fprintf(&b, "      %-12s p50 %8.0fµs  p90 %8.0fµs  mean %8.0fµs (n=%d)\n",
+					name, s.P50Us, s.P90Us, s.MeanUs, s.Count)
+			}
+		}
 	}
 	return strings.TrimRight(b.String(), "\n")
 }
 
 // tracedLaunch runs one full traced restore of prot on a fresh machine and
-// returns the completed trace. Flags always include seal-after so the seal
-// phase is exercised.
-func tracedLaunch(env *Env, prot *elide.Protected) ([]obs.SpanRecord, error) {
+// returns the merged cross-process trace: the client hop's spans (tagged
+// svc=client) and the authentication server's session spans (svc=server),
+// joined into one tree by the trace context the attestation carries. Flags
+// always include seal-after so the seal phase is exercised. When audit is
+// non-nil the server and the runtime emit their security events into it.
+func tracedLaunch(env *Env, prot *elide.Protected, audit *obs.AuditLog) ([]obs.SpanRecord, error) {
 	platform, err := sgx.NewPlatform(sgx.Config{}, env.CA)
 	if err != nil {
 		return nil, err
 	}
 	host := sdk.NewHost(platform)
 	tracer := obs.NewTracer(0)
+	tracer.SetService("client")
 	host.Tracer = tracer
-	srv, err := prot.NewServerFor(env.CA)
+	serverTracer := obs.NewTracer(0)
+	serverTracer.SetService("server")
+	srvOpts := []elide.ServerOption{elide.WithServerTracer(serverTracer)}
+	if audit != nil {
+		srvOpts = append(srvOpts, elide.WithServerAudit(audit))
+	}
+	srv, err := prot.NewServerFor(env.CA, srvOpts...)
 	if err != nil {
 		return nil, err
 	}
-	encl, rt, err := prot.Launch(host, &elide.DirectClient{Session: srv.NewSession()}, prot.LocalFiles())
+	client := &elide.DirectClient{Session: srv.NewSession()}
+	encl, rt, err := prot.Launch(host, client, prot.LocalFiles())
 	if err != nil {
 		return nil, err
 	}
 	defer encl.Destroy()
+	rt.Audit = audit
 	code, err := elide.Restore(encl, elide.FlagSealAfter)
+	_ = client.Close() // completes the server's session span
 	if err != nil {
 		return nil, fmt.Errorf("restore: %w (runtime: %v)", err, rt.LastErr())
 	}
 	if code != elide.RestoreOKServer {
 		return nil, fmt.Errorf("restore code %d (runtime: %v)", code, rt.LastErr())
 	}
-	return tracer.Completed(), nil
+	if audit != nil {
+		audit.Emit(obs.AuditEvent{Type: obs.AuditRestoreOK, TraceID: traceIDOf(tracer), Code: int64(code), Detail: "server"})
+	}
+	return append(tracer.Completed(), serverTracer.Completed()...), nil
+}
+
+// traceIDOf returns the trace of the launch's elide_restore root span.
+func traceIDOf(tr *obs.Tracer) uint64 {
+	for _, r := range tr.Completed() {
+		if r.Name == "elide_restore" {
+			return r.TraceID
+		}
+	}
+	return 0
 }
 
 // PhasesBench measures the per-phase restore latency breakdown in both
@@ -127,53 +171,100 @@ func PhasesBench(env *Env, cfg PhasesBenchConfig) (*PhasesBenchResult, error) {
 			return nil, err
 		}
 		phaseHists := make(map[string]*obs.Histogram)
+		serverHists := make(map[string]*obs.Histogram)
 		total := obs.NewHistogram()
+		observe := func(hists map[string]*obs.Histogram, name string, d time.Duration) {
+			h := hists[name]
+			if h == nil {
+				h = obs.NewHistogram()
+				hists[name] = h
+			}
+			h.Observe(d)
+		}
 		for i := 0; i < cfg.Iters; i++ {
-			recs, err := tracedLaunch(env, prot)
+			recs, err := tracedLaunch(env, prot, nil)
 			if err != nil {
 				return nil, fmt.Errorf("%s iter %d: %w", mode.name, i, err)
 			}
-			for name, d := range obs.DurationsByName(recs) {
+			client, server := splitBySvc(recs)
+			for name, d := range obs.DurationsByName(client) {
 				switch name {
 				case "elide_restore":
 					total.Observe(d)
 				case "attest", "request_meta", "request_data", "decrypt", "restore", "seal":
-					h := phaseHists[name]
-					if h == nil {
-						h = obs.NewHistogram()
-						phaseHists[name] = h
-					}
-					h.Observe(d)
+					observe(phaseHists, name, d)
 				}
+			}
+			for name, d := range obs.DurationsByName(server) {
+				observe(serverHists, name, d)
 			}
 		}
 		mr := PhaseModeResult{
-			Mode:   mode.name,
-			Phases: make(map[string]LatencySummary, len(phaseHists)),
-			Total:  summarize(total.Snapshot()),
+			Mode:         mode.name,
+			Phases:       make(map[string]LatencySummary, len(phaseHists)),
+			ServerPhases: make(map[string]LatencySummary, len(serverHists)),
+			Total:        summarize(total.Snapshot()),
 		}
 		for name, h := range phaseHists {
 			mr.Phases[name] = summarize(h.Snapshot())
+		}
+		for name, h := range serverHists {
+			mr.ServerPhases[name] = summarize(h.Snapshot())
 		}
 		res.Modes = append(res.Modes, mr)
 	}
 	return res, nil
 }
 
+// splitBySvc partitions merged trace records into the client hop's spans
+// and the server hop's spans (untagged records count as client: they come
+// from the runtime's own tracer).
+func splitBySvc(recs []obs.SpanRecord) (client, server []obs.SpanRecord) {
+	for _, r := range recs {
+		if r.Svc == "server" {
+			server = append(server, r)
+		} else {
+			client = append(client, r)
+		}
+	}
+	return client, server
+}
+
 // TraceDemo runs a single traced local-data restore and returns the
-// rendered span tree — the quickest way to see the whole pipeline.
+// rendered span tree — the quickest way to see the whole pipeline,
+// including the server hop's session spans joined into the client's trace.
 func TraceDemo(env *Env) (string, error) {
-	p, err := ByName("Sha1")
+	demo, err := ObsDemo(env)
 	if err != nil {
 		return "", err
+	}
+	return demo.Tree, nil
+}
+
+// ObsDemoResult is one fully observed restore: the merged cross-process
+// span records, the rendered tree, and the audit events the run produced —
+// the sample artifacts CI uploads so a schema change is visible in review.
+type ObsDemoResult struct {
+	Tree  string
+	Spans []obs.SpanRecord
+	Audit *obs.AuditLog
+}
+
+// ObsDemo runs a single traced, audited local-data restore and returns
+// every observability artifact it produced.
+func ObsDemo(env *Env) (*ObsDemoResult, error) {
+	p, err := ByName("Sha1")
+	if err != nil {
+		return nil, err
 	}
 	prot, err := BuildProtected(env, p, elide.SanitizeOptions{EncryptLocal: true})
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	recs, err := tracedLaunch(env, prot)
+	audit := obs.NewAuditLog(0)
+	recs, err := tracedLaunch(env, prot, audit)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	return obs.RenderTree(recs), nil
+	return &ObsDemoResult{Tree: obs.RenderTree(recs), Spans: recs, Audit: audit}, nil
 }

@@ -159,6 +159,14 @@ func (p *Protected) LaunchContext(ctx context.Context, h *sdk.Host, client Secre
 // the surrounding boundaries. Tracing is wired through the Host; with no
 // Host.Tracer this is exactly ECall("elide_restore", flags).
 func Restore(encl *sdk.Enclave, flags uint64) (uint64, error) {
+	code, _, err := restoreTraced(encl, flags)
+	return code, err
+}
+
+// restoreTraced is Restore returning the trace ID of the run it recorded
+// (zero without a tracer) — what the resilience driver and the flight
+// recorder use to correlate one attempt with its spans and audit events.
+func restoreTraced(encl *sdk.Enclave, flags uint64) (uint64, uint64, error) {
 	root, endSpan := encl.Host.BeginSpan("elide_restore")
 	root.SetInt("flags", int64(flags))
 	code, err := encl.ECall("elide_restore", flags)
@@ -170,7 +178,7 @@ func Restore(encl *sdk.Enclave, flags uint64) (uint64, error) {
 		// (e.g. server unreachable) must not synthesize a phantom phase.
 		synthesizeRestoreSpan(encl.Host.Tracer, root)
 	}
-	return code, err
+	return code, root.TraceID(), err
 }
 
 // synthesizeRestoreSpan adds the enclave-internal "restore" phase to the

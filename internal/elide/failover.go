@@ -65,6 +65,7 @@ type poolOptions struct {
 	cooldown      time.Duration // open → half-open delay
 	alpha         float64       // EWMA smoothing factor
 	metrics       *obs.Registry
+	audit         *obs.AuditLog
 	clientOpts    []ClientOption
 	newClient     func(addr string) SecretChannel
 	now           func() time.Time
@@ -176,6 +177,7 @@ func (p *EndpointPool) record(e *Endpoint, ok bool, dur time.Duration) {
 			e.probing = false
 			e.mu.Unlock()
 			p.count("failover.breaker_closes")
+			p.opt.audit.Emit(obs.AuditEvent{Type: obs.AuditBreakerClose, Endpoint: e.Addr, Detail: "probe succeeded"})
 			p.count(fmt.Sprintf("failover.ok.ep_%d", e.index))
 			return
 		}
@@ -184,6 +186,7 @@ func (p *EndpointPool) record(e *Endpoint, ok bool, dur time.Duration) {
 		return
 	}
 	e.consecFails++
+	fails := e.consecFails
 	e.health = (1 - a) * e.health
 	tripped := false
 	switch e.state {
@@ -204,11 +207,31 @@ func (p *EndpointPool) record(e *Endpoint, ok bool, dur time.Duration) {
 	p.count(fmt.Sprintf("failover.fail.ep_%d", e.index))
 	if tripped {
 		p.count("failover.breaker_trips")
+		p.opt.audit.Emit(obs.AuditEvent{
+			Type: obs.AuditBreakerOpen, Endpoint: e.Addr,
+			Detail: fmt.Sprintf("%d consecutive failures", fails),
+		})
 	}
 }
 
 // count bumps a pool metric (nil-registry safe).
 func (p *EndpointPool) count(name string) { p.opt.metrics.Counter(name).Inc() }
+
+// HealthCheck reports the pool degraded while any endpoint's breaker is
+// not admitting normal traffic — the /healthz readiness source for a
+// process fronting a replicated server fleet.
+func (p *EndpointPool) HealthCheck() error {
+	var open []string
+	for _, e := range p.endpoints {
+		if e.State() != BreakerClosed {
+			open = append(open, e.Addr)
+		}
+	}
+	if len(open) > 0 {
+		return fmt.Errorf("open circuit breakers: %v", open)
+	}
+	return nil
+}
 
 // FailoverClient exposes the SecretChannel surface over an EndpointPool
 // of replicated authentication servers. Attest tries endpoints in health
@@ -310,6 +333,10 @@ func (fc *FailoverClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []
 			// somewhere other than the session's previous home, is a switch.
 			if len(tried) > 1 || (fc.cur != nil && fc.cur != e) {
 				fc.pool.count("failover.switches")
+				fc.pool.opt.audit.Emit(obs.AuditEvent{
+					Type: obs.AuditFailoverSwitch, Endpoint: e.Addr,
+					TraceID: span.TraceID(), Detail: "attest walked the pool",
+				})
 			}
 			fc.cur = e
 			fc.handshake = &attestMsg{Quote: q, ClientPub: append([]byte(nil), clientPub...)}
@@ -412,6 +439,10 @@ func (fc *FailoverClient) Request(ctx context.Context, enc []byte) ([]byte, erro
 			continue
 		}
 		fc.pool.count("failover.switches")
+		fc.pool.opt.audit.Emit(obs.AuditEvent{
+			Type: obs.AuditFailoverSwitch, Endpoint: e.Addr,
+			TraceID: span.TraceID(), Detail: "mid-protocol re-attest",
+		})
 		fc.mu.Lock()
 		fc.cur = e
 		fc.serverPub = append([]byte(nil), pub...)
@@ -425,6 +456,10 @@ func (fc *FailoverClient) Request(ctx context.Context, enc []byte) ([]byte, erro
 			esp.End()
 			fc.pool.record(e, true, time.Since(astart))
 			fc.pool.count("failover.session_lost")
+			fc.pool.opt.audit.Emit(obs.AuditEvent{
+				Type: obs.AuditSessionLost, Endpoint: e.Addr,
+				TraceID: span.TraceID(), Detail: "replica holds a different server identity",
+			})
 			return nil, ErrSessionLost
 		}
 		// Same server key (a shared or persistent resume cache): the

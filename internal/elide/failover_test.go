@@ -290,9 +290,9 @@ type killableServer struct {
 	served chan error
 }
 
-func startKillable(t *testing.T, p *Protected, ca *sgx.CA) *killableServer {
+func startKillable(t *testing.T, p *Protected, ca *sgx.CA, opts ...ServerOption) *killableServer {
 	t.Helper()
-	srv, err := p.NewServerFor(ca, WithDrainTimeout(50*time.Millisecond))
+	srv, err := p.NewServerFor(ca, append([]ServerOption{WithDrainTimeout(50 * time.Millisecond)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -181,10 +181,20 @@ func WithServerMetrics(r *obs.Registry) ServerOption {
 }
 
 // WithServerTracer wires the server into an obs tracer: each TCP session
-// becomes a trace (root span "session") with a child per protocol phase —
-// the server-side mirror of the client's restore pipeline.
+// becomes a span tree with a child per protocol phase — the server-side
+// mirror of the client's restore pipeline. When the client's v1 handshake
+// carries trace context, the session span joins the client's restore
+// trace instead of rooting its own, so merged exports render one
+// cross-process tree.
 func WithServerTracer(t *obs.Tracer) ServerOption {
 	return func(o *serverOptions) { o.tracer = t }
+}
+
+// WithServerAudit wires the server into an audit log: every attestation
+// verdict, resume-cache outcome, and QoS shed becomes a schema-versioned
+// wide event carrying the session's trace ID.
+func WithServerAudit(a *obs.AuditLog) ServerOption {
+	return func(o *serverOptions) { o.audit = a }
 }
 
 // --- FailoverOption (FailoverClient / EndpointPool) ---
@@ -214,6 +224,13 @@ func WithHealthAlpha(a float64) FailoverOption {
 // outcome counters plus pool-level failover/breaker counters.
 func WithFailoverMetrics(r *obs.Registry) FailoverOption {
 	return func(o *poolOptions) { o.metrics = r }
+}
+
+// WithFailoverAudit wires the pool into an audit log: breaker transitions,
+// endpoint switches, and lost sessions become wide events (switches and
+// losses carry the trace of the restore that hit them).
+func WithFailoverAudit(a *obs.AuditLog) FailoverOption {
+	return func(o *poolOptions) { o.audit = a }
 }
 
 // WithEndpointClientOptions passes options to every per-endpoint

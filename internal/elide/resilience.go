@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"sgxelide/internal/obs"
 	"sgxelide/internal/sdk"
 )
 
@@ -35,6 +36,18 @@ type RestoreOutcome struct {
 	Source   string // "sealed", "server", or "local"
 	Attempts int
 	Events   []error
+	// TraceIDs holds the trace of each protocol run, in attempt order
+	// (zeros without a tracer). The last entry is the trace the flight
+	// recorder dumps on a terminal failure.
+	TraceIDs []uint64
+}
+
+// LastTraceID returns the trace of the final attempt (zero when untraced).
+func (o *RestoreOutcome) LastTraceID() uint64 {
+	if len(o.TraceIDs) == 0 {
+		return 0
+	}
+	return o.TraceIDs[len(o.TraceIDs)-1]
 }
 
 // RestoreFailure is the error RestoreResilient returns when the strategy
@@ -97,7 +110,8 @@ func RestoreResilient(ctx context.Context, encl *sdk.Enclave, rt *Runtime, opts 
 		}
 		mark := len(rt.Errs())
 		out.Attempts++
-		code, err := Restore(encl, flags)
+		code, traceID, err := restoreTraced(encl, flags)
+		out.TraceIDs = append(out.TraceIDs, traceID)
 		events := rt.Errs()
 		if mark < len(events) {
 			events = events[mark:]
@@ -107,12 +121,14 @@ func RestoreResilient(ctx context.Context, encl *sdk.Enclave, rt *Runtime, opts 
 		out.Events = append(out.Events, events...)
 		if err != nil {
 			// The ecall itself failed (SDK-level): nothing ran, not retryable.
+			rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditRestoreFailed, TraceID: traceID, Detail: "ecall failed: " + err.Error()})
 			return out, err
 		}
 		if code < RestoreErrBase {
 			out.Code = code
 			out.Source = restoreSource(code, events)
 			rt.Metrics.Counter("restore.ok." + out.Source).Inc()
+			rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditRestoreOK, TraceID: traceID, Detail: out.Source, Code: int64(code)})
 			return out, nil
 		}
 		lastCode = code
@@ -120,10 +136,37 @@ func RestoreResilient(ctx context.Context, encl *sdk.Enclave, rt *Runtime, opts 
 		if !restoreRetryable(code, events) {
 			break
 		}
+		rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditRestoreRetry, TraceID: traceID, Detail: retryDetail(lastErr), Code: int64(code)})
 	}
 	rt.Metrics.Counter("restore.exhausted").Inc()
 	out.Code = lastCode
-	return out, &RestoreFailure{Code: lastCode, Attempts: out.Attempts, Last: lastErr}
+	fail := &RestoreFailure{Code: lastCode, Attempts: out.Attempts, Last: lastErr}
+	rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditRestoreFailed, TraceID: out.LastTraceID(), Detail: retryDetail(lastErr), Code: int64(lastCode)})
+	return out, fail
+}
+
+// retryDetail names the typed cause of a failed attempt for the audit
+// stream without dragging full error chains (and whatever they wrap)
+// across the telemetry boundary.
+func retryDetail(err error) string {
+	switch {
+	case err == nil:
+		return "enclave error code only"
+	case errors.Is(err, ErrSessionLost):
+		return "session lost"
+	case errors.Is(err, ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, ErrTornRestore):
+		return "torn restore"
+	case errors.Is(err, ErrSealedCorrupt):
+		return "sealed corrupt"
+	case errors.Is(err, ErrServerUnavailable):
+		return "server unavailable"
+	case errors.Is(err, ErrRefused):
+		return "refused"
+	default:
+		return "transport error"
+	}
 }
 
 // restoreSource names the strategy that produced a successful restore's

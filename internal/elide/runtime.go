@@ -38,6 +38,12 @@ type Runtime struct {
 	// Metrics, when set, receives ocall-path counters and latencies.
 	Metrics *obs.Registry
 
+	// Audit, when set, receives the security-relevant events the trusted
+	// restorer reports through the error ring (sealed-blob corruption,
+	// torn restores, degradation to the local file), each stamped with the
+	// trace of the restore that hit it.
+	Audit *obs.AuditLog
+
 	// Recent errors, guarded: ocall handlers run on whichever goroutine
 	// drives the ecall, so diagnostics must be safe to read concurrently.
 	mu   sync.Mutex
@@ -187,23 +193,47 @@ func (rt *Runtime) handleReport(c *sdk.OcallContext, code uint64) {
 	span := c.Span().Child("report")
 	defer span.End()
 	span.SetInt("code", int64(code))
+	trace := c.Span().TraceID()
 	switch code {
 	case ReportSealedCorrupt:
 		span.SetStr("event", "sealed_corrupt")
 		rt.Metrics.Counter("runtime.sealed_corrupt").Inc()
+		rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditSealedCorrupt, TraceID: trace, Detail: "sealed blob failed authentication"})
 		rt.recordErr(ErrSealedCorrupt)
 	case ReportTornRestore:
 		span.SetStr("event", "torn_restore")
 		rt.Metrics.Counter("runtime.torn_restores").Inc()
+		rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditTornRestore, TraceID: trace, Detail: "restored text hash mismatch"})
 		rt.recordErr(ErrTornRestore)
 	case ReportDegradedLocal:
 		span.SetStr("event", "degraded_local")
 		rt.Metrics.Counter("runtime.degraded_local").Inc()
+		rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditDegradedLocal, TraceID: trace, Detail: "remote data unavailable, using encrypted local file"})
 		rt.recordErr(ErrRemoteDataUnavailable)
 	default:
 		span.SetStr("event", "unknown")
 		rt.recordErr(fmt.Errorf("elide: unknown enclave report code %d", code))
 	}
+}
+
+// HealthCheck reports the runtime degraded while its recent-error ring is
+// nonempty — a /healthz readiness source for long-running hosts. Clear
+// the ring with ClearErrs after the operator has acted on the errors.
+func (rt *Runtime) HealthCheck() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if n := len(rt.errs); n > 0 {
+		return fmt.Errorf("%d recent runtime errors, last: %v", n, rt.errs[n-1])
+	}
+	return nil
+}
+
+// ClearErrs empties the recent-error ring (the operator acknowledged the
+// errors; HealthCheck goes green again).
+func (rt *Runtime) ClearErrs() {
+	rt.mu.Lock()
+	rt.errs = nil
+	rt.mu.Unlock()
 }
 
 // doAttest services a ReqAttest server request under the "attest" phase

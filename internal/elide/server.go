@@ -54,6 +54,7 @@ type serverOptions struct {
 	maxInflight int // per-enclave concurrent channel requests (0 = off)
 	metrics     *obs.Registry
 	tracer      *obs.Tracer
+	audit       *obs.AuditLog
 
 	// onHandshake is a package-internal test seam, called with each
 	// decoded handshake before attestation (robustness tests use it to
@@ -149,6 +150,9 @@ func (s *Server) Metrics() *obs.Registry { return s.opt.metrics }
 // Tracer returns the server's tracer (nil when not configured).
 func (s *Server) Tracer() *obs.Tracer { return s.opt.tracer }
 
+// Audit returns the server's audit log (nil when not configured).
+func (s *Server) Audit() *obs.AuditLog { return s.opt.audit }
+
 // Session is one client's attested channel with the server. The secret
 // entry it serves is resolved from the attested quote's measurement, so
 // one server process concurrently holds sessions for many distinct
@@ -158,6 +162,30 @@ type Session struct {
 	channelKey []byte
 	entry      *SecretEntry // resolved by Attest; nil before attestation
 	span       *obs.Span    // session root span; nil without a tracer
+	replay     bool         // handshake is a v1 session replay (set by handleConn)
+}
+
+// audit emits one event stamped with this session's trace ID and (when
+// resolved) enclave identity. Nil-audit safe.
+func (ss *Session) audit(ev obs.AuditEvent) {
+	if ss.srv.opt.audit == nil {
+		return
+	}
+	ev.TraceID = ss.span.TraceID()
+	if ev.Enclave == "" && ss.entry != nil {
+		ev.Enclave = ss.entry.Label()
+	}
+	ss.srv.opt.audit.Emit(ev)
+}
+
+// quoteLabel is the short measurement label of a quote that may not
+// resolve to any store entry (refused attests still get audited with the
+// measurement that knocked).
+func quoteLabel(q *sgx.Quote) string {
+	if q == nil {
+		return ""
+	}
+	return fmt.Sprintf("%x", q.MrEnclave[:4])
 }
 
 // NewSession starts an unattested session.
@@ -180,11 +208,13 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 	}()
 	if err := sgx.VerifyQuote(s.caPub, q); err != nil {
 		s.opt.metrics.Counter("server.attest_refused").Inc()
+		ss.audit(obs.AuditEvent{Type: obs.AuditAttestRefused, Enclave: quoteLabel(q), Detail: "quote verification failed"})
 		return nil, fmt.Errorf("elide server: %w", err)
 	}
 	entry, ok := s.store.Lookup(q.MrEnclave)
 	if !ok {
 		s.opt.metrics.Counter("server.attest_refused").Inc()
+		ss.audit(obs.AuditEvent{Type: obs.AuditAttestRefused, Enclave: quoteLabel(q), Detail: "measurement not registered"})
 		return nil, fmt.Errorf("elide server: enclave measurement %x is not the expected sanitized enclave", q.MrEnclave[:8])
 	}
 	// The report data binds the client's ephemeral key to the quote,
@@ -195,6 +225,7 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 	binding := sha256.Sum256(clientPub)
 	if subtle.ConstantTimeCompare(q.Data[:32], binding[:]) != 1 {
 		s.opt.metrics.Counter("server.attest_refused").Inc()
+		ss.audit(obs.AuditEvent{Type: obs.AuditAttestRefused, Enclave: entry.Label(), Detail: "channel key not bound to quote"})
 		return nil, fmt.Errorf("elide server: channel key not bound to the quote")
 	}
 	ss.entry = entry
@@ -204,13 +235,23 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 		ss.channelKey = key
 		s.opt.metrics.Counter("server.attest_resumed").Inc()
 		span.SetBool("resumed", true)
+		ss.audit(obs.AuditEvent{Type: obs.AuditResumeHit})
 		return pub, nil
+	}
+	if ss.replay {
+		// A replayed handshake that missed the cache gets a *fresh* channel
+		// key below; the client's enclave is mid-protocol on the old key, so
+		// its run is about to break. Security-relevant: record it.
+		s.opt.metrics.Counter("server.resume_miss").Inc()
+		span.SetBool("resume_miss", true)
+		ss.audit(obs.AuditEvent{Type: obs.AuditResumeMiss, Detail: "session replay missed the resume cache"})
 	}
 	// Rate limiting charges only fresh attestations: a resumed handshake is
 	// a reconnecting client mid-protocol, and throttling it would turn one
 	// network blip into a retry storm.
 	if oerr := s.admitAttest(entry); oerr != nil {
 		span.SetBool("overloaded", true)
+		ss.auditShed(oerr, "attest rate limit")
 		return nil, oerr
 	}
 	priv, pub, err := sdk.GenerateECDHKeypair()
@@ -225,7 +266,18 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 	s.resumeStore(binding, pub, key)
 	s.opt.metrics.Counter("server.attest_ok").Inc()
 	s.opt.metrics.Counter("server.attest_ok.mr_" + entry.Label()).Inc()
+	ss.audit(obs.AuditEvent{Type: obs.AuditAttestOK})
 	return pub, nil
+}
+
+// auditShed records one QoS shed with its retry-after hint.
+func (ss *Session) auditShed(err error, detail string) {
+	var oe *OverloadedError
+	ev := obs.AuditEvent{Type: obs.AuditQoSShed, Detail: detail}
+	if errors.As(err, &oe) {
+		ev.RetryAfterMS = oe.RetryAfter.Milliseconds()
+	}
+	ss.audit(ev)
 }
 
 // resumeLookup finds a cached channel for this client ephemeral key and
@@ -285,6 +337,7 @@ func (ss *Session) Request(enc []byte) (out []byte, err error) {
 	}
 	release, oerr := s.admitInflight(ss.entry)
 	if oerr != nil {
+		ss.auditShed(oerr, "in-flight limit")
 		return nil, oerr
 	}
 	defer release()
@@ -355,6 +408,7 @@ func (ss *Session) bundleReply(pub []byte, want byte) (out []byte, err error) {
 	s := ss.srv
 	release, oerr := s.admitInflight(ss.entry)
 	if oerr != nil {
+		ss.auditShed(oerr, "in-flight limit (bundle)")
 		return nil, oerr
 	}
 	defer release()
@@ -444,10 +498,18 @@ type DirectClient struct {
 	Session *Session
 }
 
-// Attest implements SecretChannel.
+// Attest implements SecretChannel. When the server has a tracer, the
+// first attest opens the session span — parented into the caller's trace
+// when the context carries a span, mirroring what a wire handshake's
+// TraceID/SpanID fields do for handleConn.
 func (c *DirectClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if c.Session.span == nil {
+		caller := obs.SpanFromContext(ctx)
+		c.Session.span = c.Session.srv.opt.tracer.StartRemote("session", caller.TraceID(), caller.ID())
+		c.Session.span.SetStr("peer", "direct")
 	}
 	return c.Session.Attest(q, clientPub)
 }
@@ -460,16 +522,28 @@ func (c *DirectClient) Request(ctx context.Context, enc []byte) ([]byte, error) 
 	return c.Session.Request(enc)
 }
 
-// Close implements SecretChannel; an in-process channel holds nothing.
-func (c *DirectClient) Close() error { return nil }
+// Close implements SecretChannel; an in-process channel holds no
+// transport state, but it does end the session span Attest opened.
+func (c *DirectClient) Close() error {
+	c.Session.span.End()
+	return nil
+}
 
 // attestMsg is the wire form of the attestation handshake. Proto and
 // Bundle are the ProtoV1 negotiation fields; gob drops fields the peer's
 // struct lacks, so a legacy server simply never sees the offer and a
-// legacy client's handshake decodes here with both zero.
+// legacy client's handshake decodes here with both zero. TraceID/SpanID
+// are the trace-context capability: a tracing v1 client stamps its restore
+// trace and current span so the server's session spans join the client's
+// trace; both decode as zero from a legacy (or non-tracing) client, and a
+// legacy server ignores them — tracing is then silently per-process, never
+// an interop failure. The IDs are random tracer-local identifiers and
+// carry no secret material across the boundary.
 type attestMsg struct {
 	Quote     *sgx.Quote
 	ClientPub []byte
+	TraceID   uint64  // caller's restore trace (0 = caller not tracing)
+	SpanID    uint64  // caller's current span: parent for the server session span
 	Proto     uint8   // highest wire version the client speaks (0 = legacy)
 	Bundle    byte    // bundleMeta|bundleData: responses to pipeline into the reply
 	_         [6]byte // explicit padding: boundary structs carry no implicit holes
@@ -567,21 +641,30 @@ func (s *Server) Serve(ctx context.Context, l net.Listener) error {
 // decoder's internal buffering must not swallow it.
 func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 	ss := s.NewSession()
-	ss.span = s.opt.tracer.Start("session")
-	ss.span.SetStr("peer", conn.RemoteAddr().String())
-	defer func() {
-		ss.span.SetError(err)
-		ss.span.End()
-	}()
 	br := bufio.NewReader(conn)
 	s.armDeadline(conn)
 	var msg attestMsg
 	if err := gob.NewDecoder(br).Decode(&msg); err != nil {
 		return err
 	}
+	// The session span starts only after the handshake is decoded: a
+	// tracing client's TraceID/SpanID parent it into the client's restore
+	// trace, so the merged JSONL from both processes is one tree. A zero
+	// TraceID (legacy or non-tracing peer) makes it a local root, exactly
+	// the pre-trace-context behavior.
+	ss.span = s.opt.tracer.StartRemote("session", msg.TraceID, msg.SpanID)
+	ss.span.SetStr("peer", conn.RemoteAddr().String())
+	defer func() {
+		ss.span.SetError(err)
+		ss.span.End()
+	}()
 	if s.opt.onHandshake != nil {
 		s.opt.onHandshake(&msg)
 	}
+	// A v1 client zeroes Bundle only when replaying the handshake of an
+	// established session on a fresh connection (fresh attests always ask
+	// for the bundle), so this flags the resume-or-break case for auditing.
+	ss.replay = msg.Proto >= ProtoV1 && msg.Bundle == 0
 	pub, err := ss.Attest(msg.Quote, msg.ClientPub)
 	if err != nil {
 		s.armDeadline(conn)

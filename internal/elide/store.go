@@ -12,6 +12,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"sgxelide/internal/obs"
 )
 
 // SecretEntry is one registered sanitized-enclave identity and the secrets
@@ -83,8 +85,10 @@ type SecretStore struct {
 	// Directory-loading bookkeeping: the CA pinned by the first loaded
 	// deployment (all deployments must agree) guards against accidentally
 	// mixing attestation roots in one serving process.
-	dirMu sync.Mutex
-	caPub *ecdsa.PublicKey
+	dirMu   sync.Mutex
+	caPub   *ecdsa.PublicKey
+	scanErr error         // outcome of the most recent LoadDir pass
+	audit   *obs.AuditLog // optional: rescan failures become audit events
 }
 
 // NewSecretStore returns an empty store.
@@ -198,6 +202,55 @@ func (st *SecretStore) Entries() []*SecretEntry {
 	return out
 }
 
+// SetAuditLog wires rescan failures into an audit log: every deployment a
+// LoadDir pass could not load (or a whole unreadable directory) becomes a
+// store_rescan_failed event.
+func (st *SecretStore) SetAuditLog(a *obs.AuditLog) {
+	st.dirMu.Lock()
+	st.audit = a
+	st.dirMu.Unlock()
+}
+
+// HealthCheck reports the store degraded while its most recent directory
+// scan failed (wholly or for individual deployments). A store that never
+// dir-loads is always healthy.
+func (st *SecretStore) HealthCheck() error {
+	st.dirMu.Lock()
+	defer st.dirMu.Unlock()
+	return st.scanErr
+}
+
+// recordScan captures a pass's outcome for HealthCheck and the audit
+// stream.
+func (st *SecretStore) recordScan(rep DirReport, err error) {
+	st.dirMu.Lock()
+	audit := st.audit
+	switch {
+	case err != nil:
+		st.scanErr = fmt.Errorf("secrets-dir scan failed: %w", err)
+	case len(rep.Failed) > 0:
+		names := make([]string, 0, len(rep.Failed))
+		for n := range rep.Failed {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		st.scanErr = fmt.Errorf("secrets-dir deployments failed to load: %v", names)
+	default:
+		st.scanErr = nil
+	}
+	st.dirMu.Unlock()
+	if audit == nil {
+		return
+	}
+	if err != nil {
+		audit.Emit(obs.AuditEvent{Type: obs.AuditStoreRescanFailed, Detail: err.Error()})
+		return
+	}
+	for name, ferr := range rep.Failed {
+		audit.Emit(obs.AuditEvent{Type: obs.AuditStoreRescanFailed, Detail: name + ": " + ferr.Error()})
+	}
+}
+
 // CA returns the attestation CA pinned by directory loading (nil until the
 // first successful LoadDir).
 func (st *SecretStore) CA() *ecdsa.PublicKey {
@@ -242,6 +295,7 @@ func (st *SecretStore) LoadDir(dir string) (DirReport, error) {
 	rep := DirReport{Failed: map[string]error{}}
 	des, err := os.ReadDir(dir)
 	if err != nil {
+		st.recordScan(rep, err)
 		return rep, err
 	}
 	seen := map[string][32]byte{} // subdir name -> measurement this pass
@@ -291,6 +345,7 @@ func (st *SecretStore) LoadDir(dir string) (DirReport, error) {
 			}
 		}
 	}
+	st.recordScan(rep, nil)
 	return rep, nil
 }
 

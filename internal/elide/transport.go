@@ -407,6 +407,13 @@ func (c *TCPClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) 
 	msg := &attestMsg{Quote: q, ClientPub: append([]byte(nil), clientPub...), Proto: c.opt.proto}
 	if c.opt.proto >= ProtoV1 {
 		msg.Bundle = bundleMeta | bundleData
+		// Trace-context capability: stamp the restore trace so the server's
+		// session spans join it. The handshake replay on reconnects reuses
+		// this msg, keeping the resumed session in the same trace. A legacy
+		// server's gob decoder drops the fields unseen.
+		if sp := obs.SpanFromContext(ctx); sp != nil {
+			msg.TraceID, msg.SpanID = sp.TraceID(), sp.ID()
+		}
 	}
 	defer c.opt.metrics.Observe("client.attest_ns", time.Now())
 	pub, err := c.withRetry(ctx, "client.attest", func() ([]byte, error) {

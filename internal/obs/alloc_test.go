@@ -1,0 +1,105 @@
+// Allocation guards for the observability hot paths: tracing a restore and
+// auditing a decision sit on the serving path, so their per-op allocation
+// budget is part of the contract — `make bench-obs` reports the numbers,
+// and the tests below fail the build if the budget regresses.
+package obs
+
+import "testing"
+
+// warmTracer returns a tracer whose ring has reached capacity, the steady
+// state a long-running server operates in (append growth is done).
+func warmTracer(cap int) *Tracer {
+	tr := NewTracer(cap)
+	tr.SetService("server")
+	for i := 0; i < cap; i++ {
+		tr.Start("warm").End()
+	}
+	return tr
+}
+
+// warmAudit returns an audit log at ring capacity with its per-type counter
+// and registry mirror entries already interned.
+func warmAudit(cap int) *AuditLog {
+	a := NewAuditLog(cap)
+	a.SetRegistry(NewRegistry())
+	for i := 0; i < cap+1; i++ {
+		a.Emit(AuditEvent{Type: AuditAttestOK, TraceID: 1})
+	}
+	return a
+}
+
+func TestSpanStartEndAllocs(t *testing.T) {
+	tr := warmTracer(64)
+	got := testing.AllocsPerRun(500, func() {
+		tr.Start("op").End()
+	})
+	// One allocation: the *Span itself. The completed record lands in the
+	// preallocated ring without further garbage.
+	if got > 1 {
+		t.Errorf("span start+end allocates %.1f objects/op, budget 1", got)
+	}
+}
+
+func TestSpanChildAllocs(t *testing.T) {
+	tr := warmTracer(64)
+	root := tr.Start("session")
+	defer root.End()
+	got := testing.AllocsPerRun(500, func() {
+		root.Child("phase").End()
+	})
+	if got > 1 {
+		t.Errorf("child span allocates %.1f objects/op, budget 1", got)
+	}
+}
+
+func TestAuditEmitAllocs(t *testing.T) {
+	a := warmAudit(64)
+	got := testing.AllocsPerRun(500, func() {
+		a.Emit(AuditEvent{Type: AuditAttestOK, TraceID: 7, Enclave: "mr_deadbeef"})
+	})
+	// The ring-only emit path copies a flat struct into a preallocated
+	// slot; the counter and its registry mirror are interned on first use.
+	if got > 1 {
+		t.Errorf("audit emit allocates %.1f objects/op, budget 1", got)
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := warmTracer(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Start("op").End()
+	}
+}
+
+func BenchmarkSpanChild(b *testing.B) {
+	tr := warmTracer(4096)
+	root := tr.Start("session")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root.Child("phase").End()
+	}
+}
+
+func BenchmarkAuditEmit(b *testing.B) {
+	a := warmAudit(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Emit(AuditEvent{Type: AuditAttestOK, TraceID: uint64(i), Enclave: "mr_deadbeef"})
+	}
+}
+
+func BenchmarkAuditEmitParallel(b *testing.B) {
+	a := warmAudit(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			a.Emit(AuditEvent{Type: AuditResumeHit, TraceID: 3})
+		}
+	})
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestAuditRingAndCounts(t *testing.T) {
+	a := NewAuditLog(4)
+	for i := 0; i < 6; i++ {
+		a.Emit(AuditEvent{Type: AuditAttestOK, TraceID: uint64(i + 1)})
+	}
+	a.Emit(AuditEvent{Type: AuditAttestRefused, Detail: "bad quote"})
+
+	recent := a.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(recent))
+	}
+	// Oldest first: traces 4, 5, 6, then the refusal.
+	if recent[0].TraceID != 4 || recent[3].Type != AuditAttestRefused {
+		t.Fatalf("ring order wrong: %+v", recent)
+	}
+	if got := a.Evicted(); got != 3 {
+		t.Errorf("evicted = %d, want 3", got)
+	}
+	counts := a.Counts()
+	if counts[AuditAttestOK] != 6 || counts[AuditAttestRefused] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	// Recent(n) trims to the newest n.
+	if tail := a.Recent(2); len(tail) != 2 || tail[1].Type != AuditAttestRefused {
+		t.Errorf("Recent(2) = %+v", tail)
+	}
+	for _, ev := range recent {
+		if ev.Schema != AuditSchema || ev.TimeNS == 0 {
+			t.Errorf("event not stamped: %+v", ev)
+		}
+	}
+}
+
+func TestAuditNilSafety(t *testing.T) {
+	var a *AuditLog
+	a.Emit(AuditEvent{Type: AuditAttestOK}) // must not panic
+	if a.Recent(0) != nil || a.Counts() != nil || a.Evicted() != 0 || a.SinkErrs() != 0 {
+		t.Error("nil log leaked state")
+	}
+	if err := a.SetFileSink("x", 0); err != nil {
+		t.Error(err)
+	}
+	if err := a.CloseSink(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAuditRegistryMirror(t *testing.T) {
+	a := NewAuditLog(0)
+	reg := NewRegistry()
+	a.SetRegistry(reg)
+	a.Emit(AuditEvent{Type: AuditResumeHit})
+	a.Emit(AuditEvent{Type: AuditResumeHit})
+	a.Emit(AuditEvent{Type: AuditQoSShed, RetryAfterMS: 40})
+	snap := reg.Snapshot()
+	if snap.Counters["audit.events.resume_hit"] != 2 ||
+		snap.Counters["audit.events.qos_shed"] != 1 {
+		t.Errorf("mirrored counters = %v", snap.Counters)
+	}
+}
+
+func TestAuditFileSinkAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	a := NewAuditLog(0)
+	if err := a.SetFileSink(path, 400); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		a.Emit(AuditEvent{Type: AuditAttestOK, TraceID: uint64(i + 1), Enclave: "mr_deadbeef"})
+	}
+	if err := a.CloseSink(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.SinkErrs(); got != 0 {
+		t.Fatalf("sink errors = %d", got)
+	}
+
+	// Rotation must have happened (each line is ~90 bytes, threshold 400),
+	// and both generations together must hold every event, schema-valid.
+	rotated, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatalf("no rotated generation: %v", err)
+	}
+	active, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, err := ValidateAuditJSONL(bytes.NewReader(rotated))
+	if err != nil {
+		t.Fatalf("rotated file invalid: %v", err)
+	}
+	n2, err := ValidateAuditJSONL(bytes.NewReader(active))
+	if err != nil {
+		t.Fatalf("active file invalid: %v", err)
+	}
+	// The oldest generation beyond .1 is deliberately dropped; at threshold
+	// 400 and 20 events there were several rotations, so we can only assert
+	// the retained window is a suffix of the stream ending at event 20. The
+	// active file may be freshly rotated (empty), in which case the rotated
+	// generation holds the tail.
+	tail := bytes.TrimSpace(active)
+	if len(tail) == 0 {
+		tail = bytes.TrimSpace(rotated)
+	}
+	lines := bytes.Split(tail, []byte("\n"))
+	var last AuditEvent
+	if err := json.Unmarshal(lines[len(lines)-1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.TraceID != 20 {
+		t.Errorf("last event trace = %d, want 20", last.TraceID)
+	}
+	if n1 == 0 {
+		t.Errorf("generations hold %d + %d events", n1, n2)
+	}
+}
+
+func TestAuditSinkAppendsAcrossAttach(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "audit.jsonl")
+	a := NewAuditLog(0)
+	if err := a.SetFileSink(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Emit(AuditEvent{Type: AuditAttestOK})
+	a.CloseSink()
+	// Re-attach: the sink must append, not truncate.
+	if err := a.SetFileSink(path, 0); err != nil {
+		t.Fatal(err)
+	}
+	a.Emit(AuditEvent{Type: AuditAttestRefused})
+	a.CloseSink()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateAuditJSONL(bytes.NewReader(blob)); err != nil || n != 2 {
+		t.Fatalf("re-attached sink holds %d events (err %v), want 2", n, err)
+	}
+}
+
+func TestValidateAuditJSONLRejects(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"garbage", "not json\n", "line 1"},
+		{"wrong schema", `{"schema":99,"time_ns":1,"type":"attest_ok"}` + "\n", "schema 99"},
+		{"bad type", `{"schema":1,"time_ns":1,"type":"Attest-OK"}` + "\n", "malformed type"},
+		{"no timestamp", `{"schema":1,"type":"attest_ok"}` + "\n", "missing timestamp"},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateAuditJSONL(strings.NewReader(tc.in)); err == nil ||
+			!strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// Blank lines are fine; a valid stream counts its events.
+	in := "\n" + `{"schema":1,"time_ns":5,"type":"qos_shed","retry_after_ms":10}` + "\n\n"
+	if n, err := ValidateAuditJSONL(strings.NewReader(in)); err != nil || n != 1 {
+		t.Errorf("valid stream: n=%d err=%v", n, err)
+	}
+}
+
+func TestAuditWriteJSONLRoundTrip(t *testing.T) {
+	a := NewAuditLog(0)
+	a.Emit(AuditEvent{Type: AuditBreakerOpen, Endpoint: "127.0.0.1:1", Detail: "3 consecutive failures"})
+	a.Emit(AuditEvent{Type: AuditBreakerClose, Endpoint: "127.0.0.1:1"})
+	var buf bytes.Buffer
+	if err := a.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateAuditJSONL(bytes.NewReader(buf.Bytes())); err != nil || n != 2 {
+		t.Fatalf("round trip: n=%d err=%v", n, err)
+	}
+}

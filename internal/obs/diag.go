@@ -1,0 +1,130 @@
+// Flight recorder: when a restore fails terminally, the operator wants the
+// whole story in one place — what the client attempted, which replicas it
+// tried, what the server decided, and what the enclave reported — without
+// reproducing the failure under a debugger. WriteDiagBundle snapshots the
+// relevant slice of the span ring and the recent audit events into a
+// self-contained diagnostics directory.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// DiagBundle is everything the flight recorder captures for one failure.
+type DiagBundle struct {
+	Reason  string         `json:"reason"`             // terminal error, human-readable
+	TraceID uint64         `json:"trace_id,omitempty"` // trace the failure belongs to (0 = unknown)
+	Spans   []SpanRecord   `json:"-"`                  // written as trace.jsonl + trace.txt
+	Events  []AuditEvent   `json:"-"`                  // written as audit.jsonl
+	Extra   map[string]any `json:"extra,omitempty"`    // caller context (flags, attempt counts, ...)
+}
+
+// diagManifest is the manifest.json schema: the bundle header plus
+// pointers to the sibling files, so a bundle is interpretable on its own.
+type diagManifest struct {
+	Schema    int            `json:"schema"`
+	Reason    string         `json:"reason"`
+	TraceID   uint64         `json:"trace_id,omitempty"`
+	TimeNS    int64          `json:"time_ns"`
+	SpanCount int            `json:"span_count"`
+	Events    int            `json:"event_count"`
+	Files     []string       `json:"files"`
+	Extra     map[string]any `json:"extra,omitempty"`
+}
+
+// WriteDiagBundle writes b as a new directory under dir named
+// diag-<unix-nanos>-<trace-hex> containing manifest.json, trace.jsonl,
+// trace.txt (the rendered tree), and audit.jsonl. dir is created if
+// missing. Returns the bundle directory path.
+func WriteDiagBundle(dir string, b DiagBundle) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("diag bundle: %w", err)
+	}
+	now := time.Now().UnixNano()
+	bundle := filepath.Join(dir, fmt.Sprintf("diag-%d-%016x", now, b.TraceID))
+	if err := os.MkdirAll(bundle, 0o755); err != nil {
+		return "", fmt.Errorf("diag bundle: %w", err)
+	}
+
+	writeJSONL := func(name string, write func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(bundle, name))
+		if err != nil {
+			return err
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
+	if err := writeJSONL("trace.jsonl", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		for _, r := range b.Spans {
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return "", fmt.Errorf("diag bundle: %w", err)
+	}
+	if err := writeJSONL("trace.txt", func(f *os.File) error {
+		_, err := f.WriteString(RenderTree(b.Spans))
+		return err
+	}); err != nil {
+		return "", fmt.Errorf("diag bundle: %w", err)
+	}
+	if err := writeJSONL("audit.jsonl", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		for _, ev := range b.Events {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return "", fmt.Errorf("diag bundle: %w", err)
+	}
+
+	man := diagManifest{
+		Schema:    AuditSchema,
+		Reason:    b.Reason,
+		TraceID:   b.TraceID,
+		TimeNS:    now,
+		SpanCount: len(b.Spans),
+		Events:    len(b.Events),
+		Files:     []string{"manifest.json", "trace.jsonl", "trace.txt", "audit.jsonl"},
+		Extra:     b.Extra,
+	}
+	if err := writeJSONL("manifest.json", func(f *os.File) error {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		return enc.Encode(man)
+	}); err != nil {
+		return "", fmt.Errorf("diag bundle: %w", err)
+	}
+	return bundle, nil
+}
+
+// CaptureDiag assembles a bundle for one trace from live sources: the span
+// slice is the tracer's retained ring filtered to traceID (all retained
+// spans when traceID is 0 — better too much context than too little), and
+// the events are the audit log's most recent lastN (all when lastN <= 0).
+func CaptureDiag(tr *Tracer, a *AuditLog, traceID uint64, reason string, lastN int) DiagBundle {
+	recs := tr.Completed()
+	spans := recs
+	if traceID != 0 {
+		spans = FilterTrace(recs, traceID)
+	}
+	return DiagBundle{
+		Reason:  reason,
+		TraceID: traceID,
+		Spans:   spans,
+		Events:  a.Recent(lastN),
+	}
+}

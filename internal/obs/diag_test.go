@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteDiagBundle(t *testing.T) {
+	tr := NewTracer(0)
+	tr.SetService("client")
+	root := tr.Start("elide_restore")
+	root.Child("attest").End()
+	root.End()
+	other := tr.Start("unrelated")
+	other.End()
+
+	a := NewAuditLog(0)
+	a.Emit(AuditEvent{Type: AuditRestoreFailed, TraceID: root.TraceID(), Detail: "session lost"})
+
+	dir := t.TempDir()
+	b := CaptureDiag(tr, a, root.TraceID(), "restore failed after 3 attempts", 10)
+	b.Extra = map[string]any{"attempts": 3}
+	path, err := WriteDiagBundle(dir, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(filepath.Base(path), "diag-") {
+		t.Errorf("bundle dir = %s", path)
+	}
+
+	// manifest.json interprets the bundle on its own.
+	mblob, err := os.ReadFile(filepath.Join(path, "manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man map[string]any
+	if err := json.Unmarshal(mblob, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man["reason"] != "restore failed after 3 attempts" ||
+		man["span_count"].(float64) != 2 || man["event_count"].(float64) != 1 {
+		t.Errorf("manifest = %v", man)
+	}
+
+	// trace.jsonl holds only the failed trace, not the unrelated root.
+	tblob, err := os.ReadFile(filepath.Join(path, "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(bytes.NewReader(tblob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("trace.jsonl has %d spans, want 2", len(recs))
+	}
+	for _, r := range recs {
+		if r.TraceID != root.TraceID() {
+			t.Errorf("foreign trace %d in bundle", r.TraceID)
+		}
+	}
+
+	// trace.txt is the rendered tree.
+	txt, err := os.ReadFile(filepath.Join(path, "trace.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "elide_restore") || !strings.Contains(string(txt), "  attest") {
+		t.Errorf("trace.txt = %q", txt)
+	}
+
+	// audit.jsonl is schema-valid and carries the trace ID.
+	ablob, err := os.ReadFile(filepath.Join(path, "audit.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ValidateAuditJSONL(bytes.NewReader(ablob)); err != nil || n != 1 {
+		t.Fatalf("audit.jsonl: n=%d err=%v", n, err)
+	}
+	var ev AuditEvent
+	if err := json.Unmarshal(bytes.TrimSpace(ablob), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.TraceID != root.TraceID() {
+		t.Errorf("audit event trace = %d, want %d", ev.TraceID, root.TraceID())
+	}
+}
+
+func TestCaptureDiagZeroTraceTakesEverything(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Start("a").End()
+	tr.Start("b").End()
+	b := CaptureDiag(tr, nil, 0, "shutdown", 0)
+	if len(b.Spans) != 2 {
+		t.Errorf("zero-trace capture took %d spans, want all 2", len(b.Spans))
+	}
+	if b.Events != nil {
+		t.Errorf("nil audit log produced events: %v", b.Events)
+	}
+}

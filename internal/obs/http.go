@@ -1,12 +1,14 @@
-// The live telemetry surface: an http.Handler exposing the registry and
-// tracer of a running process. elide-server mounts it on -admin-addr;
-// anything that holds a Registry and a Tracer can serve the same endpoints.
+// The live telemetry surface: an http.Handler exposing the registry,
+// tracer, and audit log of a running process. elide-server mounts it on
+// -admin-addr; anything that holds a Registry and a Tracer can serve the
+// same endpoints.
 //
 //	GET /metrics              Prometheus text exposition
 //	GET /metrics?format=json  the JSON Snapshot (same schema as -metrics-json)
-//	GET /healthz              liveness probe ("ok")
+//	GET /healthz              readiness: JSON status body, 503 when any health check fails
 //	GET /trace                retained spans as JSONL
-//	GET /trace?format=tree    retained spans as a rendered tree
+//	GET /trace?format=tree    retained spans as a rendered tree (cross-process when merged)
+//	GET /audit                retained audit events as JSONL (?format=counts for per-type totals)
 //	GET /debug/pprof/...      the standard Go profiler endpoints
 package obs
 
@@ -16,15 +18,67 @@ import (
 	"net/http/pprof"
 )
 
+// adminConfig collects the optional AdminHandler attachments.
+type adminConfig struct {
+	audit  *AuditLog
+	checks []healthCheck
+}
+
+type healthCheck struct {
+	name string
+	fn   func() error
+}
+
+// AdminOption configures optional AdminHandler endpoints.
+type AdminOption func(*adminConfig)
+
+// WithAuditLog serves a's retained events on /audit.
+func WithAuditLog(a *AuditLog) AdminOption {
+	return func(c *adminConfig) { c.audit = a }
+}
+
+// WithHealthCheck registers a named readiness check consulted by /healthz.
+// fn returning non-nil marks the process degraded: the endpoint answers
+// 503 with the failing checks' messages in the JSON body. Checks run on
+// every request, so they must be cheap (inspect state, don't probe).
+func WithHealthCheck(name string, fn func() error) AdminOption {
+	return func(c *adminConfig) { c.checks = append(c.checks, healthCheck{name, fn}) }
+}
+
+// healthBody is the /healthz response schema.
+type healthBody struct {
+	Status string            `json:"status"` // "ok" or "degraded"
+	Checks map[string]string `json:"checks,omitempty"`
+}
+
 // AdminHandler serves the telemetry endpoints for reg and tr. Either may
 // be nil (the corresponding endpoints serve empty documents). The prefix
-// is prepended to every Prometheus metric name.
-func AdminHandler(reg *Registry, tr *Tracer, prefix string) http.Handler {
+// is prepended to every Prometheus metric name. Options attach the audit
+// endpoint and health checks.
+func AdminHandler(reg *Registry, tr *Tracer, prefix string, opts ...AdminOption) http.Handler {
+	var cfg adminConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte("ok\n"))
+		body := healthBody{Status: "ok", Checks: make(map[string]string, len(cfg.checks))}
+		code := http.StatusOK
+		for _, c := range cfg.checks {
+			if err := c.fn(); err != nil {
+				body.Status = "degraded"
+				body.Checks[c.name] = err.Error()
+				code = http.StatusServiceUnavailable
+			} else {
+				body.Checks[c.name] = "ok"
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(body)
 	})
 
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -48,6 +102,18 @@ func AdminHandler(reg *Registry, tr *Tracer, prefix string) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/jsonl")
 		tr.WriteJSONL(w)
+	})
+
+	mux.HandleFunc("/audit", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "counts" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(cfg.audit.Counts()) // encoding/json sorts map keys
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		cfg.audit.WriteJSONL(w)
 	})
 
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

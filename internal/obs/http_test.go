@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestHealthzDegraded pins the degraded-state contract of /healthz: any
+// failing registered check flips the status to "degraded", answers 503,
+// and names the failing check with its message while healthy checks still
+// read "ok".
+func TestHealthzDegraded(t *testing.T) {
+	storeErr := errors.New("deployment badco: unreadable metadata")
+	h := AdminHandler(NewRegistry(), NewTracer(0), "p",
+		WithHealthCheck("store", func() error { return storeErr }),
+		WithHealthCheck("runtime", func() error { return nil }),
+	)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("degraded healthz status = %d, want 503", resp.StatusCode)
+	}
+	var body struct {
+		Status string            `json:"status"`
+		Checks map[string]string `json:"checks"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" {
+		t.Errorf("status = %q", body.Status)
+	}
+	if body.Checks["store"] != storeErr.Error() || body.Checks["runtime"] != "ok" {
+		t.Errorf("checks = %v", body.Checks)
+	}
+}
+
+// TestAuditEndpoint drives /audit in both formats.
+func TestAuditEndpoint(t *testing.T) {
+	a := NewAuditLog(0)
+	a.Emit(AuditEvent{Type: AuditAttestOK, TraceID: 42, Enclave: "mr_a18f515b"})
+	a.Emit(AuditEvent{Type: AuditQoSShed, RetryAfterMS: 25})
+	srv := httptest.NewServer(AdminHandler(nil, nil, "p", WithAuditLog(a)))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if n, err := ValidateAuditJSONL(bytes.NewReader(blob)); err != nil || n != 2 {
+		t.Fatalf("/audit body: n=%d err=%v (%s)", n, err, blob)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/audit?format=counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts map[string]uint64
+	err = json.NewDecoder(resp.Body).Decode(&counts)
+	resp.Body.Close()
+	if err != nil || counts[AuditAttestOK] != 1 || counts[AuditQoSShed] != 1 {
+		t.Errorf("counts = %v (err %v)", counts, err)
+	}
+}
+
+// TestAdminHandlerNilAttachments: no audit log, no checks — the endpoints
+// still answer (empty documents, healthy status).
+func TestAdminHandlerNilAttachments(t *testing.T) {
+	srv := httptest.NewServer(AdminHandler(nil, nil, ""))
+	defer srv.Close()
+	for _, path := range []string{"/healthz", "/audit", "/audit?format=counts", "/trace"} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+	}
+}

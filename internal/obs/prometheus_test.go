@@ -3,9 +3,12 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -78,6 +81,105 @@ func TestWritePrometheusNilAndEmpty(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusConcurrent hammers the registry from writer
+// goroutines while the exposition runs: every render must be a coherent
+// snapshot (parseable, monotone counters), with no torn reads. Run under
+// -race this also proves the snapshot path takes no unguarded shortcuts.
+func TestWritePrometheusConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const writers = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter(fmt.Sprintf("server.attest_ok.mr_%08x", w))
+			g := r.Gauge("server.inflight")
+			h := r.Histogram("op_ns")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				g.Inc()
+				h.Observe(time.Microsecond)
+			}
+		}(w)
+	}
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf, "sgxelide"); err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(line, "#") || line == "" {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) != 2 {
+				t.Fatalf("torn exposition line %q", line)
+			}
+			if strings.HasPrefix(fields[0], "sgxelide_server_attest_ok_mr_") {
+				v, err := strconv.ParseUint(fields[1], 10, 64)
+				if err != nil {
+					t.Fatalf("line %q: %v", line, err)
+				}
+				total += v
+			}
+		}
+		if total < prev {
+			t.Fatalf("counters went backwards: %d after %d", total, prev)
+		}
+		prev = total
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPromNameEscapesMrSuffix pins how per-enclave metric names — dotted,
+// with a mr_<hex8> measurement suffix — map into the Prometheus character
+// set: dots become underscores, the hex suffix survives verbatim, and two
+// distinct measurements never collide into one family.
+func TestPromNameEscapesMrSuffix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.overload.rate_limited.mr_a18f515b").Add(2)
+	r.Counter("server.overload.rate_limited.mr_00ff00ff").Add(5)
+	r.Gauge("server.inflight.mr_a18f515b").Set(1)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "sgxelide"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"sgxelide_server_overload_rate_limited_mr_a18f515b_total 2",
+		"sgxelide_server_overload_rate_limited_mr_00ff00ff_total 5",
+		"sgxelide_server_inflight_mr_a18f515b 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// No character outside the Prometheus name set may survive escaping.
+	for _, line := range strings.Split(out, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := strings.Fields(line)[0]
+		name = strings.SplitN(name, "{", 2)[0] // bucket labels are quoted, fine
+		for _, r := range name {
+			ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+			if !ok {
+				t.Errorf("unescaped rune %q in metric name %q", r, name)
+			}
+		}
+	}
+}
+
 // TestAdminHandler drives every telemetry endpoint through the handler the
 // server mounts on -admin-addr.
 func TestAdminHandler(t *testing.T) {
@@ -107,7 +209,7 @@ func TestAdminHandler(t *testing.T) {
 		return string(body), resp.Header.Get("Content-Type")
 	}
 
-	if body, _ := get("/healthz"); body != "ok\n" {
+	if body, _ := get("/healthz"); !strings.Contains(body, `"status": "ok"`) {
 		t.Errorf("healthz = %q", body)
 	}
 	if body, ct := get("/metrics"); !strings.Contains(body, "sgxelide_restores_total 1") ||

@@ -14,10 +14,12 @@
 package obs
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"sort"
 	"strings"
 	"sync"
@@ -26,12 +28,15 @@ import (
 )
 
 // SpanRecord is the exported, immutable form of a completed span. TraceID
-// is the SpanID of the trace's root span; ParentID is zero for roots.
+// is the SpanID of the trace's root span; ParentID is zero for roots. Svc
+// names the process role that recorded the span ("client", "server", ...)
+// so merged cross-process traces keep per-hop attribution.
 type SpanRecord struct {
 	TraceID  uint64         `json:"trace"`
 	SpanID   uint64         `json:"span"`
 	ParentID uint64         `json:"parent,omitempty"`
 	Name     string         `json:"name"`
+	Svc      string         `json:"svc,omitempty"`
 	StartNS  int64          `json:"start_ns"` // unix nanoseconds
 	EndNS    int64          `json:"end_ns"`
 	Error    string         `json:"error,omitempty"`
@@ -52,6 +57,7 @@ type Tracer struct {
 	ids atomic.Uint64 // span ID allocator; IDs are unique per tracer
 
 	mu      sync.Mutex
+	svc     string       // service tag stamped onto every completed span
 	ring    []SpanRecord // completed spans; wraps at cap
 	next    int          // ring write cursor once full
 	full    bool
@@ -60,12 +66,30 @@ type Tracer struct {
 }
 
 // NewTracer builds a tracer retaining up to ringCap completed spans
-// (DefaultSpanRing when ringCap <= 0).
+// (DefaultSpanRing when ringCap <= 0). The span ID allocator starts at a
+// random 63-bit base: IDs stay monotonic per tracer, but two tracers —
+// in particular a client and a server on opposite ends of the attested
+// channel — allocate from disjoint ranges, so spans merged across
+// processes into one trace keep distinct IDs.
 func NewTracer(ringCap int) *Tracer {
 	if ringCap <= 0 {
 		ringCap = DefaultSpanRing
 	}
-	return &Tracer{cap: ringCap}
+	t := &Tracer{cap: ringCap}
+	t.ids.Store(rand.Uint64() >> 1) // clear the top bit: no wrap within a process lifetime
+	return t
+}
+
+// SetService tags every span subsequently completed on this tracer with a
+// service name ("client", "server", ...). Records that already carry a
+// Svc — e.g. synthesized via Add — keep theirs. Safe on a nil tracer.
+func (t *Tracer) SetService(svc string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.svc = svc
+	t.mu.Unlock()
 }
 
 // Start begins a root span of a new trace. Safe on a nil tracer (returns a
@@ -89,6 +113,31 @@ func (t *Tracer) StartAt(name string, start time.Time) *Span {
 	}
 }
 
+// StartRemote begins a span that continues a trace started in another
+// process: the wire handshake carries the caller's trace ID and span ID,
+// and the server parents its session span under them, so the merged JSONL
+// from both sides renders as one tree. A zero traceID means the peer is
+// not tracing (legacy protocol, or tracing disabled) and the span becomes
+// an ordinary local root. Safe on a nil tracer.
+func (t *Tracer) StartRemote(name string, traceID, parentID uint64) *Span {
+	if t == nil {
+		return nil
+	}
+	if traceID == 0 {
+		return t.Start(name)
+	}
+	return &Span{
+		t: t,
+		rec: SpanRecord{
+			TraceID:  traceID,
+			SpanID:   t.ids.Add(1),
+			ParentID: parentID,
+			Name:     name,
+			StartNS:  time.Now().UnixNano(),
+		},
+	}
+}
+
 // Add records a fully-formed span directly (a SpanID is allocated when
 // zero). Pipeline code uses this to synthesize spans for phases whose
 // boundaries are only known after the fact — e.g. the enclave-internal
@@ -108,6 +157,9 @@ func (t *Tracer) Add(rec SpanRecord) {
 func (t *Tracer) push(rec SpanRecord) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if rec.Svc == "" {
+		rec.Svc = t.svc
+	}
 	if !t.full {
 		t.ring = append(t.ring, rec)
 		if len(t.ring) == t.cap {
@@ -303,6 +355,49 @@ func SpanFromContext(ctx context.Context) *Span {
 	return sp
 }
 
+// ReadJSONL parses span records from a JSONL stream (the WriteJSONL /
+// -trace-json format). Blank lines are skipped; a malformed line aborts
+// with an error naming its position. Merging exports from two processes is
+// just reading both and appending — IDs stay distinct because every tracer
+// allocates from its own random base.
+func ReadJSONL(r io.Reader) ([]SpanRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var out []SpanRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		b := strings.TrimSpace(sc.Text())
+		if b == "" {
+			continue
+		}
+		var rec SpanRecord
+		if err := json.Unmarshal([]byte(b), &rec); err != nil {
+			return out, fmt.Errorf("trace jsonl line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// FilterTrace returns the records belonging to one trace, preserving
+// order — the slice a flight recorder dumps for a failed restore.
+func FilterTrace(recs []SpanRecord, traceID uint64) []SpanRecord {
+	if traceID == 0 {
+		return nil
+	}
+	var out []SpanRecord
+	for _, r := range recs {
+		if r.TraceID == traceID {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // --- rendering ---
 
 // DurationsByName sums span durations per name across records — the
@@ -343,6 +438,9 @@ func RenderTree(recs []SpanRecord) string {
 	walk = func(r SpanRecord, depth int) {
 		indent := strings.Repeat("  ", depth)
 		fmt.Fprintf(&b, "%-40s %12v", indent+r.Name, r.Duration().Round(time.Microsecond))
+		if r.Svc != "" {
+			fmt.Fprintf(&b, "  [%s]", r.Svc)
+		}
 		if keys := attrKeys(r.Attrs); len(keys) > 0 {
 			for _, k := range keys {
 				fmt.Fprintf(&b, "  %s=%v", k, r.Attrs[k])
