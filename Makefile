@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-vet verify vet-security fmt-check test race chaos load-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-frames bench-obs obs-demo trace-demo clean
+.PHONY: build build-vet verify vet-security fmt-check test race chaos load-smoke resume-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-resume bench-frames bench-obs obs-demo trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,7 @@ verify: fmt-check build
 	$(MAKE) bench-obs
 	$(MAKE) chaos
 	$(MAKE) load-smoke
+	$(MAKE) resume-smoke
 
 # The elide-vet vettool: four analyzers (constanttime, secretflow,
 # padleak, wipe) that mechanically enforce the enclave secrecy
@@ -53,6 +54,12 @@ chaos:
 load-smoke:
 	$(GO) test -short -run TestLoadBenchSmoke -v ./internal/bench/
 
+# Scaled-down failover-resume smoke: kill the attested replica, resume
+# every session on its peer; replicated resumes must cost zero extra
+# attestation flights, the unreplicated baseline exactly one each.
+resume-smoke:
+	$(GO) test -short -run TestResumeBenchSmoke -v ./internal/bench/
+
 # Concurrent-restore transport benchmark; writes BENCH_server.json.
 bench-server:
 	$(GO) run ./cmd/elide-bench -server
@@ -76,6 +83,13 @@ bench-chaos:
 # pipelined vs legacy protocol; writes BENCH_load.json.
 bench-load:
 	$(GO) run ./cmd/elide-bench -load
+
+# Failover-resume benchmark: sessions established on one replica, the
+# replica killed, every session resumed against its peer — replicated
+# (zero extra attestation flights) vs unreplicated baseline (one full
+# re-attest per session); writes BENCH_resume.json.
+bench-resume:
+	$(GO) run ./cmd/elide-bench -resume
 
 # Frame read/write allocation microbenchmarks (the -benchmem numbers
 # EXPERIMENTS.md quotes).
@@ -101,4 +115,4 @@ obs-demo:
 	$(GO) run ./cmd/elide-bench -obs-demo
 
 clean:
-	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json BENCH_load.json BENCH_trace.jsonl BENCH_audit.jsonl
+	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json BENCH_load.json BENCH_resume.json BENCH_trace.jsonl BENCH_audit.jsonl

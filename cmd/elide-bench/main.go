@@ -12,6 +12,7 @@
 //	elide-bench -server -server-clients 16 -server-out BENCH_server.json
 //	elide-bench -multi -multi-enclaves 4 -multi-out BENCH_multi.json
 //	elide-bench -chaos -chaos-replicas 3 -chaos-out BENCH_chaos.json
+//	elide-bench -resume -resume-sessions 16 -resume-out BENCH_resume.json
 //	elide-bench -load -load-rate 500 -load-restores 10000 -load-out BENCH_load.json
 package main
 
@@ -52,6 +53,11 @@ func main() {
 		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent restore workers for -chaos")
 		chaosOut      = flag.String("chaos-out", "BENCH_chaos.json", "JSON output path for -chaos")
 
+		resume         = flag.Bool("resume", false, "benchmark failover resume: kill the attested replica, resume every session on a peer, replicated vs unreplicated")
+		resumeProgram  = flag.String("resume-program", "Sha1", "benchmark program for -resume")
+		resumeSessions = flag.Int("resume-sessions", 16, "sessions to establish and resume for -resume")
+		resumeOut      = flag.String("resume-out", "BENCH_resume.json", "JSON output path for -resume")
+
 		load         = flag.Bool("load", false, "open-loop load test: offered-rate restores against one server, pipelined vs legacy protocol")
 		loadProgram  = flag.String("load-program", "Sha1", "benchmark program for -load")
 		loadRate     = flag.Float64("load-rate", 500, "offered arrival rate for -load (restores/second)")
@@ -73,7 +79,7 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *f4, *server, *multi, *chaos, *phases = true, true, true, true, true, true, true, true
+		*t1, *t2, *f3, *f4, *server, *multi, *chaos, *resume, *phases = true, true, true, true, true, true, true, true, true
 	}
 	if *validateAudit != "" {
 		f, err := os.Open(*validateAudit)
@@ -88,7 +94,7 @@ func main() {
 		fmt.Printf("%s: %d audit events, schema %d, all valid\n", *validateAudit, n, obs.AuditSchema)
 		return
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*load && !*phases && !*traceDemo && !*obsDemo {
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*resume && !*load && !*phases && !*traceDemo && !*obsDemo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -191,6 +197,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *chaosOut)
+	}
+	if *resume {
+		fmt.Printf("(benchmarking failover resume: %d sessions, replicated vs baseline...)\n",
+			*resumeSessions)
+		res, err := bench.ResumeBench(env, bench.ResumeConfig{
+			Program:  *resumeProgram,
+			Sessions: *resumeSessions,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*resumeOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *resumeOut)
 	}
 	if *load {
 		fmt.Printf("(load-testing the authentication server: %d restores at %.0f rps...)\n",

@@ -18,14 +18,19 @@
 //
 //	elide-server -secrets-dir deployments -listen 127.0.0.1:7788
 //
-// Replication is share-nothing: for availability, start several daemons on
-// the same serverfiles (or secrets) directory under different -listen
-// addresses — possibly on different hosts, each with its own copy of the
-// files — and give clients the whole fleet via elide-run -servers. Every
-// replica can answer any restore independently; sessions are per-replica
-// (there is no shared session state), so after a failover the client simply
-// re-attests to the survivor, which the runtime's failover pool does
-// automatically.
+// Replication is share-nothing for secrets: for availability, start several
+// daemons on the same serverfiles (or secrets) directory under different
+// -listen addresses — possibly on different hosts, each with its own copy
+// of the files — and give clients the whole fleet via elide-run -servers.
+// Every replica can answer any restore independently. Session state is
+// per-replica by default (after a failover the client pays a full
+// re-attest); with -peers and a shared -fleet-key the replicas replicate
+// their session-resumption records to each other (wrapped under the fleet
+// sealing key — channel keys never cross the wire in cleartext), so any
+// replica can resume any client's attested channel and a failover costs
+// zero extra attestation flights (DESIGN §14):
+//
+//	elide-server -listen :7788 -peers host2:7788,host3:7788 -fleet-key fleet.key
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // drains in-flight sessions (bounded by -drain-timeout), and prints a
@@ -38,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -46,6 +52,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +76,10 @@ func main() {
 		enclaveRPS      = flag.Float64("enclave-rps", 0, "per-enclave fresh-attestation rate limit in attests/second (0 = unlimited); excess clients get a typed overload with a retry-after hint")
 		enclaveBurst    = flag.Int("enclave-burst", 0, "per-enclave attest burst allowance for -enclave-rps (0 = the rate rounded up)")
 		enclaveInflight = flag.Int("enclave-inflight", 0, "per-enclave cap on concurrently served channel requests (0 = unlimited)")
+
+		peers     = flag.String("peers", "", "comma-separated replica addresses to replicate session-resumption records to/from (requires -fleet-key)")
+		fleetKey  = flag.String("fleet-key", "", "path to the shared fleet sealing key (16/24/32 raw bytes, or that many hex-encoded); enables accepting resume replication")
+		resumeTTL = flag.Duration("resume-ttl", elide.DefaultResumeTTL, "how long a cached session may be resumed before a full re-attest is required (0 = no expiry)")
 
 		auditFile  = flag.String("audit-file", "", "append security audit events (one JSON event per line) to this file, rotated at -audit-max-bytes")
 		auditBytes = flag.Int64("audit-max-bytes", 8<<20, "rotate -audit-file (to <file>.1) when it exceeds this size")
@@ -101,6 +112,28 @@ func main() {
 	}
 	if *enclaveInflight > 0 {
 		opts = append(opts, elide.WithEnclaveInflightLimit(*enclaveInflight))
+	}
+	opts = append(opts, elide.WithResumeTTL(*resumeTTL))
+	if *peers != "" && *fleetKey == "" {
+		fatal(fmt.Errorf("elide-server: -peers requires -fleet-key; resume records only cross the wire wrapped under the fleet sealing key"))
+	}
+	if *fleetKey != "" {
+		key, err := loadFleetKey(*fleetKey)
+		if err != nil {
+			fatal(err)
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		opts = append(opts, elide.WithResumeReplication(key, peerList...))
+		if len(peerList) > 0 {
+			fmt.Printf("elide-server: replicating session resumption to %s\n", strings.Join(peerList, ", "))
+		} else {
+			fmt.Printf("elide-server: accepting session-resumption replication (no push peers)\n")
+		}
 	}
 	var srv *elide.Server
 	var err error
@@ -262,6 +295,31 @@ func writeShutdownDiag(dir string, tracer *obs.Tracer, audit *obs.AuditLog) {
 		return
 	}
 	fmt.Printf("elide-server: diagnostics bundle written to %s\n", path)
+}
+
+// loadFleetKey reads the shared fleet sealing key from path: either raw
+// key bytes (16/24/32) or their hex encoding (whitespace-trimmed), so
+// keys can be generated with `head -c 32 /dev/urandom` or `openssl rand
+// -hex 32` alike.
+func loadFleetKey(path string) ([]byte, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("elide-server: reading -fleet-key: %w", err)
+	}
+	switch len(blob) {
+	case 16, 24, 32:
+		return blob, nil
+	}
+	trimmed := strings.TrimSpace(string(blob))
+	key, err := hex.DecodeString(trimmed)
+	if err != nil {
+		return nil, fmt.Errorf("elide-server: -fleet-key %s is neither raw nor hex key bytes: %w", path, err)
+	}
+	switch len(key) {
+	case 16, 24, 32:
+		return key, nil
+	}
+	return nil, fmt.Errorf("elide-server: -fleet-key %s holds %d key bytes; want 16, 24, or 32", path, len(key))
 }
 
 // printEntry lists one registered deployment.

@@ -2,8 +2,10 @@
 // bytes out of operator-visible text: log and fmt output, error strings,
 // the observability name space (metric names, span string attributes)
 // that internal/obs exports in plaintext to /metrics and trace files,
-// and the security audit event stream (AuditEvent fields reach /audit,
-// file sinks, and flight-recorder diagnostic bundles verbatim).
+// the security audit event stream (AuditEvent fields reach /audit,
+// file sinks, and flight-recorder diagnostic bundles verbatim), and the
+// inter-server resume-replication link (writePeerFrame puts its payload
+// on the network — only fleet-key-wrapped records may pass).
 //
 // It runs the shared intraprocedural taint tracker with the Flow source
 // set — key material and secret plaintext, per secrets.Default — and
@@ -66,6 +68,10 @@ func run(pass *framework.Pass, cfg *secrets.Config) {
 					case secrets.SinkAudit:
 						pass.Reportf(arg.Pos(),
 							"secret-tainted %s flows into the audit event stream via %s; audit events are exported verbatim to /audit, file sinks, and diagnostic bundles (secretflow)",
+							types.ExprString(arg), callee)
+					case secrets.SinkWire:
+						pass.Reportf(arg.Pos(),
+							"secret-tainted %s flows onto the inter-server replication link via %s; only fleet-key-wrapped records may cross the wire (secretflow)",
 							types.ExprString(arg), callee)
 					default:
 						pass.Reportf(arg.Pos(),

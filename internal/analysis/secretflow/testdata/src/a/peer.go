@@ -1,0 +1,62 @@
+package a
+
+import "io"
+
+// writePeerFrame and ResumeRecord mirror the internal/elide resume
+// replication layer: frames written with writePeerFrame go onto the
+// inter-server network link, so it is a wire sink — only records wrapped
+// under the fleet sealing key (wrapResumeRecord) may be passed, never raw
+// channel keys or the marshaled (cleartext) record.
+
+type ResumeRecord struct {
+	Binding    [32]byte
+	ChannelKey []byte
+}
+
+func wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func sealEncrypt(key, plain []byte) []byte {
+	return append([]byte{0xEE}, plain...) // stand-in ciphertext
+}
+
+func writePeerFrame(w io.Writer, op byte, payload []byte) error {
+	_, err := w.Write(append([]byte{op}, payload...))
+	return err
+}
+
+func marshalResumeRecord(rec ResumeRecord) []byte {
+	out := append([]byte(nil), rec.Binding[:]...)
+	return append(out, rec.ChannelKey...)
+}
+
+func wrapResumeRecord(fleetKey []byte, rec ResumeRecord) []byte {
+	plain := marshalResumeRecord(rec)
+	defer wipe(plain)
+	return sealEncrypt(fleetKey, plain)
+}
+
+func leakRawKeyOnWire(w io.Writer, rec ResumeRecord) {
+	_ = writePeerFrame(w, 1, rec.ChannelKey) // want "flows onto the inter-server replication link"
+}
+
+func leakMarshaledRecordOnWire(w io.Writer, rec ResumeRecord) {
+	plain := marshalResumeRecord(rec)
+	defer wipe(plain)
+	_ = writePeerFrame(w, 1, plain) // want "flows onto the inter-server replication link"
+}
+
+func okWrappedRecordOnWire(w io.Writer, fleetKey []byte, rec ResumeRecord) {
+	// The wrapped blob is ciphertext under the fleet key: the intended
+	// (and only permitted) wire form of a resume record.
+	_ = writePeerFrame(w, 1, wrapResumeRecord(fleetKey, rec))
+}
+
+func okBindingOnWire(w io.Writer, rec ResumeRecord) {
+	// The binding is a public hash of the client's ephemeral key — the
+	// fetch request payload, not secret material.
+	_ = writePeerFrame(w, 2, rec.Binding[:])
+}

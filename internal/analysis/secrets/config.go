@@ -44,6 +44,11 @@ const (
 	// AuditEvent fields are serialized verbatim to the /audit endpoint,
 	// the -audit-file JSONL sink, and flight-recorder diagnostic bundles.
 	SinkAudit
+	// SinkWire: the value crosses the inter-server replication link.
+	// Only fleet-key-wrapped blobs (wrapResumeRecord) may be passed —
+	// a raw channel key or marshaled record here is a cleartext key on
+	// the network.
+	SinkWire
 )
 
 // SinkPattern marks a call as a secretflow sink.
@@ -99,7 +104,8 @@ func Default() *Config {
 			// secret release.
 			{Type: re(`(^|\.)(Quote|Report)$`), Field: re(`^(Data|MAC)$`)},
 			{Type: re(`(^|\.)(Quote|Report|SigStruct|SecretEntry)$`), Field: re(`^(MrEnclave|MrSigner|EnclaveHash)$`)},
-			{Type: re(`(^|\.)(Session|resumeEntry)$`), Field: re(`^channelKey$`)},
+			{Type: re(`(^|\.)Session$`), Field: re(`^channelKey$`)},
+			{Type: re(`(^|\.)ResumeRecord$`), Field: re(`^ChannelKey$`)},
 			{Type: re(`(^|\.)(SecretEntry|ServerConfig|SanitizeResult|DeployedSecrets)$`), Field: re(`^SecretPlain$`)},
 		},
 		CompareFuncs: []FuncPattern{
@@ -113,13 +119,17 @@ func Default() *Config {
 
 		FlowFields: []FieldPattern{
 			{Type: re(`(^|\.)SecretMeta$`), Field: re(`^Key$`)},
-			{Type: re(`(^|\.)(Session|resumeEntry)$`), Field: re(`^channelKey$`)},
+			{Type: re(`(^|\.)Session$`), Field: re(`^channelKey$`)},
+			{Type: re(`(^|\.)ResumeRecord$`), Field: re(`^ChannelKey$`)},
 			{Type: re(`(^|\.)(SecretEntry|ServerConfig|SanitizeResult|DeployedSecrets)$`), Field: re(`^SecretPlain$`)},
 		},
 		FlowFuncs: []FuncPattern{
 			{Func: re(`(^|\.)(AESGCMOpen|ChannelOpen|sealDecrypt)$`), Result: 0},
 			{Func: re(`(^|\.)DeriveChannelKey$`), Result: 0},
 			{Func: re(`(^|\.)(sealKey|reportKey|launchKey)$`), Result: 0},
+			// The marshaled resume record embeds the channel key verbatim: it
+			// exists only as the plaintext input to the fleet-key wrapping.
+			{Func: re(`(^|\.)marshalResumeRecord$`), Result: 0},
 		},
 		FlowVars: []*regexp.Regexp{
 			re(`^(channelKey|sealKey|secretPlain)$`),
@@ -140,11 +150,15 @@ func Default() *Config {
 			// -audit-file sink, and flight-recorder bundles — operator-visible
 			// surfaces a secret must never reach.
 			{Func: re(`(^|\.)AuditLog\.Emit$`), Kind: SinkAudit},
+			// Inter-server resume replication: frames written here go onto
+			// the network; only wrapped records may pass (DESIGN §14).
+			{Func: re(`(^|\.)writePeerFrame$`), Kind: SinkWire},
 		},
 
 		WipeSources: []FuncPattern{
 			{Func: re(`(^|\.)(AESGCMOpen|ChannelOpen|sealDecrypt)$`), Result: 0},
 			{Func: re(`(^|\.)DeriveChannelKey$`), Result: 0},
+			{Func: re(`(^|\.)marshalResumeRecord$`), Result: 0},
 		},
 		Wipers: re(`(^|\.)[Ww]ipe[A-Za-z0-9_]*$|(^|\.)[Zz]eroize$`),
 

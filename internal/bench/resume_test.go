@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestResumeBenchSmoke runs a scaled-down kill-then-resume-elsewhere
+// scenario and asserts the headline numbers the replication layer exists
+// for: with replication, every session resumes on the peer with ZERO
+// attestation flights; without it, every one pays a full re-attestation.
+func TestResumeBenchSmoke(t *testing.T) {
+	env := sharedEnv(t)
+	cfg := ResumeConfig{Sessions: 6}
+	if testing.Short() {
+		cfg.Sessions = 3
+	}
+	res, err := ResumeBench(env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res.String())
+
+	if res.Replicated.Resumed != cfg.Sessions {
+		t.Fatalf("replicated: %d/%d sessions resumed on the peer", res.Replicated.Resumed, cfg.Sessions)
+	}
+	if res.Replicated.ExtraAttestFlights != 0 {
+		t.Fatalf("replicated: peer ran %d full attestation flights, want 0", res.Replicated.ExtraAttestFlights)
+	}
+	if res.Baseline.ReAttested != cfg.Sessions {
+		t.Fatalf("baseline: %d/%d sessions silently re-attested", res.Baseline.ReAttested, cfg.Sessions)
+	}
+	if res.Baseline.ExtraAttestPerResume != 1 {
+		t.Fatalf("baseline: %.2f extra attest flights per resume, want 1", res.Baseline.ExtraAttestPerResume)
+	}
+}

@@ -292,6 +292,18 @@ func (fc *FailoverClient) Close() error {
 	return first
 }
 
+// sessionResumer is the optional SecretChannel capability the failover
+// layer prefers when it must re-attest an established session on a new
+// replica: ResumeAttest replays the handshake as a resume (no bundle
+// request), so a resume-replicating fleet hands back the original channel
+// key and nothing lands at the wrong position in the mid-protocol stream.
+// TCPClient implements it; a channel without it gets a plain Attest,
+// which is correct but downgrades to session-lost when the replica
+// cannot resume.
+type sessionResumer interface {
+	ResumeAttest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error)
+}
+
 // clientFor returns (building if needed) the channel for an endpoint.
 func (fc *FailoverClient) clientFor(e *Endpoint) SecretChannel {
 	fc.mu.Lock()
@@ -419,7 +431,13 @@ func (fc *FailoverClient) Request(ctx context.Context, enc []byte) ([]byte, erro
 		esp.SetStr("addr", e.Addr)
 		astart := time.Now()
 		c := fc.clientFor(e)
-		pub, aerr := c.Attest(ctx, handshake.Quote, handshake.ClientPub)
+		var pub []byte
+		var aerr error
+		if r, ok := c.(sessionResumer); ok {
+			pub, aerr = r.ResumeAttest(ctx, handshake.Quote, handshake.ClientPub)
+		} else {
+			pub, aerr = c.Attest(ctx, handshake.Quote, handshake.ClientPub)
+		}
 		if aerr != nil {
 			esp.SetError(aerr)
 			esp.End()
@@ -462,8 +480,9 @@ func (fc *FailoverClient) Request(ctx context.Context, enc []byte) ([]byte, erro
 			})
 			return nil, ErrSessionLost
 		}
-		// Same server key (a shared or persistent resume cache): the
+		// Same server key (a replicated or persistent resume cache): the
 		// channel survived the switch — finish the request here.
+		fc.pool.count("failover.session_resumed")
 		out, rerr := c.Request(ctx, enc)
 		if rerr == nil {
 			esp.SetStr("outcome", "resumed")

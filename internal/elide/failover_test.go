@@ -1,6 +1,7 @@
 package elide
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"net"
@@ -292,11 +293,19 @@ type killableServer struct {
 
 func startKillable(t *testing.T, p *Protected, ca *sgx.CA, opts ...ServerOption) *killableServer {
 	t.Helper()
-	srv, err := p.NewServerFor(ca, append([]ServerOption{WithDrainTimeout(50 * time.Millisecond)}, opts...)...)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
+	return startKillableOn(t, p, ca, l, opts...)
+}
+
+// startKillableOn is startKillable over a pre-created listener, for
+// replicated fleets where every peer's address must exist before any
+// server is constructed.
+func startKillableOn(t *testing.T, p *Protected, ca *sgx.CA, l net.Listener, opts ...ServerOption) *killableServer {
+	t.Helper()
+	srv, err := p.NewServerFor(ca, append([]ServerOption{WithDrainTimeout(50 * time.Millisecond)}, opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,6 +400,83 @@ func TestReplicaTakeoverMidProtocol(t *testing.T) {
 		t.Fatal("session_lost not counted")
 	}
 	// The restored enclave must actually compute.
+	if got, err := encl.ECall("ecall_compute", 99); err != nil || got != secretTransformGo(99) {
+		t.Fatalf("post-takeover compute = %d, %v", got, err)
+	}
+}
+
+// TestFailoverResumeOnPeer is the replicated counterpart of
+// TestReplicaTakeoverMidProtocol: with resume replication on, the attested
+// server dies between Attest and REQUEST_META, the failover client lands
+// on a replica that already holds the session, and the protocol completes
+// in ONE attempt with ZERO attestation flights on the replica — no
+// ErrSessionLost, no silent downgrade to full re-attestation.
+func TestFailoverResumeOnPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("enclave protocol run in -short")
+	}
+	ca, h := env(t)
+	p := buildApp(t, h, SanitizeOptions{})
+	l0, l1 := listen(t), listen(t)
+	key := bytes.Repeat([]byte{0x33}, 32)
+	m0, m1 := obs.NewRegistry(), obs.NewRegistry()
+	srv0 := startKillableOn(t, p, ca, l0,
+		WithServerMetrics(m0), WithResumeReplication(key, l1.Addr().String()))
+	startKillableOn(t, p, ca, l1,
+		WithServerMetrics(m1), WithResumeReplication(key, l0.Addr().String()))
+
+	// Kill the attested replica only once its session has demonstrably
+	// replicated — the zero-extra-flights assertion must not race the
+	// async push.
+	killAfterReplicated := func() {
+		waitCounter(t, m1, "server.resume_replicated", 1)
+		srv0.kill()
+	}
+
+	metrics := obs.NewRegistry()
+	fc, err := NewFailoverClient([]string{srv0.addr, l1.Addr().String()},
+		WithFailoverMetrics(metrics),
+		WithBreakerCooldown(50*time.Millisecond),
+		WithClientFactory(func(addr string) SecretChannel {
+			c := NewTCPClient(addr, fastRetry(1)...)
+			if addr == srv0.addr {
+				return &killOnFirstRequest{SecretChannel: c, kill: killAfterReplicated}
+			}
+			return c
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+
+	encl, rt, err := p.Launch(h, fc, p.LocalFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RestoreResilient(context.Background(), encl, rt, RestoreOptions{
+		MaxAttempts: 3, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("resilient restore failed: %v (events %v)", err, out.Events)
+	}
+	if out.Attempts != 1 {
+		t.Fatalf("restore took %d attempts (events %v); a replicated resume must survive the kill within one", out.Attempts, out.Events)
+	}
+	for _, e := range out.Events {
+		if errors.Is(e, ErrSessionLost) {
+			t.Fatalf("session lost despite replication: %v", out.Events)
+		}
+	}
+	if got := m1.Counter("server.attest_resumed").Load(); got < 1 {
+		t.Fatalf("replica attest_resumed = %d, want >= 1", got)
+	}
+	if got := m1.Counter("server.attest_ok").Load(); got != 0 {
+		t.Fatalf("replica ran %d full attestation flights, want 0", got)
+	}
+	if metrics.Snapshot().Counters["failover.session_resumed"] == 0 {
+		t.Fatal("failover.session_resumed not counted")
+	}
 	if got, err := encl.ECall("ecall_compute", 99); err != nil || got != secretTransformGo(99) {
 		t.Fatalf("post-takeover compute = %d, %v", got, err)
 	}

@@ -39,6 +39,12 @@ const (
 	DefaultDrainTimeout = 10 * time.Second
 	// DefaultResumeCacheSize caps the server's session-resumption cache.
 	DefaultResumeCacheSize = 1024
+	// DefaultResumeTTL bounds how long a cached channel may be resumed;
+	// past it a reconnecting client pays the full handshake again.
+	DefaultResumeTTL = 15 * time.Minute
+	// DefaultPeerOpTimeout bounds one replication-link operation (dial
+	// excluded, see DefaultDialTimeout).
+	DefaultPeerOpTimeout = 2 * time.Second
 	// DefaultBreakerThreshold is how many consecutive failures trip an
 	// endpoint's circuit breaker.
 	DefaultBreakerThreshold = 3
@@ -152,6 +158,37 @@ func WithDrainTimeout(d time.Duration) ServerOption {
 // DefaultResumeCacheSize entries; 0 disables resumption).
 func WithResumeCacheSize(n int) ServerOption {
 	return func(o *serverOptions) { o.resumeCap = n }
+}
+
+// WithResumeTTL bounds how long a cached channel may be resumed (default
+// DefaultResumeTTL; d <= 0 disables expiry). Expiry is lazy: an entry
+// past its TTL is dropped on lookup, audited as AuditResumeExpired, and
+// the client re-attests in full — the revocation backstop for a
+// compromised-then-revoked client that would otherwise stay hot in the
+// LRU forever.
+func WithResumeTTL(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.resumeTTL = d }
+}
+
+// WithResumeStore replaces the session-resumption cache with an external
+// ResumeStore implementation (default: the in-process LRU sized by
+// WithResumeCacheSize). The store must be safe for concurrent use.
+func WithResumeStore(rs ResumeStore) ServerOption {
+	return func(o *serverOptions) { o.resumeStore = rs }
+}
+
+// WithResumeReplication joins this server to a resume-replication fleet
+// (DESIGN §14): fleetKey is the shared AES sealing key (16/24/32 bytes)
+// under which records cross the wire, peers are the replica addresses to
+// push fresh channels to and fetch from on a replayed-handshake miss.
+// With a fleetKey but no peers the server only *accepts* replication
+// links (a valid asymmetric deployment); peers without a valid fleetKey
+// is a construction error — channel keys never travel unwrapped.
+func WithResumeReplication(fleetKey []byte, peers ...string) ServerOption {
+	return func(o *serverOptions) {
+		o.fleetKey = append([]byte(nil), fleetKey...)
+		o.peers = append([]string(nil), peers...)
+	}
 }
 
 // WithEnclaveRateLimit bounds fresh attestations per registered enclave

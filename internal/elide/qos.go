@@ -2,6 +2,7 @@ package elide
 
 import (
 	"fmt"
+	"math/rand/v2"
 	"sync"
 	"time"
 )
@@ -20,6 +21,13 @@ type qosState struct {
 	tokens   float64
 	last     time.Time
 	inflight int
+	// shedWaiters estimates how many shed clients are currently waiting to
+	// retry (incremented on shed, decayed on release), so retry-after
+	// hints spread a backlog out instead of stampeding it back at once.
+	shedWaiters int
+	// svcEWMANs tracks the smoothed service time of completed requests,
+	// the basis for estimating when a slot will actually free up.
+	svcEWMANs float64
 }
 
 // qosFor returns (lazily creating) the QoS state for a measurement.
@@ -75,25 +83,79 @@ func (s *Server) admitInflight(e *SecretEntry) (func(), error) {
 	q := s.qosFor(e.MrEnclave)
 	q.mu.Lock()
 	if q.inflight >= s.opt.maxInflight {
+		// Queue position for the hint: everyone already shed and waiting is
+		// ahead of this client. Capped so a pathological backlog cannot
+		// push hints past the IO timeout anyway.
+		if q.shedWaiters < 64 {
+			q.shedWaiters++
+		}
+		pos := q.shedWaiters
+		est := q.svcEWMANs
 		q.mu.Unlock()
 		s.opt.metrics.Counter("server.overload.inflight").Inc()
 		s.opt.metrics.Counter("server.overload.inflight.mr_" + e.Label()).Inc()
 		return nil, &OverloadedError{
-			// No principled wait estimate exists for a concurrency cap;
-			// one IO timeout's worth of spread keeps retries from
-			// synchronizing.
-			RetryAfter: s.opt.ioTimeout / 10,
+			RetryAfter: s.inflightRetryAfter(est, pos),
 			Msg:        fmt.Sprintf("in-flight limit for enclave %s", e.Label()),
 		}
 	}
 	q.inflight++
 	s.opt.metrics.Gauge("server.inflight.mr_" + e.Label()).Inc()
 	q.mu.Unlock()
+	start := time.Now()
 	release := func() {
+		took := float64(time.Since(start).Nanoseconds())
 		q.mu.Lock()
 		q.inflight--
+		// EWMA of observed service time (alpha 0.2): each completion both
+		// refines the wait estimate and retires one presumed waiter.
+		if q.svcEWMANs == 0 {
+			q.svcEWMANs = took
+		} else {
+			q.svcEWMANs += 0.2 * (took - q.svcEWMANs)
+		}
+		if q.shedWaiters > 0 {
+			q.shedWaiters--
+		}
 		q.mu.Unlock()
 		s.opt.metrics.Gauge("server.inflight.mr_" + e.Label()).Dec()
 	}
 	return release, nil
+}
+
+// inflightRetryAfter derives an overload retry-after hint from the actual
+// state of the queue instead of a constant: with estNs the EWMA service
+// time and pos this client's position among shed waiters, a slot is
+// expected in roughly estNs/maxInflight * pos. Jitter (uniform in
+// [base/2, 1.5*base)) desynchronizes clients shed in the same burst —
+// identical hints would march the whole herd back in lockstep, which is
+// the failure mode the hint exists to prevent. The result is clamped to
+// [1ms, ioTimeout]: sub-millisecond hints truncate to "retry now" on the
+// wire, and anything past the IO deadline is indistinguishable from a
+// refusal.
+func (s *Server) inflightRetryAfter(estNs float64, pos int) time.Duration {
+	per := time.Duration(estNs / float64(s.opt.maxInflight))
+	if per <= 0 {
+		// No completions observed yet: fall back to a share of the IO
+		// timeout as the only scale the server knows.
+		per = s.opt.ioTimeout / 10
+	}
+	if pos < 1 {
+		pos = 1
+	}
+	base := per * time.Duration(pos)
+	if max := s.opt.ioTimeout; max > 0 && base > max {
+		base = max
+	}
+	hint := base
+	if half := base / 2; half > 0 {
+		hint = half + rand.N(base)
+	}
+	if hint < time.Millisecond {
+		hint = time.Millisecond
+	}
+	if max := s.opt.ioTimeout; max > 0 && hint > max {
+		hint = max
+	}
+	return hint
 }

@@ -1,0 +1,338 @@
+package elide
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"sgxelide/internal/obs"
+	"sgxelide/internal/sgx"
+)
+
+// Replicated session resumption (DESIGN §14): each server pushes its
+// freshly established channels to its fleet peers, and on a resume miss
+// for a *replayed* handshake it synchronously asks the peers, so a client
+// failing over mid-protocol lands on a replica that already holds (or can
+// fetch) its channel — zero extra attestation flights instead of a full
+// re-attest.
+//
+// The peer link rides the existing framed transport: the dialing server
+// sends a normal gob attestation handshake with the Peer field set (a
+// v1-negotiated capability — a legacy server's gob decoder drops the
+// unknown field, sees a zero-value quote, refuses the handshake, and the
+// dialer marks the peer legacy and backs off; legacy peers are otherwise
+// unaffected). An accepting server that has a fleet key acks with its
+// protocol version and then serves replication frames:
+//
+//	push:  op(1)=peerOpPush  || wrapped record      (no reply)
+//	fetch: op(1)=peerOpFetch || binding(32)         (reply: wrapped record, or a refusal on miss)
+//
+// Records cross the wire ONLY as wrapResumeRecord blobs — AES-GCM under
+// the shared fleet sealing key — so the transport carries no cleartext
+// channel keys, forged frames fail authentication, and replay is bounded
+// by the in-record expiry.
+
+// peerLinkResume marks an attestMsg as a replication-link handshake
+// rather than a client session.
+const peerLinkResume uint8 = 1
+
+// Replication-link frame opcodes.
+const (
+	peerOpPush  byte = 1 // payload: wrapped record; no reply
+	peerOpFetch byte = 2 // payload: 32-byte binding; reply: wrapped record or refusal
+)
+
+// peerLegacyCooldown is how long a peer that refused the replication
+// handshake (a legacy server, or one without a fleet key) is left alone
+// before the next attempt.
+const peerLegacyCooldown = 5 * time.Minute
+
+// peerPushQueue bounds the async push backlog; beyond it pushes are
+// dropped (and counted) rather than blocking the attest path.
+const peerPushQueue = 256
+
+// errPeerLegacy marks a peer that refused the replication handshake.
+var errPeerLegacy = errors.New("elide: peer does not speak resume replication")
+
+// writePeerFrame writes one replication-link frame: op || payload.
+//
+// SECURITY: this is the inter-server wire. elide-vet's secretflow model
+// treats it as a sink — only fleet-key-wrapped blobs (wrapResumeRecord)
+// and binding hashes may ever be passed here, never raw channel keys.
+func writePeerFrame(w io.Writer, op byte, payload []byte) error {
+	return writeWireFrame(w, int(op), payload)
+}
+
+// resumePeer is the dialer-side state of one replication link: a lazily
+// dialed, persistently reused connection plus the legacy cooldown.
+type resumePeer struct {
+	addr string
+
+	mu          sync.Mutex
+	conn        net.Conn
+	br          *bufio.Reader
+	legacyUntil time.Time
+}
+
+func (p *resumePeer) closeLocked() {
+	if p.conn != nil {
+		_ = p.conn.Close() // link is being abandoned; the close error is moot
+		p.conn, p.br = nil, nil
+	}
+}
+
+// ensureLocked dials the peer and runs the replication handshake.
+func (p *resumePeer) ensureLocked(dialTimeout, opTimeout time.Duration) error {
+	if p.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+	if err != nil {
+		return err
+	}
+	_ = conn.SetDeadline(time.Now().Add(opTimeout))
+	// The handshake is a normal attestMsg with Peer set. The quote must be
+	// a non-nil zero value: gob refuses nil pointers, and a legacy server
+	// (which never sees the Peer field) will verify-and-refuse it, which
+	// is exactly the signal that the peer does not speak replication.
+	msg := attestMsg{Quote: &sgx.Quote{}, Proto: ProtoV1, Peer: peerLinkResume}
+	if err := gob.NewEncoder(conn).Encode(&msg); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	br := bufio.NewReader(conn)
+	ack, err := readResponse(br)
+	if err != nil {
+		_ = conn.Close()
+		if errors.Is(err, ErrRefused) {
+			p.legacyUntil = time.Now().Add(peerLegacyCooldown)
+			return errPeerLegacy
+		}
+		return err
+	}
+	if len(ack) != 1 || ack[0] != ProtoV1 {
+		_ = conn.Close()
+		return fmt.Errorf("elide: unexpected replication ack from %s (%d bytes)", p.addr, len(ack))
+	}
+	p.conn, p.br = conn, br
+	return nil
+}
+
+// roundTrip sends one frame (reading the reply when want is set),
+// redialing once on a stale connection. A refusal reply is an answer
+// (fetch miss), not a link failure, and does not burn the connection.
+func (p *resumePeer) roundTrip(op byte, payload []byte, want bool, dialTimeout, opTimeout time.Duration) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if time.Now().Before(p.legacyUntil) {
+		return nil, errPeerLegacy
+	}
+	var last error
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := p.ensureLocked(dialTimeout, opTimeout); err != nil {
+			return nil, err
+		}
+		_ = p.conn.SetDeadline(time.Now().Add(opTimeout))
+		err := writePeerFrame(p.conn, op, payload)
+		if err == nil {
+			if !want {
+				return nil, nil
+			}
+			var resp []byte
+			resp, err = readResponse(p.br)
+			if err == nil {
+				return resp, nil
+			}
+			if errors.Is(err, ErrRefused) {
+				return nil, err
+			}
+		}
+		p.closeLocked()
+		last = err
+	}
+	return nil, last
+}
+
+// resumeReplicator is the dialer side of the replication layer: an async
+// push pump broadcasting fresh channels to every peer, and a synchronous
+// peer fetch for resume misses.
+type resumeReplicator struct {
+	fleetKey    []byte
+	peers       []*resumePeer
+	metrics     *obs.Registry
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+
+	queue chan ResumeRecord
+	once  sync.Once
+}
+
+func newResumeReplicator(fleetKey []byte, peerAddrs []string, metrics *obs.Registry) *resumeReplicator {
+	r := &resumeReplicator{
+		fleetKey:    fleetKey,
+		metrics:     metrics,
+		dialTimeout: DefaultDialTimeout,
+		opTimeout:   DefaultPeerOpTimeout,
+		queue:       make(chan ResumeRecord, peerPushQueue),
+	}
+	for _, a := range peerAddrs {
+		r.peers = append(r.peers, &resumePeer{addr: a})
+	}
+	return r
+}
+
+// broadcast enqueues one record for async push to every peer. The attest
+// path must never block on a slow peer, so a full queue drops (counted).
+func (r *resumeReplicator) broadcast(rec ResumeRecord) {
+	r.once.Do(func() { go r.pump() })
+	select {
+	case r.queue <- rec:
+	default:
+		r.metrics.Counter("server.resume_replicate_dropped").Inc()
+	}
+}
+
+// pump drains the push queue for the life of the process. The pump (not
+// the attest path) pays for wrapping and for slow peers; link errors are
+// counted and the record is simply not replicated — the client's
+// fallback is the peer fetch, and behind that a full re-attest.
+func (r *resumeReplicator) pump() {
+	for rec := range r.queue {
+		wrapped, err := wrapResumeRecord(r.fleetKey, rec)
+		if err != nil {
+			r.metrics.Counter("server.resume_replicate_errors").Inc()
+			continue
+		}
+		for _, p := range r.peers {
+			if _, err := p.roundTrip(peerOpPush, wrapped, false, r.dialTimeout, r.opTimeout); err != nil {
+				if errors.Is(err, errPeerLegacy) {
+					r.metrics.Counter("server.resume_peer_legacy").Inc()
+				} else {
+					r.metrics.Counter("server.resume_replicate_errors").Inc()
+				}
+				continue
+			}
+			r.metrics.Counter("server.resume_replicate_sent").Inc()
+		}
+	}
+}
+
+// fetch synchronously asks the peers for a binding's record (first hit
+// wins), used on a resume miss for a replayed handshake — the one case
+// where a fresh key would break a mid-protocol enclave.
+func (r *resumeReplicator) fetch(binding [32]byte) (ResumeRecord, bool) {
+	r.metrics.Counter("server.resume_fetch").Inc()
+	for _, p := range r.peers {
+		resp, err := p.roundTrip(peerOpFetch, binding[:], true, r.dialTimeout, r.opTimeout)
+		if err != nil {
+			continue
+		}
+		rec, err := openResumeRecord(r.fleetKey, resp)
+		if err != nil || subtle.ConstantTimeCompare(rec.Binding[:], binding[:]) != 1 || rec.expired(time.Now()) {
+			r.metrics.Counter("server.resume_fetch_bad").Inc()
+			continue
+		}
+		r.metrics.Counter("server.resume_fetch_hit").Inc()
+		return rec, true
+	}
+	r.metrics.Counter("server.resume_fetch_miss").Inc()
+	return ResumeRecord{}, false
+}
+
+// --- accepting side ---
+
+// handlePeerConn serves one replication link: ack the handshake, then a
+// loop of push/fetch frames until the peer hangs up. Reached from
+// handleConn when the decoded handshake carries the Peer marker; a server
+// without a fleet key refuses (the same shape a legacy server produces,
+// so dialers treat both identically).
+func (s *Server) handlePeerConn(conn net.Conn, br *bufio.Reader) error {
+	if len(s.opt.fleetKey) == 0 {
+		s.armDeadline(conn)
+		_ = writeErrorFrame(conn, "resume replication not enabled")
+		return fmt.Errorf("elide server: replication link without a fleet key")
+	}
+	s.opt.metrics.Counter("server.peer_links").Inc()
+	s.armPeerDeadline(conn)
+	if err := writeResponse(conn, []byte{ProtoV1}); err != nil {
+		return err
+	}
+	var scratch []byte
+	for {
+		s.armPeerDeadline(conn)
+		frame, err := readFrameInto(br, scratch)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		scratch = frame
+		if len(frame) == 0 {
+			return fmt.Errorf("elide server: empty replication frame")
+		}
+		op, payload := frame[0], frame[1:]
+		switch op {
+		case peerOpPush:
+			rec, err := openResumeRecord(s.opt.fleetKey, payload)
+			if err != nil || rec.expired(time.Now()) {
+				s.opt.metrics.Counter("server.resume_replicate_bad").Inc()
+				continue
+			}
+			s.resume.Put(rec)
+			s.opt.metrics.Counter("server.resume_replicated").Inc()
+			s.opt.audit.Emit(obs.AuditEvent{
+				Type:     obs.AuditResumeReplicated,
+				Enclave:  fmt.Sprintf("%x", rec.MrEnclave[:4]),
+				Endpoint: conn.RemoteAddr().String(),
+			})
+		case peerOpFetch:
+			s.armPeerDeadline(conn)
+			if len(payload) != 32 {
+				if werr := writeErrorFrame(conn, "malformed fetch"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			var binding [32]byte
+			copy(binding[:], payload)
+			rec, ok, _ := s.resume.Get(binding)
+			if !ok {
+				if werr := writeErrorFrame(conn, "resume miss"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			wrapped, err := wrapResumeRecord(s.opt.fleetKey, rec)
+			if err != nil {
+				if werr := writeErrorFrame(conn, "wrap failed"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			s.opt.metrics.Counter("server.resume_fetch_served").Inc()
+			if werr := writeResponse(conn, wrapped); werr != nil {
+				return werr
+			}
+		default:
+			if werr := writeErrorFrame(conn, "unknown replication op"); werr != nil {
+				return werr
+			}
+		}
+	}
+}
+
+// armPeerDeadline sets the replication link's I/O deadline. Peer links
+// are long-lived with sparse traffic, so they idle far longer than a
+// client session; a dialer finding its link timed out simply redials.
+func (s *Server) armPeerDeadline(conn net.Conn) {
+	if s.opt.ioTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(4 * s.opt.ioTimeout))
+	}
+}

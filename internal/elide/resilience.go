@@ -104,7 +104,14 @@ func RestoreResilient(ctx context.Context, encl *sdk.Enclave, rt *Runtime, opts 
 		}
 		if attempt > 0 {
 			rt.Metrics.Counter("restore.retries").Inc()
-			if err := sleepCtx(ctx, opts.Backoff<<uint(attempt-1)); err != nil {
+			delay := opts.Backoff << uint(attempt-1)
+			// A server overload answer carries a retry-after hint; sleeping
+			// less than it just burns the next attempt against a server that
+			// already said "not yet".
+			if hint := overloadRetryAfter(lastErr); hint > delay {
+				delay = hint
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
 				return out, err
 			}
 		}
@@ -143,6 +150,22 @@ func RestoreResilient(ctx context.Context, encl *sdk.Enclave, rt *Runtime, opts 
 	fail := &RestoreFailure{Code: lastCode, Attempts: out.Attempts, Last: lastErr}
 	rt.Audit.Emit(obs.AuditEvent{Type: obs.AuditRestoreFailed, TraceID: out.LastTraceID(), Detail: retryDetail(lastErr), Code: int64(lastCode)})
 	return out, fail
+}
+
+// overloadRetryAfter extracts the server's retry-after hint when err (or
+// anything in its chain) is an overload answer, clamped to the backoff
+// cap so a confused server cannot park the restore loop indefinitely.
+// Zero when there is no hint.
+func overloadRetryAfter(err error) time.Duration {
+	var oe *OverloadedError
+	if !errors.As(err, &oe) {
+		return 0
+	}
+	hint := oe.RetryAfter
+	if hint > DefaultBackoffCap {
+		hint = DefaultBackoffCap
+	}
+	return hint
 }
 
 // retryDetail names the typed cause of a failed attempt for the audit

@@ -2,7 +2,6 @@ package elide
 
 import (
 	"bufio"
-	"container/list"
 	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
@@ -52,6 +51,10 @@ type serverOptions struct {
 	attestRate  float64 // per-enclave attest tokens per second (0 = off)
 	attestBurst int
 	maxInflight int // per-enclave concurrent channel requests (0 = off)
+	resumeTTL   time.Duration
+	resumeStore ResumeStore // nil = the default in-process LRU
+	fleetKey    []byte      // shared fleet sealing key (enables replication)
+	peers       []string    // replication peers to push to / fetch from
 	metrics     *obs.Registry
 	tracer      *obs.Tracer
 	audit       *obs.AuditLog
@@ -76,24 +79,17 @@ type Server struct {
 	// its attestation handshake; keying the established channel by the
 	// quote-bound client ephemeral key lets the server hand back the same
 	// channel key, so the enclave's derived key stays valid (the moral
-	// equivalent of TLS session resumption). True LRU: both a cache hit
-	// and a re-store refresh the entry's position, so a hot resumed
-	// session cannot be evicted before cold ones.
-	resumeMu   sync.Mutex
-	resume     map[[32]byte]*list.Element // value: *resumeEntry
-	resumeList *list.List                 // front = least recently used
+	// equivalent of TLS session resumption). The cache lives behind the
+	// ResumeStore interface (resume.go); the default is the in-process
+	// LRU with lazy TTL expiry. rep, when non-nil, replicates records to
+	// fleet peers and fetches on resume misses (replication.go).
+	resume ResumeStore
+	rep    *resumeReplicator
 
 	// Per-enclave QoS state (token bucket + in-flight count), lazily
 	// created per measurement when rate or in-flight limits are set.
 	qosMu sync.Mutex
 	qos   map[[32]byte]*qosState
-}
-
-// resumeEntry is one cached attested channel.
-type resumeEntry struct {
-	key        [32]byte // quote-bound client ephemeral key hash
-	serverPub  []byte
-	channelKey []byte
 }
 
 // NewServer builds a single-enclave server: a one-entry store under the
@@ -121,6 +117,7 @@ func NewMultiServer(caPub *ecdsa.PublicKey, store *SecretStore, opts ...ServerOp
 		ioTimeout:   DefaultIOTimeout,
 		drain:       DefaultDrainTimeout,
 		resumeCap:   DefaultResumeCacheSize,
+		resumeTTL:   DefaultResumeTTL,
 	}
 	for _, fn := range opts {
 		fn(&o)
@@ -130,14 +127,26 @@ func NewMultiServer(caPub *ecdsa.PublicKey, store *SecretStore, opts ...ServerOp
 		// an unset burst one second's worth of rate (at least 1).
 		o.attestBurst = int(o.attestRate + 1)
 	}
-	return &Server{
-		caPub:      caPub,
-		store:      store,
-		opt:        o,
-		resume:     make(map[[32]byte]*list.Element),
-		resumeList: list.New(),
-		qos:        make(map[[32]byte]*qosState),
-	}, nil
+	if len(o.fleetKey) > 0 || len(o.peers) > 0 {
+		if err := validFleetKey(o.fleetKey); err != nil {
+			return nil, err
+		}
+	}
+	resume := o.resumeStore
+	if resume == nil {
+		resume = newLRUResumeStore(o.resumeCap)
+	}
+	s := &Server{
+		caPub:  caPub,
+		store:  store,
+		opt:    o,
+		resume: resume,
+		qos:    make(map[[32]byte]*qosState),
+	}
+	if len(o.peers) > 0 {
+		s.rep = newResumeReplicator(o.fleetKey, o.peers, o.metrics)
+	}
+	return s, nil
 }
 
 // Store returns the server's secret store (never nil), for runtime
@@ -231,17 +240,39 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 	ss.entry = entry
 	span.SetStr("mrenclave", entry.Label())
 	entry.attests.Add(1)
-	if pub, key, ok := s.resumeLookup(binding); ok {
-		ss.channelKey = key
+	if rec, ok, expired := s.resumeGet(binding); ok {
+		ss.channelKey = rec.ChannelKey
 		s.opt.metrics.Counter("server.attest_resumed").Inc()
 		span.SetBool("resumed", true)
 		ss.audit(obs.AuditEvent{Type: obs.AuditResumeHit})
-		return pub, nil
+		return rec.ServerPub, nil
+	} else if expired {
+		// The channel was cached but aged out: a revoked-then-reconnecting
+		// client must pay the full handshake again. Security-relevant.
+		s.opt.metrics.Counter("server.resume_expired").Inc()
+		span.SetBool("resume_expired", true)
+		ss.audit(obs.AuditEvent{Type: obs.AuditResumeExpired, Detail: "resume entry past its TTL"})
+	}
+	// A replayed handshake that misses locally is the one case where a
+	// fresh key breaks a mid-protocol enclave — worth a synchronous peer
+	// fetch. Like a local hit, a fetched resume stays exempt from the
+	// attest rate limit (it happens before admitAttest).
+	if ss.replay && s.rep != nil {
+		if rec, ok := s.rep.fetch(binding); ok &&
+			subtle.ConstantTimeCompare(rec.MrEnclave[:], q.MrEnclave[:]) == 1 {
+			ss.channelKey = rec.ChannelKey
+			s.resume.Put(rec) // adopt: later reconnects hit locally
+			s.opt.metrics.Counter("server.attest_resumed").Inc()
+			span.SetBool("resumed", true)
+			span.SetBool("resume_fetched", true)
+			ss.audit(obs.AuditEvent{Type: obs.AuditResumeHit, Detail: "fetched from fleet peer"})
+			return rec.ServerPub, nil
+		}
 	}
 	if ss.replay {
-		// A replayed handshake that missed the cache gets a *fresh* channel
-		// key below; the client's enclave is mid-protocol on the old key, so
-		// its run is about to break. Security-relevant: record it.
+		// A replayed handshake that missed the cache (and the fleet) gets a
+		// *fresh* channel key below; the client's enclave is mid-protocol on
+		// the old key, so its run is about to break. Security-relevant.
 		s.opt.metrics.Counter("server.resume_miss").Inc()
 		span.SetBool("resume_miss", true)
 		ss.audit(obs.AuditEvent{Type: obs.AuditResumeMiss, Detail: "session replay missed the resume cache"})
@@ -263,7 +294,9 @@ func (ss *Session) Attest(q *sgx.Quote, clientPub []byte) (pub []byte, err error
 		return nil, err
 	}
 	ss.channelKey = key
-	s.resumeStore(binding, pub, key)
+	if rec, cached := s.resumePut(binding, pub, key, q.MrEnclave); cached && s.rep != nil {
+		s.rep.broadcast(rec)
+	}
 	s.opt.metrics.Counter("server.attest_ok").Inc()
 	s.opt.metrics.Counter("server.attest_ok.mr_" + entry.Label()).Inc()
 	ss.audit(obs.AuditEvent{Type: obs.AuditAttestOK})
@@ -280,51 +313,36 @@ func (ss *Session) auditShed(err error, detail string) {
 	ss.audit(ev)
 }
 
-// resumeLookup finds a cached channel for this client ephemeral key and
-// refreshes its recency (a hot session must outlive cold ones).
-func (s *Server) resumeLookup(key [32]byte) (pub, channelKey []byte, ok bool) {
-	s.resumeMu.Lock()
-	defer s.resumeMu.Unlock()
-	el, ok := s.resume[key]
-	if !ok {
-		return nil, nil, false
-	}
-	s.resumeList.MoveToBack(el)
-	e := el.Value.(*resumeEntry)
-	return e.serverPub, e.channelKey, true
+// resumeGet resolves a cached channel for this client ephemeral key; a
+// hit refreshes its recency in the default store (a hot session must
+// outlive cold ones), and expired reports a TTL lapse distinctly from a
+// plain miss so Attest can audit it.
+func (s *Server) resumeGet(binding [32]byte) (rec ResumeRecord, ok, expired bool) {
+	return s.resume.Get(binding)
 }
 
-// resumeStore caches an established channel, evicting the least recently
-// used entry at capacity. Re-storing an existing key refreshes both its
-// channel state and its recency.
-func (s *Server) resumeStore(key [32]byte, pub, channelKey []byte) {
-	if s.opt.resumeCap <= 0 {
-		return
+// resumePut caches an established channel, stamping the configured TTL,
+// and reports whether it was cached (false when resumption is disabled —
+// nothing to replicate either).
+func (s *Server) resumePut(binding [32]byte, pub, channelKey []byte, mr [32]byte) (ResumeRecord, bool) {
+	if s.opt.resumeStore == nil && s.opt.resumeCap <= 0 {
+		return ResumeRecord{}, false
 	}
-	s.resumeMu.Lock()
-	defer s.resumeMu.Unlock()
-	if el, ok := s.resume[key]; ok {
-		e := el.Value.(*resumeEntry)
-		e.serverPub, e.channelKey = pub, channelKey
-		s.resumeList.MoveToBack(el)
-		return
+	rec := ResumeRecord{
+		Binding:    binding,
+		ServerPub:  pub,
+		ChannelKey: channelKey,
+		MrEnclave:  mr,
 	}
-	for s.resumeList.Len() >= s.opt.resumeCap {
-		oldest := s.resumeList.Front()
-		delete(s.resume, oldest.Value.(*resumeEntry).key)
-		s.resumeList.Remove(oldest)
+	if s.opt.resumeTTL > 0 {
+		rec.ExpiresAt = time.Now().Add(s.opt.resumeTTL)
 	}
-	s.resume[key] = s.resumeList.PushBack(&resumeEntry{
-		key: key, serverPub: pub, channelKey: channelKey,
-	})
+	s.resume.Put(rec)
+	return rec, true
 }
 
 // resumeLen reports the cache size (test seam).
-func (s *Server) resumeLen() int {
-	s.resumeMu.Lock()
-	defer s.resumeMu.Unlock()
-	return len(s.resume)
-}
+func (s *Server) resumeLen() int { return s.resume.Len() }
 
 // Request answers one encrypted request on the attested channel, serving
 // only the secret entry resolved by this session's attestation. Requests
@@ -538,7 +556,12 @@ func (c *DirectClient) Close() error {
 // trace; both decode as zero from a legacy (or non-tracing) client, and a
 // legacy server ignores them — tracing is then silently per-process, never
 // an interop failure. The IDs are random tracer-local identifiers and
-// carry no secret material across the boundary.
+// carry no secret material across the boundary. Peer marks the handshake
+// as a server-to-server replication link rather than a client session
+// (peerLinkResume, see replication.go); like the other v1 fields it
+// decodes as zero from legacy peers, and a legacy server that never sees
+// it refuses the zero-value quote — exactly the back-off signal the
+// dialer wants.
 type attestMsg struct {
 	Quote     *sgx.Quote
 	ClientPub []byte
@@ -546,7 +569,8 @@ type attestMsg struct {
 	SpanID    uint64  // caller's current span: parent for the server session span
 	Proto     uint8   // highest wire version the client speaks (0 = legacy)
 	Bundle    byte    // bundleMeta|bundleData: responses to pipeline into the reply
-	_         [6]byte // explicit padding: boundary structs carry no implicit holes
+	Peer      uint8   // nonzero: replication-link handshake (peerLinkResume)
+	_         [5]byte // explicit padding: boundary structs carry no implicit holes
 }
 
 // Serve accepts connections until ctx is cancelled or the listener fails.
@@ -646,6 +670,11 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 	var msg attestMsg
 	if err := gob.NewDecoder(br).Decode(&msg); err != nil {
 		return err
+	}
+	if msg.Peer != 0 {
+		// A fleet peer, not a client: hand the connection to the
+		// replication layer before any session/trace machinery spins up.
+		return s.handlePeerConn(conn, br)
 	}
 	// The session span starts only after the handshake is decoded: a
 	// tracing client's TraceID/SpanID parent it into the client's restore

@@ -309,43 +309,46 @@ func TestResumeCacheLRU(t *testing.T) {
 	}
 	k := func(b byte) [32]byte { return testMr(b) }
 	pub := []byte("pub")
+	put := func(srv *Server, key [32]byte, chKey []byte) {
+		srv.resumePut(key, pub, chKey, testMr(1))
+	}
 
 	t.Run("restore-on-duplicate-store", func(t *testing.T) {
 		srv := newSrv()
-		srv.resumeStore(k(1), pub, []byte("key1"))
-		srv.resumeStore(k(2), pub, []byte("key2"))
-		srv.resumeStore(k(1), pub, []byte("key1b")) // duplicate key: refresh, not append
+		put(srv, k(1), []byte("key1"))
+		put(srv, k(2), []byte("key2"))
+		put(srv, k(1), []byte("key1b")) // duplicate key: refresh, not append
 		if srv.resumeLen() != 2 {
 			t.Fatalf("cache len = %d", srv.resumeLen())
 		}
-		srv.resumeStore(k(3), pub, []byte("key3")) // evicts the LRU = k2, not k1
-		if _, _, ok := srv.resumeLookup(k(2)); ok {
+		put(srv, k(3), []byte("key3")) // evicts the LRU = k2, not k1
+		if _, ok, _ := srv.resumeGet(k(2)); ok {
 			t.Fatal("cold entry k2 survived eviction")
 		}
-		_, key, ok := srv.resumeLookup(k(1))
+		rec, ok, _ := srv.resumeGet(k(1))
 		if !ok {
 			t.Fatal("hot entry k1 was evicted before cold k2")
 		}
-		if string(key) != "key1b" {
-			t.Fatalf("re-store did not refresh the channel state: %q", key)
+		if string(rec.ChannelKey) != "key1b" {
+			t.Fatalf("re-store did not refresh the channel state: %q", rec.ChannelKey)
 		}
-		if _, _, ok := srv.resumeLookup(k(3)); !ok {
+		if _, ok, _ := srv.resumeGet(k(3)); !ok {
 			t.Fatal("k3 missing")
 		}
 	})
 
 	t.Run("refresh-on-hit", func(t *testing.T) {
 		srv := newSrv()
-		srv.resumeStore(k(1), pub, []byte("key1"))
-		srv.resumeStore(k(2), pub, []byte("key2"))
-		if _, _, ok := srv.resumeLookup(k(1)); !ok { // touch k1: k2 becomes LRU
+		put(srv, k(1), []byte("key1"))
+		put(srv, k(2), []byte("key2"))
+		if _, ok, _ := srv.resumeGet(k(1)); !ok { // touch k1: k2 becomes LRU
 			t.Fatal("k1 missing")
 		}
-		srv.resumeStore(k(3), pub, []byte("key3"))
-		if _, _, ok := srv.resumeLookup(k(2)); ok {
+		put(srv, k(3), []byte("key3"))
+		if _, ok, _ := srv.resumeGet(k(2)); ok {
 			t.Fatal("k2 should have been evicted")
 		}
-		if _, _, ok := srv.resumeLookup(k(1)); !ok {
+		if _, ok, _ := srv.resumeGet(k(1)); !ok {
 			t.Fatal("recently used k1 was evicted")
 		}
 	})
@@ -353,7 +356,7 @@ func TestResumeCacheLRU(t *testing.T) {
 	t.Run("capacity-bound", func(t *testing.T) {
 		srv := newSrv()
 		for i := byte(0); i < 10; i++ {
-			srv.resumeStore(k(i), pub, []byte{i})
+			put(srv, k(i), []byte{i})
 		}
 		if srv.resumeLen() != 2 {
 			t.Fatalf("cache len = %d, want cap 2", srv.resumeLen())

@@ -172,15 +172,20 @@ func writeErrorFrame(w io.Writer, msg string) error {
 
 // writeOverloadFrame writes a backpressure frame: the retry-after hint in
 // millis followed by the reason. The client surfaces it as an
-// *OverloadedError.
+// *OverloadedError. A positive sub-millisecond hint is clamped UP to 1ms,
+// not truncated to 0: a zero hint tells the client "retry immediately",
+// which in a hot loop defeats the backpressure the frame exists to apply.
 func writeOverloadFrame(w io.Writer, retryAfter time.Duration, msg string) error {
 	const maxMsg = 1024
 	if len(msg) > maxMsg {
 		msg = msg[:maxMsg]
 	}
 	ms := retryAfter.Milliseconds()
-	if ms < 0 {
+	if ms <= 0 {
 		ms = 0
+		if retryAfter > 0 {
+			ms = 1
+		}
 	}
 	var hint [4]byte
 	binary.LittleEndian.PutUint32(hint[:], uint32(min64(ms, int64(^uint32(0)))))
@@ -404,9 +409,33 @@ func parseAttestReply(payload []byte) (pub []byte, bundled [][]byte, proto uint8
 // handshake asks the server to bundle the meta and data responses into
 // its reply, pre-filling the cache later Requests drain.
 func (c *TCPClient) Attest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	var bundle byte
+	if c.opt.proto >= ProtoV1 {
+		bundle = bundleMeta | bundleData
+	}
+	return c.attest(ctx, q, clientPub, bundle)
+}
+
+// ResumeAttest runs the attestation handshake as a session *replay*: same
+// wire exchange as Attest, but the v1 offer carries an empty bundle
+// request, which the server reads as "this client is mid-protocol —
+// resume, don't restart". Two things follow: a resume-replicating server
+// answers with the session's original channel key (locally cached or
+// fetched from a fleet peer) rather than a fresh one, and no pre-fetched
+// responses are bundled, so nothing can land at the wrong position in the
+// already-running protocol. The failover layer uses this when it
+// re-attests an established session on a new replica; a fresh restore
+// wants Attest.
+func (c *TCPClient) ResumeAttest(ctx context.Context, q *sgx.Quote, clientPub []byte) ([]byte, error) {
+	c.opt.metrics.Counter("client.resume_attests").Inc()
+	return c.attest(ctx, q, clientPub, 0)
+}
+
+// attest is the shared handshake engine behind Attest and ResumeAttest.
+func (c *TCPClient) attest(ctx context.Context, q *sgx.Quote, clientPub []byte, bundle byte) ([]byte, error) {
 	msg := &attestMsg{Quote: q, ClientPub: append([]byte(nil), clientPub...), Proto: c.opt.proto}
 	if c.opt.proto >= ProtoV1 {
-		msg.Bundle = bundleMeta | bundleData
+		msg.Bundle = bundle
 		// Trace-context capability: stamp the restore trace so the server's
 		// session spans join it. The handshake replay on reconnects reuses
 		// this msg, keeping the resumed session in the same trace. A legacy

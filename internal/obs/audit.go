@@ -50,6 +50,8 @@ const (
 	AuditRestoreRetry      = "restore_retry"       // a retryable attempt failed; chain continues
 	AuditRestoreFailed     = "restore_failed"      // terminal failure; flight recorder fires
 	AuditStoreRescanFailed = "store_rescan_failed" // secrets-dir rescan could not read a deployment
+	AuditResumeExpired     = "resume_expired"      // resume entry past its TTL; full re-attest required
+	AuditResumeReplicated  = "resume_replicated"   // resume record accepted from a fleet peer
 )
 
 // AuditEvent is one wide event. The struct is flat — no nested maps — so
