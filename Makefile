@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build build-vet verify vet-security fmt-check test race chaos load-smoke resume-smoke bench-server bench-multi bench-phases bench-chaos bench-load bench-resume bench-frames bench-obs obs-demo trace-demo clean
+.PHONY: build build-vet verify vet-security fmt-check test race chaos load-smoke resume-smoke churn-smoke bench-server bench-multi bench-phases bench-chaos bench-churn bench-load bench-resume bench-frames bench-obs obs-demo trace-demo clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,7 @@ verify: fmt-check build
 	$(MAKE) chaos
 	$(MAKE) load-smoke
 	$(MAKE) resume-smoke
+	$(MAKE) churn-smoke
 
 # The elide-vet vettool: four analyzers (constanttime, secretflow,
 # padleak, wipe) that mechanically enforce the enclave secrecy
@@ -60,6 +61,13 @@ load-smoke:
 resume-smoke:
 	$(GO) test -short -run TestResumeBenchSmoke -v ./internal/bench/
 
+# Scaled-down gossip-fleet churn smoke (race detector on, per the fleet
+# membership acceptance bar): kill, cold-add and restart members under
+# restore load; the cold member must converge via anti-entropy and
+# resume every session with zero attestation flights.
+churn-smoke:
+	$(GO) test -race -short -run TestChurnBenchSmoke -v ./internal/bench/
+
 # Concurrent-restore transport benchmark; writes BENCH_server.json.
 bench-server:
 	$(GO) run ./cmd/elide-bench -server
@@ -78,6 +86,12 @@ bench-phases:
 # writes BENCH_chaos.json.
 bench-chaos:
 	$(GO) run ./cmd/elide-bench -chaos
+
+# Full gossip-fleet churn run: restores against a gossip mesh while the
+# controller kills, cold-adds and restarts members; writes
+# BENCH_churn.json.
+bench-churn:
+	$(GO) run ./cmd/elide-bench -churn
 
 # Open-loop load test: 10k restores offered at a fixed arrival rate,
 # pipelined vs legacy protocol; writes BENCH_load.json.
@@ -115,4 +129,4 @@ obs-demo:
 	$(GO) run ./cmd/elide-bench -obs-demo
 
 clean:
-	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json BENCH_load.json BENCH_resume.json BENCH_trace.jsonl BENCH_audit.jsonl
+	rm -rf bin BENCH_server.json BENCH_multi.json BENCH_restore_phases.json BENCH_chaos.json BENCH_churn.json BENCH_load.json BENCH_resume.json BENCH_trace.jsonl BENCH_audit.jsonl

@@ -12,6 +12,7 @@
 //	elide-bench -server -server-clients 16 -server-out BENCH_server.json
 //	elide-bench -multi -multi-enclaves 4 -multi-out BENCH_multi.json
 //	elide-bench -chaos -chaos-replicas 3 -chaos-out BENCH_chaos.json
+//	elide-bench -churn -churn-replicas 3 -churn-out BENCH_churn.json
 //	elide-bench -resume -resume-sessions 16 -resume-out BENCH_resume.json
 //	elide-bench -load -load-rate 500 -load-restores 10000 -load-out BENCH_load.json
 package main
@@ -53,6 +54,14 @@ func main() {
 		chaosWorkers  = flag.Int("chaos-workers", 8, "concurrent restore workers for -chaos")
 		chaosOut      = flag.String("chaos-out", "BENCH_chaos.json", "JSON output path for -chaos")
 
+		churn         = flag.Bool("churn", false, "churn-test a gossip fleet: kill, cold-add and restart members under restore load")
+		churnProgram  = flag.String("churn-program", "Sha1", "benchmark program for -churn")
+		churnReplicas = flag.Int("churn-replicas", 3, "initial gossip members for -churn")
+		churnRestores = flag.Int("churn-restores", 48, "total restores for -churn")
+		churnWorkers  = flag.Int("churn-workers", 8, "concurrent restore workers for -churn")
+		churnSessions = flag.Int("churn-sessions", 8, "pre-established sessions the cold member must resume for -churn")
+		churnOut      = flag.String("churn-out", "BENCH_churn.json", "JSON output path for -churn")
+
 		resume         = flag.Bool("resume", false, "benchmark failover resume: kill the attested replica, resume every session on a peer, replicated vs unreplicated")
 		resumeProgram  = flag.String("resume-program", "Sha1", "benchmark program for -resume")
 		resumeSessions = flag.Int("resume-sessions", 16, "sessions to establish and resume for -resume")
@@ -79,7 +88,7 @@ func main() {
 	)
 	flag.Parse()
 	if *all {
-		*t1, *t2, *f3, *f4, *server, *multi, *chaos, *resume, *phases = true, true, true, true, true, true, true, true, true
+		*t1, *t2, *f3, *f4, *server, *multi, *chaos, *churn, *resume, *phases = true, true, true, true, true, true, true, true, true, true
 	}
 	if *validateAudit != "" {
 		f, err := os.Open(*validateAudit)
@@ -94,7 +103,7 @@ func main() {
 		fmt.Printf("%s: %d audit events, schema %d, all valid\n", *validateAudit, n, obs.AuditSchema)
 		return
 	}
-	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*resume && !*load && !*phases && !*traceDemo && !*obsDemo {
+	if !*t1 && !*t2 && !*f3 && !*f4 && !*server && !*multi && !*chaos && !*churn && !*resume && !*load && !*phases && !*traceDemo && !*obsDemo {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -197,6 +206,29 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *chaosOut)
+	}
+	if *churn {
+		fmt.Printf("(churn-testing the gossip fleet: %d members, %d restores, %d workers...)\n",
+			*churnReplicas, *churnRestores, *churnWorkers)
+		res, err := bench.ChurnBench(env, bench.ChurnConfig{
+			Program:  *churnProgram,
+			Replicas: *churnReplicas,
+			Restores: *churnRestores,
+			Workers:  *churnWorkers,
+			Sessions: *churnSessions,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*churnOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *churnOut)
 	}
 	if *resume {
 		fmt.Printf("(benchmarking failover resume: %d sessions, replicated vs baseline...)\n",

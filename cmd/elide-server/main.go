@@ -32,6 +32,16 @@
 //
 //	elide-server -listen :7788 -peers host2:7788,host3:7788 -fleet-key fleet.key
 //
+// With -gossip-advertise the static peer list becomes a seed list: the
+// replicas run SWIM-style failure detection over the same peer links,
+// discover the whole fleet from any one live seed, declare unreachable
+// members suspect and then dead (and drop them from client endpoint
+// pools), and anti-entropy-sync resume records so a cold-started replica
+// converges without waiting for client traffic (DESIGN §15):
+//
+//	elide-server -listen :7788 -gossip-advertise host1:7788 \
+//	    -peers host2:7788 -fleet-key fleet.key
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting,
 // drains in-flight sessions (bounded by -drain-timeout), and prints a
 // metrics snapshot before exiting. -metrics-json additionally writes the
@@ -77,9 +87,14 @@ func main() {
 		enclaveBurst    = flag.Int("enclave-burst", 0, "per-enclave attest burst allowance for -enclave-rps (0 = the rate rounded up)")
 		enclaveInflight = flag.Int("enclave-inflight", 0, "per-enclave cap on concurrently served channel requests (0 = unlimited)")
 
-		peers     = flag.String("peers", "", "comma-separated replica addresses to replicate session-resumption records to/from (requires -fleet-key)")
+		peers     = flag.String("peers", "", "comma-separated replica addresses to replicate session-resumption records to/from (requires -fleet-key); with -gossip-advertise they double as gossip seeds")
 		fleetKey  = flag.String("fleet-key", "", "path to the shared fleet sealing key (16/24/32 raw bytes, or that many hex-encoded); enables accepting resume replication")
 		resumeTTL = flag.Duration("resume-ttl", elide.DefaultResumeTTL, "how long a cached session may be resumed before a full re-attest is required (0 = no expiry)")
+
+		gossipAdvertise = flag.String("gossip-advertise", "", "address this replica advertises to the fleet; enables SWIM gossip membership and anti-entropy resume sync (requires -fleet-key; -peers become the seeds)")
+		gossipInterval  = flag.Duration("gossip-interval", elide.DefaultGossipInterval, "gossip probe/anti-entropy tick for -gossip-advertise")
+		suspectTimeout  = flag.Duration("suspect-timeout", elide.DefaultSuspectTimeout, "how long an unrefuted suspicion lasts before the member is declared dead")
+		peerCooldown    = flag.Duration("peer-cooldown", elide.DefaultPeerCooldown, "how long to leave a peer alone after it refused the replication handshake (a legacy binary)")
 
 		auditFile  = flag.String("audit-file", "", "append security audit events (one JSON event per line) to this file, rotated at -audit-max-bytes")
 		auditBytes = flag.Int64("audit-max-bytes", 8<<20, "rotate -audit-file (to <file>.1) when it exceeds this size")
@@ -117,6 +132,9 @@ func main() {
 	if *peers != "" && *fleetKey == "" {
 		fatal(fmt.Errorf("elide-server: -peers requires -fleet-key; resume records only cross the wire wrapped under the fleet sealing key"))
 	}
+	if *gossipAdvertise != "" && *fleetKey == "" {
+		fatal(fmt.Errorf("elide-server: -gossip-advertise requires -fleet-key; membership summaries only cross the wire sealed under the fleet key"))
+	}
 	if *fleetKey != "" {
 		key, err := loadFleetKey(*fleetKey)
 		if err != nil {
@@ -128,11 +146,20 @@ func main() {
 				peerList = append(peerList, p)
 			}
 		}
-		opts = append(opts, elide.WithResumeReplication(key, peerList...))
+		opts = append(opts, elide.WithResumeReplication(key, peerList...),
+			elide.WithPeerCooldown(*peerCooldown))
 		if len(peerList) > 0 {
 			fmt.Printf("elide-server: replicating session resumption to %s\n", strings.Join(peerList, ", "))
 		} else {
 			fmt.Printf("elide-server: accepting session-resumption replication (no push peers)\n")
+		}
+		if *gossipAdvertise != "" {
+			opts = append(opts,
+				elide.WithGossip(*gossipAdvertise),
+				elide.WithGossipInterval(*gossipInterval),
+				elide.WithSuspectTimeout(*suspectTimeout))
+			fmt.Printf("elide-server: gossiping fleet membership as %s (interval %s, suspect timeout %s)\n",
+				*gossipAdvertise, *gossipInterval, *suspectTimeout)
 		}
 	}
 	var srv *elide.Server
@@ -204,6 +231,7 @@ func main() {
 		admin := &http.Server{Handler: obs.AdminHandler(metrics, tracer, "sgxelide",
 			obs.WithAuditLog(audit),
 			obs.WithHealthCheck("store", srv.Store().HealthCheck),
+			obs.WithHealthCheck("replication", srv.ReplicationHealth),
 		)}
 		go func() {
 			if err := admin.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {

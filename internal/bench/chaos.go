@@ -86,8 +86,14 @@ type replica struct {
 	env  *Env
 	msrv *obs.Registry
 
+	// optsFor, when set, contributes extra server options per (re)start —
+	// the churn harness wires gossip here, where the bound address that
+	// the options need is finally known.
+	optsFor func(addr string) []elide.ServerOption
+
 	mu     sync.Mutex
 	addr   string
+	srv    *elide.Server
 	cancel context.CancelFunc
 	served chan error
 }
@@ -117,20 +123,32 @@ func (r *replica) start() error {
 	}
 	r.addr = l.Addr().String()
 	// A short drain keeps kills abrupt — that is the point of the exercise.
-	srv, err := r.prot.NewServerFor(r.env.CA,
+	opts := []elide.ServerOption{
 		elide.WithServerMetrics(r.msrv),
-		elide.WithDrainTimeout(100*time.Millisecond),
-	)
+		elide.WithDrainTimeout(100 * time.Millisecond),
+	}
+	if r.optsFor != nil {
+		opts = append(opts, r.optsFor(r.addr)...)
+	}
+	srv, err := r.prot.NewServerFor(r.env.CA, opts...)
 	if err != nil {
 		_ = l.Close() // listener never served; nothing depends on the close
 		return err
 	}
+	r.srv = srv
 	ctx, cancel := context.WithCancel(context.Background())
 	r.cancel = cancel
 	r.served = make(chan error, 1)
 	served := r.served
 	go func() { served <- srv.Serve(ctx, l) }()
 	return nil
+}
+
+// server returns the currently serving *elide.Server (the latest start's).
+func (r *replica) server() *elide.Server {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srv
 }
 
 // kill stops the replica and waits for the server to drain.

@@ -73,11 +73,20 @@ type poolOptions struct {
 
 // EndpointPool tracks a replicated authentication-server set: which
 // endpoints exist, how healthy each looks from here, and which breaker
-// admits traffic right now.
+// admits traffic right now. The set is no longer frozen at construction:
+// SyncMembership (or a WatchMembership loop) asks the fleet for its
+// current member list and grows/shrinks the pool to match, keeping the
+// statically configured addresses as a floor for servers the mesh does
+// not know about (legacy replicas).
 type EndpointPool struct {
+	opt   poolOptions
+	trips func() // metrics hook
+
+	mu        sync.RWMutex
 	endpoints []*Endpoint
-	opt       poolOptions
-	trips     func() // metrics hook
+	byAddr    map[string]*Endpoint
+	static    map[string]bool // configured at construction; survives absence from the fleet view
+	nextIndex int             // monotonic: a re-added endpoint gets a fresh metric index
 }
 
 // NewEndpointPool builds a pool over the given addresses.
@@ -96,16 +105,33 @@ func NewEndpointPool(addrs []string, opts ...FailoverOption) *EndpointPool {
 			return NewTCPClient(addr, o.clientOpts...)
 		}
 	}
-	p := &EndpointPool{opt: o}
-	for i, a := range addrs {
-		p.endpoints = append(p.endpoints, &Endpoint{Addr: a, index: i, health: 1})
+	p := &EndpointPool{opt: o, byAddr: make(map[string]*Endpoint), static: make(map[string]bool)}
+	for _, a := range addrs {
+		if _, dup := p.byAddr[a]; dup {
+			continue
+		}
+		e := &Endpoint{Addr: a, index: p.nextIndex, health: 1}
+		p.nextIndex++
+		p.endpoints = append(p.endpoints, e)
+		p.byAddr[a] = e
+		p.static[a] = true
 	}
 	return p
 }
 
-// Endpoints returns the pool's endpoints (for diagnostics).
+// Endpoints returns a snapshot of the pool's endpoints (for diagnostics).
 func (p *EndpointPool) Endpoints() []*Endpoint {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return append([]*Endpoint(nil), p.endpoints...)
+}
+
+// has reports whether addr is currently in the pool.
+func (p *EndpointPool) has(addr string) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	_, ok := p.byAddr[addr]
+	return ok
 }
 
 // pick chooses the best endpoint the breakers admit, skipping excluded
@@ -117,7 +143,8 @@ func (p *EndpointPool) pick(exclude map[*Endpoint]bool) *Endpoint {
 	var best *Endpoint
 	var bestHealth, bestLatency float64
 	now := p.opt.now()
-	for _, e := range p.endpoints {
+	endpoints := p.Endpoints()
+	for _, e := range endpoints {
 		if exclude[e] {
 			continue
 		}
@@ -136,7 +163,7 @@ func (p *EndpointPool) pick(exclude map[*Endpoint]bool) *Endpoint {
 		return best
 	}
 	// No closed endpoint: allow one half-open probe on a cooled-down one.
-	for _, e := range p.endpoints {
+	for _, e := range endpoints {
 		if exclude[e] {
 			continue
 		}
@@ -222,7 +249,7 @@ func (p *EndpointPool) count(name string) { p.opt.metrics.Counter(name).Inc() }
 // process fronting a replicated server fleet.
 func (p *EndpointPool) HealthCheck() error {
 	var open []string
-	for _, e := range p.endpoints {
+	for _, e := range p.Endpoints() {
 		if e.State() != BreakerClosed {
 			open = append(open, e.Addr)
 		}
@@ -231,6 +258,108 @@ func (p *EndpointPool) HealthCheck() error {
 		return fmt.Errorf("open circuit breakers: %v", open)
 	}
 	return nil
+}
+
+// SyncMembership asks the fleet for its current member list — walking
+// the pool until some endpoint answers the v1 membership query — and
+// resizes the pool to match: members the mesh reports alive or suspect
+// are (re)admitted, members it reports dead are dropped, and learned
+// (non-static) endpoints absent from the reply are dropped too. Static
+// endpoints the fleet does not know about are kept: a legacy replica is
+// invisible to the mesh but still serves. Returns an error only when no
+// endpoint answered — a fleet of legacy or gossip-off servers simply
+// leaves the pool static.
+func (p *EndpointPool) SyncMembership(ctx context.Context) error {
+	var last error
+	for _, e := range p.Endpoints() {
+		c := p.opt.newClient(e.Addr)
+		q, ok := c.(membershipQuerier)
+		if !ok {
+			_ = c.Close()
+			return fmt.Errorf("elide: pool's channel implementation cannot query membership")
+		}
+		ms, err := q.Members(ctx)
+		_ = c.Close()
+		if err != nil {
+			last = err
+			continue
+		}
+		added, removed := p.applyMembers(ms)
+		p.count("failover.membership_syncs")
+		if len(added)+len(removed) > 0 {
+			p.count("failover.membership_changes")
+			p.opt.audit.Emit(obs.AuditEvent{
+				Type: obs.AuditMemberJoin, Endpoint: e.Addr,
+				Detail: fmt.Sprintf("pool resynced: +%d -%d endpoints", len(added), len(removed)),
+			})
+		}
+		return nil
+	}
+	return fmt.Errorf("elide: no endpoint answered the membership query: %w", last)
+}
+
+// applyMembers applies one fleet view to the pool under the
+// SyncMembership rules.
+func (p *EndpointPool) applyMembers(ms []Member) (added, removed []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	inFleet := make(map[string]bool, len(ms))
+	dead := make(map[string]bool)
+	for _, m := range ms {
+		if m.Status == MemberDead {
+			dead[m.Addr] = true
+		} else {
+			inFleet[m.Addr] = true
+		}
+	}
+	for _, m := range ms {
+		if m.Status == MemberDead {
+			continue
+		}
+		if _, ok := p.byAddr[m.Addr]; !ok {
+			e := &Endpoint{Addr: m.Addr, index: p.nextIndex, health: 1}
+			p.nextIndex++
+			p.byAddr[m.Addr] = e
+			p.endpoints = append(p.endpoints, e)
+			added = append(added, m.Addr)
+		}
+	}
+	var kept []*Endpoint
+	for _, e := range p.endpoints {
+		if dead[e.Addr] || (!p.static[e.Addr] && !inFleet[e.Addr]) {
+			delete(p.byAddr, e.Addr)
+			removed = append(removed, e.Addr)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	p.endpoints = kept
+	p.opt.metrics.Gauge("failover.endpoints").Set(int64(len(kept)))
+	return added, removed
+}
+
+// WatchMembership starts a background loop calling SyncMembership every
+// interval (DefaultMembershipInterval when interval <= 0) until ctx
+// ends. Sync failures are counted and retried next tick — a fleet that
+// temporarily cannot answer leaves the pool as it was.
+func (p *EndpointPool) WatchMembership(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = DefaultMembershipInterval
+	}
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := p.SyncMembership(ctx); err != nil {
+					p.count("failover.membership_sync_errors")
+				}
+			}
+		}
+	}()
 }
 
 // FailoverClient exposes the SecretChannel surface over an EndpointPool
@@ -305,9 +434,22 @@ type sessionResumer interface {
 }
 
 // clientFor returns (building if needed) the channel for an endpoint.
+// Channels cached for endpoints the membership layer has since removed
+// are pruned here — except the current session's, which may legitimately
+// outlive its endpoint's pool entry (an in-flight protocol run keeps its
+// connection until it ends or fails over).
 func (fc *FailoverClient) clientFor(e *Endpoint) SecretChannel {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
+	for addr, cached := range fc.clients {
+		if addr == e.Addr || (fc.cur != nil && fc.cur.Addr == addr) {
+			continue
+		}
+		if !fc.pool.has(addr) {
+			_ = cached.Close()
+			delete(fc.clients, addr)
+		}
+	}
 	c, ok := fc.clients[e.Addr]
 	if !ok {
 		c = fc.pool.opt.newClient(e.Addr)

@@ -1,0 +1,558 @@
+package elide
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sgxelide/internal/obs"
+	"sgxelide/internal/sgx"
+)
+
+// The membership tests never attest — gossip, anti-entropy, and the
+// client query all work against a server with an empty secret store, so
+// everything here runs in -short too.
+
+// plainServer builds a quote-free server (empty store) with the given
+// options.
+func plainServer(t *testing.T, ca *sgx.CA, opts ...ServerOption) *Server {
+	t.Helper()
+	srv, err := NewMultiServer(ca.PublicKey(), NewSecretStore(),
+		append([]ServerOption{WithDrainTimeout(50 * time.Millisecond)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// gossipOpts is the common fast-gossip option set for a fleet member.
+func gossipOpts(key []byte, self string, m *obs.Registry, a *obs.AuditLog, seeds ...string) []ServerOption {
+	return []ServerOption{
+		WithServerMetrics(m),
+		WithServerAudit(a),
+		WithResumeReplication(key, seeds...),
+		WithGossip(self),
+		WithGossipInterval(10 * time.Millisecond),
+		WithSuspectTimeout(60 * time.Millisecond),
+	}
+}
+
+// serveKill serves srv on l and returns an idempotent kill func (also
+// registered as cleanup).
+func serveKill(t *testing.T, srv *Server, l net.Listener) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(ctx, l) }()
+	var once sync.Once
+	kill := func() {
+		once.Do(func() {
+			cancel()
+			<-served
+		})
+	}
+	t.Cleanup(kill)
+	return kill
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// memberStatus scans a member list for addr.
+func memberStatus(ms []Member, addr string) (MemberStatus, bool) {
+	for _, m := range ms {
+		if m.Addr == addr {
+			return m.Status, true
+		}
+	}
+	return 0, false
+}
+
+func freshRecord(ttl time.Duration) ResumeRecord {
+	var rec ResumeRecord
+	if _, err := rand.Read(rec.Binding[:]); err != nil {
+		panic(err)
+	}
+	rec.ServerPub = bytes.Repeat([]byte{0x11}, 32)
+	rec.ChannelKey = bytes.Repeat([]byte{0x22}, 16)
+	rec.ExpiresAt = time.Now().Add(ttl)
+	return rec
+}
+
+func TestMemberWireRoundTrip(t *testing.T) {
+	in := []Member{
+		{Addr: "10.0.0.1:7001", Incarnation: 42, Status: MemberAlive},
+		{Addr: "10.0.0.2:7001", Incarnation: 7, Status: MemberSuspect},
+		{Addr: "10.0.0.3:7001", Incarnation: 0, Status: MemberDead},
+	}
+	out, err := parseMembers(marshalMembers(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip lost members: %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatalf("member %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	for _, bad := range [][]byte{nil, {}, {2, 0, 0}, {1, 1, 0, 9}, marshalMembers(in)[:10]} {
+		if _, err := parseMembers(bad); err == nil {
+			t.Fatalf("parseMembers accepted malformed input %v", bad)
+		}
+	}
+
+	var b1, b2 [32]byte
+	b1[0], b2[0] = 1, 2
+	set, err := parseDigest(marshalDigest([][32]byte{b1, b2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := set[b1]; !ok || len(set) != 2 {
+		t.Fatalf("digest round trip lost bindings: %v", set)
+	}
+	if _, err := parseDigest([]byte{9, 0, 0, 0, 1}); err == nil {
+		t.Fatal("parseDigest accepted a length mismatch")
+	}
+}
+
+// TestMembershipMergePrecedence pins the SWIM precedence rules: the
+// incarnation arithmetic that makes false suspicion self-healing and a
+// restart able to out-bid its previous life.
+func TestMembershipMergePrecedence(t *testing.T) {
+	var alive, dead []string
+	m := newMembership("self:1", []string{"a:1"}, nil, nil)
+	m.onAlive = func(addr string) { alive = append(alive, addr) }
+	m.onDead = func(addr string) { dead = append(dead, addr) }
+
+	statusOf := func(addr string) (MemberStatus, uint64) {
+		for _, e := range m.snapshot() {
+			if e.Addr == addr {
+				return e.Status, e.Incarnation
+			}
+		}
+		t.Fatalf("member %s missing from snapshot", addr)
+		return 0, 0
+	}
+
+	m.merge([]Member{{Addr: "a:1", Incarnation: 5, Status: MemberAlive}})
+	if st, inc := statusOf("a:1"); st != MemberAlive || inc != 5 {
+		t.Fatalf("alive{5} not applied: %v/%d", st, inc)
+	}
+	// A stale suspicion loses; an equal-incarnation one wins over alive.
+	m.merge([]Member{{Addr: "a:1", Incarnation: 4, Status: MemberSuspect}})
+	if st, _ := statusOf("a:1"); st != MemberAlive {
+		t.Fatal("stale suspect{4} overrode alive{5}")
+	}
+	m.merge([]Member{{Addr: "a:1", Incarnation: 5, Status: MemberSuspect}})
+	if st, _ := statusOf("a:1"); st != MemberSuspect {
+		t.Fatal("suspect{5} did not override alive{5}")
+	}
+	// Refutation needs a strictly higher incarnation.
+	m.merge([]Member{{Addr: "a:1", Incarnation: 5, Status: MemberAlive}})
+	if st, _ := statusOf("a:1"); st != MemberSuspect {
+		t.Fatal("alive{5} overrode suspect{5}")
+	}
+	m.merge([]Member{{Addr: "a:1", Incarnation: 6, Status: MemberAlive}})
+	if st, _ := statusOf("a:1"); st != MemberAlive {
+		t.Fatal("alive{6} did not refute suspect{5}")
+	}
+	// Death at the same incarnation sticks; suspicion cannot revive it;
+	// a strictly higher alive (a restart) can.
+	m.merge([]Member{{Addr: "a:1", Incarnation: 6, Status: MemberDead}})
+	if st, _ := statusOf("a:1"); st != MemberDead {
+		t.Fatal("dead{6} did not override alive{6}")
+	}
+	m.merge([]Member{{Addr: "a:1", Incarnation: 9, Status: MemberSuspect}})
+	if st, _ := statusOf("a:1"); st != MemberDead {
+		t.Fatal("suspect{9} revived a dead member")
+	}
+	m.merge([]Member{{Addr: "a:1", Incarnation: 7, Status: MemberAlive}})
+	if st, _ := statusOf("a:1"); st != MemberAlive {
+		t.Fatal("alive{7} (a restart) did not revive dead{6}")
+	}
+
+	// A new member joins through gossip; a dead stranger is recorded but
+	// never admitted to the push set.
+	m.merge([]Member{
+		{Addr: "b:1", Incarnation: 3, Status: MemberAlive},
+		{Addr: "c:1", Incarnation: 1, Status: MemberDead},
+	})
+	if st, _ := statusOf("b:1"); st != MemberAlive {
+		t.Fatal("b:1 did not join")
+	}
+	if st, _ := statusOf("c:1"); st != MemberDead {
+		t.Fatal("dead stranger c:1 not recorded")
+	}
+	joined := false
+	for _, a := range alive {
+		if a == "b:1" {
+			joined = true
+		}
+		if a == "c:1" {
+			t.Fatal("dead stranger admitted to the alive hook")
+		}
+	}
+	if !joined {
+		t.Fatalf("join hook never fired for b:1 (alive hooks: %v)", alive)
+	}
+	if len(dead) != 1 || dead[0] != "a:1" {
+		t.Fatalf("dead hooks = %v, want [a:1]", dead)
+	}
+
+	// Hearing yourself suspected is a call to refute: self incarnation
+	// must jump above the accusation.
+	selfInc := m.snapshot()[0].Incarnation
+	m.merge([]Member{{Addr: "self:1", Incarnation: selfInc + 10, Status: MemberSuspect}})
+	if got := m.snapshot()[0].Incarnation; got != selfInc+11 {
+		t.Fatalf("self incarnation = %d after accusation at %d, want %d", got, selfInc+10, selfInc+11)
+	}
+}
+
+// TestGossipMeshBootstrap: three servers where only the seeds point at
+// replica 0 still converge on the full member set, and a killed member
+// is suspected, then declared dead, with audit events at each step.
+func TestGossipMeshBootstrap(t *testing.T) {
+	ca, _ := env(t)
+	key := bytes.Repeat([]byte{0x21}, 32)
+	lA, lB, lC := listen(t), listen(t), listen(t)
+	aA, aB, aC := obs.NewAuditLog(0), obs.NewAuditLog(0), obs.NewAuditLog(0)
+	mA, mB, mC := obs.NewRegistry(), obs.NewRegistry(), obs.NewRegistry()
+	addrA, addrB, addrC := lA.Addr().String(), lB.Addr().String(), lC.Addr().String()
+
+	srvA := plainServer(t, ca, gossipOpts(key, addrA, mA, aA)...)
+	srvB := plainServer(t, ca, gossipOpts(key, addrB, mB, aB, addrA)...)
+	srvC := plainServer(t, ca, gossipOpts(key, addrC, mC, aC, addrA)...)
+	serveKill(t, srvA, lA)
+	serveKill(t, srvB, lB)
+	killC := serveKill(t, srvC, lC)
+
+	// B and C only know A, yet every server must learn all three.
+	full := func(srv *Server, others ...string) bool {
+		ms := srv.Members()
+		for _, o := range others {
+			if st, ok := memberStatus(ms, o); !ok || st != MemberAlive {
+				return false
+			}
+		}
+		return true
+	}
+	waitFor(t, "mesh bootstrap from one seed", func() bool {
+		return full(srvA, addrB, addrC) && full(srvB, addrA, addrC) && full(srvC, addrA, addrB)
+	})
+
+	killC()
+	waitFor(t, "killed member declared dead", func() bool {
+		stA, _ := memberStatus(srvA.Members(), addrC)
+		stB, _ := memberStatus(srvB.Members(), addrC)
+		return stA == MemberDead && stB == MemberDead
+	})
+	counts := aA.Counts()
+	for k, v := range aB.Counts() {
+		counts[k] += v
+	}
+	if counts[obs.AuditMemberSuspect] == 0 {
+		t.Error("no member_suspect audit event for the killed replica")
+	}
+	if counts[obs.AuditMemberDead] == 0 {
+		t.Error("no member_dead audit event for the killed replica")
+	}
+	if counts[obs.AuditMemberJoin] == 0 {
+		t.Error("no member_join audit events during bootstrap")
+	}
+}
+
+// TestMembersQueryAndPoolSync: a client learns the fleet from any one
+// server and the endpoint pool grows/shrinks to match — keeping static
+// endpoints the mesh does not know about (the legacy-server escape
+// hatch).
+func TestMembersQueryAndPoolSync(t *testing.T) {
+	ca, _ := env(t)
+	key := bytes.Repeat([]byte{0x33}, 16)
+	lA, lB := listen(t), listen(t)
+	addrA, addrB := lA.Addr().String(), lB.Addr().String()
+	mA, mB := obs.NewRegistry(), obs.NewRegistry()
+
+	srvA := plainServer(t, ca, gossipOpts(key, addrA, mA, nil)...)
+	srvB := plainServer(t, ca, gossipOpts(key, addrB, mB, nil, addrA)...)
+	serveKill(t, srvA, lA)
+	killB := serveKill(t, srvB, lB)
+	waitFor(t, "A learns B", func() bool {
+		st, ok := memberStatus(srvA.Members(), addrB)
+		return ok && st == MemberAlive
+	})
+
+	ctx := context.Background()
+	ms, err := NewTCPClient(addrA, fastRetry(1)...).Members(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, ok := memberStatus(ms, addrB); !ok || st != MemberAlive {
+		t.Fatalf("client member list missing alive B: %+v", ms)
+	}
+	if ms[0].Addr != addrA {
+		t.Fatalf("member list does not lead with the answering server: %+v", ms)
+	}
+
+	// A server without gossip refuses the query — the static-pool signal.
+	lP := listen(t)
+	serveKill(t, plainServer(t, ca, WithResumeReplication(key)), lP)
+	if _, err := NewTCPClient(lP.Addr().String(), fastRetry(1)...).Members(ctx); !errors.Is(err, ErrRefused) {
+		t.Fatalf("gossip-off server answered the membership query: %v", err)
+	}
+
+	// Pool: static [A, legacy]; sync adds B, keeps the legacy unknown.
+	legacyAddr := lP.Addr().String()
+	pool := NewEndpointPool([]string{addrA, legacyAddr},
+		WithEndpointClientOptions(fastRetry(1)...))
+	if err := pool.SyncMembership(ctx); err != nil {
+		t.Fatal(err)
+	}
+	addrs := func() map[string]bool {
+		out := map[string]bool{}
+		for _, e := range pool.Endpoints() {
+			out[e.Addr] = true
+		}
+		return out
+	}
+	if got := addrs(); !got[addrB] || !got[legacyAddr] || !got[addrA] {
+		t.Fatalf("pool after sync = %v, want A+B+legacy", got)
+	}
+
+	// Kill B; once the mesh declares it dead the sync drops it — but
+	// never the static legacy endpoint.
+	killB()
+	waitFor(t, "B declared dead", func() bool {
+		st, _ := memberStatus(srvA.Members(), addrB)
+		return st == MemberDead
+	})
+	if err := pool.SyncMembership(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := addrs(); got[addrB] || !got[legacyAddr] || !got[addrA] {
+		t.Fatalf("pool after death sync = %v, want A+legacy only", got)
+	}
+}
+
+// TestPoolApplyMembersRules pins the pool resize rules in isolation.
+func TestPoolApplyMembersRules(t *testing.T) {
+	pool := NewEndpointPool([]string{"a:1", "legacy:1"})
+	added, removed := pool.applyMembers([]Member{
+		{Addr: "a:1", Status: MemberAlive},
+		{Addr: "b:1", Status: MemberAlive},
+		{Addr: "c:1", Status: MemberSuspect}, // suspect is still serving
+	})
+	if len(added) != 2 || len(removed) != 0 {
+		t.Fatalf("first sync: added %v removed %v, want 2 added 0 removed", added, removed)
+	}
+	// b dies, c vanishes from the view (learned → dropped), legacy is
+	// absent from every view (static → kept).
+	_, removed = pool.applyMembers([]Member{
+		{Addr: "a:1", Status: MemberAlive},
+		{Addr: "b:1", Status: MemberDead},
+	})
+	if len(removed) != 2 {
+		t.Fatalf("second sync removed %v, want [b:1 c:1]", removed)
+	}
+	got := map[string]bool{}
+	for _, e := range pool.Endpoints() {
+		got[e.Addr] = true
+	}
+	if !got["a:1"] || !got["legacy:1"] || got["b:1"] || got["c:1"] {
+		t.Fatalf("pool = %v, want a+legacy", got)
+	}
+	// Even a static endpoint is dropped while the fleet says dead — and
+	// re-admitted when it rejoins.
+	pool.applyMembers([]Member{{Addr: "a:1", Status: MemberDead}})
+	if pool.has("a:1") {
+		t.Fatal("dead static endpoint kept")
+	}
+	pool.applyMembers([]Member{{Addr: "a:1", Status: MemberAlive}})
+	if !pool.has("a:1") {
+		t.Fatal("rejoined static endpoint not re-admitted")
+	}
+}
+
+// TestAntiEntropyConvergence: a cold replica pulls the fleet's resume
+// records via digest exchange — no client traffic, no fetch path.
+func TestAntiEntropyConvergence(t *testing.T) {
+	ca, _ := env(t)
+	key := bytes.Repeat([]byte{0x44}, 32)
+	lA, lB := listen(t), listen(t)
+	addrA, addrB := lA.Addr().String(), lB.Addr().String()
+	aB := obs.NewAuditLog(0)
+	mA, mB := obs.NewRegistry(), obs.NewRegistry()
+
+	srvA := plainServer(t, ca, gossipOpts(key, addrA, mA, nil)...)
+	const records = 20
+	for i := 0; i < records; i++ {
+		srvA.resume.Put(freshRecord(time.Minute))
+	}
+	// One record already expired: it must not cross.
+	srvA.resume.Put(freshRecord(-time.Minute))
+
+	serveKill(t, srvA, lA)
+	srvB := plainServer(t, ca, gossipOpts(key, addrB, mB, aB, addrA)...)
+	serveKill(t, srvB, lB)
+
+	waitFor(t, "anti-entropy convergence", func() bool {
+		return srvB.ResumeLen() >= records
+	})
+	if got := srvB.ResumeLen(); got != records {
+		t.Fatalf("cold replica holds %d records, want exactly %d (expired must not cross)", got, records)
+	}
+	if aB.Counts()[obs.AuditAntiEntropy] == 0 {
+		t.Error("no anti_entropy_sync audit event on the cold replica")
+	}
+	if mB.Counter("server.anti_entropy_adopted").Load() != records {
+		t.Errorf("anti_entropy_adopted = %d, want %d",
+			mB.Counter("server.anti_entropy_adopted").Load(), records)
+	}
+}
+
+// TestPeerCooldownExpiryAndRefutation (satellite): a peer that refused
+// the replication handshake is left alone for exactly the configured
+// cooldown — no redials — and once the cooldown lapses an upgraded peer
+// sheds the legacy mark on the first successful push.
+func TestPeerCooldownExpiryAndRefutation(t *testing.T) {
+	ca, _ := env(t)
+	key := bytes.Repeat([]byte{0x55}, 32)
+	l := listen(t)
+	addr := l.Addr().String()
+
+	// Phase 1: a keyless server — the refusal shape a legacy binary makes.
+	killLegacy := serveKill(t, plainServer(t, ca), l)
+
+	var dials atomic.Int32
+	o := serverOptions{
+		fleetKey:     key,
+		peers:        []string{addr},
+		metrics:      obs.NewRegistry(),
+		peerCooldown: 150 * time.Millisecond,
+		peerDial: func(a string, to time.Duration) (net.Conn, error) {
+			dials.Add(1)
+			return defaultPeerDial(a, to)
+		},
+	}
+	rep := newResumeReplicator(&o)
+	wrapped, err := wrapResumeRecord(key, freshRecord(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.peerFor(addr)
+	if _, err := p.roundTrip(peerOpPush, wrapped, false, time.Second, time.Second); !errors.Is(err, errPeerLegacy) {
+		t.Fatalf("push to a keyless server = %v, want errPeerLegacy", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("dials = %d, want 1", got)
+	}
+	// Inside the cooldown every attempt short-circuits without dialing.
+	if _, err := p.roundTrip(peerOpPush, wrapped, false, time.Second, time.Second); !errors.Is(err, errPeerLegacy) {
+		t.Fatalf("second push = %v, want errPeerLegacy", err)
+	}
+	if got := dials.Load(); got != 1 {
+		t.Fatalf("cooldown did not suppress the redial (dials = %d)", got)
+	}
+
+	// Phase 2: the peer upgrades — same address, now with the fleet key.
+	killLegacy()
+	var l2 net.Listener
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if l2, err = net.Listen("tcp", addr); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Cleanup(func() { l2.Close() })
+	m2 := obs.NewRegistry()
+	serveKill(t, plainServer(t, ca, WithServerMetrics(m2), WithResumeReplication(key)), l2)
+
+	// Once the cooldown lapses the next push redials, the handshake
+	// succeeds, and the record lands.
+	waitFor(t, "cooldown expiry and refutation", func() bool {
+		_, err := p.roundTrip(peerOpPush, wrapped, false, time.Second, time.Second)
+		return err == nil
+	})
+	waitCounter(t, m2, "server.resume_replicated", 1)
+	// The legacy mark is gone: the very next push goes straight through.
+	if _, err := p.roundTrip(peerOpPush, wrapped, false, time.Second, time.Second); err != nil {
+		t.Fatalf("push after refutation = %v, want success", err)
+	}
+}
+
+// TestReplicationDropAuditAndHealth (satellite): push-queue overflow
+// emits one rate-limited audit event and degrades ReplicationHealth for
+// the drop window.
+func TestReplicationDropAuditAndHealth(t *testing.T) {
+	key := bytes.Repeat([]byte{0x66}, 16)
+	audit := obs.NewAuditLog(0)
+	unblock := make(chan struct{})
+	var unblockOnce sync.Once
+	t.Cleanup(func() { unblockOnce.Do(func() { close(unblock) }) })
+	o := serverOptions{
+		fleetKey: key,
+		peers:    []string{"127.0.0.1:1"},
+		metrics:  obs.NewRegistry(),
+		audit:    audit,
+		peerDial: func(a string, to time.Duration) (net.Conn, error) {
+			<-unblock // pin the pump so the queue backs up deterministically
+			return nil, errors.New("peer gone")
+		},
+	}
+	rep := newResumeReplicator(&o)
+	rep.dropMu.Lock()
+	rep.dropInterval = time.Hour
+	rep.dropWindow = 250 * time.Millisecond
+	rep.dropMu.Unlock()
+
+	rec := freshRecord(time.Minute)
+	// Queue capacity + pump in-flight + slack: guarantees drops.
+	for i := 0; i < peerPushQueue+50; i++ {
+		rep.broadcast(rec)
+	}
+	if got := o.metrics.Counter("server.resume_replicate_dropped").Load(); got == 0 {
+		t.Fatal("no drops counted with a pinned pump and a full queue")
+	}
+	if got := audit.Counts()[obs.AuditResumeReplicationDropped]; got != 1 {
+		t.Fatalf("drop audit events = %d, want exactly 1 (rate-limited)", got)
+	}
+	if err := rep.healthCheck(); err == nil {
+		t.Fatal("healthCheck nil right after drops, want degraded")
+	}
+
+	// The next interval's first drop emits again.
+	rep.dropMu.Lock()
+	rep.lastDropAudit = time.Now().Add(-2 * time.Hour)
+	rep.dropMu.Unlock()
+	rep.broadcast(rec)
+	if got := audit.Counts()[obs.AuditResumeReplicationDropped]; got != 2 {
+		t.Fatalf("drop audit events = %d after a new interval, want 2", got)
+	}
+
+	// Health recovers once the window passes without further drops.
+	waitFor(t, "replication health recovery", func() bool {
+		return rep.healthCheck() == nil
+	})
+	unblockOnce.Do(func() { close(unblock) })
+}

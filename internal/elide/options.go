@@ -52,6 +52,18 @@ const (
 	DefaultBreakerCooldown = 5 * time.Second
 	// DefaultHealthAlpha is the endpoint health EWMA smoothing factor.
 	DefaultHealthAlpha = 0.3
+	// DefaultPeerCooldown is how long a peer that refused the replication
+	// handshake (a legacy server, or one without a fleet key) is left
+	// alone before the next attempt.
+	DefaultPeerCooldown = 5 * time.Minute
+	// DefaultGossipInterval is the membership probe/gossip round cadence.
+	DefaultGossipInterval = time.Second
+	// DefaultSuspectTimeout is how long a suspected member has to refute
+	// the suspicion (directly or via gossip) before it is declared dead.
+	DefaultSuspectTimeout = 5 * time.Second
+	// DefaultMembershipInterval is the cadence at which a watching
+	// EndpointPool re-queries the fleet for its current member set.
+	DefaultMembershipInterval = 15 * time.Second
 )
 
 // --- ClientOption (TCPClient) ---
@@ -189,6 +201,51 @@ func WithResumeReplication(fleetKey []byte, peers ...string) ServerOption {
 		o.fleetKey = append([]byte(nil), fleetKey...)
 		o.peers = append([]string(nil), peers...)
 	}
+}
+
+// WithPeerCooldown sets how long a peer that refused the replication
+// handshake (a legacy binary, or one running without a fleet key) is left
+// alone before the next dial attempt (default DefaultPeerCooldown).
+// Refutation is automatic: once the cooldown lapses, the next push or
+// fetch redials, and an upgraded peer sheds the legacy mark on the first
+// successful handshake.
+func WithPeerCooldown(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.peerCooldown = d }
+}
+
+// WithGossip enables SWIM-style fleet membership (DESIGN §15). self is the
+// address this server advertises to the mesh — it must be the address
+// peers can dial back, not the listen wildcard. Requires the fleet key
+// from WithResumeReplication: membership deltas cross the wire sealed
+// under it, so a node outside the fleet can neither forge a death
+// certificate nor enumerate the mesh. The static peers given to
+// WithResumeReplication double as gossip seeds; one live seed is enough
+// to bootstrap the full member set.
+func WithGossip(self string) ServerOption {
+	return func(o *serverOptions) { o.gossipSelf = self }
+}
+
+// WithGossipInterval sets the membership probe/gossip round cadence
+// (default DefaultGossipInterval).
+func WithGossipInterval(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.gossipInterval = d }
+}
+
+// WithSuspectTimeout sets how long a suspected member has to refute the
+// suspicion before it is declared dead (default DefaultSuspectTimeout).
+// Shorter detects failures faster but false-positives under load; the
+// SWIM incarnation machinery makes a false positive self-healing, not
+// fatal — the suspect refutes with a bumped incarnation on the next
+// round.
+func WithSuspectTimeout(d time.Duration) ServerOption {
+	return func(o *serverOptions) { o.suspectTimeout = d }
+}
+
+// withPeerDialer replaces the replication/gossip peer dialer — an
+// in-package test seam for partition tests that gate which peers can
+// reach which.
+func withPeerDialer(dial func(addr string, timeout time.Duration) (net.Conn, error)) ServerOption {
+	return func(o *serverOptions) { o.peerDial = dial }
 }
 
 // WithEnclaveRateLimit bounds fresh attestations per registered enclave

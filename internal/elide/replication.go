@@ -33,38 +33,61 @@ import (
 //	push:  op(1)=peerOpPush  || wrapped record      (no reply)
 //	fetch: op(1)=peerOpFetch || binding(32)         (reply: wrapped record, or a refusal on miss)
 //
+// plus the gossip/anti-entropy opcodes (peerOpPing, peerOpPingReq,
+// peerOpDigest — see membership.go). A PR 9 binary answers those with
+// its unknown-op refusal and the link survives, so mixed-version fleets
+// degrade to static replication rather than breaking.
+//
 // Records cross the wire ONLY as wrapResumeRecord blobs — AES-GCM under
 // the shared fleet sealing key — so the transport carries no cleartext
 // channel keys, forged frames fail authentication, and replay is bounded
 // by the in-record expiry.
+//
+// The peer set is no longer frozen at construction: the gossip layer
+// (membership.go) adds members it discovers and retires members declared
+// dead, so pushes track the live fleet. The statically configured peers
+// remain as seeds either way.
 
 // peerLinkResume marks an attestMsg as a replication-link handshake
 // rather than a client session.
 const peerLinkResume uint8 = 1
 
-// Replication-link frame opcodes.
+// Replication-link frame opcodes (3+ are in membership.go).
 const (
 	peerOpPush  byte = 1 // payload: wrapped record; no reply
 	peerOpFetch byte = 2 // payload: 32-byte binding; reply: wrapped record or refusal
 )
 
-// peerLegacyCooldown is how long a peer that refused the replication
-// handshake (a legacy server, or one without a fleet key) is left alone
-// before the next attempt.
-const peerLegacyCooldown = 5 * time.Minute
-
 // peerPushQueue bounds the async push backlog; beyond it pushes are
-// dropped (and counted) rather than blocking the attest path.
+// dropped (counted, audited, and surfaced by ReplicationHealth) rather
+// than blocking the attest path.
 const peerPushQueue = 256
+
+// dropAuditInterval rate-limits AuditResumeReplicationDropped: the first
+// drop of each interval emits, the rest only count.
+const dropAuditInterval = time.Minute
+
+// dropHealthWindow is how long after the last drop ReplicationHealth
+// keeps reporting degraded.
+const dropHealthWindow = time.Minute
 
 // errPeerLegacy marks a peer that refused the replication handshake.
 var errPeerLegacy = errors.New("elide: peer does not speak resume replication")
 
+// peerDialFunc dials one fleet peer; the default is net.DialTimeout, and
+// partition tests swap in a gate.
+type peerDialFunc func(addr string, timeout time.Duration) (net.Conn, error)
+
+func defaultPeerDial(addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
 // writePeerFrame writes one replication-link frame: op || payload.
 //
 // SECURITY: this is the inter-server wire. elide-vet's secretflow model
-// treats it as a sink — only fleet-key-wrapped blobs (wrapResumeRecord)
-// and binding hashes may ever be passed here, never raw channel keys.
+// treats it as a sink — only fleet-key-wrapped blobs (wrapResumeRecord,
+// sealed membership summaries/digests) and binding hashes may ever be
+// passed here, never raw channel keys.
 func writePeerFrame(w io.Writer, op byte, payload []byte) error {
 	return writeWireFrame(w, int(op), payload)
 }
@@ -72,7 +95,9 @@ func writePeerFrame(w io.Writer, op byte, payload []byte) error {
 // resumePeer is the dialer-side state of one replication link: a lazily
 // dialed, persistently reused connection plus the legacy cooldown.
 type resumePeer struct {
-	addr string
+	addr     string
+	dial     peerDialFunc
+	cooldown time.Duration // legacy back-off (WithPeerCooldown)
 
 	mu          sync.Mutex
 	conn        net.Conn
@@ -87,12 +112,18 @@ func (p *resumePeer) closeLocked() {
 	}
 }
 
+func (p *resumePeer) close() {
+	p.mu.Lock()
+	p.closeLocked()
+	p.mu.Unlock()
+}
+
 // ensureLocked dials the peer and runs the replication handshake.
 func (p *resumePeer) ensureLocked(dialTimeout, opTimeout time.Duration) error {
 	if p.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+	conn, err := p.dial(p.addr, dialTimeout)
 	if err != nil {
 		return err
 	}
@@ -111,7 +142,7 @@ func (p *resumePeer) ensureLocked(dialTimeout, opTimeout time.Duration) error {
 	if err != nil {
 		_ = conn.Close()
 		if errors.Is(err, ErrRefused) {
-			p.legacyUntil = time.Now().Add(peerLegacyCooldown)
+			p.legacyUntil = time.Now().Add(p.cooldown)
 			return errPeerLegacy
 		}
 		return err
@@ -120,13 +151,17 @@ func (p *resumePeer) ensureLocked(dialTimeout, opTimeout time.Duration) error {
 		_ = conn.Close()
 		return fmt.Errorf("elide: unexpected replication ack from %s (%d bytes)", p.addr, len(ack))
 	}
+	// A successful handshake refutes any earlier legacy mark — the peer
+	// was upgraded (or regained its fleet key) since the last refusal.
+	p.legacyUntil = time.Time{}
 	p.conn, p.br = conn, br
 	return nil
 }
 
 // roundTrip sends one frame (reading the reply when want is set),
 // redialing once on a stale connection. A refusal reply is an answer
-// (fetch miss), not a link failure, and does not burn the connection.
+// (fetch miss, unknown op on an old peer), not a link failure, and does
+// not burn the connection.
 func (p *resumePeer) roundTrip(op byte, payload []byte, want bool, dialTimeout, opTimeout time.Duration) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -160,42 +195,160 @@ func (p *resumePeer) roundTrip(op byte, payload []byte, want bool, dialTimeout, 
 }
 
 // resumeReplicator is the dialer side of the replication layer: an async
-// push pump broadcasting fresh channels to every peer, and a synchronous
-// peer fetch for resume misses.
+// push pump broadcasting fresh channels to every live peer, and a
+// synchronous peer fetch for resume misses. The peer set is dynamic —
+// the gossip layer adds discovered members and retires dead ones; the
+// statically configured addresses are the seeds.
 type resumeReplicator struct {
 	fleetKey    []byte
-	peers       []*resumePeer
 	metrics     *obs.Registry
+	audit       *obs.AuditLog
 	dialTimeout time.Duration
 	opTimeout   time.Duration
+	cooldown    time.Duration
+	dial        peerDialFunc
+
+	mu    sync.Mutex
+	peers map[string]*resumePeer
+	dead  map[string]bool
 
 	queue chan ResumeRecord
 	once  sync.Once
+
+	// Push-drop bookkeeping: sustained drops mean fresh channels are not
+	// reaching the fleet, so the first drop per interval is audited and
+	// ReplicationHealth degrades for dropHealthWindow after the last one.
+	dropMu        sync.Mutex
+	drops         uint64
+	lastDrop      time.Time
+	lastDropAudit time.Time
+	dropInterval  time.Duration // audit rate limit (test seam)
+	dropWindow    time.Duration // health degradation window (test seam)
 }
 
-func newResumeReplicator(fleetKey []byte, peerAddrs []string, metrics *obs.Registry) *resumeReplicator {
+func newResumeReplicator(o *serverOptions) *resumeReplicator {
 	r := &resumeReplicator{
-		fleetKey:    fleetKey,
-		metrics:     metrics,
-		dialTimeout: DefaultDialTimeout,
-		opTimeout:   DefaultPeerOpTimeout,
-		queue:       make(chan ResumeRecord, peerPushQueue),
+		fleetKey:     o.fleetKey,
+		metrics:      o.metrics,
+		audit:        o.audit,
+		dialTimeout:  DefaultDialTimeout,
+		opTimeout:    DefaultPeerOpTimeout,
+		cooldown:     o.peerCooldown,
+		dial:         o.peerDial,
+		peers:        make(map[string]*resumePeer),
+		dead:         make(map[string]bool),
+		queue:        make(chan ResumeRecord, peerPushQueue),
+		dropInterval: dropAuditInterval,
+		dropWindow:   dropHealthWindow,
 	}
-	for _, a := range peerAddrs {
-		r.peers = append(r.peers, &resumePeer{addr: a})
+	if r.cooldown <= 0 {
+		r.cooldown = DefaultPeerCooldown
+	}
+	if r.dial == nil {
+		r.dial = defaultPeerDial
+	}
+	for _, a := range o.peers {
+		if a != "" && a != o.gossipSelf {
+			r.peerFor(a)
+		}
 	}
 	return r
 }
 
+// peerFor returns the link for addr, creating it on first use (the
+// gossip layer calls this for discovered members).
+func (r *resumeReplicator) peerFor(addr string) *resumePeer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.peers[addr]
+	if !ok {
+		p = &resumePeer{addr: addr, dial: r.dial, cooldown: r.cooldown}
+		r.peers[addr] = p
+	}
+	return p
+}
+
+// activePeers snapshots the links not currently declared dead.
+func (r *resumeReplicator) activePeers() []*resumePeer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*resumePeer, 0, len(r.peers))
+	for addr, p := range r.peers {
+		if !r.dead[addr] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// markDead retires a peer the mesh declared dead: pushes and fetches
+// skip it and its link is torn down. The entry itself stays — markAlive
+// revives it when the member rejoins.
+func (r *resumeReplicator) markDead(addr string) {
+	r.mu.Lock()
+	r.dead[addr] = true
+	p := r.peers[addr]
+	r.mu.Unlock()
+	if p != nil {
+		p.close()
+	}
+}
+
+// markAlive (re)admits a peer: newly discovered members enter the push
+// set here, and a dead member that refuted or rejoined comes back.
+func (r *resumeReplicator) markAlive(addr string) {
+	r.mu.Lock()
+	delete(r.dead, addr)
+	r.mu.Unlock()
+	r.peerFor(addr)
+}
+
 // broadcast enqueues one record for async push to every peer. The attest
-// path must never block on a slow peer, so a full queue drops (counted).
+// path must never block on a slow peer, so a full queue drops (counted,
+// audited at most once per interval, surfaced via ReplicationHealth).
 func (r *resumeReplicator) broadcast(rec ResumeRecord) {
 	r.once.Do(func() { go r.pump() })
 	select {
 	case r.queue <- rec:
 	default:
 		r.metrics.Counter("server.resume_replicate_dropped").Inc()
+		r.noteDrop()
 	}
+}
+
+// noteDrop records a push-queue overflow and emits the rate-limited
+// audit event.
+func (r *resumeReplicator) noteDrop() {
+	now := time.Now()
+	r.dropMu.Lock()
+	r.drops++
+	drops := r.drops
+	r.lastDrop = now
+	emit := now.Sub(r.lastDropAudit) >= r.dropInterval
+	if emit {
+		r.lastDropAudit = now
+	}
+	r.dropMu.Unlock()
+	if emit {
+		r.audit.Emit(obs.AuditEvent{
+			Type:   obs.AuditResumeReplicationDropped,
+			Detail: fmt.Sprintf("push queue full; %d records dropped since start", drops),
+		})
+	}
+}
+
+// healthCheck reports degraded while drops occurred within the health
+// window — wired into /healthz as the "replication" check.
+func (r *resumeReplicator) healthCheck() error {
+	r.dropMu.Lock()
+	defer r.dropMu.Unlock()
+	if !r.lastDrop.IsZero() {
+		if age := time.Since(r.lastDrop); age < r.dropWindow {
+			return fmt.Errorf("resume replication dropped %d records (last %s ago)",
+				r.drops, age.Round(time.Millisecond))
+		}
+	}
+	return nil
 }
 
 // pump drains the push queue for the life of the process. The pump (not
@@ -209,7 +362,7 @@ func (r *resumeReplicator) pump() {
 			r.metrics.Counter("server.resume_replicate_errors").Inc()
 			continue
 		}
-		for _, p := range r.peers {
+		for _, p := range r.activePeers() {
 			if _, err := p.roundTrip(peerOpPush, wrapped, false, r.dialTimeout, r.opTimeout); err != nil {
 				if errors.Is(err, errPeerLegacy) {
 					r.metrics.Counter("server.resume_peer_legacy").Inc()
@@ -228,7 +381,7 @@ func (r *resumeReplicator) pump() {
 // where a fresh key would break a mid-protocol enclave.
 func (r *resumeReplicator) fetch(binding [32]byte) (ResumeRecord, bool) {
 	r.metrics.Counter("server.resume_fetch").Inc()
-	for _, p := range r.peers {
+	for _, p := range r.activePeers() {
 		resp, err := p.roundTrip(peerOpFetch, binding[:], true, r.dialTimeout, r.opTimeout)
 		if err != nil {
 			continue
@@ -248,7 +401,7 @@ func (r *resumeReplicator) fetch(binding [32]byte) (ResumeRecord, bool) {
 // --- accepting side ---
 
 // handlePeerConn serves one replication link: ack the handshake, then a
-// loop of push/fetch frames until the peer hangs up. Reached from
+// loop of push/fetch/gossip frames until the peer hangs up. Reached from
 // handleConn when the decoded handshake carries the Peer marker; a server
 // without a fleet key refuses (the same shape a legacy server produces,
 // so dialers treat both identically).
@@ -318,6 +471,77 @@ func (s *Server) handlePeerConn(conn net.Conn, br *bufio.Reader) error {
 			}
 			s.opt.metrics.Counter("server.resume_fetch_served").Inc()
 			if werr := writeResponse(conn, wrapped); werr != nil {
+				return werr
+			}
+		case peerOpPing:
+			if s.gsp == nil {
+				if werr := writeErrorFrame(conn, "gossip not enabled"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if err := s.gsp.mergeSealed(payload); err != nil {
+				s.opt.metrics.Counter("server.gossip_bad_delta").Inc()
+				if werr := writeErrorFrame(conn, "bad gossip delta"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			s.opt.metrics.Counter("server.gossip_pings").Inc()
+			reply, err := s.gsp.sealedSummary()
+			if err != nil {
+				if werr := writeErrorFrame(conn, "seal failed"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if werr := writeResponse(conn, reply); werr != nil {
+				return werr
+			}
+		case peerOpPingReq:
+			if s.gsp == nil {
+				if werr := writeErrorFrame(conn, "gossip not enabled"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			// The indirect probe dials the target synchronously; the link's
+			// deadline is re-armed after, so a slow target costs this one
+			// frame, not the link.
+			ok, err := s.gsp.servePingReq(payload)
+			s.armPeerDeadline(conn)
+			if err != nil {
+				s.opt.metrics.Counter("server.gossip_bad_delta").Inc()
+				if werr := writeErrorFrame(conn, "bad ping-req"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if !ok {
+				if werr := writeErrorFrame(conn, "target unreachable"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if werr := writeResponse(conn, nil); werr != nil {
+				return werr
+			}
+		case peerOpDigest:
+			if s.gsp == nil {
+				if werr := writeErrorFrame(conn, "gossip not enabled"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			reply, err := s.gsp.serveDigest(payload)
+			if err != nil {
+				s.opt.metrics.Counter("server.anti_entropy_bad").Inc()
+				if werr := writeErrorFrame(conn, "bad digest"); werr != nil {
+					return werr
+				}
+				continue
+			}
+			if werr := writeResponse(conn, reply); werr != nil {
 				return werr
 			}
 		default:

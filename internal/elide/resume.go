@@ -129,6 +129,23 @@ func (s *lruResumeStore) Len() int {
 	return len(s.entries)
 }
 
+// Bindings implements the resumeBindingLister capability anti-entropy
+// (membership.go) keys on: a snapshot of the non-expired bindings held.
+// Bindings are SHA-256 values, safe to compare against a peer's digest.
+func (s *lruResumeStore) Bindings() [][32]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.now()
+	out := make([][32]byte, 0, len(s.entries))
+	for binding, el := range s.entries {
+		if el.Value.(*ResumeRecord).expired(now) {
+			continue
+		}
+		out = append(out, binding)
+	}
+	return out
+}
+
 // --- replicated record wire format ---
 
 // resumeRecordVersion versions the marshaled record layout inside the

@@ -54,10 +54,17 @@ type serverOptions struct {
 	resumeTTL   time.Duration
 	resumeStore ResumeStore // nil = the default in-process LRU
 	fleetKey    []byte      // shared fleet sealing key (enables replication)
-	peers       []string    // replication peers to push to / fetch from
+	peers       []string    // replication peers / gossip seeds
 	metrics     *obs.Registry
 	tracer      *obs.Tracer
 	audit       *obs.AuditLog
+
+	// Fleet membership (DESIGN §15).
+	gossipSelf     string        // advertised address; non-empty enables gossip
+	gossipInterval time.Duration // probe/gossip round cadence
+	suspectTimeout time.Duration // suspicion → dead deadline
+	peerCooldown   time.Duration // legacy-peer redial back-off
+	peerDial       peerDialFunc  // test seam; nil = net.DialTimeout
 
 	// onHandshake is a package-internal test seam, called with each
 	// decoded handshake before attestation (robustness tests use it to
@@ -85,6 +92,12 @@ type Server struct {
 	// fleet peers and fetches on resume misses (replication.go).
 	resume ResumeStore
 	rep    *resumeReplicator
+
+	// gsp, when non-nil, is the SWIM membership layer (membership.go);
+	// its probe loop starts with the first Serve and stops with that
+	// Serve's context.
+	gsp        *gossiper
+	gossipOnce sync.Once
 
 	// Per-enclave QoS state (token bucket + in-flight count), lazily
 	// created per measurement when rate or in-flight limits are set.
@@ -127,8 +140,11 @@ func NewMultiServer(caPub *ecdsa.PublicKey, store *SecretStore, opts ...ServerOp
 		// an unset burst one second's worth of rate (at least 1).
 		o.attestBurst = int(o.attestRate + 1)
 	}
-	if len(o.fleetKey) > 0 || len(o.peers) > 0 {
+	if len(o.fleetKey) > 0 || len(o.peers) > 0 || o.gossipSelf != "" {
 		if err := validFleetKey(o.fleetKey); err != nil {
+			if o.gossipSelf != "" && len(o.fleetKey) == 0 {
+				return nil, fmt.Errorf("elide: WithGossip requires the fleet key from WithResumeReplication")
+			}
 			return nil, err
 		}
 	}
@@ -143,8 +159,12 @@ func NewMultiServer(caPub *ecdsa.PublicKey, store *SecretStore, opts ...ServerOp
 		resume: resume,
 		qos:    make(map[[32]byte]*qosState),
 	}
-	if len(o.peers) > 0 {
-		s.rep = newResumeReplicator(o.fleetKey, o.peers, o.metrics)
+	if len(o.peers) > 0 || o.gossipSelf != "" {
+		s.rep = newResumeReplicator(&o)
+	}
+	if o.gossipSelf != "" {
+		s.gsp = newGossiper(o.gossipSelf, o.peers, s.rep, s.resume,
+			o.fleetKey, o.gossipInterval, o.suspectTimeout, o.metrics, o.audit)
 	}
 	return s, nil
 }
@@ -341,8 +361,19 @@ func (s *Server) resumePut(binding [32]byte, pub, channelKey []byte, mr [32]byte
 	return rec, true
 }
 
-// resumeLen reports the cache size (test seam).
+// resumeLen reports the cache size (test seam; ResumeLen is the
+// exported form, in membership.go).
 func (s *Server) resumeLen() int { return s.resume.Len() }
+
+// ReplicationHealth reports degraded while resume-replication pushes are
+// being dropped (nil when replication is off or healthy) — wire it into
+// the admin handler as a /healthz check.
+func (s *Server) ReplicationHealth() error {
+	if s.rep == nil {
+		return nil
+	}
+	return s.rep.healthCheck()
+}
 
 // Request answers one encrypted request on the attested channel, serving
 // only the secret entry resolved by this session's attestation. Requests
@@ -583,6 +614,11 @@ type attestMsg struct {
 // their current exchange (up to WithDrainTimeout), then returns
 // ErrServerClosed.
 func (s *Server) Serve(ctx context.Context, l net.Listener) error {
+	// The gossip loop lives exactly as long as the first Serve: fleet
+	// probing makes no sense before the server can answer probes back.
+	if s.gsp != nil {
+		s.gossipOnce.Do(func() { go s.gsp.run(ctx) })
+	}
 	// Unblock Accept when the context ends.
 	stop := make(chan struct{})
 	defer close(stop)
@@ -672,8 +708,12 @@ func (s *Server) handleConn(ctx context.Context, conn net.Conn) (err error) {
 		return err
 	}
 	if msg.Peer != 0 {
-		// A fleet peer, not a client: hand the connection to the
-		// replication layer before any session/trace machinery spins up.
+		// Not a client session: a membership query is answered and done;
+		// anything else is a fleet peer handed to the replication layer
+		// before any session/trace machinery spins up.
+		if msg.Peer == peerLinkMembers {
+			return s.handleMembersQuery(conn)
+		}
 		return s.handlePeerConn(conn, br)
 	}
 	// The session span starts only after the handshake is decoded: a

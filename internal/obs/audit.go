@@ -52,6 +52,19 @@ const (
 	AuditStoreRescanFailed = "store_rescan_failed" // secrets-dir rescan could not read a deployment
 	AuditResumeExpired     = "resume_expired"      // resume entry past its TTL; full re-attest required
 	AuditResumeReplicated  = "resume_replicated"   // resume record accepted from a fleet peer
+
+	// Fleet membership (DESIGN §15). Endpoint carries the member address
+	// the transition is about; Detail carries the incarnation involved.
+	AuditMemberJoin    = "member_join"       // a previously unknown member entered the mesh
+	AuditMemberAlive   = "member_alive"      // a suspect/dead member came back (or refuted a suspicion)
+	AuditMemberSuspect = "member_suspect"    // direct and indirect probes both failed
+	AuditMemberDead    = "member_dead"       // suspicion expired unrefuted; member declared dead
+	AuditAntiEntropy   = "anti_entropy_sync" // digest exchange adopted missing resume records
+
+	// AuditResumeReplicationDropped reports push-queue overflow: fresh
+	// channels are not reaching the fleet. Rate-limited to one event per
+	// interval; Detail carries the cumulative drop count.
+	AuditResumeReplicationDropped = "resume_replication_dropped"
 )
 
 // AuditEvent is one wide event. The struct is flat — no nested maps — so
